@@ -1,0 +1,63 @@
+//! Virtual-engine collective overhead: dense vs sparse all-to-all and the
+//! vector all-reduce that carries OptiPart's bucket counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_mpisim::{AllToAllAlgo, Engine};
+
+fn engine(p: usize) -> Engine {
+    Engine::new(p, PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()))
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(20);
+
+    for p in [64usize, 512] {
+        // Neighbour-pattern all-to-all: each rank talks to ~6 peers.
+        g.bench_with_input(BenchmarkId::new("alltoallv_sparse_6nbr", p), &p, |b, &p| {
+            b.iter(|| {
+                let mut e = engine(p);
+                let send: Vec<Vec<(usize, Vec<u64>)>> = (0..p)
+                    .map(|r| {
+                        (1..=6)
+                            .map(|k| (((r + k * 7) % p), vec![r as u64; 64]))
+                            .collect()
+                    })
+                    .collect();
+                e.alltoallv_sparse(send, AllToAllAlgo::Direct).len()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("alltoallv_dense_6nbr", p), &p, |b, &p| {
+            b.iter(|| {
+                let mut e = engine(p);
+                let send: Vec<Vec<Vec<u64>>> = (0..p)
+                    .map(|r| {
+                        (0..p)
+                            .map(|d| {
+                                if (1..=6).any(|k| (r + k * 7) % p == d) {
+                                    vec![r as u64; 64]
+                                } else {
+                                    vec![]
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                e.alltoallv(send, AllToAllAlgo::Direct).len()
+            })
+        });
+        // Bucket-count reduction (Eq. 2's (ts + tw k) log p term).
+        g.bench_with_input(BenchmarkId::new("allreduce_vec_512", p), &p, |b, &p| {
+            let contribs: Vec<Vec<u64>> = (0..p).map(|r| vec![r as u64; 512]).collect();
+            b.iter(|| {
+                let mut e = engine(p);
+                e.allreduce_sum_vec_u64(&contribs).len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_collectives);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Matvec kernel throughput (host wall-clock) on a partitioned mesh,
+//! including the halo exchange.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart_fem::{laplacian_matvec, DistMesh};
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_mpisim::{DistVec, Engine};
+use optipart_octree::MeshParams;
+use optipart_sfc::Curve;
+
+fn bench_matvec(c: &mut Criterion) {
+    let n = 50_000;
+    let p = 16;
+    let tree = MeshParams::normal(n, 3).build::<3>(Curve::Hilbert);
+    let mut e = Engine::new(
+        p,
+        PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+    );
+    let out = treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact());
+    let mesh = DistMesh::build(&mut e, out.dist, Curve::Hilbert);
+    let elems = mesh.total_cells() as u64;
+
+    let mut g = c.benchmark_group("matvec");
+    g.throughput(Throughput::Elements(elems));
+    g.bench_function("laplacian_with_halo", |b| {
+        let mut x = DistVec::from_parts(
+            mesh.cells.counts().iter().map(|&c| vec![1.0f64; c]).collect(),
+        );
+        b.iter(|| {
+            let (y, _) = laplacian_matvec(&mut e, &mesh, &mut x);
+            y.total_len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_matvec);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! End-to-end partitioner throughput on the virtual engine: distributed
+//! TreeSort (exact and tolerant), OptiPart and the SampleSort baseline.
+//!
+//! Measures host wall-clock of the simulation itself (not virtual time) —
+//! the cost a user of this library pays to compute a partition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optipart_core::optipart::{optipart, OptiPartOptions};
+use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart_core::samplesort::{samplesort_partition, SampleSortOptions};
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_mpisim::Engine;
+use optipart_octree::MeshParams;
+use optipart_sfc::Curve;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let n = 100_000;
+    let p = 64;
+    let tree = MeshParams::normal(n, 5).build::<3>(Curve::Hilbert);
+    let elems = tree.len() as u64;
+
+    let mut g = c.benchmark_group("partitioners");
+    g.throughput(Throughput::Elements(elems));
+    g.sample_size(10);
+
+    let engine = || {
+        Engine::new(
+            p,
+            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+        )
+    };
+
+    g.bench_function(BenchmarkId::new("treesort_exact", p), |b| {
+        b.iter(|| {
+            let mut e = engine();
+            treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact())
+                .dist
+                .total_len()
+        })
+    });
+    g.bench_function(BenchmarkId::new("treesort_tol_0.3", p), |b| {
+        b.iter(|| {
+            let mut e = engine();
+            treesort_partition(
+                &mut e,
+                distribute_tree(&tree, p),
+                PartitionOptions::with_tolerance(0.3),
+            )
+            .dist
+            .total_len()
+        })
+    });
+    g.bench_function(BenchmarkId::new("optipart", p), |b| {
+        b.iter(|| {
+            let mut e = engine();
+            optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::default())
+                .dist
+                .total_len()
+        })
+    });
+    g.bench_function(BenchmarkId::new("samplesort", p), |b| {
+        b.iter(|| {
+            let mut e = engine();
+            samplesort_partition(&mut e, distribute_tree(&tree, p), SampleSortOptions::default())
+                .dist
+                .total_len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Key-generation throughput: Morton interleave vs Hilbert (Skilling).
+//!
+//! Backs the §2.1 claim that level-dependent orderings like Hilbert cost
+//! only a constant factor over Morton.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optipart_octree::{sample_points, Distribution};
+use optipart_sfc::{Cell3, Curve, SfcKey};
+use std::hint::black_box;
+
+fn bench_keys(c: &mut Criterion) {
+    let n = 100_000;
+    let points = sample_points::<3>(Distribution::Normal, n, 42);
+    let cells: Vec<Cell3> = points.iter().map(|&p| Cell3::new(p, 20)).collect();
+
+    let mut g = c.benchmark_group("sfc_key_generation");
+    g.throughput(Throughput::Elements(n as u64));
+    for curve in Curve::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(curve), &curve, |b, &curve| {
+            b.iter(|| {
+                let mut acc = 0u128;
+                for cell in &cells {
+                    acc ^= SfcKey::of(black_box(cell), curve).path();
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_keys);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Sequential TreeSort (Algorithm 1) vs comparison sort on SFC keys.
+//!
+//! TreeSort's MSD-radix structure should be competitive with (or beat) the
+//! general-purpose comparison sort while additionally exposing the induced
+//! partitions the distributed algorithm exploits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use optipart_core::treesort::treesort;
+use optipart_octree::{sample_points, tree_from_points, Distribution};
+use optipart_sfc::{Curve, KeyedCell};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn shuffled(n: usize, curve: Curve) -> Vec<KeyedCell<3>> {
+    let pts = sample_points::<3>(Distribution::Normal, n, 7);
+    let tree = tree_from_points(&pts, 1, 18, curve);
+    let mut cells = tree.into_leaves();
+    cells.shuffle(&mut rand::rngs::StdRng::seed_from_u64(99));
+    cells
+}
+
+fn bench_sorts(c: &mut Criterion) {
+    let input = shuffled(100_000, Curve::Hilbert);
+    let n = input.len() as u64;
+
+    let mut g = c.benchmark_group("sequential_sort");
+    g.throughput(Throughput::Elements(n));
+    g.bench_with_input(BenchmarkId::new("treesort", n), &input, |b, input| {
+        b.iter(|| {
+            let mut a = input.clone();
+            treesort(black_box(&mut a));
+            a.len()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("sort_unstable", n), &input, |b, input| {
+        b.iter(|| {
+            let mut a = input.clone();
+            black_box(&mut a).sort_unstable();
+            a.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sorts);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! `figures` — regenerates every measured figure of the paper (§5).
+//!
+//! ```text
+//! cargo run -p optipart-bench --release --bin figures -- all
+//! cargo run -p optipart-bench --release --bin figures -- fig7 fig8 --scale 2 --out results/
+//! ```
+//!
+//! Figure ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 (or `all`),
+//! plus `ablations` (design-choice studies; not part of `all`).
+//! `--scale` multiplies the scaled default problem sizes (1.0 = defaults
+//! documented in DESIGN.md §6; the paper's full sizes need a cluster-class
+//! machine). `--seed` changes the mesh RNG seed; `--out DIR` also writes
+//! CSVs.
+
+use optipart_bench::common::RunConfig;
+use optipart_bench::figs;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = RunConfig::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage("--scale needs a value"));
+                cfg.scale = v.parse().unwrap_or_else(|_| usage("bad --scale value"));
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage("--seed needs a value"));
+                cfg.seed = v.parse().unwrap_or_else(|_| usage("bad --seed value"));
+            }
+            "--out" => {
+                let v = it.next().unwrap_or_else(|| usage("--out needs a directory"));
+                cfg.out_dir = Some(v.into());
+            }
+            "all" => ids.extend(figs::ALL.iter().map(|s| s.to_string())),
+            "-h" | "--help" => {
+                usage("");
+            }
+            other if other.starts_with('-') => usage(&format!("unknown flag {other}")),
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        usage("no figure ids given");
+    }
+    for id in ids {
+        if let Err(e) = figs::run(&id, &cfg) {
+            eprintln!("error: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage: figures <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|all>... \
+         [ablations] [--scale X] [--seed N] [--out DIR]"
+    );
+    exit(if err.is_empty() { 0 } else { 2 });
+}

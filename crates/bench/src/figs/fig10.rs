@@ -1,0 +1,88 @@
+//! Fig. 10 — measured vs model-predicted runtime, and OptiPart's chosen
+//! tolerance.
+//!
+//! Paper: 100 matvecs, 256 cores, Wisconsin CloudLab, Hilbert; the measured
+//! tolerance curve against the `Tp = α·tc·Wmax + tw·Cmax` prediction, with
+//! the tolerance OptiPart itself selects highlighted. OptiPart approaches the
+//! optimum from the right (coarse → fine) and stops where predicted time
+//! turns upward.
+
+use crate::common::{engine, fmt, mesh, partitioned_mesh, tolerance_grid, RunConfig, Table};
+use optipart_core::metrics::{assignment, exact_predicted_time};
+use optipart_core::optipart::{optipart, OptiPartOptions};
+use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart_core::quality::partition_quality;
+use optipart_fem::run_matvec_experiment;
+use optipart_machine::MachineModel;
+use optipart_sfc::Curve;
+
+/// Runs the sweep plus the OptiPart stop-point. Default mesh ~256k elements.
+pub fn run(cfg: &RunConfig) {
+    let p = 256;
+    let n = cfg.n(600_000, 5_000);
+    let iters = 100;
+    let curve = Curve::Hilbert;
+    let tree = mesh(n, cfg.seed, curve);
+    let mut table = Table::new(
+        "fig10_measured_vs_predicted",
+        &["tolerance", "measured_min", "predicted_eq3_min", "predicted_exact_min", "wmax", "cmax"],
+    );
+    eprintln!("fig10: measured vs predicted, wisconsin-8 model, p = {p}, {n} generator points");
+
+    let mut best = (f64::INFINITY, 0.0f64);
+    for tol in tolerance_grid(0.5, 0.05) {
+        // Measured: simulate the matvecs on the tol-partition.
+        let mut e = engine(MachineModel::cloudlab_wisconsin(), p);
+        let fem_mesh = partitioned_mesh(&mut e, &tree, tol);
+        let rep = run_matvec_experiment(&mut e, &fem_mesh, iters);
+        // Predicted: Eq. (3) per matvec × iterations, from Algorithm 2 on
+        // the same splitters.
+        let mut e2 = engine(MachineModel::cloudlab_wisconsin(), p);
+        let out = treesort_partition(
+            &mut e2,
+            distribute_tree(&tree, p),
+            PartitionOptions::with_tolerance(tol),
+        );
+        let mut d = distribute_tree(&tree, p);
+        let q = partition_quality(&mut e2, &mut d, &out.splitters, curve);
+        let predicted = q.tp * iters as f64;
+        // Exact per-iteration model from the true communication structure
+        // (volumes + message latencies), for comparison with Algorithm 2's
+        // cheap estimate.
+        let assign = assignment(&tree, &out.splitters);
+        let exact = exact_predicted_time(&tree, &assign, p, e2.perf()) * iters as f64;
+        if rep.seconds < best.0 {
+            best = (rep.seconds, tol);
+        }
+        table.row(vec![
+            fmt(tol),
+            fmt(rep.seconds / 60.0),
+            fmt(predicted / 60.0),
+            fmt(exact / 60.0),
+            q.wmax.to_string(),
+            q.cmax.to_string(),
+        ]);
+    }
+    table.emit(cfg);
+
+    // OptiPart's own stopping point, under both model variants.
+    let mut summary = Table::new(
+        "fig10_optipart_choice",
+        &["model", "optipart_tolerance", "bruteforce_best_tolerance", "predicted_tp_min"],
+    );
+    for latency_aware in [false, true] {
+        let mut e = engine(MachineModel::cloudlab_wisconsin(), p);
+        let out = optipart(
+            &mut e,
+            distribute_tree(&tree, p),
+            OptiPartOptions { latency_aware, ..OptiPartOptions::for_curve(curve) },
+        );
+        summary.row(vec![
+            if latency_aware { "eq3+latency".into() } else { "eq3".into() },
+            fmt(out.report.achieved_tolerance),
+            fmt(best.1),
+            fmt(out.report.predicted_tp * iters as f64 / 60.0),
+        ]);
+    }
+    summary.emit(cfg);
+}

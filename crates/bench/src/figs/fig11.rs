@@ -1,0 +1,44 @@
+//! Fig. 11 — load imbalance and communication imbalance vs tolerance.
+//!
+//! Paper: Hilbert partitioning, grain 10⁵, depth-30 octree, 1792 MPI tasks
+//! on Clemson CloudLab; `work max/min` and `bdy max/min` both grow with the
+//! tolerance — the price paid for the smaller communication volume.
+
+use crate::common::{engine, fmt, mesh, tolerance_grid, RunConfig, Table};
+use optipart_core::metrics::{
+    assignment, boundary_counts, comm_imbalance, load_imbalance, partition_counts,
+};
+use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart_machine::MachineModel;
+use optipart_sfc::Curve;
+
+/// Runs the imbalance sweep. Default grain 250 elements/rank (paper 10⁵).
+pub fn run(cfg: &RunConfig) {
+    let p = 1792;
+    let n = cfg.n(450_000, 5_000);
+    let curve = Curve::Hilbert;
+    let tree = mesh(n, cfg.seed, curve);
+    let mut table = Table::new(
+        "fig11_imbalance",
+        &["tolerance", "load_imbalance", "comm_imbalance"],
+    );
+    eprintln!("fig11: imbalance sweep, clemson-32 model, p = {p}, {n} generator points");
+
+    for tol in tolerance_grid(0.5, 0.05) {
+        let mut e = engine(MachineModel::cloudlab_clemson(), p);
+        let out = treesort_partition(
+            &mut e,
+            distribute_tree(&tree, p),
+            PartitionOptions::with_tolerance(tol),
+        );
+        let assign = assignment(&tree, &out.splitters);
+        let counts = partition_counts(&assign, p);
+        let bdy = boundary_counts(&tree, &assign, p);
+        table.row(vec![
+            fmt(tol),
+            fmt(load_imbalance(&counts)),
+            fmt(comm_imbalance(&bdy)),
+        ]);
+    }
+    table.emit(cfg);
+}

@@ -1,0 +1,72 @@
+//! Fig. 12 — communication-matrix NNZ vs tolerance (left/centre) and total
+//! data communicated over 100 matvecs (right).
+//!
+//! Paper: NNZ for Hilbert and Morton at 1B elements / 4096 tasks (note the
+//! different y-scales — Hilbert's locality gives far fewer non-zeros);
+//! total octants moved for 25.6M elements / 256 cores on Wisconsin-8. NNZ
+//! strictly decreases with tolerance; Morton shows a kink from its
+//! discontinuous partitions.
+
+use crate::common::{engine, fmt, mesh, partitioned_mesh, tolerance_grid, RunConfig, Table};
+use optipart_core::metrics::{assignment, communication_matrix};
+use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart_fem::run_matvec_experiment;
+use optipart_machine::MachineModel;
+use optipart_sfc::Curve;
+
+/// Runs both panels. Defaults: NNZ at p = 4096 with ~1M elements
+/// (paper: 1B); data volume at p = 256 with ~256k (paper: 25.6M).
+pub fn run(cfg: &RunConfig) {
+    // --- Left/centre: NNZ vs tolerance, both curves, p = 4096. ---
+    let p_nnz = 4096;
+    let n_nnz = cfg.n(1_000_000, 10_000);
+    let mut nnz_table = Table::new(
+        "fig12_nnz",
+        &["curve", "tolerance", "nnz", "ghost_elements_total"],
+    );
+    eprintln!("fig12 (left/centre): NNZ sweep, p = {p_nnz}, {n_nnz} generator points");
+    for curve in Curve::ALL {
+        let tree = mesh(n_nnz, cfg.seed, curve);
+        for tol in tolerance_grid(0.5, 0.1) {
+            let mut e = engine(MachineModel::titan(), p_nnz);
+            let out = treesort_partition(
+                &mut e,
+                distribute_tree(&tree, p_nnz),
+                PartitionOptions::with_tolerance(tol),
+            );
+            let assign = assignment(&tree, &out.splitters);
+            let m = communication_matrix(&tree, &assign, p_nnz);
+            nnz_table.row(vec![
+                curve.name().into(),
+                fmt(tol),
+                m.nnz().to_string(),
+                m.total_bytes().to_string(), // element units (see metrics docs)
+            ]);
+        }
+    }
+    nnz_table.emit(cfg);
+
+    // --- Right: total data for 100 matvecs vs tolerance, p = 256. ---
+    let p_data = 256;
+    let n_data = cfg.n(150_000, 5_000);
+    let iters = 100;
+    let mut vol_table = Table::new(
+        "fig12_total_data",
+        &["curve", "tolerance", "octants_communicated"],
+    );
+    eprintln!("fig12 (right): data volume, wisconsin-8 model, p = {p_data}, {n_data} generator points");
+    for curve in Curve::ALL {
+        let tree = mesh(n_data, cfg.seed, curve);
+        for tol in tolerance_grid(0.5, 0.1) {
+            let mut e = engine(MachineModel::cloudlab_wisconsin(), p_data);
+            let fem_mesh = partitioned_mesh(&mut e, &tree, tol);
+            let rep = run_matvec_experiment(&mut e, &fem_mesh, iters);
+            vol_table.row(vec![
+                curve.name().into(),
+                fmt(tol),
+                rep.ghost_elements.to_string(),
+            ]);
+        }
+    }
+    vol_table.emit(cfg);
+}

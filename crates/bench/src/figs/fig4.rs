@@ -1,0 +1,41 @@
+//! Fig. 4 — strong scaling of Morton/Hilbert partitioning on Titan.
+//!
+//! Paper: 16×10⁶ elements, 16–1024 cores, execution time bars with parallel
+//! efficiency annotated (43% at 64× scale-up; 16M elements partitioned in
+//! ~25 ms across 1024 cores).
+
+use crate::common::{engine, fmt, mesh, RunConfig, Table};
+use optipart_core::partition::{distribute_shuffled, treesort_partition, PartitionOptions};
+use optipart_machine::MachineModel;
+use optipart_sfc::Curve;
+
+/// Runs the strong-scaling sweep. Default element count is 10% of the
+/// paper's 16M (scale with `--scale`).
+pub fn run(cfg: &RunConfig) {
+    let n = cfg.n(470_000, 10_000); // generator points; leaves ≈ 3.4x
+    let ps = [16usize, 32, 64, 128, 256, 512, 1024];
+    let mut table = Table::new(
+        "fig4_strong_scaling",
+        &["curve", "p", "time_s", "efficiency_pct"],
+    );
+    eprintln!("fig4: strong scaling, {n} generator points (~1.6M leaves), titan model");
+
+    for curve in Curve::ALL {
+        let tree = mesh(n, cfg.seed, curve);
+        let mut base: Option<f64> = None;
+        for &p in &ps {
+            let mut e = engine(MachineModel::titan(), p);
+            let _ = treesort_partition(&mut e, distribute_shuffled(&tree, p, cfg.seed), PartitionOptions::exact());
+            let t = e.makespan();
+            let eff = match base {
+                None => {
+                    base = Some(t * ps[0] as f64);
+                    100.0
+                }
+                Some(b) => 100.0 * b / (t * p as f64),
+            };
+            table.row(vec![curve.name().into(), p.to_string(), fmt(t), fmt(eff)]);
+        }
+    }
+    table.emit(cfg);
+}

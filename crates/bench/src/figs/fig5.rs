@@ -1,0 +1,62 @@
+//! Fig. 5 — weak scaling to 262,144 cores on Titan, partition vs all2all.
+//!
+//! Paper: grain 10⁶ elements/process, 16 → 262,144 processes (16M → 262B
+//! elements), total time split into splitter computation ("partition") and
+//! the data exchange ("all2all"); the exchange dominates at scale.
+//!
+//! We execute the virtual-process runs up to a laptop-feasible `p` and
+//! extend the curve with the Eq. (2) model to the paper's full 262,144 —
+//! the same formula the executed points are charged with, so the two
+//! segments are consistent by construction.
+
+use crate::common::{engine, fmt, mesh, RunConfig, Table};
+use optipart_core::partition::{
+    distribute_shuffled, treesort_partition, PartitionOptions, PHASE_ALL2ALL,
+    PHASE_LOCAL_SORT, PHASE_SPLITTER,
+};
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_sfc::Curve;
+
+/// Runs the weak-scaling sweep. Default grain is 2,000 elements/rank.
+pub fn run(cfg: &RunConfig) {
+    let grain = cfg.n(2_000, 200);
+    let ps = [16usize, 64, 256, 1024];
+    let mut table = Table::new(
+        "fig5_weak_scaling",
+        &["curve", "p", "grain", "partition_s", "all2all_s", "total_s"],
+    );
+    eprintln!("fig5: weak scaling, grain = {grain}, titan model");
+
+    for curve in Curve::ALL {
+        for &p in &ps {
+            let tree = mesh(grain * p, cfg.seed, curve);
+            let mut e = engine(MachineModel::titan(), p);
+            let _ = treesort_partition(&mut e, distribute_shuffled(&tree, p, cfg.seed), PartitionOptions::exact());
+            let split = e.stats().phase_time(PHASE_SPLITTER)
+                + e.stats().phase_time(PHASE_LOCAL_SORT);
+            let a2a = e.stats().phase_time(PHASE_ALL2ALL);
+            table.row(vec![
+                curve.name().into(),
+                p.to_string(),
+                grain.to_string(),
+                fmt(split),
+                fmt(a2a),
+                fmt(e.makespan()),
+            ]);
+        }
+    }
+    table.emit(cfg);
+
+    // Model extension to the paper's 262,144 cores (Eq. 2, k = 4096).
+    let perf = PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec());
+    let mut ext = Table::new("fig5_model_extension", &["p", "grain", "modeled_total_s"]);
+    for p in [1024usize, 8192, 65_536, 262_144] {
+        let k = p.min(4096);
+        ext.row(vec![
+            p.to_string(),
+            grain.to_string(),
+            fmt(perf.treesort_time_staged(grain as u64, p, k)),
+        ]);
+    }
+    ext.emit(cfg);
+}

@@ -1,0 +1,69 @@
+//! Figs. 7 & 8 — energy and runtime of 100 matvecs vs tolerance.
+//!
+//! Fig. 7: Clemson-32 CloudLab cluster, 1792 MPI tasks, grain 10⁵,
+//! tolerance 0…0.7; Fig. 8: Wisconsin-8, 256 tasks, 95M mesh,
+//! tolerance 0…0.5. Both Hilbert and Morton. The paper's headline result:
+//! both time and energy dip for tolerances > 0 (up to 22% savings), energy
+//! and runtime strongly correlated, Hilbert below Morton.
+
+use crate::common::{engine, fmt, mesh, partitioned_mesh, tolerance_grid, RunConfig, Table};
+use optipart_fem::run_matvec_experiment;
+use optipart_machine::MachineModel;
+use optipart_sfc::Curve;
+
+/// Shared sweep: `iters` matvecs per (curve, tolerance) point.
+pub fn sweep(
+    cfg: &RunConfig,
+    name: &str,
+    machine: MachineModel,
+    p: usize,
+    n: usize,
+    max_tol: f64,
+    iters: usize,
+) {
+    let mut table = Table::new(
+        name,
+        &["curve", "tolerance", "runtime_min", "energy_J", "comm_J", "ghost_elems"],
+    );
+    eprintln!(
+        "{name}: {} model, p = {p}, {n} generator points (~3.4x leaves), {iters} matvecs",
+        machine.name
+    );
+
+    for curve in Curve::ALL {
+        let tree = mesh(n, cfg.seed, curve);
+        for tol in tolerance_grid(max_tol, 0.05) {
+            let mut e = engine(machine.clone(), p);
+            let fem_mesh = partitioned_mesh(&mut e, &tree, tol);
+            let rep = run_matvec_experiment(&mut e, &fem_mesh, iters);
+            table.row(vec![
+                curve.name().into(),
+                fmt(tol),
+                fmt(rep.seconds / 60.0),
+                fmt(rep.energy.total_j),
+                fmt(rep.energy.comm_j),
+                rep.ghost_elements.to_string(),
+            ]);
+        }
+    }
+    table.emit(cfg);
+}
+
+/// Fig. 7: Clemson CloudLab model. The paper runs 1792 tasks at grain 10⁵;
+/// we default to 224 tasks (4 Clemson nodes) at grain ≈ 9k leaves/rank so
+/// that the partition surface stays well below its volume (the regime the
+/// paper operates in) while a single host can execute the sweep. `--scale`
+/// raises the element count.
+pub fn run_fig7(cfg: &RunConfig) {
+    let p = 224;
+    let n = cfg.n(600_000, 5_000);
+    sweep(cfg, "fig7_clemson_energy_time", MachineModel::cloudlab_clemson(), p, n, 0.7, 100);
+}
+
+/// Fig. 8: Wisconsin-8, 256 tasks as in the paper. Default mesh ≈ 2M leaves
+/// (600k generator points; paper: 95M mesh nodes).
+pub fn run_fig8(cfg: &RunConfig) {
+    let p = 256;
+    let n = cfg.n(600_000, 5_000);
+    sweep(cfg, "fig8_wisconsin_energy_time", MachineModel::cloudlab_wisconsin(), p, n, 0.5, 100);
+}

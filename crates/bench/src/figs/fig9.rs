@@ -1,0 +1,44 @@
+//! Fig. 9 — per-node energy, ideal load balance vs tolerance 0.3.
+//!
+//! Paper: 95M mesh nodes, 256 MPI tasks on the 8-node Wisconsin CloudLab
+//! cluster; bars of per-node Joules for default (tol 0) and tol = 0.3, for
+//! Hilbert and Morton. Despite node-to-node variability, every node's
+//! energy drops under the flexible partition.
+
+use crate::common::{engine, fmt, mesh, partitioned_mesh, RunConfig, Table};
+use optipart_fem::run_matvec_experiment;
+use optipart_machine::MachineModel;
+use optipart_sfc::Curve;
+
+/// Runs the per-node comparison. Default mesh ~256k elements.
+pub fn run(cfg: &RunConfig) {
+    let p = 256;
+    let n = cfg.n(600_000, 5_000);
+    let iters = 100;
+    let mut table = Table::new(
+        "fig9_per_node_energy",
+        &["curve", "node", "default_J", "tol03_J", "savings_pct"],
+    );
+    eprintln!("fig9: per-node energy, wisconsin-8 model, p = {p}, {n} generator points");
+
+    for curve in Curve::ALL {
+        let tree = mesh(n, cfg.seed, curve);
+        let run_at = |tol: f64| -> Vec<f64> {
+            let mut e = engine(MachineModel::cloudlab_wisconsin(), p);
+            let fem_mesh = partitioned_mesh(&mut e, &tree, tol);
+            run_matvec_experiment(&mut e, &fem_mesh, iters).energy.per_node_j
+        };
+        let default = run_at(0.0);
+        let flexible = run_at(0.3);
+        for (node, (d, f)) in default.iter().zip(&flexible).enumerate() {
+            table.row(vec![
+                curve.name().into(),
+                node.to_string(),
+                fmt(*d),
+                fmt(*f),
+                fmt(100.0 * (d - f) / d),
+            ]);
+        }
+    }
+    table.emit(cfg);
+}

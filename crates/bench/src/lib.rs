@@ -1,0 +1,13 @@
+//! # optipart-bench — figure harness and benchmarks
+//!
+//! The [`figs`] module regenerates every measured figure of the paper's §5
+//! (Figs. 4–12) as text tables (and CSV when `--out` is given); the
+//! `figures` binary dispatches to them. Criterion micro-benchmarks live in
+//! `benches/`.
+//!
+//! Each figure function takes a [`common::RunConfig`] whose `scale` shrinks
+//! the paper's problem sizes to laptop scale (see DESIGN.md §6 for the
+//! mapping and EXPERIMENTS.md for recorded outputs).
+
+pub mod common;
+pub mod figs;

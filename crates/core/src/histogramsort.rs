@@ -1,0 +1,256 @@
+//! Histogram-sort partitioning — the comparison-based splitter-refinement
+//! baseline (Solomonik & Kale 2010, the paper's reference \[33\]).
+//!
+//! Where TreeSort's splitter search buckets by key *digits* (no
+//! comparisons, one subtree level per round), histogram sort bisects the
+//! key space: each round probes one candidate key per unresolved splitter,
+//! counts elements below each probe with local binary searches plus one
+//! vector all-reduce, and narrows the bracket. Like TreeSort it admits a
+//! load tolerance; unlike TreeSort its probes are arbitrary keys, so the
+//! induced partitions cut *through* subtrees instead of aligning with them
+//! — which is exactly why the paper's flexible TreeSort yields
+//! lower-surface partitions at equal tolerance.
+
+use crate::partition::{
+    exchange_and_sort, PartitionOptions, PartitionOutcome, PartitionReport, PHASE_LOCAL_SORT,
+    PHASE_SPLITTER,
+};
+use optipart_mpisim::{DistVec, Engine};
+use optipart_sfc::{KeyedCell, SfcKey};
+
+/// One splitter's bisection bracket.
+#[derive(Clone, Copy, Debug)]
+struct Bracket {
+    /// Target global rank `r·N/p`.
+    target: u64,
+    /// Lower probe path (global rank `lo_rank` ≤ target).
+    lo_path: u128,
+    lo_rank: u64,
+    /// Upper probe path (global rank `hi_rank` ≥ target).
+    hi_path: u128,
+    hi_rank: u64,
+    /// Resolved splitter, once within tolerance.
+    done: Option<SfcKey>,
+}
+
+/// Partitions by histogram sort over SFC keys with the given load
+/// tolerance (`opts.tolerance`, same semantics as TreeSort's).
+pub fn histogramsort_partition<const D: usize>(
+    engine: &mut Engine,
+    mut dist: DistVec<KeyedCell<D>>,
+    opts: PartitionOptions,
+) -> PartitionOutcome<D> {
+    let p = engine.p();
+    let elem_bytes = std::mem::size_of::<KeyedCell<D>>() as f64;
+
+    // Local sort so rank counting is a binary search.
+    engine.phase(PHASE_LOCAL_SORT, |e| {
+        e.compute(&mut dist, |_r, buf| {
+            buf.sort_unstable();
+            buf.len() as f64 * elem_bytes * (buf.len().max(2) as f64).log2()
+        });
+    });
+
+    let local_n: Vec<u64> = dist.counts().iter().map(|&c| c as u64).collect();
+    let n = engine.allreduce_sum_u64(&local_n);
+    let tol_units = (opts.tolerance * (n as f64 / p as f64)).max(0.0);
+
+    let (splitters, rounds, achieved) = engine.phase(PHASE_SPLITTER, |engine| {
+        let max_path: u128 = if (D as u32 * optipart_sfc::MAX_DEPTH as u32) >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << (D as u32 * optipart_sfc::MAX_DEPTH as u32)) - 1
+        };
+        let mut brackets: Vec<Bracket> = (1..p)
+            .map(|r| Bracket {
+                target: (r as u64 * n) / p as u64,
+                lo_path: 0,
+                lo_rank: 0,
+                hi_path: max_path,
+                hi_rank: n,
+                done: None,
+            })
+            .collect();
+        let mut rounds = 0usize;
+
+        loop {
+            // Probes: midpoints of every unresolved bracket.
+            let probes: Vec<(usize, SfcKey)> = brackets
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.done.is_none())
+                .map(|(i, b)| (i, SfcKey::from_parts(b.lo_path + (b.hi_path - b.lo_path) / 2, 0)))
+                .collect();
+            if probes.is_empty() {
+                break;
+            }
+            // Local histogram: elements strictly below each probe.
+            let probe_keys: Vec<SfcKey> = probes.iter().map(|(_, k)| *k).collect();
+            let local_hist: Vec<Vec<u64>> = engine.compute_map(&mut dist, |_r, buf| {
+                let counts: Vec<u64> = probe_keys
+                    .iter()
+                    .map(|k| buf.partition_point(|kc| kc.key < *k) as u64)
+                    .collect();
+                (probe_keys.len() as f64 * 64.0, counts)
+            });
+            let global_hist = engine.allreduce_sum_vec_u64(&local_hist);
+            rounds += 1;
+
+            for ((bi, key), &rank) in probes.iter().zip(&global_hist) {
+                let b = &mut brackets[*bi];
+                let err = rank.abs_diff(b.target) as f64;
+                if err <= tol_units || b.hi_path - b.lo_path <= 1 {
+                    // Accept the bracket edge nearest the target when the
+                    // probe itself is not closest.
+                    let lo_err = b.target.abs_diff(b.lo_rank) as f64;
+                    let hi_err = b.target.abs_diff(b.hi_rank) as f64;
+                    b.done = Some(if err <= lo_err && err <= hi_err {
+                        *key
+                    } else if lo_err <= hi_err {
+                        SfcKey::from_parts(b.lo_path, 0)
+                    } else {
+                        SfcKey::from_parts(b.hi_path, 0)
+                    });
+                } else if rank < b.target {
+                    b.lo_path = key.path();
+                    b.lo_rank = rank;
+                } else {
+                    b.hi_path = key.path();
+                    b.hi_rank = rank;
+                }
+            }
+        }
+
+        let mut splitters: Vec<SfcKey> =
+            brackets.iter().map(|b| b.done.expect("all resolved")).collect();
+        // Enforce monotonicity (independent bisections can cross on heavily
+        // duplicated prefixes).
+        for i in 1..splitters.len() {
+            if splitters[i] < splitters[i - 1] {
+                splitters[i] = splitters[i - 1];
+            }
+        }
+        let grain = (n as f64 / p as f64).max(1.0);
+        let achieved = brackets
+            .iter()
+            .map(|b| b.target.abs_diff(b.lo_rank).min(b.target.abs_diff(b.hi_rank)) as f64 / grain)
+            .fold(0.0f64, f64::max);
+        (splitters, rounds, achieved)
+    });
+
+    let out = exchange_and_sort(engine, dist, &splitters, opts.alltoall);
+    let counts: Vec<u64> = out.counts().iter().map(|&c| c as u64).collect();
+    let lambda = out.load_imbalance();
+    let wmax = out.wmax() as u64;
+    PartitionOutcome {
+        dist: out,
+        splitters,
+        report: PartitionReport {
+            rounds,
+            splitter_level: 0,
+            achieved_tolerance: achieved,
+            counts,
+            lambda,
+            wmax,
+            cmax: 0,
+            predicted_tp: 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{distribute_shuffled, owner_of, treesort_partition};
+    use optipart_machine::{AppModel, MachineModel, PerfModel};
+    use optipart_octree::MeshParams;
+    use optipart_sfc::Curve;
+
+    fn engine(p: usize) -> Engine {
+        Engine::new(p, PerfModel::new(MachineModel::stampede(), AppModel::laplacian_matvec()))
+    }
+
+    #[test]
+    fn histogramsort_produces_global_order() {
+        for curve in Curve::ALL {
+            let tree = MeshParams::normal(2000, 131).build::<3>(curve);
+            let p = 8;
+            let mut e = engine(p);
+            let out = histogramsort_partition(
+                &mut e,
+                distribute_shuffled(&tree, p, 9),
+                PartitionOptions::exact(),
+            );
+            let mut expected: Vec<KeyedCell<3>> = tree.leaves().to_vec();
+            expected.sort_unstable();
+            assert_eq!(out.dist.concat(), expected, "{curve}");
+            for (r, buf) in out.dist.parts().iter().enumerate() {
+                for kc in buf {
+                    assert_eq!(owner_of(&out.splitters, &kc.key), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_histogramsort_is_balanced() {
+        let tree = MeshParams::normal(4000, 137).build::<3>(Curve::Hilbert);
+        let p = 16;
+        let mut e = engine(p);
+        let out = histogramsort_partition(
+            &mut e,
+            distribute_shuffled(&tree, p, 3),
+            PartitionOptions::exact(),
+        );
+        assert!(out.report.lambda < 1.05, "λ = {}", out.report.lambda);
+    }
+
+    #[test]
+    fn tolerance_reduces_rounds() {
+        let tree = MeshParams::normal(4000, 139).build::<3>(Curve::Hilbert);
+        let p = 16;
+        let rounds_at = |tol: f64| {
+            let mut e = engine(p);
+            histogramsort_partition(
+                &mut e,
+                distribute_shuffled(&tree, p, 3),
+                PartitionOptions::with_tolerance(tol),
+            )
+            .report
+            .rounds
+        };
+        assert!(rounds_at(0.3) <= rounds_at(0.0));
+    }
+
+    #[test]
+    fn agrees_with_treesort_partitioning() {
+        let tree = MeshParams::normal(2500, 149).build::<3>(Curve::Morton);
+        let p = 8;
+        let mut e1 = engine(p);
+        let a = histogramsort_partition(
+            &mut e1,
+            distribute_shuffled(&tree, p, 5),
+            PartitionOptions::exact(),
+        );
+        let mut e2 = engine(p);
+        let b = treesort_partition(
+            &mut e2,
+            distribute_shuffled(&tree, p, 5),
+            PartitionOptions::exact(),
+        );
+        assert_eq!(a.dist.concat(), b.dist.concat());
+    }
+
+    #[test]
+    fn single_rank_noop() {
+        let tree = MeshParams::normal(500, 151).build::<3>(Curve::Hilbert);
+        let mut e = engine(1);
+        let out = histogramsort_partition(
+            &mut e,
+            distribute_shuffled(&tree, 1, 5),
+            PartitionOptions::exact(),
+        );
+        assert!(out.splitters.is_empty());
+        assert_eq!(out.dist.total_len(), tree.len());
+    }
+}

@@ -1,0 +1,44 @@
+//! # optipart-core — the HPDC'17 partitioning algorithms
+//!
+//! This crate implements the paper's contribution on top of the substrates:
+//!
+//! * [`treesort`] — **Algorithm 1**: sequential TreeSort, the MSD-radix /
+//!   top-down-octree reformulation of SFC ordering (§2.1).
+//! * [`partition`] — **distributed TreeSort** (§3.1): breadth-first splitter
+//!   refinement by global bucket-count reductions (no comparisons), with a
+//!   user **tolerance** on the load balance (§3.2) and staged splitter
+//!   selection (Eq. 2), followed by the staged all-to-all exchange and a
+//!   local TreeSort.
+//! * [`quality`] — **Algorithm 2** (`PartitionQuality`): estimates a
+//!   candidate partition's `Wmax` and `Cmax` with one linear pass plus two
+//!   max-reductions, and predicts its runtime via Eq. (3).
+//! * [`optipart()`] — **Algorithm 3** (`OptiPart`): distributed TreeSort that
+//!   refines only while the predicted runtime of the *next* refinement
+//!   improves — discovering the optimal tolerance automatically for the
+//!   given machine and application.
+//! * [`samplesort`] — the baseline: Morton + SampleSort partitioning as in
+//!   Dendro (§5.2), for the comparison figures.
+//! * [`metrics`] — partition-quality analysis: load/communication imbalance,
+//!   partition boundary surface, the communication matrix `M` and its NNZ
+//!   (§5.5).
+
+pub mod histogramsort;
+pub mod metrics;
+pub mod optipart;
+pub mod partition;
+pub mod quality;
+pub mod samplesort;
+pub mod threaded;
+pub mod treesort;
+
+pub use histogramsort::histogramsort_partition;
+pub use optipart::{optipart, OptiPartOptions};
+pub use partition::{
+    distribute_shuffled, distribute_tree, treesort_partition, treesort_partition_weighted,
+    PartitionOptions, PartitionOutcome, PartitionReport,
+};
+pub use quality::partition_quality;
+pub use samplesort::{samplesort_partition, SampleSortOptions};
+
+#[cfg(test)]
+mod proptests;

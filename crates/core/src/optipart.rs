@@ -1,0 +1,300 @@
+//! OptiPart — Algorithm 3 of the paper.
+//!
+//! Distributed TreeSort whose stopping rule is the performance model: after
+//! an initial coarse splitter computation (`TreeSort(Ar, l − log p, l)`,
+//! line 2), each further refinement level is accepted only if the predicted
+//! runtime of the induced partition (Algorithm 2 / Eq. 3) does not get
+//! worse. "OptiPart starts from a higher tolerance and progressively
+//! decreases this, i.e. … it approaches the optimum from the right"
+//! (Fig. 10) — and stops exactly where predicted time turns upward, without
+//! the user guessing a tolerance.
+
+use crate::partition::{
+    exchange_and_sort, PartitionOutcome, PartitionReport, SplitterSearch, PHASE_SPLITTER,
+};
+use crate::quality::{partition_quality, Quality};
+use optipart_mpisim::{AllToAllAlgo, DistVec, Engine};
+use optipart_sfc::{Curve, KeyedCell, MAX_DEPTH};
+use serde::{Deserialize, Serialize};
+
+/// Options for OptiPart.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct OptiPartOptions {
+    /// Curve the elements were keyed with (needed to key neighbour probes in
+    /// the quality pass).
+    pub curve: Curve,
+    /// Staged splitter selection cap (Eq. 2's `k`); `None` = unlimited.
+    pub max_split_per_round: Option<usize>,
+    /// All-to-all schedule for the final exchange.
+    pub alltoall: AllToAllAlgo,
+    /// Refinement depth cap.
+    pub max_level: u8,
+    /// Ceiling on the accepted load tolerance: refinement continues (even
+    /// against the model's advice) while any target is farther than this
+    /// from its boundary. The paper's sweeps stop at 0.7; so do we.
+    pub max_tolerance: f64,
+    /// Extend Eq. (3) with a per-message latency term `ts·Mmax`
+    /// ([`Quality::tp_with_latency`]) — the model refinement the paper's
+    /// future work proposes. Off by default (paper-faithful Eq. 3).
+    pub latency_aware: bool,
+    /// Evaluations allowed past the last improvement before stopping
+    /// (plateau robustness for the greedy stopping rule).
+    pub patience: usize,
+}
+
+impl Default for OptiPartOptions {
+    fn default() -> Self {
+        OptiPartOptions {
+            curve: Curve::Hilbert,
+            max_split_per_round: None,
+            alltoall: AllToAllAlgo::Staged,
+            max_level: MAX_DEPTH,
+            max_tolerance: 0.7,
+            latency_aware: false,
+            patience: 3,
+        }
+    }
+}
+
+impl OptiPartOptions {
+    /// Options for a given curve, defaults otherwise.
+    pub fn for_curve(curve: Curve) -> Self {
+        OptiPartOptions { curve, ..Default::default() }
+    }
+}
+
+/// Architecture- and application-aware partitioning (Algorithm 3).
+///
+/// The engine's [`optipart_machine::PerfModel`] supplies `tc`, `tw` and `α`
+/// — change the machine or the application model and the *same data*
+/// partitions differently (the paper's central point).
+pub fn optipart<const D: usize>(
+    engine: &mut Engine,
+    mut dist: DistVec<KeyedCell<D>>,
+    opts: OptiPartOptions,
+) -> PartitionOutcome<D> {
+    let p = engine.p();
+    let (search, splitters, achieved, quality) = engine.phase(PHASE_SPLITTER, |engine| {
+        let mut search = SplitterSearch::new(engine, &dist);
+
+        // Line 2: initial coarse splitters — refine until there is at least
+        // one bucket boundary per rank (log_{2^D} p levels).
+        while search.buckets.len() < p {
+            let split = search.violating_buckets(p, 0.0, opts.max_level);
+            if split.is_empty() {
+                break;
+            }
+            search.refine_round(engine, &mut dist, &split);
+        }
+        let (mut splitters, mut achieved) = search.choose_splitters(p);
+        if p == 1 {
+            let q = Quality {
+                wmax: search.n,
+                cmax: 0,
+                mmax: 0,
+                tp: engine.perf().predict(search.n, 0),
+            };
+            return (search, splitters, achieved, q);
+        }
+
+        let ts = engine.perf().machine.ts;
+        let score = |q: &Quality| if opts.latency_aware { q.tp_with_latency(ts) } else { q.tp };
+
+        // Lines 3–21: refine, evaluating each new candidate splitter set
+        // with Algorithm 2, and keep the best *admissible* candidate
+        // (achieved tolerance within `max_tolerance`, non-empty partitions
+        // guaranteed by the multi-target rule). Refinement continues until
+        // either the work is perfectly divided or `patience` consecutive
+        // evaluations failed to improve the prediction — a robust version
+        // of Algorithm 3's "proceed while `default ≥ current`" that does
+        // not get stuck on model plateaus.
+        let mut best: Option<(Vec<optipart_sfc::SfcKey>, f64, Quality)> = None;
+        let mut worse = 0usize;
+        loop {
+            let (cand, cand_tol) = search.choose_splitters(p);
+            let admissible = cand_tol <= opts.max_tolerance
+                && search.multi_target_buckets(p, opts.max_level).is_empty();
+            if admissible && (cand != splitters || best.is_none()) {
+                // Inadmissible candidates can never become the answer, so
+                // Algorithm 2 only runs once the tolerance cap is reached.
+                let q = partition_quality(engine, &mut dist, &cand, opts.curve);
+                let improved = match &best {
+                    Some((_, _, bq)) => score(&q) < score(bq),
+                    None => true,
+                };
+                if improved {
+                    best = Some((cand.clone(), cand_tol, q));
+                    worse = 0;
+                } else {
+                    worse += 1;
+                }
+                splitters = cand;
+                achieved = cand_tol;
+            }
+            if best.is_some() && worse > opts.patience {
+                break;
+            }
+            // Refine: multi-target buckets take priority (they force empty
+            // partitions if left coarse), then any bucket still off-target.
+            let mut split = search.multi_target_buckets(p, opts.max_level);
+            if split.is_empty() {
+                split = search.violating_buckets(p, 0.0, opts.max_level);
+            }
+            if split.is_empty() {
+                break; // perfectly balanced — nothing left to trade
+            }
+            if let Some(k) = opts.max_split_per_round {
+                split.truncate((k / (1 << D)).max(1));
+            }
+            search.refine_round(engine, &mut dist, &split);
+        }
+        let (splitters, achieved, current) = match best {
+            Some(b) => b,
+            None => {
+                // No admissible candidate ever appeared (tiny inputs): take
+                // the final, fully refined splitters.
+                let q = partition_quality(engine, &mut dist, &splitters, opts.curve);
+                (splitters, achieved, q)
+            }
+        };
+        (search, splitters, achieved, current)
+    });
+
+    // Line 22–23: staged all-to-all + local TreeSort.
+    let out = exchange_and_sort(engine, dist, &splitters, opts.alltoall);
+
+    let counts: Vec<u64> = out.counts().iter().map(|&c| c as u64).collect();
+    let lambda = out.load_imbalance();
+    let wmax = out.wmax() as u64;
+    PartitionOutcome {
+        dist: out,
+        splitters,
+        report: PartitionReport {
+            rounds: search.rounds,
+            splitter_level: search.max_level(),
+            achieved_tolerance: achieved,
+            counts,
+            lambda,
+            wmax,
+            cmax: quality.cmax,
+            predicted_tp: quality.tp,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{distribute_tree, treesort_partition, PartitionOptions};
+    use optipart_machine::{AppModel, MachineModel, PerfModel};
+    use optipart_octree::MeshParams;
+
+    fn engine_on(machine: MachineModel, p: usize) -> Engine {
+        Engine::new(p, PerfModel::new(machine, AppModel::laplacian_matvec()))
+    }
+
+    #[test]
+    fn optipart_keeps_all_elements_in_order() {
+        let tree = MeshParams::normal(3000, 31).build::<3>(Curve::Hilbert);
+        let mut e = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let out = optipart(&mut e, distribute_tree(&tree, 8), OptiPartOptions::default());
+        let mut expected: Vec<KeyedCell<3>> = tree.leaves().to_vec();
+        expected.sort_unstable();
+        assert_eq!(out.dist.concat(), expected);
+    }
+
+    #[test]
+    fn optipart_never_beats_model_of_exact_partition_on_cmax() {
+        // OptiPart's partition has Cmax ≤ the exact partition's Cmax (it only
+        // stops refining when further balance would raise predicted time).
+        let tree = MeshParams::normal(6000, 37).build::<3>(Curve::Hilbert);
+        let p = 16;
+        let mut e1 = engine_on(MachineModel::cloudlab_wisconsin(), p);
+        let opti = optipart(&mut e1, distribute_tree(&tree, p), OptiPartOptions::default());
+        let mut e2 = engine_on(MachineModel::cloudlab_wisconsin(), p);
+        let exact =
+            treesort_partition(&mut e2, distribute_tree(&tree, p), PartitionOptions::exact());
+        let mut e3 = engine_on(MachineModel::cloudlab_wisconsin(), p);
+        let mut d = distribute_tree(&tree, p);
+        let q_exact = partition_quality(&mut e3, &mut d, &exact.splitters, Curve::Hilbert);
+        assert!(
+            opti.report.cmax <= q_exact.cmax,
+            "optipart cmax {} vs exact cmax {}",
+            opti.report.cmax,
+            q_exact.cmax
+        );
+        // And its predicted time is no worse.
+        assert!(opti.report.predicted_tp <= q_exact.tp + 1e-12);
+    }
+
+    #[test]
+    fn communication_heavy_machine_accepts_more_imbalance() {
+        // Architecture-awareness: on the ethernet cluster (huge tw/tc) the
+        // chosen tolerance should be at least that of Titan (cheap network).
+        let tree = MeshParams::normal(6000, 41).build::<3>(Curve::Hilbert);
+        let p = 16;
+        let mut slow_net = engine_on(MachineModel::cloudlab_wisconsin(), p);
+        let loose = optipart(&mut slow_net, distribute_tree(&tree, p), OptiPartOptions::default());
+        let mut fast_net = engine_on(MachineModel::titan(), p);
+        let tight = optipart(&mut fast_net, distribute_tree(&tree, p), OptiPartOptions::default());
+        assert!(
+            loose.report.achieved_tolerance >= tight.report.achieved_tolerance - 1e-9,
+            "wisconsin tol {} should be ≥ titan tol {}",
+            loose.report.achieved_tolerance,
+            tight.report.achieved_tolerance
+        );
+    }
+
+    #[test]
+    fn application_awareness_changes_partition() {
+        // Footnote 1: Poisson vs wave on the same mesh — a lower α makes
+        // communication relatively more expensive, so the wave partition
+        // tolerates at least as much imbalance.
+        let tree = MeshParams::normal(6000, 43).build::<3>(Curve::Hilbert);
+        let p = 16;
+        let mut e1 = Engine::new(
+            p,
+            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+        );
+        let poisson = optipart(&mut e1, distribute_tree(&tree, p), OptiPartOptions::default());
+        let mut e2 = Engine::new(
+            p,
+            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::wave_matvec()),
+        );
+        let wave = optipart(&mut e2, distribute_tree(&tree, p), OptiPartOptions::default());
+        assert!(
+            wave.report.achieved_tolerance >= poisson.report.achieved_tolerance - 1e-9,
+            "wave tol {} vs poisson tol {}",
+            wave.report.achieved_tolerance,
+            poisson.report.achieved_tolerance
+        );
+    }
+
+    #[test]
+    fn optipart_single_rank() {
+        let tree = MeshParams::normal(500, 47).build::<3>(Curve::Morton);
+        let mut e = engine_on(MachineModel::titan(), 1);
+        let out = optipart(
+            &mut e,
+            distribute_tree(&tree, 1),
+            OptiPartOptions::for_curve(Curve::Morton),
+        );
+        assert_eq!(out.dist.total_len(), tree.len());
+        assert!(out.splitters.is_empty());
+    }
+
+    #[test]
+    fn morton_and_hilbert_both_supported() {
+        for curve in Curve::ALL {
+            let tree = MeshParams::normal(2000, 53).build::<3>(curve);
+            let mut e = engine_on(MachineModel::cloudlab_clemson(), 8);
+            let out = optipart(
+                &mut e,
+                distribute_tree(&tree, 8),
+                OptiPartOptions::for_curve(curve),
+            );
+            assert_eq!(out.dist.total_len(), tree.len(), "{curve}");
+            assert!(out.report.predicted_tp > 0.0);
+        }
+    }
+}

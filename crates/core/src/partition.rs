@@ -1,0 +1,819 @@
+//! Distributed TreeSort partitioning with flexible tolerance (§3.1–3.2).
+//!
+//! The distributed algorithm refines *splitter buckets* breadth-first: each
+//! round, every bucket still containing an unsatisfied partition target is
+//! split into its `2^D` curve-ordered children, local child counts are
+//! summed with one vector all-reduce (no comparisons — the ranks of the
+//! buckets follow from the counts alone), and refinement stops as soon as
+//! every target `r·N/p` is within `tolerance · N/p` of a bucket boundary.
+//! The selected boundaries become the splitters; one staged `Alltoallv`
+//! moves the data; a local TreeSort finishes the ordering. This is
+//! Algorithm 3 minus the performance-model stopping rule (recovered by
+//! "iterating till the work is equally divided", as the paper notes).
+
+use crate::treesort::treesort;
+use optipart_mpisim::{AllToAllAlgo, DistVec, Engine};
+use optipart_octree::LinearTree;
+use optipart_sfc::{KeyedCell, SfcKey, MAX_DEPTH};
+use serde::{Deserialize, Serialize};
+
+/// Phase labels used for the Figs. 5–6 breakdowns.
+pub const PHASE_SPLITTER: &str = "splitter";
+/// All-to-all data exchange phase label.
+pub const PHASE_ALL2ALL: &str = "all2all";
+/// Local sort phase label.
+pub const PHASE_LOCAL_SORT: &str = "local_sort";
+
+/// Options for the flexible distributed TreeSort.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PartitionOptions {
+    /// Load-balance tolerance as a fraction of the ideal grain `N/p`
+    /// (the x-axis of Figs. 7–12). `0.0` refines until targets are met
+    /// exactly (up to key resolution).
+    pub tolerance: f64,
+    /// Staged splitter selection: at most this many buckets are refined per
+    /// reduction round (the `k ≤ p` of Eq. 2). `None` = unlimited.
+    pub max_split_per_round: Option<usize>,
+    /// All-to-all schedule for the data exchange (§3.1 uses staged).
+    pub alltoall: AllToAllAlgo,
+    /// Cap on splitter refinement depth (≤ [`MAX_DEPTH`]).
+    pub max_level: u8,
+}
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions {
+            tolerance: 0.0,
+            max_split_per_round: None,
+            alltoall: AllToAllAlgo::Staged,
+            max_level: MAX_DEPTH,
+        }
+    }
+}
+
+impl PartitionOptions {
+    /// Equal-work partitioning (tolerance 0) — the conventional SFC scheme.
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// Flexible partitioning with the given tolerance.
+    pub fn with_tolerance(tolerance: f64) -> Self {
+        PartitionOptions { tolerance, ..Self::default() }
+    }
+}
+
+/// Report of one partitioning run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PartitionReport {
+    /// Reduction rounds performed during splitter selection.
+    pub rounds: usize,
+    /// Deepest bucket level refined to.
+    pub splitter_level: u8,
+    /// Worst relative deviation of a realised boundary from its target,
+    /// in units of `N/p` — the *achieved* tolerance.
+    pub achieved_tolerance: f64,
+    /// Per-rank element counts after the exchange.
+    pub counts: Vec<u64>,
+    /// Load imbalance `λ = max/min` of `counts`.
+    pub lambda: f64,
+    /// Maximum per-rank work `Wmax` (elements).
+    pub wmax: u64,
+    /// Estimated `Cmax` (boundary octants) if a quality pass ran, else 0.
+    pub cmax: u64,
+    /// Predicted application runtime via Eq. (3) if a quality pass ran.
+    pub predicted_tp: f64,
+}
+
+/// Outcome of a partitioning run: the redistributed, locally sorted data,
+/// the splitters that define ownership, and the report.
+#[derive(Clone, Debug)]
+pub struct PartitionOutcome<const D: usize> {
+    /// The partitioned, SFC-sorted elements.
+    pub dist: DistVec<KeyedCell<D>>,
+    /// `p - 1` splitter keys: rank `r` owns keys in
+    /// `[splitters[r-1], splitters[r])` (with MIN/MAX sentinels implied).
+    pub splitters: Vec<SfcKey>,
+    /// Run report.
+    pub report: PartitionReport,
+}
+
+impl<const D: usize> PartitionOutcome<D> {
+    /// Owner rank of a key under these splitters.
+    #[inline]
+    pub fn owner_of(&self, key: &SfcKey) -> usize {
+        owner_of(&self.splitters, key)
+    }
+}
+
+/// Owner rank of `key` under `splitters` (partition r ⇔ `[s_{r-1}, s_r)`).
+#[inline]
+pub fn owner_of(splitters: &[SfcKey], key: &SfcKey) -> usize {
+    splitters.partition_point(|s| s <= key)
+}
+
+/// Block-distributes a tree's leaves over `p` ranks — the arbitrary initial
+/// `N/p ± 1` placement the partitioners start from.
+///
+/// Note the leaves arrive *sorted*, so the subsequent exchange moves little
+/// data; use [`distribute_shuffled`] to model the paper's workload of
+/// randomly generated, unsorted octants.
+pub fn distribute_tree<const D: usize>(tree: &LinearTree<D>, p: usize) -> DistVec<KeyedCell<D>> {
+    DistVec::from_global(tree.leaves(), p)
+}
+
+/// Block-distributes a random permutation of the tree's leaves — the
+/// paper's §4.2 input class ("randomly generated octrees"), where the
+/// all-to-all exchange moves essentially all data.
+///
+/// Deterministic Fisher–Yates driven by a SplitMix64 stream, so runs are
+/// reproducible without pulling a RNG dependency into the core crate.
+pub fn distribute_shuffled<const D: usize>(
+    tree: &LinearTree<D>,
+    p: usize,
+    seed: u64,
+) -> DistVec<KeyedCell<D>> {
+    let mut leaves = tree.leaves().to_vec();
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    for i in (1..leaves.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        leaves.swap(i, j);
+    }
+    DistVec::from_global(&leaves, p)
+}
+
+/// One splitter-candidate bucket: the half-open key range of a subtree.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Bucket {
+    /// Curve path of the bucket's prefix (digits above `level`, zero-padded).
+    pub path: u128,
+    /// Bucket depth.
+    pub level: u8,
+    /// Global element count inside.
+    pub count: u64,
+}
+
+impl Bucket {
+    /// Lower boundary key: the smallest key of any cell in this subtree.
+    #[inline]
+    pub fn lo_key(&self) -> SfcKey {
+        SfcKey::from_parts(self.path, 0)
+    }
+
+    /// Path span of the subtree (number of finest-level slots).
+    #[inline]
+    fn span<const D: usize>(&self) -> u128 {
+        1u128 << ((MAX_DEPTH - self.level) as u32 * D as u32)
+    }
+
+    /// The `2^D` children, in curve order.
+    fn children<const D: usize>(&self) -> Vec<Bucket> {
+        let child_span = self.span::<D>() >> D;
+        (0..(1usize << D))
+            .map(|i| Bucket {
+                path: self.path + child_span * i as u128,
+                level: self.level + 1,
+                count: 0,
+            })
+            .collect()
+    }
+}
+
+/// Mutable splitter-search state shared by distributed TreeSort and
+/// OptiPart (which differ only in their stopping rule).
+pub(crate) struct SplitterSearch {
+    /// Active buckets, sorted by path; their counts always sum to `N`.
+    pub buckets: Vec<Bucket>,
+    /// Global element count.
+    pub n: u64,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+impl SplitterSearch {
+    /// Replicated initial state from an already-known global count — used
+    /// by rank-view (threaded) implementations where every rank maintains
+    /// an identical copy of the search.
+    pub(crate) fn replicated(n: u64) -> Self {
+        SplitterSearch {
+            buckets: vec![Bucket { path: 0, level: 0, count: n }],
+            n,
+            rounds: 0,
+        }
+    }
+
+    /// Initial state: the root bucket holding everything.
+    pub fn new<const D: usize>(engine: &mut Engine, dist: &DistVec<KeyedCell<D>>) -> Self {
+        let local: Vec<u64> = dist.counts().iter().map(|&c| c as u64).collect();
+        let n = engine.allreduce_sum_u64(&local);
+        SplitterSearch {
+            buckets: vec![Bucket { path: 0, level: 0, count: n }],
+            n,
+            rounds: 0,
+        }
+    }
+
+    /// Initial state with per-element weights: the bucket "counts" become
+    /// weight sums and targets become `r·W/p` — the weighted partitioning
+    /// used when octants carry non-uniform work (e.g. level-dependent
+    /// element cost in AMR codes, or the coarse-grid weighting of the
+    /// authors' earlier bottom-up scheme [Sundar et al. 2008]).
+    pub fn new_weighted<const D: usize, W>(
+        engine: &mut Engine,
+        dist: &mut DistVec<KeyedCell<D>>,
+        weight: &W,
+    ) -> Self
+    where
+        W: Fn(&KeyedCell<D>) -> u64 + Sync,
+    {
+        let local: Vec<u64> = engine.compute_map(dist, |_r, buf| {
+            (buf.len() as f64 * 8.0, buf.iter().map(weight).sum::<u64>())
+        });
+        let n = engine.allreduce_sum_u64(&local);
+        SplitterSearch {
+            buckets: vec![Bucket { path: 0, level: 0, count: n }],
+            n,
+            rounds: 0,
+        }
+    }
+
+    /// Target global ranks `r·N/p` for `r = 1..p`.
+    fn targets(&self, p: usize) -> Vec<u64> {
+        (1..p).map(|r| (r as u64 * self.n) / p as u64).collect()
+    }
+
+    /// Cumulative counts before each bucket.
+    fn cumulative(&self) -> Vec<u64> {
+        let mut cum = Vec::with_capacity(self.buckets.len());
+        let mut acc = 0u64;
+        for b in &self.buckets {
+            cum.push(acc);
+            acc += b.count;
+        }
+        cum
+    }
+
+    /// Indices of buckets whose interior still contains a target farther
+    /// than `tol_units` from both edges (and which can still refine).
+    pub fn violating_buckets(&self, p: usize, tol_units: f64, max_level: u8) -> Vec<usize> {
+        let cum = self.cumulative();
+        let targets = self.targets(p);
+        let mut out = Vec::new();
+        let mut ti = 0usize;
+        for (bi, b) in self.buckets.iter().enumerate() {
+            if b.level >= max_level {
+                continue;
+            }
+            let lo = cum[bi];
+            let hi = lo + b.count;
+            while ti < targets.len() && targets[ti] < lo {
+                ti += 1;
+            }
+            let mut tj = ti;
+            while tj < targets.len() && targets[tj] <= hi {
+                let t = targets[tj];
+                let err = (t - lo).min(hi - t) as f64;
+                if err > tol_units {
+                    out.push(bi);
+                    break;
+                }
+                tj += 1;
+            }
+        }
+        out
+    }
+
+    /// Indices of refinable buckets whose interior contains **two or more**
+    /// targets. Such a bucket forces two splitters onto the same boundary —
+    /// an empty partition — so OptiPart must refine it regardless of the
+    /// performance model (its `Wmax` is at least two grains anyway).
+    pub fn multi_target_buckets(&self, p: usize, max_level: u8) -> Vec<usize> {
+        let cum = self.cumulative();
+        let targets = self.targets(p);
+        let mut out = Vec::new();
+        for (bi, b) in self.buckets.iter().enumerate() {
+            if b.level >= max_level || b.count == 0 {
+                continue;
+            }
+            let lo = cum[bi];
+            let hi = lo + b.count;
+            let first = targets.partition_point(|&t| t <= lo);
+            let last = targets.partition_point(|&t| t < hi);
+            if last - first >= 2 {
+                out.push(bi);
+            }
+        }
+        out
+    }
+
+    /// One refinement round: split the given buckets, recount via one
+    /// compute pass + one vector all-reduce. Returns the number of child
+    /// buckets counted (the reduction length, for Eq. 2's `k`).
+    pub fn refine_round<const D: usize>(
+        &mut self,
+        engine: &mut Engine,
+        dist: &mut DistVec<KeyedCell<D>>,
+        split: &[usize],
+    ) -> usize {
+        self.refine_round_weighted(engine, dist, split, &|_| 1u64)
+    }
+
+    /// [`SplitterSearch::refine_round`] with per-element weights.
+    pub fn refine_round_weighted<const D: usize, W>(
+        &mut self,
+        engine: &mut Engine,
+        dist: &mut DistVec<KeyedCell<D>>,
+        split: &[usize],
+        weight: &W,
+    ) -> usize
+    where
+        W: Fn(&KeyedCell<D>) -> u64 + Sync,
+    {
+        let nc = 1usize << D;
+        let bounds = self.split_bounds::<D>(split);
+        let elem_bytes = std::mem::size_of::<KeyedCell<D>>() as f64;
+        let local_counts: Vec<Vec<u64>> = engine.compute_map(dist, |_r, buf| {
+            // One pass over the local data (the tc·N/p term of Eq. 1).
+            (buf.len() as f64 * elem_bytes, count_children::<D, _>(buf, &bounds, weight))
+        });
+        let global = engine.allreduce_sum_vec_u64(&local_counts);
+        self.apply_split::<D>(split, &global);
+        bounds.len() * nc
+    }
+
+    /// Key-path boundaries `(lo, hi, level)` of the buckets about to split.
+    pub(crate) fn split_bounds<const D: usize>(&self, split: &[usize]) -> Vec<(u128, u128, u8)> {
+        split
+            .iter()
+            .map(|&bi| {
+                let b = self.buckets[bi];
+                (b.path, b.path + b.span::<D>(), b.level)
+            })
+            .collect()
+    }
+
+    /// Replaces the split buckets with their children carrying the globally
+    /// reduced counts — the deterministic state update every rank replays
+    /// identically (pure; shared by the virtual-engine and threaded
+    /// implementations).
+    pub(crate) fn apply_split<const D: usize>(&mut self, split: &[usize], global: &[u64]) {
+        let nc = 1usize << D;
+        let mut next: Vec<Bucket> = Vec::with_capacity(self.buckets.len() + split.len() * (nc - 1));
+        let mut si = 0usize;
+        for (bi, b) in self.buckets.iter().enumerate() {
+            if si < split.len() && split[si] == bi {
+                let mut kids = b.children::<D>();
+                for (ci, kid) in kids.iter_mut().enumerate() {
+                    kid.count = global[si * nc + ci];
+                }
+                debug_assert_eq!(
+                    kids.iter().map(|k| k.count).sum::<u64>(),
+                    b.count,
+                    "child counts must sum to the parent's"
+                );
+                next.extend(kids);
+                si += 1;
+            } else {
+                next.push(*b);
+            }
+        }
+        self.buckets = next;
+        self.rounds += 1;
+    }
+
+    /// Chooses the final splitters: for each target, the nearest bucket
+    /// boundary whose cumulative count strictly exceeds the previous
+    /// splitter's — so no partition is left empty (duplicate or
+    /// equal-count boundaries would assign a rank zero elements, which
+    /// the paper's λ = max/min metric cannot even express). Returns
+    /// `(splitters, achieved tolerance in N/p units)`.
+    ///
+    /// The non-empty constraint can push the achieved tolerance above the
+    /// request only when the request is ≥ 0.5 (two targets a grain apart
+    /// contending for one boundary).
+    pub fn choose_splitters(&self, p: usize) -> (Vec<SfcKey>, f64) {
+        let cum = self.cumulative();
+        // All candidate boundaries: bucket starts plus the global end.
+        let mut bounds: Vec<(u64, SfcKey)> = self
+            .buckets
+            .iter()
+            .zip(&cum)
+            .map(|(b, &c)| (c, b.lo_key()))
+            .collect();
+        bounds.push((self.n, SfcKey::MAX));
+
+        let grain = (self.n as f64 / p as f64).max(1.0);
+        let mut splitters = Vec::with_capacity(p - 1);
+        let mut worst = 0.0f64;
+        let mut prev_cum: Option<u64> = None; // last chosen boundary's count
+        for t in self.targets(p) {
+            // Candidates: boundaries with cum strictly above the previous
+            // choice (first choice additionally needs cum > 0 so rank 0 is
+            // non-empty).
+            let floor = prev_cum.map_or(0, |c| c);
+            let start = bounds.partition_point(|&(c, _)| c <= floor);
+            if start >= bounds.len() {
+                // Degenerate: more ranks than elements — pad with MAX.
+                splitters.push(SfcKey::MAX);
+                worst = worst.max(1.0);
+                continue;
+            }
+            let mut i = bounds[start..].partition_point(|&(c, _)| c < t) + start;
+            if i >= bounds.len() {
+                i = bounds.len() - 1;
+            }
+            let best = if i > start && t - bounds[i - 1].0 <= bounds[i].0.saturating_sub(t) {
+                i - 1
+            } else {
+                i
+            };
+            let err = bounds[best].0.abs_diff(t) as f64 / grain;
+            worst = worst.max(err);
+            splitters.push(bounds[best].1);
+            prev_cum = Some(bounds[best].0);
+        }
+        (splitters, worst)
+    }
+
+    /// Deepest active bucket level.
+    pub fn max_level(&self) -> u8 {
+        self.buckets.iter().map(|b| b.level).max().unwrap_or(0)
+    }
+}
+
+/// Histogram of `buf` over the children of the buckets bounded by
+/// `bounds` (the local counting pass of one refinement round), weighted.
+pub(crate) fn count_children<const D: usize, W>(
+    buf: &[KeyedCell<D>],
+    bounds: &[(u128, u128, u8)],
+    weight: &W,
+) -> Vec<u64>
+where
+    W: Fn(&KeyedCell<D>) -> u64,
+{
+    let nc = 1usize << D;
+    let mut counts = vec![0u64; bounds.len() * nc];
+    for kc in buf.iter() {
+        let path = kc.key.path();
+        // Which split bucket (if any) holds this element?
+        let si = bounds.partition_point(|&(lo, _, _)| lo <= path);
+        if si == 0 {
+            continue;
+        }
+        let (_lo, hi, lvl) = bounds[si - 1];
+        if path >= hi {
+            continue;
+        }
+        let child = if kc.key.level() <= lvl { 0 } else { kc.key.digit::<D>(lvl) };
+        counts[(si - 1) * nc + child] += weight(kc);
+    }
+    counts
+}
+
+/// Runs splitter selection only (no data movement) — shared by
+/// [`treesort_partition`] and benchmarks that study the splitter phase.
+pub(crate) fn select_splitters<const D: usize>(
+    engine: &mut Engine,
+    dist: &mut DistVec<KeyedCell<D>>,
+    opts: &PartitionOptions,
+) -> (SplitterSearch, Vec<SfcKey>, f64) {
+    let p = engine.p();
+    let mut search = SplitterSearch::new(engine, dist);
+    let tol_units = opts.tolerance * (search.n as f64 / p as f64);
+    loop {
+        let mut violating = search.violating_buckets(p, tol_units, opts.max_level);
+        if violating.is_empty() {
+            break;
+        }
+        if let Some(k) = opts.max_split_per_round {
+            // Staged selection: cap the reduction length per round (Eq. 2).
+            let max_buckets = (k / (1 << D)).max(1);
+            violating.truncate(max_buckets);
+        }
+        search.refine_round(engine, dist, &violating);
+    }
+    let (splitters, achieved) = search.choose_splitters(p);
+    (search, splitters, achieved)
+}
+
+/// Moves every element to its owner under `splitters` and TreeSorts locally.
+pub(crate) fn exchange_and_sort<const D: usize>(
+    engine: &mut Engine,
+    dist: DistVec<KeyedCell<D>>,
+    splitters: &[SfcKey],
+    algo: AllToAllAlgo,
+) -> DistVec<KeyedCell<D>> {
+    let recv = engine.phase(PHASE_ALL2ALL, |e| {
+        e.alltoallv_by(dist.into_parts(), |_src, kc: &KeyedCell<D>| owner_of(splitters, &kc.key), algo)
+    });
+    let mut out = DistVec::from_parts(recv);
+    engine.phase(PHASE_LOCAL_SORT, |e| {
+        let elem = std::mem::size_of::<KeyedCell<D>>() as f64;
+        e.compute(&mut out, |_r, buf| {
+            treesort(buf);
+            // MSD radix touches each element once per refined level; charge
+            // the expected log-depth passes.
+            let depth = (buf.len().max(2) as f64).log2() / D as f64;
+            buf.len() as f64 * elem * depth.max(1.0)
+        });
+    });
+    out
+}
+
+/// Distributed TreeSort partitioning (§3.1–3.2): flexible-tolerance splitter
+/// selection, staged all-to-all, local TreeSort.
+pub fn treesort_partition<const D: usize>(
+    engine: &mut Engine,
+    mut dist: DistVec<KeyedCell<D>>,
+    opts: PartitionOptions,
+) -> PartitionOutcome<D> {
+    let (search, splitters, achieved) =
+        engine.phase(PHASE_SPLITTER, |e| select_splitters(e, &mut dist, &opts));
+    let out = exchange_and_sort(engine, dist, &splitters, opts.alltoall);
+
+    let counts: Vec<u64> = out.counts().iter().map(|&c| c as u64).collect();
+    let lambda = out.load_imbalance();
+    let wmax = out.wmax() as u64;
+    PartitionOutcome {
+        dist: out,
+        splitters,
+        report: PartitionReport {
+            rounds: search.rounds,
+            splitter_level: search.max_level(),
+            achieved_tolerance: achieved,
+            counts,
+            lambda,
+            wmax,
+            cmax: 0,
+            predicted_tp: 0.0,
+        },
+    }
+}
+
+/// Weighted distributed TreeSort partitioning: balances the *weight* of the
+/// elements (`Σ w` per rank within `tolerance·W/p`) instead of their count.
+///
+/// Use when octants carry non-uniform work — e.g. deeper AMR elements with
+/// costlier kernels, or coarse proxy octants standing in for many fine ones.
+/// The report's `counts`/`wmax`/`lambda` are expressed in weight units.
+pub fn treesort_partition_weighted<const D: usize, W>(
+    engine: &mut Engine,
+    mut dist: DistVec<KeyedCell<D>>,
+    opts: PartitionOptions,
+    weight: W,
+) -> PartitionOutcome<D>
+where
+    W: Fn(&KeyedCell<D>) -> u64 + Sync,
+{
+    let p = engine.p();
+    let (search, splitters, achieved) = engine.phase(PHASE_SPLITTER, |engine| {
+        let mut search = SplitterSearch::new_weighted(engine, &mut dist, &weight);
+        let tol_units = opts.tolerance * (search.n as f64 / p as f64);
+        loop {
+            let mut violating = search.violating_buckets(p, tol_units, opts.max_level);
+            if violating.is_empty() {
+                break;
+            }
+            if let Some(k) = opts.max_split_per_round {
+                violating.truncate((k / (1 << D)).max(1));
+            }
+            search.refine_round_weighted(engine, &mut dist, &violating, &weight);
+        }
+        let (splitters, achieved) = search.choose_splitters(p);
+        (search, splitters, achieved)
+    });
+    let out = exchange_and_sort(engine, dist, &splitters, opts.alltoall);
+
+    // Report in weight units.
+    let mut tmp = out.clone();
+    let weights: Vec<u64> = engine.compute_map(&mut tmp, |_r, buf| {
+        (buf.len() as f64 * 8.0, buf.iter().map(&weight).sum::<u64>())
+    });
+    let wmax = weights.iter().copied().max().unwrap_or(0);
+    let wmin = weights.iter().copied().min().unwrap_or(0);
+    let lambda = if wmax == 0 {
+        1.0
+    } else if wmin == 0 {
+        f64::INFINITY
+    } else {
+        wmax as f64 / wmin as f64
+    };
+    PartitionOutcome {
+        dist: out,
+        splitters,
+        report: PartitionReport {
+            rounds: search.rounds,
+            splitter_level: search.max_level(),
+            achieved_tolerance: achieved,
+            counts: weights,
+            lambda,
+            wmax,
+            cmax: 0,
+            predicted_tp: 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optipart_machine::{AppModel, MachineModel, PerfModel};
+    use optipart_octree::{Distribution, MeshParams};
+    use optipart_sfc::Curve;
+
+    fn engine(p: usize) -> Engine {
+        Engine::new(p, PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()))
+    }
+
+    fn mesh(n: usize, seed: u64, curve: Curve) -> LinearTree<3> {
+        MeshParams { num_points: n, seed, ..Default::default() }.build(curve)
+    }
+
+    /// Partitioned output must be the globally sorted input.
+    #[test]
+    fn partition_produces_global_sfc_order() {
+        for curve in Curve::ALL {
+            let tree = mesh(1500, 3, curve);
+            let mut expected: Vec<KeyedCell<3>> = tree.leaves().to_vec();
+            expected.sort_unstable();
+
+            let mut e = engine(8);
+            let input = distribute_tree(&tree, 8);
+            let out = treesort_partition(&mut e, input, PartitionOptions::exact());
+            assert_eq!(out.dist.concat(), expected, "{curve}");
+            // Ownership is consistent with the splitters.
+            for (r, buf) in out.dist.parts().iter().enumerate() {
+                for kc in buf {
+                    assert_eq!(owner_of(&out.splitters, &kc.key), r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_partition_is_balanced() {
+        let tree = mesh(4000, 5, Curve::Hilbert);
+        let n = tree.len();
+        let mut e = engine(16);
+        let out = treesort_partition(&mut e, distribute_tree(&tree, 16), PartitionOptions::exact());
+        let grain = n as f64 / 16.0;
+        for &c in &out.report.counts {
+            assert!(
+                (c as f64 - grain).abs() <= grain * 0.02 + 1.0,
+                "count {c} far from grain {grain}"
+            );
+        }
+        assert!(out.report.lambda < 1.05, "λ = {}", out.report.lambda);
+    }
+
+    #[test]
+    fn tolerance_relaxes_balance_and_saves_rounds() {
+        let tree = mesh(4000, 7, Curve::Hilbert);
+        let mut e0 = engine(16);
+        let exact = treesort_partition(&mut e0, distribute_tree(&tree, 16), PartitionOptions::exact());
+        let mut e1 = engine(16);
+        let loose = treesort_partition(
+            &mut e1,
+            distribute_tree(&tree, 16),
+            PartitionOptions::with_tolerance(0.3),
+        );
+        assert!(loose.report.rounds <= exact.report.rounds);
+        assert!(loose.report.splitter_level <= exact.report.splitter_level);
+        assert!(loose.report.achieved_tolerance <= 0.3 + 1e-9);
+        // Both must still contain all elements.
+        assert_eq!(loose.dist.total_len(), tree.len());
+        assert_eq!(exact.dist.total_len(), tree.len());
+        // λ within the promise: each boundary within tol·N/p of its target,
+        // so partition sizes lie in N/p ± 2·tol·N/p ⇒ λ ≤ (1+2t)/(1−2t).
+        assert!(loose.report.lambda <= (1.0 + 0.6) / (1.0 - 0.6) + 0.1);
+    }
+
+    #[test]
+    fn staged_splitter_selection_matches_unstaged() {
+        let tree = mesh(2000, 11, Curve::Morton);
+        let mut e0 = engine(8);
+        let full = treesort_partition(&mut e0, distribute_tree(&tree, 8), PartitionOptions::exact());
+        let mut e1 = engine(8);
+        let staged = treesort_partition(
+            &mut e1,
+            distribute_tree(&tree, 8),
+            PartitionOptions { max_split_per_round: Some(8), ..PartitionOptions::exact() },
+        );
+        assert_eq!(full.dist.concat(), staged.dist.concat());
+        assert!(staged.report.rounds >= full.report.rounds, "staging takes more rounds");
+    }
+
+    #[test]
+    fn phases_are_recorded() {
+        let tree = mesh(1000, 2, Curve::Hilbert);
+        let mut e = engine(4);
+        let _ = treesort_partition(&mut e, distribute_tree(&tree, 4), PartitionOptions::exact());
+        assert!(e.stats().phase_time(PHASE_SPLITTER) > 0.0);
+        assert!(e.stats().phase_time(PHASE_ALL2ALL) > 0.0);
+        assert!(e.stats().phase_time(PHASE_LOCAL_SORT) > 0.0);
+    }
+
+    #[test]
+    fn works_across_distributions() {
+        for dist in Distribution::ALL {
+            let tree = MeshParams { distribution: dist, num_points: 1200, seed: 13, ..Default::default() }
+                .build::<3>(Curve::Hilbert);
+            let mut e = engine(8);
+            let out = treesort_partition(&mut e, distribute_tree(&tree, 8), PartitionOptions::exact());
+            assert_eq!(out.dist.total_len(), tree.len(), "{}", dist.name());
+            assert!(out.report.lambda < 1.1, "{}: λ = {}", dist.name(), out.report.lambda);
+        }
+    }
+
+    #[test]
+    fn single_rank_partition_is_a_sort() {
+        let tree = mesh(500, 1, Curve::Hilbert);
+        let mut e = engine(1);
+        let out = treesort_partition(&mut e, distribute_tree(&tree, 1), PartitionOptions::exact());
+        let mut expected: Vec<KeyedCell<3>> = tree.leaves().to_vec();
+        expected.sort_unstable();
+        assert_eq!(out.dist.concat(), expected);
+        assert!(out.splitters.is_empty());
+    }
+
+    #[test]
+    fn owner_of_brackets_correctly() {
+        let tree = mesh(800, 21, Curve::Hilbert);
+        let mut e = engine(5);
+        let out = treesort_partition(&mut e, distribute_tree(&tree, 5), PartitionOptions::exact());
+        assert_eq!(out.splitters.len(), 4);
+        assert_eq!(owner_of(&out.splitters, &SfcKey::MIN), 0);
+        // Splitter keys themselves belong to the right-hand partition.
+        for (i, s) in out.splitters.iter().enumerate() {
+            assert_eq!(owner_of(&out.splitters, s), i + 1);
+        }
+    }
+
+    #[test]
+    fn weighted_partition_balances_weight_not_count() {
+        // Spatially skewed weights (e.g. a physics kernel that is 50x more
+        // expensive in one half of the domain): a weight-balanced partition
+        // must have near-equal weight per rank and therefore markedly
+        // *unequal* element counts.
+        let tree = mesh(3000, 91, Curve::Hilbert);
+        let p = 8;
+        let w = |kc: &KeyedCell<3>| -> u64 {
+            if kc.cell.anchor()[0] < 1 << 29 {
+                50
+            } else {
+                1
+            }
+        };
+        let mut e = engine(p);
+        let out = treesort_partition_weighted(
+            &mut e,
+            distribute_tree(&tree, p),
+            PartitionOptions::exact(),
+            w,
+        );
+        // Weight balance within a few percent.
+        assert!(out.report.lambda < 1.1, "weight λ = {}", out.report.lambda);
+        // Element counts are NOT balanced (they vary with local depth).
+        let counts = out.dist.counts();
+        let cmax = *counts.iter().max().unwrap() as f64;
+        let cmin = *counts.iter().min().unwrap() as f64;
+        assert!(cmax / cmin > 2.0, "element counts suspiciously equal: {counts:?}");
+        // Still a permutation in SFC order.
+        let mut expected: Vec<KeyedCell<3>> = tree.leaves().to_vec();
+        expected.sort_unstable();
+        assert_eq!(out.dist.concat(), expected);
+    }
+
+    #[test]
+    fn unit_weights_match_unweighted() {
+        let tree = mesh(1500, 93, Curve::Morton);
+        let p = 6;
+        let mut e1 = engine(p);
+        let a = treesort_partition(&mut e1, distribute_tree(&tree, p), PartitionOptions::exact());
+        let mut e2 = engine(p);
+        let b = treesort_partition_weighted(
+            &mut e2,
+            distribute_tree(&tree, p),
+            PartitionOptions::exact(),
+            |_| 1u64,
+        );
+        assert_eq!(a.splitters, b.splitters);
+        assert_eq!(a.dist.concat(), b.dist.concat());
+    }
+
+    #[test]
+    fn empty_input_partitions_cleanly() {
+        let mut e = engine(4);
+        let input: DistVec<KeyedCell<3>> = DistVec::new(4);
+        let out = treesort_partition(&mut e, input, PartitionOptions::exact());
+        assert_eq!(out.dist.total_len(), 0);
+        assert_eq!(out.report.rounds, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the partitioning algorithms.
+
+use crate::optipart::{optipart, OptiPartOptions};
+use crate::partition::{
+    distribute_shuffled, owner_of, treesort_partition, PartitionOptions,
+};
+use crate::samplesort::{samplesort_partition, SampleSortOptions};
+use crate::treesort::treesort;
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_mpisim::Engine;
+use optipart_octree::{tree_from_points, Distribution, LinearTree};
+use optipart_sfc::{Curve, KeyedCell};
+use proptest::prelude::*;
+
+fn engine(p: usize) -> Engine {
+    Engine::new(
+        p,
+        PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+    )
+}
+
+fn tree(seed: u64, n: usize, curve: Curve) -> LinearTree<3> {
+    let pts = optipart_octree::sample_points::<3>(Distribution::Normal, n, seed);
+    tree_from_points(&pts, 1, 14, curve)
+}
+
+fn curve() -> impl Strategy<Value = Curve> {
+    prop_oneof![Just(Curve::Morton), Just(Curve::Hilbert)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Invariant: any tolerance, any p, any seed — the partitioned output is
+    /// the globally sorted input, every element on its owner.
+    #[test]
+    fn partition_is_a_permutation_in_sfc_order(
+        seed in 0u64..500,
+        p in 2usize..24,
+        tol in 0.0f64..0.8,
+        c in curve(),
+    ) {
+        let t = tree(seed, 400, c);
+        let mut expected: Vec<KeyedCell<3>> = t.leaves().to_vec();
+        expected.sort_unstable();
+
+        let mut e = engine(p);
+        let out = treesort_partition(
+            &mut e,
+            distribute_shuffled(&t, p, seed),
+            PartitionOptions::with_tolerance(tol),
+        );
+        prop_assert_eq!(out.dist.concat(), expected);
+        for (r, buf) in out.dist.parts().iter().enumerate() {
+            for kc in buf {
+                prop_assert_eq!(owner_of(&out.splitters, &kc.key), r);
+            }
+        }
+        // Splitters are non-decreasing.
+        prop_assert!(out.splitters.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// The achieved tolerance never exceeds the requested one (up to the
+    /// resolution limit of the key space).
+    #[test]
+    fn achieved_tolerance_within_request(
+        seed in 0u64..500,
+        p in 2usize..16,
+        tol in 0.05f64..0.45,
+    ) {
+        let t = tree(seed, 500, Curve::Hilbert);
+        let mut e = engine(p);
+        let out = treesort_partition(
+            &mut e,
+            distribute_shuffled(&t, p, seed),
+            PartitionOptions::with_tolerance(tol),
+        );
+        prop_assert!(
+            out.report.achieved_tolerance <= tol + 1e-9,
+            "achieved {} > requested {}",
+            out.report.achieved_tolerance,
+            tol
+        );
+    }
+
+    /// OptiPart returns the same multiset regardless of machine, and its
+    /// report is internally consistent.
+    #[test]
+    fn optipart_consistency(seed in 0u64..300, p in 2usize..12) {
+        let t = tree(seed, 400, Curve::Hilbert);
+        for machine in [MachineModel::titan(), MachineModel::cloudlab_clemson()] {
+            let mut e = Engine::new(p, PerfModel::new(machine, AppModel::laplacian_matvec()));
+            let out = optipart(&mut e, distribute_shuffled(&t, p, seed), OptiPartOptions::default());
+            prop_assert_eq!(out.dist.total_len(), t.len());
+            prop_assert_eq!(out.report.counts.iter().sum::<u64>() as usize, t.len());
+            prop_assert_eq!(
+                out.report.wmax,
+                *out.report.counts.iter().max().unwrap()
+            );
+            prop_assert!(out.report.predicted_tp >= 0.0);
+        }
+    }
+
+    /// SampleSort and TreeSort partitioning agree on the global order.
+    #[test]
+    fn samplesort_treesort_equivalence(seed in 0u64..300, p in 2usize..12, c in curve()) {
+        let t = tree(seed, 300, c);
+        let mut e1 = engine(p);
+        let a = treesort_partition(
+            &mut e1,
+            distribute_shuffled(&t, p, seed),
+            PartitionOptions::exact(),
+        );
+        let mut e2 = engine(p);
+        let b = samplesort_partition(
+            &mut e2,
+            distribute_shuffled(&t, p, seed ^ 1),
+            SampleSortOptions::default(),
+        );
+        prop_assert_eq!(a.dist.concat(), b.dist.concat());
+    }
+
+    /// Sequential TreeSort equals comparison sort on arbitrary (possibly
+    /// overlapping, multi-level) cell sets.
+    #[test]
+    fn treesort_equals_sort(seed in 0u64..1000, n in 1usize..300, c in curve()) {
+        let pts = optipart_octree::sample_points::<3>(Distribution::LogNormal, n, seed);
+        let mut cells: Vec<KeyedCell<3>> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                KeyedCell::new(optipart_sfc::Cell::new(*p, 3 + (i % 10) as u8), c)
+            })
+            .collect();
+        let mut expected = cells.clone();
+        expected.sort_unstable();
+        treesort(&mut cells);
+        prop_assert_eq!(cells, expected);
+    }
+
+    /// Virtual time is monotone in tolerance *rounds*: looser tolerance
+    /// never needs more splitter rounds.
+    #[test]
+    fn looser_tolerance_never_more_rounds(seed in 0u64..200, p in 2usize..12) {
+        let t = tree(seed, 400, Curve::Hilbert);
+        let rounds_at = |tol: f64| {
+            let mut e = engine(p);
+            treesort_partition(
+                &mut e,
+                distribute_shuffled(&t, p, seed),
+                PartitionOptions::with_tolerance(tol),
+            )
+            .report
+            .rounds
+        };
+        let tight = rounds_at(0.0);
+        let loose = rounds_at(0.5);
+        prop_assert!(loose <= tight, "loose {loose} > tight {tight}");
+    }
+}

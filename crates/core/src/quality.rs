@@ -1,0 +1,222 @@
+//! PartitionQuality — Algorithm 2 of the paper.
+//!
+//! Estimates the runtime a *candidate* partition (given by splitters) would
+//! deliver, without moving any data: one linear pass over the local elements
+//! counts those on partition boundaries (`computeLocalBdyOctants`), the
+//! partition sizes follow from the same pass, and two all-reduces yield
+//! `Wmax` and `Cmax` for Eq. (3).
+//!
+//! A cell is a *boundary octant* of its partition if any of its `2D`
+//! same-size face neighbours falls into a different partition — exactly the
+//! cells whose data must be ghosted for a face-stencil application, so their
+//! count is the communication-volume proxy the performance model consumes.
+
+use crate::partition::owner_of;
+use optipart_mpisim::{DistVec, Engine};
+use optipart_sfc::{Curve, KeyedCell, SfcKey};
+use serde::{Deserialize, Serialize};
+
+/// Result of a quality evaluation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct Quality {
+    /// Maximum elements owned by any partition.
+    pub wmax: u64,
+    /// Maximum boundary octants of any partition (the `Cmax` proxy).
+    pub cmax: u64,
+    /// Maximum number of distinct neighbouring partitions any partition
+    /// talks to (message-count proxy; locally estimated, see
+    /// [`partition_quality`]).
+    pub mmax: u64,
+    /// Predicted runtime `Tp = α·tc·Wmax + tw·Cmax` (Eq. 3).
+    pub tp: f64,
+}
+
+impl Quality {
+    /// Eq. (3) extended with a per-message latency term,
+    /// `Tp + ts·Mmax` — the "additional information about the machine"
+    /// the paper's future-work section calls for. Useful on
+    /// high-latency interconnects where message count rivals volume.
+    pub fn tp_with_latency(&self, ts: f64) -> f64 {
+        self.tp + ts * self.mmax as f64
+    }
+}
+
+/// Evaluates the quality of candidate `splitters` for the (still
+/// block-distributed) data — Algorithm 2.
+///
+/// Every rank classifies its local elements into future partitions and
+/// counts sizes and boundary octants per partition; vector all-reduces
+/// produce the global per-partition totals, whose maxima feed Eq. (3).
+pub fn partition_quality<const D: usize>(
+    engine: &mut Engine,
+    dist: &mut DistVec<KeyedCell<D>>,
+    splitters: &[SfcKey],
+    curve: Curve,
+) -> Quality {
+    let p = engine.p();
+    assert_eq!(splitters.len(), p - 1, "need p-1 splitters");
+    let elem_bytes = std::mem::size_of::<KeyedCell<D>>() as f64;
+
+    // Line 1–2: one linear pass computing local boundary-octant and size
+    // contributions per future partition.
+    let local: Vec<(Vec<u64>, Vec<u64>, Vec<u64>)> = engine.compute_map(dist, |_r, buf| {
+        let mut bdy = vec![0u64; p];
+        let mut sz = vec![0u64; p];
+        // Locally observed neighbour-partition sets, as flat bitsets only
+        // for the partitions this rank holds elements of (cheap: a rank's
+        // block maps to a handful of partitions).
+        let mut nbr_sets: std::collections::HashMap<usize, std::collections::HashSet<usize>> =
+            std::collections::HashMap::new();
+        for kc in buf.iter() {
+            let own = owner_of(splitters, &kc.key);
+            sz[own] += 1;
+            let mut is_bdy = false;
+            for axis in 0..D {
+                for dir in [-1i8, 1] {
+                    if let Some(nb) = kc.cell.face_neighbor(axis, dir) {
+                        let nk = SfcKey::of(&nb, curve);
+                        let other = owner_of(splitters, &nk);
+                        if other != own {
+                            is_bdy = true;
+                            nbr_sets.entry(own).or_default().insert(other);
+                        }
+                    }
+                }
+            }
+            if is_bdy {
+                bdy[own] += 1;
+            }
+        }
+        let mut nbrs = vec![0u64; p];
+        for (part, set) in nbr_sets {
+            nbrs[part] = set.len() as u64;
+        }
+        // One pass over elements + 2D neighbour probes.
+        (buf.len() as f64 * elem_bytes * (1.0 + 2.0 * D as f64), (bdy, sz, nbrs))
+    });
+
+    // Lines 3–4: ReduceAll to global per-partition vectors, take maxima.
+    let bdy_contrib: Vec<Vec<u64>> = local.iter().map(|(b, _, _)| b.clone()).collect();
+    let sz_contrib: Vec<Vec<u64>> = local.iter().map(|(_, s, _)| s.clone()).collect();
+    let nbr_contrib: Vec<Vec<u64>> = local.into_iter().map(|(_, _, n)| n).collect();
+    let bdy = engine.allreduce_sum_vec_u64(&bdy_contrib);
+    let sz = engine.allreduce_sum_vec_u64(&sz_contrib);
+    // Neighbour sets observed by different source ranks overlap, so neither
+    // a sum (overcounts, increasingly for larger partitions) nor a max
+    // (undercounts for scattered inputs) is exact; the max is the less
+    // biased choice for the near-sorted inputs the refinement loop sees.
+    let nbrs = engine.allreduce_max_vec_u64(&nbr_contrib);
+    let cmax = bdy.into_iter().max().unwrap_or(0);
+    let wmax = sz.into_iter().max().unwrap_or(0);
+    let mmax = nbrs.into_iter().max().unwrap_or(0);
+
+    // Line 5: the performance model.
+    let tp = engine.perf().predict(wmax, cmax);
+    Quality { wmax, cmax, mmax, tp }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{distribute_tree, treesort_partition, PartitionOptions};
+    use optipart_machine::{AppModel, MachineModel, PerfModel};
+    use optipart_octree::MeshParams;
+    use optipart_sfc::Curve;
+
+    fn engine(p: usize) -> Engine {
+        Engine::new(
+            p,
+            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+        )
+    }
+
+    #[test]
+    fn quality_reflects_balance() {
+        let tree = MeshParams::normal(3000, 17).build::<3>(Curve::Hilbert);
+        let p = 8;
+        let mut e = engine(p);
+        let out = treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact());
+        let mut dist = distribute_tree(&tree, p);
+        let q = partition_quality(&mut e, &mut dist, &out.splitters, Curve::Hilbert);
+        let grain = tree.len() as u64 / p as u64;
+        assert!(q.wmax >= grain);
+        assert!(q.wmax <= grain * 2, "wmax {} vs grain {grain}", q.wmax);
+        assert!(q.cmax > 0, "partitions must have boundaries");
+        assert!(q.cmax <= q.wmax, "boundary octants are a subset of owned octants");
+        assert!(q.tp > 0.0);
+    }
+
+    #[test]
+    fn coarser_splitters_give_smaller_cmax() {
+        // The §3.2 claim: lower tolerance (deeper refinement) ⇒ more
+        // boundary; higher tolerance ⇒ less boundary, more imbalance.
+        let tree = MeshParams::normal(6000, 23).build::<3>(Curve::Hilbert);
+        let p = 16;
+        let exact = {
+            let mut e = engine(p);
+            treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact())
+        };
+        let loose = {
+            let mut e = engine(p);
+            treesort_partition(
+                &mut e,
+                distribute_tree(&tree, p),
+                PartitionOptions::with_tolerance(0.5),
+            )
+        };
+        let mut e = engine(p);
+        let mut d0 = distribute_tree(&tree, p);
+        let q_exact = partition_quality(&mut e, &mut d0, &exact.splitters, Curve::Hilbert);
+        let mut d1 = distribute_tree(&tree, p);
+        let q_loose = partition_quality(&mut e, &mut d1, &loose.splitters, Curve::Hilbert);
+        assert!(
+            q_loose.cmax <= q_exact.cmax,
+            "loose {} vs exact {} boundary octants",
+            q_loose.cmax,
+            q_exact.cmax
+        );
+        assert!(q_loose.wmax >= q_exact.wmax);
+    }
+
+    #[test]
+    fn quality_matches_direct_count() {
+        // Cross-check Algorithm 2 against a brute-force global count.
+        let tree = MeshParams::normal(1000, 29).build::<3>(Curve::Morton);
+        let p = 4;
+        let mut e = engine(p);
+        let out = treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact());
+        let mut dist = distribute_tree(&tree, p);
+        let q = partition_quality(&mut e, &mut dist, &out.splitters, Curve::Morton);
+
+        let mut sizes = vec![0u64; p];
+        let mut bdy = vec![0u64; p];
+        for kc in tree.leaves() {
+            let own = owner_of(&out.splitters, &kc.key);
+            sizes[own] += 1;
+            let mut is_bdy = false;
+            for axis in 0..3 {
+                for dir in [-1i8, 1] {
+                    if let Some(nb) = kc.cell.face_neighbor(axis, dir) {
+                        let nk = SfcKey::of(&nb, Curve::Morton);
+                        if owner_of(&out.splitters, &nk) != own {
+                            is_bdy = true;
+                        }
+                    }
+                }
+            }
+            if is_bdy {
+                bdy[own] += 1;
+            }
+        }
+        assert_eq!(q.wmax, sizes.into_iter().max().unwrap());
+        assert_eq!(q.cmax, bdy.into_iter().max().unwrap());
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_splitter_count_panics() {
+        let mut e = engine(4);
+        let mut d: DistVec<KeyedCell<3>> = DistVec::new(4);
+        let _ = partition_quality(&mut e, &mut d, &[], Curve::Morton);
+    }
+}

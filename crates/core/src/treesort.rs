@@ -1,0 +1,202 @@
+//! Sequential TreeSort — Algorithm 1 of the paper.
+//!
+//! An MSD radix sort over SFC key digits, equivalent to a top-down
+//! quadtree/octree construction (Fig. 1 of the paper). Each recursion level
+//! buckets the elements by `child_num` permuted into curve order — with
+//! materialised keys (see `optipart-sfc`), that permuted child number *is*
+//! the key digit at the level, so lines 3–4 of Algorithm 1 ("increment
+//! counts[child_num(a)]; counts ← Rh(counts)") collapse into a digit
+//! histogram.
+//!
+//! Cells whose own level equals the current split level are *parked* in a
+//! leading bucket (the ancestor-first convention of linear octrees);
+//! Algorithm 1's recursion then descends into each curve-ordered child
+//! bucket ("TreeSort(Ai, l1 − 1, l2)").
+
+use optipart_sfc::{KeyedCell, MAX_DEPTH};
+
+/// Buckets below this size switch to a comparison sort — the standard MSD
+/// radix cutoff (the asymptotics of Algorithm 1 are unaffected; this is the
+/// "local sort" constant-factor engineering every radix implementation does).
+const SMALL_CUTOFF: usize = 48;
+
+/// Sorts cells into SFC order (ancestor-first) with TreeSort.
+///
+/// Equivalent to `a.sort_unstable()` on keyed cells, but top-down by digit,
+/// which is what gives the *distributed* variant its induced partitions.
+pub fn treesort<const D: usize>(a: &mut [KeyedCell<D>]) {
+    treesort_levels(a, 0, MAX_DEPTH);
+}
+
+/// Sorts by digits in split levels `[l1, l2)` only — the
+/// `TreeSort(A, l1, l2)` of Algorithm 1 (levels here count downward from the
+/// root; the paper counts upward from the leaves).
+///
+/// Elements must already agree on digits above `l1` (they share a bucket).
+pub fn treesort_levels<const D: usize>(a: &mut [KeyedCell<D>], l1: u8, l2: u8) {
+    let l2 = l2.min(MAX_DEPTH);
+    if l1 >= l2 || a.len() <= 1 {
+        return;
+    }
+    if a.len() <= SMALL_CUTOFF {
+        a.sort_unstable();
+        return;
+    }
+    let nc = 1usize << D;
+    // Bucket 0 holds parked ancestors (cells at level ≤ l1); buckets
+    // 1..=2^D hold the curve-ordered children (Rh-permuted child numbers).
+    let nb = nc + 1;
+    let bucket_of = |kc: &KeyedCell<D>| -> usize {
+        if kc.key.level() <= l1 {
+            0
+        } else {
+            1 + kc.key.digit::<D>(l1)
+        }
+    };
+
+    // counts / scan / permute — lines 1–11 of Algorithm 1.
+    let mut counts = [0usize; 9]; // nb ≤ 9 for D ≤ 3
+    debug_assert!(nb <= counts.len());
+    for kc in a.iter() {
+        counts[bucket_of(kc)] += 1;
+    }
+    let mut offsets = [0usize; 10];
+    for i in 0..nb {
+        offsets[i + 1] = offsets[i] + counts[i];
+    }
+    let mut scratch = a.to_vec();
+    let mut cursor = offsets;
+    for kc in a.iter() {
+        let b = bucket_of(kc);
+        scratch[cursor[b]] = *kc;
+        cursor[b] += 1;
+    }
+    a.copy_from_slice(&scratch);
+
+    // Parked ancestors order among themselves by (path, level).
+    a[offsets[0]..offsets[1]].sort_unstable();
+
+    // Recurse into child buckets — line 14.
+    for i in 1..nb {
+        treesort_levels(&mut a[offsets[i]..offsets[i + 1]], l1 + 1, l2);
+    }
+}
+
+/// The induced partition boundaries of a TreeSort at a given level: the
+/// element index at which each level-`l` bucket starts. These are the
+/// partitions §3.2 trades against — coarser levels give fewer, chunkier
+/// buckets with smaller surface.
+pub fn bucket_offsets_at_level<const D: usize>(sorted: &[KeyedCell<D>], level: u8) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut prev: Option<u128> = None;
+    for (i, kc) in sorted.iter().enumerate() {
+        let prefix = kc.key.prefix::<D>(level).path();
+        if prev != Some(prefix) {
+            offsets.push(i);
+            prev = Some(prefix);
+        }
+    }
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optipart_octree::{sample_points, tree_from_points};
+    use optipart_octree::generate::Distribution;
+    use optipart_sfc::{Cell3, Curve, KeyedCell};
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+
+    fn shuffled_mesh(n: usize, seed: u64, curve: Curve) -> Vec<KeyedCell<3>> {
+        let pts = sample_points::<3>(Distribution::Normal, n, seed);
+        let tree = tree_from_points(&pts, 1, 12, curve);
+        let mut cells: Vec<KeyedCell<3>> = tree.leaves().to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDEAD);
+        cells.shuffle(&mut rng);
+        cells
+    }
+
+    #[test]
+    fn treesort_matches_comparison_sort() {
+        for curve in Curve::ALL {
+            for seed in [1u64, 2, 3] {
+                let mut a = shuffled_mesh(700, seed, curve);
+                let mut expected = a.clone();
+                expected.sort_unstable();
+                treesort(&mut a);
+                assert_eq!(a, expected, "{curve} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn treesort_handles_mixed_levels_with_ancestors() {
+        // Non-linear input containing ancestors and descendants together.
+        let parent = Cell3::new([1 << 29, 0, 0], 3);
+        let mut cells = vec![parent];
+        for c in parent.children() {
+            cells.push(c);
+            for g in c.children() {
+                cells.push(g);
+            }
+        }
+        for curve in Curve::ALL {
+            let mut keyed = KeyedCell::key_all(&cells, curve);
+            let mut expected = keyed.clone();
+            expected.sort_unstable();
+            treesort(&mut keyed);
+            assert_eq!(keyed, expected, "{curve}");
+            // Ancestor-first: parent precedes every child.
+            let pi = keyed.iter().position(|kc| kc.cell == parent).unwrap();
+            assert_eq!(pi, 0);
+        }
+    }
+
+    #[test]
+    fn treesort_small_and_empty_inputs() {
+        let mut empty: Vec<KeyedCell<3>> = vec![];
+        treesort(&mut empty);
+        let mut one = KeyedCell::key_all(&[Cell3::root()], Curve::Morton);
+        treesort(&mut one);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn partial_levels_only_group_prefixes() {
+        // Sorting only levels [0, 2) groups elements by their level-2
+        // ancestor without ordering inside groups.
+        let mut a = shuffled_mesh(500, 9, Curve::Hilbert);
+        treesort_levels(&mut a, 0, 2);
+        let prefixes: Vec<u128> = a.iter().map(|kc| kc.key.prefix::<3>(2).path()).collect();
+        // Prefixes must be non-decreasing (grouped in curve order).
+        assert!(prefixes.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn bucket_offsets_partition_the_array() {
+        let mut a = shuffled_mesh(600, 4, Curve::Hilbert);
+        treesort(&mut a);
+        for level in [1u8, 2, 3] {
+            let offs = bucket_offsets_at_level(&a, level);
+            assert_eq!(offs[0], 0);
+            assert!(offs.windows(2).all(|w| w[0] < w[1]));
+            assert!(offs.len() <= 1 << (3 * level as usize));
+            // Buckets get smaller (more numerous) with level — the λ vs s
+            // trade of Fig. 2.
+            if level > 1 {
+                let prev = bucket_offsets_at_level(&a, level - 1);
+                assert!(offs.len() >= prev.len());
+            }
+        }
+    }
+
+    #[test]
+    fn treesort_is_idempotent() {
+        let mut a = shuffled_mesh(300, 5, Curve::Morton);
+        treesort(&mut a);
+        let once = a.clone();
+        treesort(&mut a);
+        assert_eq!(a, once);
+    }
+}

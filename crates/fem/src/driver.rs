@@ -1,0 +1,165 @@
+//! The §5.4 measurement driver: `k` matvecs on a given partition, reporting
+//! simulated time, per-node energy and traffic — the data behind Figs. 7–10.
+
+use crate::matvec::laplacian_matvec;
+use crate::mesh::DistMesh;
+use optipart_machine::EnergyReport;
+use optipart_mpisim::{DistVec, Engine};
+use serde::{Deserialize, Serialize};
+
+/// Results of one matvec experiment.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MatvecExperiment {
+    /// Iterations run (the paper uses 100).
+    pub iterations: usize,
+    /// Simulated seconds for the matvec loop only.
+    pub seconds: f64,
+    /// Whole-run energy (matvec loop only; the engine is reset first).
+    pub energy: EnergyReport,
+    /// Total ghost elements moved over all iterations.
+    pub ghost_elements: u64,
+    /// NNZ of the engine's communication matrix, if recording was enabled.
+    pub comm_nnz: Option<usize>,
+    /// Total bytes over the network.
+    pub bytes_total: u64,
+}
+
+/// Runs `iterations` Laplacian matvecs (`y ← A x; x ← y/‖y‖∞`-ish chain,
+/// keeping values bounded) and reports time, energy and traffic.
+///
+/// The engine's clocks/energy are reset at entry so the report covers the
+/// matvec loop alone, matching the paper's measurement of the matvec phase.
+pub fn run_matvec_experiment<const D: usize>(
+    engine: &mut Engine,
+    mesh: &DistMesh<D>,
+    iterations: usize,
+) -> MatvecExperiment {
+    engine.reset();
+    // Initial vector: cell-centre based, deterministic.
+    let mut x = DistVec::from_parts(
+        (0..mesh.p())
+            .map(|r| {
+                mesh.cells
+                    .rank(r)
+                    .iter()
+                    .map(|kc| {
+                        let c = kc.cell.center_unit();
+                        1.0 + c[0] * 0.5 - c[D - 1] * 0.25
+                    })
+                    .collect()
+            })
+            .collect(),
+    );
+
+    let mut ghost_elements = 0u64;
+    for it in 0..iterations {
+        let (y, stats) = laplacian_matvec(engine, mesh, &mut x);
+        ghost_elements += stats.ghost_elements;
+        x = y;
+        // Rescale occasionally so repeated application stays in range (the
+        // physics is irrelevant; only the compute/comm pattern matters).
+        if it % 10 == 9 {
+            let max = engine
+                .allreduce_max_f64(
+                    &x.parts()
+                        .iter()
+                        .map(|b| b.iter().fold(0.0f64, |m, v| m.max(v.abs())))
+                        .collect::<Vec<_>>(),
+                )
+                .max(f64::MIN_POSITIVE);
+            engine.compute(&mut x, |_r, buf| {
+                for v in buf.iter_mut() {
+                    *v /= max;
+                }
+                buf.len() as f64 * 16.0
+            });
+        }
+    }
+
+    let energy = engine.energy_report();
+    MatvecExperiment {
+        iterations,
+        seconds: engine.makespan(),
+        energy,
+        ghost_elements,
+        comm_nnz: engine.comm_matrix().map(|m| m.nnz()),
+        bytes_total: engine.stats().bytes_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optipart_core::optipart::{optipart, OptiPartOptions};
+    use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+    use optipart_machine::{AppModel, MachineModel, PerfModel};
+    use optipart_octree::MeshParams;
+    use optipart_sfc::Curve;
+
+    fn engine(p: usize) -> Engine {
+        Engine::new(
+            p,
+            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+        )
+        .record_comm_matrix()
+    }
+
+    #[test]
+    fn experiment_reports_consistent_numbers() {
+        let tree = MeshParams::normal(2000, 107).build::<3>(Curve::Hilbert);
+        let p = 8;
+        let mut e = engine(p);
+        let out = treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact());
+        let mesh = DistMesh::build(&mut e, out.dist, Curve::Hilbert);
+        let rep = run_matvec_experiment(&mut e, &mesh, 10);
+        assert_eq!(rep.iterations, 10);
+        assert!(rep.seconds > 0.0);
+        assert!(rep.energy.total_j > 0.0);
+        assert!(rep.energy.comm_j > 0.0);
+        assert!(rep.energy.comm_j < rep.energy.total_j);
+        assert!(rep.ghost_elements > 0);
+        assert_eq!(rep.energy.per_node_j.len(), 1); // 8 ranks @ 32/node
+        assert!(rep.comm_nnz.unwrap() > 0);
+    }
+
+    #[test]
+    fn energy_tracks_runtime() {
+        // §3.3: "the overall energy will be strongly correlated with the
+        // overall runtime". Double the iterations ⇒ roughly double both.
+        let tree = MeshParams::normal(1500, 109).build::<3>(Curve::Hilbert);
+        let p = 4;
+        let mut e = engine(p);
+        let out = treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact());
+        let mesh = DistMesh::build(&mut e, out.dist, Curve::Hilbert);
+        let r1 = run_matvec_experiment(&mut e, &mesh, 5);
+        let r2 = run_matvec_experiment(&mut e, &mesh, 10);
+        let time_ratio = r2.seconds / r1.seconds;
+        let energy_ratio = r2.energy.total_j / r1.energy.total_j;
+        assert!((time_ratio - 2.0).abs() < 0.3, "time ratio {time_ratio}");
+        assert!((energy_ratio - 2.0).abs() < 0.3, "energy ratio {energy_ratio}");
+    }
+
+    #[test]
+    fn optipart_partition_not_slower_than_exact() {
+        // The paper's headline: the flexible partition reduces (simulated)
+        // matvec time on the communication-bound cluster.
+        let tree = MeshParams::normal(4000, 113).build::<3>(Curve::Hilbert);
+        let p = 16;
+
+        let mut e1 = engine(p);
+        let exact =
+            treesort_partition(&mut e1, distribute_tree(&tree, p), PartitionOptions::exact());
+        let mesh1 = DistMesh::build(&mut e1, exact.dist, Curve::Hilbert);
+        let t_exact = run_matvec_experiment(&mut e1, &mesh1, 20).seconds;
+
+        let mut e2 = engine(p);
+        let opti = optipart(&mut e2, distribute_tree(&tree, p), OptiPartOptions::default());
+        let mesh2 = DistMesh::build(&mut e2, opti.dist, Curve::Hilbert);
+        let t_opti = run_matvec_experiment(&mut e2, &mesh2, 20).seconds;
+
+        assert!(
+            t_opti <= t_exact * 1.05,
+            "optipart {t_opti:e} should not lose to exact {t_exact:e}"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests for the FEM substrate, including the 2D (quadtree)
+//! instantiation.
+
+use crate::matvec::laplacian_matvec;
+use crate::mesh::DistMesh;
+use optipart_core::partition::{distribute_shuffled, treesort_partition, PartitionOptions};
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_mpisim::{DistVec, Engine};
+use optipart_octree::balance::balance21;
+use optipart_octree::{sample_points, tree_from_points, Distribution, LinearTree};
+use optipart_sfc::{Curve, SfcKey};
+use proptest::prelude::*;
+
+fn engine(p: usize) -> Engine {
+    Engine::new(
+        p,
+        PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+    )
+}
+
+fn balanced_tree<const D: usize>(seed: u64, n: usize, curve: Curve) -> LinearTree<D> {
+    let pts = sample_points::<D>(Distribution::Normal, n, seed);
+    balance21(&tree_from_points(&pts, 1, 8, curve))
+}
+
+/// Runs one matvec and returns `(key, value)` pairs in global order.
+fn matvec_fingerprint<const D: usize>(
+    tree: &LinearTree<D>,
+    p: usize,
+    tol: f64,
+    seed: u64,
+) -> Vec<(SfcKey, f64)> {
+    let mut e = engine(p);
+    let out = treesort_partition(
+        &mut e,
+        distribute_shuffled(tree, p, seed),
+        PartitionOptions::with_tolerance(tol),
+    );
+    let mesh = DistMesh::build(&mut e, out.dist, tree.curve());
+    let mut x = DistVec::from_parts(
+        (0..p)
+            .map(|r| {
+                mesh.cells
+                    .rank(r)
+                    .iter()
+                    .map(|kc| {
+                        let c = kc.cell.center_unit();
+                        (c[0] * 5.0).sin() + c[D - 1]
+                    })
+                    .collect()
+            })
+            .collect(),
+    );
+    let (y, _) = laplacian_matvec(&mut e, &mesh, &mut x);
+    let mut pairs = Vec::new();
+    for r in 0..p {
+        for (kc, v) in mesh.cells.rank(r).iter().zip(y.rank(r)) {
+            pairs.push((kc.key, *v));
+        }
+    }
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The operator's action is independent of the partition (p and
+    /// tolerance are implementation details), in 3D.
+    #[test]
+    fn matvec_partition_independent_3d(
+        seed in 0u64..200,
+        p in 2usize..10,
+        tol in 0.0f64..0.5,
+    ) {
+        let tree = balanced_tree::<3>(seed, 120, Curve::Hilbert);
+        let reference = matvec_fingerprint(&tree, 1, 0.0, seed);
+        let parallel = matvec_fingerprint(&tree, p, tol, seed);
+        prop_assert_eq!(reference.len(), parallel.len());
+        for ((k1, v1), (k2, v2)) in reference.iter().zip(&parallel) {
+            prop_assert_eq!(k1, k2);
+            prop_assert!(
+                (v1 - v2).abs() <= 1e-9 * (1.0 + v1.abs()),
+                "{:?}: {} vs {}", k1, v1, v2
+            );
+        }
+    }
+
+    /// Same property for the 2D (quadtree) instantiation.
+    #[test]
+    fn matvec_partition_independent_2d(
+        seed in 0u64..200,
+        p in 2usize..8,
+    ) {
+        let tree = balanced_tree::<2>(seed, 100, Curve::Hilbert);
+        let reference = matvec_fingerprint(&tree, 1, 0.0, seed);
+        let parallel = matvec_fingerprint(&tree, p, 0.2, seed);
+        prop_assert_eq!(reference.len(), parallel.len());
+        for ((k1, v1), (k2, v2)) in reference.iter().zip(&parallel) {
+            prop_assert_eq!(k1, k2);
+            prop_assert!((v1 - v2).abs() <= 1e-9 * (1.0 + v1.abs()));
+        }
+    }
+
+    /// Constant null-space behaviour: for x ≡ c, interior entries vanish
+    /// (fluxes cancel), regardless of mesh, curve or partition.
+    #[test]
+    fn constant_vector_interior_zero(seed in 0u64..200, p in 1usize..8, c in -3.0f64..3.0) {
+        let tree = balanced_tree::<3>(seed, 80, Curve::Morton);
+        let mut e = engine(p);
+        let out = treesort_partition(
+            &mut e,
+            distribute_shuffled(&tree, p, seed),
+            PartitionOptions::exact(),
+        );
+        let mesh = DistMesh::build(&mut e, out.dist, Curve::Morton);
+        let mut x = DistVec::from_parts(
+            mesh.cells.counts().iter().map(|&n| vec![c; n]).collect(),
+        );
+        let (y, _) = laplacian_matvec(&mut e, &mesh, &mut x);
+        for r in 0..p {
+            for (kc, &v) in mesh.cells.rank(r).iter().zip(y.rank(r)) {
+                let interior = (0..3).all(|ax| {
+                    kc.cell.face_neighbor(ax, -1).is_some()
+                        && kc.cell.face_neighbor(ax, 1).is_some()
+                });
+                if interior {
+                    prop_assert!(
+                        v.abs() <= 1e-9 * (1.0 + c.abs()),
+                        "interior residual {} at {:?}", v, kc.cell
+                    );
+                }
+            }
+        }
+    }
+
+    /// Ghost lists are symmetric: bytes sent by r to s equal bytes s expects
+    /// from r.
+    #[test]
+    fn ghost_lists_symmetric(seed in 0u64..200, p in 2usize..10) {
+        let tree = balanced_tree::<3>(seed, 120, Curve::Hilbert);
+        let mut e = engine(p);
+        let out = treesort_partition(
+            &mut e,
+            distribute_shuffled(&tree, p, seed),
+            PartitionOptions::exact(),
+        );
+        let mesh = DistMesh::build(&mut e, out.dist, Curve::Hilbert);
+        for (r, lm) in mesh.locals.iter().enumerate() {
+            for (owner, list) in &lm.recv_from {
+                let peer = &mesh.locals[*owner];
+                let back = peer
+                    .send_to
+                    .iter()
+                    .find(|(req, _)| *req == r)
+                    .map(|(_, l)| l.len())
+                    .unwrap_or(0);
+                prop_assert_eq!(list.len(), back, "rank {} vs owner {}", r, owner);
+            }
+        }
+    }
+}

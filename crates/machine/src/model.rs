@@ -1,0 +1,214 @@
+//! Machine and application parameter sets (Table 1 of the paper).
+
+use crate::energy::NodePower;
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters of a target machine.
+///
+/// Units follow Table 1: `tc` and `tw` are *slownesses* in seconds per byte
+/// (1 / bandwidth); `ts` is the interconnect latency in seconds.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// Human-readable machine name.
+    pub name: String,
+    /// Intranode memory slowness, seconds per byte per core
+    /// (1 / per-core share of RAM bandwidth).
+    pub tc: f64,
+    /// Interconnect latency in seconds per message.
+    pub ts: f64,
+    /// Interconnect slowness in seconds per byte (1 / injection bandwidth
+    /// available to a rank).
+    pub tw: f64,
+    /// MPI ranks placed per node (affects the node map and energy
+    /// attribution, not per-rank costs).
+    pub ranks_per_node: usize,
+    /// Node power envelope for the energy model.
+    pub power: NodePower,
+}
+
+impl MachineModel {
+    /// ORNL Titan (Cray XK7): 16-core AMD Opteron 6274 per node, 32 GB,
+    /// Gemini interconnect (§4: "Titan ... 18,688 nodes ... Gemini
+    /// interconnect").
+    ///
+    /// Estimates: ~50 GB/s DDR3 per node shared by 16 cores → tc ≈ 1/3.1 GB/s
+    /// per core; Gemini ~1.5 µs latency, ~3 GB/s per-rank injection.
+    pub fn titan() -> Self {
+        MachineModel {
+            name: "titan".into(),
+            tc: 1.0 / 3.1e9,
+            ts: 1.5e-6,
+            tw: 1.0 / 3.0e9,
+            ranks_per_node: 16,
+            power: NodePower { idle_w: 90.0, peak_w: 350.0, nic_j_per_byte: 0.3e-9 },
+        }
+    }
+
+    /// TACC Stampede: dual 8-core Xeon E5-2680 per node, 56 Gb/s FDR
+    /// InfiniBand fat tree (§4).
+    ///
+    /// Estimates: ~75 GB/s DDR3 per node / 16 cores; FDR IB ~1 µs latency,
+    /// ~7 GB/s injection shared → ~4 GB/s per-rank effective.
+    pub fn stampede() -> Self {
+        MachineModel {
+            name: "stampede".into(),
+            tc: 1.0 / 4.7e9,
+            ts: 1.0e-6,
+            tw: 1.0 / 4.0e9,
+            ranks_per_node: 16,
+            power: NodePower { idle_w: 95.0, peak_w: 345.0, nic_j_per_byte: 0.25e-9 },
+        }
+    }
+
+    /// CloudLab Wisconsin-8 (§4.1): 8 nodes, 2× Intel E5-2630 v3 8-core
+    /// Haswell @2.40 GHz, 128 GB ECC, 10 GbE. The paper ran 256 MPI tasks on
+    /// these 8 nodes (32 per node).
+    ///
+    /// 10 GbE = 1.25 GB/s per node shared by 32 ranks, with ~25 µs Ethernet
+    /// latency — a *much* higher tw/tc ratio than the HPC machines, which is
+    /// exactly why the tolerance optimum is pronounced on CloudLab (Figs.
+    /// 7–10).
+    pub fn cloudlab_wisconsin() -> Self {
+        MachineModel {
+            name: "wisconsin-8".into(),
+            tc: 1.0 / 3.7e9,
+            ts: 25.0e-6,
+            tw: 1.0 / 0.04e9, // 1.25 GB/s node NIC / 32 ranks
+            ranks_per_node: 32,
+            power: NodePower { idle_w: 105.0, peak_w: 300.0, nic_j_per_byte: 6.0e-9 },
+        }
+    }
+
+    /// CloudLab Clemson-32 (§4.1): 32 nodes, 2× Intel E5-2683 v3 14-core
+    /// Haswell @2.00 GHz, 256 GB ECC, 10 GbE; 1792 MPI tasks (56 per node).
+    pub fn cloudlab_clemson() -> Self {
+        MachineModel {
+            name: "clemson-32".into(),
+            tc: 1.0 / 2.4e9,
+            ts: 25.0e-6,
+            tw: 1.0 / 0.0223e9, // 1.25 GB/s node NIC / 56 ranks
+            ranks_per_node: 56,
+            power: NodePower { idle_w: 130.0, peak_w: 380.0, nic_j_per_byte: 6.0e-9 },
+        }
+    }
+
+    /// All four evaluation machines.
+    pub fn presets() -> Vec<MachineModel> {
+        vec![
+            Self::titan(),
+            Self::stampede(),
+            Self::cloudlab_wisconsin(),
+            Self::cloudlab_clemson(),
+        ]
+    }
+
+    /// Looks a preset up by name (`titan`, `stampede`, `wisconsin-8`,
+    /// `clemson-32`).
+    pub fn by_name(name: &str) -> Option<MachineModel> {
+        Self::presets().into_iter().find(|m| m.name == name)
+    }
+
+    /// A custom machine; power defaults to a generic dual-socket envelope.
+    pub fn custom(name: &str, tc: f64, ts: f64, tw: f64, ranks_per_node: usize) -> Self {
+        MachineModel {
+            name: name.into(),
+            tc,
+            ts,
+            tw,
+            ranks_per_node,
+            power: NodePower { idle_w: 100.0, peak_w: 330.0, nic_j_per_byte: 1.0e-9 },
+        }
+    }
+
+    /// The node hosting a rank under this machine's placement.
+    #[inline]
+    pub fn node_of(&self, rank: usize) -> usize {
+        rank / self.ranks_per_node
+    }
+
+    /// Number of nodes needed for `p` ranks.
+    #[inline]
+    pub fn nodes_for(&self, p: usize) -> usize {
+        p.div_ceil(self.ranks_per_node)
+    }
+
+    /// Communication-to-computation cost ratio `tw / tc` — the "cost of
+    /// communication vs. one unit of work" of the §3.2 thought experiment.
+    /// Large values mean trading load balance for communication pays off.
+    #[inline]
+    pub fn comm_compute_ratio(&self) -> f64 {
+        self.tw / self.tc
+    }
+}
+
+/// Application parameters of the performance model (§3.3).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AppModel {
+    /// Memory accesses performed per unit of work. "If the target
+    /// application is a 7-point stencil operation, then α will be ∼ 8."
+    pub alpha: f64,
+    /// Bytes moved per memory access / per communicated element (the unknown
+    /// vector's scalar size plus indexing, in practice).
+    pub elem_bytes: f64,
+}
+
+impl AppModel {
+    /// The paper's test application: an adaptively discretised Laplacian
+    /// (7-point-stencil-like) matvec, α ≈ 8, 8-byte doubles.
+    pub fn laplacian_matvec() -> Self {
+        AppModel { alpha: 8.0, elem_bytes: 8.0 }
+    }
+
+    /// A compute-light, communication-heavy kernel (e.g. low-order wave
+    /// equation update): fewer accesses per element. Used to demonstrate
+    /// *application*-awareness — the same mesh on the same machine partitions
+    /// differently (footnote 1 of the paper: "e.g. for the Poisson equation
+    /// vs the wave Equation on the same mesh").
+    pub fn wave_matvec() -> Self {
+        AppModel { alpha: 2.0, elem_bytes: 8.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_parameters() {
+        for m in MachineModel::presets() {
+            assert!(m.tc > 0.0 && m.tc < 1e-6, "{}: tc {:e}", m.name, m.tc);
+            assert!(m.ts > 0.0 && m.ts < 1e-3, "{}: ts {:e}", m.name, m.ts);
+            assert!(m.tw > 0.0 && m.tw < 1e-6, "{}: tw {:e}", m.name, m.tw);
+            assert!(m.ranks_per_node >= 1);
+            assert!(m.power.peak_w > m.power.idle_w);
+        }
+    }
+
+    #[test]
+    fn cloudlab_has_higher_comm_ratio_than_hpc() {
+        // The ethernet clusters must make communication relatively more
+        // expensive — the premise of the energy evaluation.
+        let titan = MachineModel::titan().comm_compute_ratio();
+        let wisc = MachineModel::cloudlab_wisconsin().comm_compute_ratio();
+        let clem = MachineModel::cloudlab_clemson().comm_compute_ratio();
+        assert!(wisc > 10.0 * titan);
+        assert!(clem > 10.0 * titan);
+    }
+
+    #[test]
+    fn node_mapping() {
+        let m = MachineModel::cloudlab_wisconsin();
+        assert_eq!(m.node_of(0), 0);
+        assert_eq!(m.node_of(31), 0);
+        assert_eq!(m.node_of(32), 1);
+        assert_eq!(m.nodes_for(256), 8);
+        assert_eq!(m.nodes_for(257), 9);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(MachineModel::by_name("titan").is_some());
+        assert!(MachineModel::by_name("clemson-32").is_some());
+        assert!(MachineModel::by_name("summit").is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! The performance model of §3.3 (Eq. 3) and the TreeSort cost models of
+//! §3.1 (Eqs. 1–2).
+
+use crate::model::{AppModel, MachineModel};
+use serde::{Deserialize, Serialize};
+
+/// Performance model binding a machine to an application.
+///
+/// This is the object OptiPart (Algorithm 3) consults: given a candidate
+/// partition's maximum work `Wmax` and maximum communication `Cmax`, it
+/// predicts the per-iteration runtime of the subsequent computation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PerfModel {
+    /// Target machine.
+    pub machine: MachineModel,
+    /// Target application kernel.
+    pub app: AppModel,
+}
+
+impl PerfModel {
+    /// Creates a model for an application on a machine.
+    pub fn new(machine: MachineModel, app: AppModel) -> Self {
+        PerfModel { machine, app }
+    }
+
+    /// Eq. (3): `Tp = α · tc · Wmax + tw · Cmax`.
+    ///
+    /// `wmax` is the maximum number of work units (elements) on any rank;
+    /// `cmax` the maximum number of elements any rank exchanges. Both are
+    /// scaled to bytes by the application's element size.
+    #[inline]
+    pub fn predict(&self, wmax: u64, cmax: u64) -> f64 {
+        self.app.alpha * self.machine.tc * (wmax as f64 * self.app.elem_bytes)
+            + self.machine.tw * (cmax as f64 * self.app.elem_bytes)
+    }
+
+    /// Compute-only part of Eq. (3) — used by the engine to charge local
+    /// work phases.
+    #[inline]
+    pub fn compute_time(&self, work_units: u64) -> f64 {
+        self.app.alpha * self.machine.tc * (work_units as f64 * self.app.elem_bytes)
+    }
+
+    /// Eq. (1): expected runtime of the (unstaged) distributed TreeSort,
+    /// `Tp = tc·N/p + (ts + tw·p)·log p + tw·N/p`.
+    ///
+    /// `n_local` is the grain `N/p` in elements.
+    pub fn treesort_time(&self, n_local: u64, p: usize) -> f64 {
+        self.treesort_time_staged(n_local, p, p)
+    }
+
+    /// Eq. (2): the staged variant with `k ≤ p` splitters,
+    /// `Tp = tc·N/p + (ts + tw·k)·log p + tw·N/p`.
+    pub fn treesort_time_staged(&self, n_local: u64, p: usize, k: usize) -> f64 {
+        assert!(k >= 1 && k <= p.max(1));
+        let bytes_local = n_local as f64 * self.app.elem_bytes;
+        let logp = (p.max(2) as f64).log2();
+        self.machine.tc * bytes_local
+            + (self.machine.ts + self.machine.tw * k as f64 * self.app.elem_bytes) * logp
+            + self.machine.tw * bytes_local
+    }
+
+    /// §3.2's break-even analysis: the runtime delta of accepting
+    /// `extra_work` more units on the bottleneck rank in exchange for
+    /// `saved_comm` fewer exchanged units. Negative means the trade wins.
+    pub fn tradeoff(&self, extra_work: u64, saved_comm: u64) -> f64 {
+        self.compute_time(extra_work) - self.machine.tw * (saved_comm as f64 * self.app.elem_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AppModel, MachineModel};
+
+    fn model() -> PerfModel {
+        PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec())
+    }
+
+    #[test]
+    fn predict_is_monotone_in_both_arguments() {
+        let m = model();
+        let base = m.predict(1000, 100);
+        assert!(m.predict(2000, 100) > base);
+        assert!(m.predict(1000, 200) > base);
+        assert_eq!(m.predict(0, 0), 0.0);
+    }
+
+    #[test]
+    fn comm_dominates_on_ethernet() {
+        // On Wisconsin-8 (tw >> tc), one exchanged element must cost more
+        // than one computed element — the premise of flexible partitioning.
+        let m = model();
+        let one_work = m.predict(1, 0);
+        let one_comm = m.predict(0, 1);
+        assert!(one_comm > one_work, "comm {one_comm:e} vs work {one_work:e}");
+    }
+
+    #[test]
+    fn titan_less_comm_bound_than_cloudlab() {
+        let app = AppModel::laplacian_matvec();
+        let titan = PerfModel::new(MachineModel::titan(), app);
+        let wisc = PerfModel::new(MachineModel::cloudlab_wisconsin(), app);
+        let ratio = |m: &PerfModel| m.predict(0, 1) / m.predict(1, 0);
+        assert!(ratio(&wisc) > ratio(&titan));
+    }
+
+    #[test]
+    fn staged_treesort_cheaper_for_small_k() {
+        // Eq. (2) vs Eq. (1): limiting the splitters reduces the reduction
+        // cost term.
+        let m = PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec());
+        let full = m.treesort_time(1_000_000, 4096);
+        let staged = m.treesort_time_staged(1_000_000, 4096, 64);
+        assert!(staged < full);
+    }
+
+    #[test]
+    fn treesort_time_grows_with_grain_and_p() {
+        let m = PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec());
+        assert!(m.treesort_time(2_000_000, 64) > m.treesort_time(1_000_000, 64));
+        assert!(m.treesort_time(1_000_000, 4096) > m.treesort_time(1_000_000, 64));
+    }
+
+    #[test]
+    fn tradeoff_sign() {
+        // §3.2: "an increase of 20 units of work resulting in a reduction of
+        // 5 units of data-exchange, would still provide savings" when comm is
+        // 10x work cost. Reconstruct that contrived example.
+        let machine = MachineModel::custom("contrived", 1.0, 0.0, 10.0, 1);
+        let app = AppModel { alpha: 1.0, elem_bytes: 1.0 };
+        let m = PerfModel::new(machine, app);
+        // 5*10 - 20 = 30 units of savings.
+        assert_eq!(m.tradeoff(20, 5), -30.0);
+        // And the trade loses when savings are too small.
+        assert!(m.tradeoff(200, 5) > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn staged_k_larger_than_p_rejected() {
+        let m = model();
+        let _ = m.treesort_time_staged(100, 4, 8);
+    }
+}

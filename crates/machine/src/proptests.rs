@@ -1,0 +1,87 @@
+//! Property-based tests for the machine and energy models.
+
+use crate::energy::{ActivityKind, Interval, IpmiSampler, NodePower, PowerTrace};
+use crate::{AppModel, MachineModel, PerfModel};
+use proptest::prelude::*;
+
+fn power() -> impl Strategy<Value = NodePower> {
+    (50.0f64..200.0, 1.0f64..400.0, 0.0f64..1e-8).prop_map(|(idle, dynr, nic)| NodePower {
+        idle_w: idle,
+        peak_w: idle + dynr,
+        nic_j_per_byte: nic,
+    })
+}
+
+proptest! {
+    /// Eq. (3) is linear: predict(a+b) = predict(a) + predict(b) per term.
+    #[test]
+    fn predict_is_linear(w1 in 0u64..1_000_000, w2 in 0u64..1_000_000,
+                         c1 in 0u64..1_000_000, c2 in 0u64..1_000_000) {
+        let m = PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec());
+        let lhs = m.predict(w1 + w2, c1 + c2);
+        let rhs = m.predict(w1, c1) + m.predict(w2, c2);
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    /// Staged TreeSort time (Eq. 2) is monotone in k and never beats k = 1's
+    /// latency-only floor the wrong way.
+    #[test]
+    fn staged_time_monotone_in_k(grain in 1u64..10_000_000, p_exp in 1u32..14) {
+        let p = 1usize << p_exp;
+        let m = PerfModel::new(MachineModel::stampede(), AppModel::laplacian_matvec());
+        let mut prev = f64::NEG_INFINITY;
+        for k in [1usize, 16, 256, p.min(4096)] {
+            if k > p { break; }
+            let t = m.treesort_time_staged(grain, p, k);
+            prop_assert!(t >= prev, "k={k}: {t} < {prev}");
+            prev = t;
+        }
+    }
+
+    /// Exact energy is invariant under interval splitting: one interval of
+    /// length L equals two back-to-back halves.
+    #[test]
+    fn energy_interval_splitting(dur in 0.1f64..100.0, p in power(),
+                                 bytes in 0u64..1_000_000_000) {
+        let whole = {
+            let mut t = PowerTrace::default();
+            t.push(Interval { rank: 0, t0: 0.0, t1: dur, kind: ActivityKind::Communication, bytes });
+            t.exact_energy(&p, 1, 1).total_j
+        };
+        let halves = {
+            let mut t = PowerTrace::default();
+            t.push(Interval { rank: 0, t0: 0.0, t1: dur / 2.0, kind: ActivityKind::Communication, bytes: bytes / 2 });
+            t.push(Interval { rank: 0, t0: dur / 2.0, t1: dur, kind: ActivityKind::Communication, bytes: bytes - bytes / 2 });
+            t.exact_energy(&p, 1, 1).total_j
+        };
+        prop_assert!((whole - halves).abs() <= 1e-9 * (1.0 + whole.abs()));
+    }
+
+    /// The IPMI sampler never misses more than one sample period of dynamic
+    /// power per interval.
+    #[test]
+    fn sampler_error_bounded(dur in 0.05f64..20.0, start in 0.0f64..5.0, p in power()) {
+        let mut t = PowerTrace::default();
+        t.push(Interval { rank: 0, t0: start, t1: start + dur, kind: ActivityKind::Compute, bytes: 0 });
+        let exact = t.exact_energy(&p, 1, 1).total_j;
+        let sampled = IpmiSampler { period_s: 1.0 }.measure(&t, &p, 1, 1).total_j;
+        let bound = (p.peak_w - p.idle_w) * 1.0 + p.idle_w * 1.0 + 1e-6;
+        prop_assert!((sampled - exact).abs() <= bound,
+                     "err {} > bound {bound}", (sampled - exact).abs());
+    }
+
+    /// Node mapping is a partition of ranks: every rank maps to exactly one
+    /// node and nodes_for covers it.
+    #[test]
+    fn node_mapping_partitions_ranks(p in 1usize..5000) {
+        for m in MachineModel::presets() {
+            let nodes = m.nodes_for(p);
+            for r in (0..p).step_by(7) {
+                let n = m.node_of(r);
+                prop_assert!(n < nodes, "{}: rank {r} -> node {n} >= {nodes}", m.name);
+            }
+            prop_assert!(nodes * m.ranks_per_node >= p);
+            prop_assert!((nodes - 1) * m.ranks_per_node < p);
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! The virtual-process BSP engine.
+
+use crate::dist::DistVec;
+use crate::stats::{CommMatrix, RunStats};
+use optipart_machine::energy::{ActivityKind, Interval, COMM_CORE_FRACTION};
+use optipart_machine::{EnergyReport, PerfModel, PowerTrace};
+use rayon::prelude::*;
+
+/// How rank-local compute phases are charged to the virtual clocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TimeMode {
+    /// Modeled: `reported bytes × tc` — deterministic, the default, and
+    /// what every figure uses.
+    #[default]
+    Modeled,
+    /// Measured: the wall-clock the closure actually took on the host.
+    /// Non-deterministic; useful as a cross-check that the modeled curves
+    /// are not artefacts of the model (the *relative* phase weights match).
+    Measured,
+}
+
+/// A virtual distributed machine running `p` SPMD ranks.
+///
+/// See the crate docs for the programming and clock model. An engine is
+/// configured once with a [`PerfModel`] (machine + application) and then
+/// driven through compute phases and collectives; afterwards it reports
+/// virtual time ([`Engine::makespan`]), traffic ([`Engine::stats`],
+/// [`Engine::comm_matrix`]) and energy ([`Engine::energy_report`]).
+///
+/// ```
+/// use optipart_machine::{AppModel, MachineModel, PerfModel};
+/// use optipart_mpisim::{DistVec, Engine};
+///
+/// let perf = PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec());
+/// let mut engine = Engine::new(4, perf);
+/// let mut data = DistVec::from_global(&(0u64..100).collect::<Vec<_>>(), 4);
+/// // A local compute phase: each rank reports its memory traffic.
+/// engine.compute(&mut data, |_rank, buf| buf.len() as f64 * 8.0);
+/// // A collective: sums per-rank contributions and advances all clocks.
+/// let total = engine.allreduce_sum_u64(&[1, 2, 3, 4]);
+/// assert_eq!(total, 10);
+/// assert!(engine.makespan() > 0.0);
+/// ```
+pub struct Engine {
+    pub(crate) p: usize,
+    pub(crate) perf: PerfModel,
+    pub(crate) time_mode: TimeMode,
+    pub(crate) clocks: Vec<f64>,
+    pub(crate) stats: RunStats,
+    pub(crate) comm_matrix: Option<CommMatrix>,
+    pub(crate) trace: Option<PowerTrace>,
+    /// Incremental exact-energy accounting: dynamic Joules per node
+    /// (idle × makespan is added at report time).
+    pub(crate) node_dynamic_j: Vec<f64>,
+    pub(crate) comm_j: f64,
+}
+
+impl Engine {
+    /// A fresh machine with `p` virtual ranks.
+    pub fn new(p: usize, perf: PerfModel) -> Self {
+        assert!(p >= 1, "need at least one rank");
+        let nodes = perf.machine.nodes_for(p);
+        Engine {
+            p,
+            perf,
+            time_mode: TimeMode::default(),
+            clocks: vec![0.0; p],
+            stats: RunStats::default(),
+            comm_matrix: None,
+            trace: None,
+            node_dynamic_j: vec![0.0; nodes],
+            comm_j: 0.0,
+        }
+    }
+
+    /// Enables rank×rank communication-matrix recording (§5.5 metrics).
+    pub fn record_comm_matrix(mut self) -> Self {
+        self.comm_matrix = Some(CommMatrix::new(self.p));
+        self
+    }
+
+    /// Selects how compute phases are charged (see [`TimeMode`]).
+    pub fn with_time_mode(mut self, mode: TimeMode) -> Self {
+        self.time_mode = mode;
+        self
+    }
+
+    /// Enables full activity-trace recording for IPMI-style sampling.
+    /// Memory grows with the number of phases × p; use for demonstration
+    /// runs, not large sweeps (the exact accumulator is always on).
+    pub fn record_trace(mut self) -> Self {
+        self.trace = Some(PowerTrace::default());
+        self
+    }
+
+    /// Number of virtual ranks.
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// The performance model driving all cost accounting.
+    #[inline]
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// Per-rank virtual clocks, seconds.
+    #[inline]
+    pub fn clocks(&self) -> &[f64] {
+        &self.clocks
+    }
+
+    /// Virtual wall-clock of the run so far: the slowest rank's clock.
+    pub fn makespan(&self) -> f64 {
+        self.clocks.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Traffic statistics.
+    #[inline]
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The recorded communication matrix, if enabled.
+    #[inline]
+    pub fn comm_matrix(&self) -> Option<&CommMatrix> {
+        self.comm_matrix.as_ref()
+    }
+
+    /// The recorded activity trace, if enabled.
+    #[inline]
+    pub fn trace(&self) -> Option<&PowerTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Resets clocks, stats, energy and matrices, keeping the configuration.
+    pub fn reset(&mut self) {
+        self.clocks.iter_mut().for_each(|c| *c = 0.0);
+        self.stats = RunStats::default();
+        if let Some(m) = &mut self.comm_matrix {
+            *m = CommMatrix::new(self.p);
+        }
+        if let Some(t) = &mut self.trace {
+            *t = PowerTrace::default();
+        }
+        self.node_dynamic_j.iter_mut().for_each(|j| *j = 0.0);
+        self.comm_j = 0.0;
+    }
+
+    /// Runs a rank-local compute phase in parallel over all ranks.
+    ///
+    /// The closure receives `(rank, local_buffer)` and returns the number of
+    /// bytes of memory traffic the phase performed on that rank; the rank's
+    /// clock advances by `bytes × tc` (the `tc·N/p` terms of Eqs. 1–3).
+    pub fn compute<T, F>(&mut self, dist: &mut DistVec<T>, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut Vec<T>) -> f64 + Sync,
+    {
+        let _ = self.compute_map(dist, |r, buf| (f(r, buf), ()));
+    }
+
+    /// Like [`Engine::compute`], additionally collecting a per-rank result.
+    pub fn compute_map<T, R, F>(&mut self, dist: &mut DistVec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, &mut Vec<T>) -> (f64, R) + Sync,
+    {
+        let measured = self.time_mode == TimeMode::Measured;
+        let results: Vec<(f64, R)> = dist
+            .parts_mut()
+            .par_iter_mut()
+            .enumerate()
+            .map(|(r, buf)| {
+                if measured {
+                    let t0 = std::time::Instant::now();
+                    let (_, res) = f(r, buf);
+                    (t0.elapsed().as_secs_f64(), res)
+                } else {
+                    f(r, buf)
+                }
+            })
+            .collect();
+        let tc = self.perf.machine.tc;
+        let mut out = Vec::with_capacity(self.p);
+        for (r, (cost, res)) in results.into_iter().enumerate() {
+            debug_assert!(cost >= 0.0, "negative compute cost reported");
+            let secs = if measured { cost } else { cost * tc };
+            self.charge_compute(r, secs);
+            out.push(res);
+        }
+        out
+    }
+
+    /// A compute phase over two zipped distributed vectors (e.g. mesh +
+    /// unknown vector in the FEM matvec).
+    pub fn compute_zip<A, B, R, F>(
+        &mut self,
+        a: &mut DistVec<A>,
+        b: &mut DistVec<B>,
+        f: F,
+    ) -> Vec<R>
+    where
+        A: Send,
+        B: Send,
+        R: Send,
+        F: Fn(usize, &mut Vec<A>, &mut Vec<B>) -> (f64, R) + Sync,
+    {
+        assert_eq!(a.p(), self.p);
+        assert_eq!(b.p(), self.p);
+        let results: Vec<(f64, R)> = a
+            .parts_mut()
+            .par_iter_mut()
+            .zip(b.parts_mut().par_iter_mut())
+            .enumerate()
+            .map(|(r, (ab, bb))| f(r, ab, bb))
+            .collect();
+        let tc = self.perf.machine.tc;
+        let mut out = Vec::with_capacity(self.p);
+        for (r, (bytes, res)) in results.into_iter().enumerate() {
+            self.charge_compute(r, bytes * tc);
+            out.push(res);
+        }
+        out
+    }
+
+    /// Charges `secs` of pure computation to `rank` (clock + energy +
+    /// optional trace).
+    pub(crate) fn charge_compute(&mut self, rank: usize, secs: f64) {
+        if secs <= 0.0 {
+            return;
+        }
+        let t0 = self.clocks[rank];
+        let t1 = t0 + secs;
+        self.clocks[rank] = t1;
+        let machine = &self.perf.machine;
+        let node = machine.node_of(rank);
+        self.node_dynamic_j[node] +=
+            machine.power.dynamic_per_rank_w(machine.ranks_per_node) * secs;
+        if let Some(trace) = &mut self.trace {
+            trace.push(Interval { rank, t0, t1, kind: ActivityKind::Compute, bytes: 0 });
+        }
+    }
+
+    /// Charges a communication interval `(t0, t0+secs)` carrying `bytes` to
+    /// `rank`.
+    pub(crate) fn charge_comm(&mut self, rank: usize, t0: f64, secs: f64, bytes: u64) {
+        let t1 = t0 + secs;
+        self.clocks[rank] = t1;
+        let machine = &self.perf.machine;
+        let node = machine.node_of(rank);
+        let dyn_w = machine.power.dynamic_per_rank_w(machine.ranks_per_node);
+        let j = COMM_CORE_FRACTION * dyn_w * secs + bytes as f64 * machine.power.nic_j_per_byte;
+        self.node_dynamic_j[node] += j;
+        self.comm_j += j;
+        if let Some(trace) = &mut self.trace {
+            trace.push(Interval { rank, t0, t1, kind: ActivityKind::Communication, bytes });
+        }
+    }
+
+    /// `ceil(log2 p)` with the convention `log2 1 = 1` (a lone rank still
+    /// pays one latency to "synchronise").
+    #[inline]
+    pub(crate) fn log_p(&self) -> f64 {
+        (self.p.max(2) as f64).log2().ceil()
+    }
+
+    /// Runs `f` attributing the makespan and traffic it generates to the
+    /// named phase (the partition / all2all / splitter breakdowns of
+    /// Figs. 5–6).
+    pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
+        let t0 = self.makespan();
+        let b0 = self.stats.bytes_total;
+        let out = f(self);
+        let dt = self.makespan() - t0;
+        let db = self.stats.bytes_total - b0;
+        *self.stats.phase_times.entry(name.to_string()).or_default() += dt;
+        *self.stats.phase_bytes.entry(name.to_string()).or_default() += db;
+        out
+    }
+
+    /// Exact per-node energy of the run so far (idle power × makespan plus
+    /// accumulated dynamic and communication energy).
+    pub fn energy_report(&self) -> EnergyReport {
+        let machine = &self.perf.machine;
+        let makespan = self.makespan();
+        let per_node: Vec<f64> = self
+            .node_dynamic_j
+            .iter()
+            .map(|dj| machine.power.idle_w * makespan + dj)
+            .collect();
+        let total = per_node.iter().sum();
+        EnergyReport { per_node_j: per_node, total_j: total, comm_j: self.comm_j, makespan_s: makespan }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optipart_machine::{AppModel, MachineModel};
+
+    fn engine(p: usize) -> Engine {
+        Engine::new(p, PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()))
+    }
+
+    #[test]
+    fn compute_advances_clocks_independently() {
+        let mut e = engine(4);
+        let mut d = DistVec::from_parts(vec![vec![0u8; 10], vec![0; 20], vec![0; 30], vec![0; 40]]);
+        e.compute(&mut d, |_r, buf| buf.len() as f64 * 1e6);
+        let c = e.clocks().to_vec();
+        assert!(c[0] < c[1] && c[1] < c[2] && c[2] < c[3]);
+        assert_eq!(e.makespan(), c[3]);
+    }
+
+    #[test]
+    fn compute_map_collects_per_rank_results() {
+        let mut e = engine(3);
+        let mut d = DistVec::from_parts(vec![vec![1u32, 2], vec![3], vec![]]);
+        let sums = e.compute_map(&mut d, |_r, buf| (0.0, buf.iter().sum::<u32>()));
+        assert_eq!(sums, vec![3, 3, 0]);
+    }
+
+    #[test]
+    fn phase_attributes_makespan() {
+        let mut e = engine(2);
+        let mut d = DistVec::from_parts(vec![vec![0u8; 100], vec![0; 100]]);
+        e.phase("work", |e| e.compute(&mut d, |_, b| b.len() as f64 * 1e6));
+        assert!(e.stats().phase_time("work") > 0.0);
+        assert_eq!(e.stats().phase_time("nothing"), 0.0);
+    }
+
+    #[test]
+    fn energy_report_counts_all_nodes() {
+        let mut e = engine(32); // titan: 16 ranks/node -> 2 nodes
+        let mut d = DistVec::from_parts(vec![vec![0u8; 1000]; 32]);
+        e.compute(&mut d, |_, b| b.len() as f64 * 1e9);
+        let rep = e.energy_report();
+        assert_eq!(rep.per_node_j.len(), 2);
+        assert!(rep.total_j > 0.0);
+        assert_eq!(rep.comm_j, 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut e = engine(2);
+        let mut d = DistVec::from_parts(vec![vec![0u8; 10], vec![0; 10]]);
+        e.compute(&mut d, |_, b| b.len() as f64 * 1e6);
+        assert!(e.makespan() > 0.0);
+        e.reset();
+        assert_eq!(e.makespan(), 0.0);
+        assert_eq!(e.stats().bytes_total, 0);
+        assert_eq!(e.energy_report().total_j, 0.0);
+    }
+
+    #[test]
+    fn compute_zip_pairs_rank_buffers() {
+        let mut e = engine(3);
+        let mut a = DistVec::from_parts(vec![vec![1u32, 2], vec![3], vec![4, 5, 6]]);
+        let mut b = DistVec::from_parts(vec![vec![10u32, 20], vec![30], vec![40, 50, 60]]);
+        let sums = e.compute_zip(&mut a, &mut b, |_r, av, bv| {
+            let s: u32 = av.iter().zip(bv.iter()).map(|(x, y)| x + y).sum();
+            (16.0, s)
+        });
+        assert_eq!(sums, vec![33, 33, 165]);
+        assert!(e.makespan() > 0.0);
+    }
+
+    #[test]
+    fn measured_mode_charges_wall_clock() {
+        let mut e = engine(2).with_time_mode(TimeMode::Measured);
+        let mut d = DistVec::from_parts(vec![vec![0u8; 10], vec![0u8; 10]]);
+        e.compute(&mut d, |_r, buf| {
+            // Busy-work so the measured time is non-trivial.
+            let mut acc = 0u64;
+            for i in 0..200_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            buf[0] = acc as u8;
+            0.0 // reported bytes are ignored in Measured mode
+        });
+        assert!(e.makespan() > 0.0, "measured time must be positive");
+    }
+
+    #[test]
+    fn trace_matches_incremental_energy() {
+        let mut e = engine(4).record_trace();
+        let mut d = DistVec::from_parts(vec![vec![0u8; 10], vec![0; 20], vec![0; 5], vec![0; 40]]);
+        e.compute(&mut d, |_, b| b.len() as f64 * 1e7);
+        let m = e.perf().machine.clone();
+        let from_trace = e
+            .trace()
+            .unwrap()
+            .exact_energy(&m.power, m.ranks_per_node, m.nodes_for(4));
+        let incremental = e.energy_report();
+        assert!((from_trace.total_j - incremental.total_j).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,48 @@
+//! # optipart-mpisim — virtual-process BSP engine
+//!
+//! The paper's algorithms run as MPI programs on up to 262,144 Titan cores.
+//! Rust has no mature MPI bindings and we have no Titan, so this crate
+//! provides the substitute substrate described in DESIGN.md: a deterministic
+//! **bulk-synchronous virtual-process engine**.
+//!
+//! ## Programming model
+//!
+//! Algorithms are written in *global view* SPMD style against [`Engine`]:
+//! rank-local state lives in a [`DistVec`] (one `Vec` per virtual rank),
+//! local compute phases run all ranks' closures in parallel via rayon, and
+//! collectives ([`Engine::allreduce_sum_u64`], [`Engine::alltoallv`], …)
+//! move real data between rank buffers *and* charge every rank's virtual
+//! clock using the machine model's LogGP-style costs (Eqs. 1–2 of the
+//! paper). This preserves the quantities the paper's claims rest on — who
+//! holds how much work, who exchanges how many bytes, how many messages fly
+//! — while letting a laptop host hundreds of thousands of "ranks".
+//!
+//! ## Clock semantics
+//!
+//! * A compute phase advances each rank's clock independently by the cost
+//!   the phase reports (modeled: `bytes × tc`).
+//! * A collective is a synchronisation point: every rank waits for the last
+//!   arrival (`max` of clocks), pays the collective's cost, and leaves with
+//!   a common (or per-rank, for `alltoallv`) completion time. Waiting time
+//!   is the load-imbalance penalty — it costs wall-clock *and* idle energy.
+//!
+//! ## What is recorded
+//!
+//! [`RunStats`] counts messages and bytes (optionally a full rank×rank
+//! communication matrix — the `M` of §5.5), named phase timers give the
+//! partition/all2all/splitter breakdowns of Figs. 5–6, and an energy
+//! accumulator feeds `optipart-machine`'s per-node reports.
+
+pub mod collectives;
+pub mod dist;
+pub mod engine;
+pub mod stats;
+pub mod threaded;
+
+pub use collectives::AllToAllAlgo;
+pub use dist::DistVec;
+pub use engine::{Engine, TimeMode};
+pub use stats::{CommMatrix, RunStats};
+
+#[cfg(test)]
+mod proptests;

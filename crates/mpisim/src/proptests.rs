@@ -1,0 +1,138 @@
+//! Property-based tests for the BSP engine's collectives.
+
+use crate::collectives::AllToAllAlgo;
+use crate::dist::DistVec;
+use crate::engine::Engine;
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use proptest::prelude::*;
+
+fn engine(p: usize) -> Engine {
+    Engine::new(p, PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()))
+}
+
+fn algo() -> impl Strategy<Value = AllToAllAlgo> {
+    prop_oneof![Just(AllToAllAlgo::Direct), Just(AllToAllAlgo::Staged)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// alltoallv is an exact transpose: recv[dst][src] == send[src][dst].
+    #[test]
+    fn alltoallv_is_transpose(
+        p in 1usize..10,
+        seed in 0u64..1000,
+        a in algo(),
+    ) {
+        let mut e = engine(p);
+        // Deterministic pseudo-random payloads.
+        let send: Vec<Vec<Vec<u64>>> = (0..p)
+            .map(|s| {
+                (0..p)
+                    .map(|d| {
+                        let len = ((seed + (s * p + d) as u64 * 7) % 5) as usize;
+                        (0..len).map(|i| (s * 1000 + d * 10 + i) as u64).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let expect = send.clone();
+        let recv = e.alltoallv(send, a);
+        for dst in 0..p {
+            for src in 0..p {
+                prop_assert_eq!(&recv[dst][src], &expect[src][dst]);
+            }
+        }
+    }
+
+    /// Sparse and dense alltoallv move identical data and account identical
+    /// bytes.
+    #[test]
+    fn sparse_matches_dense(p in 1usize..10, seed in 0u64..1000, a in algo()) {
+        let payload = |s: usize, d: usize| -> Vec<u64> {
+            let len = ((seed + (s * p + d) as u64 * 13) % 4) as usize;
+            (0..len).map(|i| (s * 100 + d * 10 + i) as u64).collect()
+        };
+        let mut e1 = engine(p);
+        let dense: Vec<Vec<Vec<u64>>> =
+            (0..p).map(|s| (0..p).map(|d| payload(s, d)).collect()).collect();
+        let r1 = e1.alltoallv(dense, a);
+
+        let mut e2 = engine(p);
+        let sparse: Vec<Vec<(usize, Vec<u64>)>> = (0..p)
+            .map(|s| {
+                (0..p)
+                    .map(|d| (d, payload(s, d)))
+                    .filter(|(_, v)| !v.is_empty())
+                    .collect()
+            })
+            .collect();
+        let r2 = e2.alltoallv_sparse(sparse, a);
+
+        prop_assert_eq!(e1.stats().bytes_total, e2.stats().bytes_total);
+        prop_assert!((e1.makespan() - e2.makespan()).abs() < 1e-15);
+        for dst in 0..p {
+            let flat_dense: Vec<u64> = r1[dst].iter().flatten().copied().collect();
+            let flat_sparse: Vec<u64> =
+                r2[dst].iter().flat_map(|(_, v)| v.iter().copied()).collect();
+            prop_assert_eq!(flat_dense, flat_sparse);
+        }
+    }
+
+    /// Reductions compute what they claim and leave all clocks equal.
+    #[test]
+    fn reductions_correct_and_synchronising(p in 1usize..12, seed in 0u64..1000) {
+        let vals: Vec<u64> = (0..p).map(|r| (seed + r as u64 * 31) % 1000).collect();
+        let mut e = engine(p);
+        // Desynchronise clocks first.
+        let mut d = DistVec::from_parts(
+            (0..p).map(|r| vec![0u8; (r + 1) * 10]).collect(),
+        );
+        e.compute(&mut d, |_r, buf| buf.len() as f64 * 1e6);
+        let sum = e.allreduce_sum_u64(&vals);
+        prop_assert_eq!(sum, vals.iter().sum::<u64>());
+        let c0 = e.clocks()[0];
+        prop_assert!(e.clocks().iter().all(|&c| (c - c0).abs() < 1e-18));
+        let scan = e.exscan_sum_u64(&vals);
+        for r in 0..p {
+            prop_assert_eq!(scan[r], vals[..r].iter().sum::<u64>());
+        }
+    }
+
+    /// Virtual time is non-decreasing through any operation sequence, and
+    /// total energy grows with makespan.
+    #[test]
+    fn time_monotone(p in 2usize..8, steps in 1usize..6, seed in 0u64..100) {
+        let mut e = engine(p);
+        let mut last = 0.0f64;
+        let mut d = DistVec::from_parts((0..p).map(|_| vec![0u8; 64]).collect());
+        for s in 0..steps {
+            match (seed + s as u64) % 3 {
+                0 => e.compute(&mut d, |r, buf| (buf.len() * (r + 1)) as f64 * 1e3),
+                1 => {
+                    let _ = e.allreduce_max_u64(&vec![s as u64; p]);
+                }
+                _ => e.barrier(),
+            }
+            let now = e.makespan();
+            prop_assert!(now >= last);
+            last = now;
+        }
+        prop_assert!(e.energy_report().total_j >= 0.0);
+    }
+
+    /// allgather concatenates in rank order with arbitrary raggedness.
+    #[test]
+    fn allgather_order(p in 1usize..10, seed in 0u64..100) {
+        let contribs: Vec<Vec<u32>> = (0..p)
+            .map(|r| {
+                let len = ((seed + r as u64) % 4) as usize;
+                (0..len).map(|i| (r * 10 + i) as u32).collect()
+            })
+            .collect();
+        let mut e = engine(p);
+        let out = e.allgather(&contribs);
+        let expected: Vec<u32> = contribs.into_iter().flatten().collect();
+        prop_assert_eq!(out, expected);
+    }
+}

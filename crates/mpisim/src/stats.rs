@@ -1,0 +1,191 @@
+//! Run statistics: traffic counters, communication matrix, phase timers.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The communication matrix `M` of §5.5: `m[i][j]` is the number of bytes
+/// rank `i` sent to rank `j` (the paper counts elements; scale by element
+/// size as needed).
+///
+/// Stored sparsely — the whole point of the paper's NNZ metric is that this
+/// matrix is sparse and should get sparser as the tolerance grows.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct CommMatrix {
+    rows: Vec<HashMap<usize, u64>>,
+}
+
+impl CommMatrix {
+    /// An empty `p × p` matrix.
+    pub fn new(p: usize) -> Self {
+        CommMatrix { rows: vec![HashMap::new(); p] }
+    }
+
+    /// Adds `bytes` to entry `(src, dst)`.
+    #[inline]
+    pub fn add(&mut self, src: usize, dst: usize, bytes: u64) {
+        if bytes > 0 && src != dst {
+            *self.rows[src].entry(dst).or_insert(0) += bytes;
+        }
+    }
+
+    /// Entry lookup, zero when absent.
+    pub fn get(&self, src: usize, dst: usize) -> u64 {
+        self.rows.get(src).and_then(|r| r.get(&dst)).copied().unwrap_or(0)
+    }
+
+    /// Number of non-zero entries — the paper's NNZ metric, "the total
+    /// number of messages that are exchanged during the computation".
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(HashMap::len).sum()
+    }
+
+    /// Total bytes over all entries — the paper's "total data communicated".
+    pub fn total_bytes(&self) -> u64 {
+        self.rows.iter().flat_map(|r| r.values()).sum()
+    }
+
+    /// Per-rank communicated bytes (sent + received) — the `|C_r|` whose max
+    /// is `Cmax` and whose max/min ratio is the *communication imbalance* of
+    /// Fig. 11.
+    pub fn per_rank_bytes(&self) -> Vec<u64> {
+        let p = self.rows.len();
+        let mut tot = vec![0u64; p];
+        for (src, row) in self.rows.iter().enumerate() {
+            for (&dst, &b) in row {
+                tot[src] += b;
+                if dst < p {
+                    tot[dst] += b;
+                }
+            }
+        }
+        tot
+    }
+
+    /// `Cmax`: the maximum bytes any rank exchanges.
+    pub fn cmax(&self) -> u64 {
+        self.per_rank_bytes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Communication imbalance `max/min` over ranks that communicate at all.
+    pub fn comm_imbalance(&self) -> f64 {
+        let per = self.per_rank_bytes();
+        let max = per.iter().copied().max().unwrap_or(0);
+        let min = per.iter().copied().filter(|&b| b > 0).min().unwrap_or(0);
+        if max == 0 {
+            1.0
+        } else if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+
+    /// Number of ranks (matrix dimension).
+    pub fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Iterates all non-zero `(src, dst, bytes)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, u64)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(src, row)| row.iter().map(move |(&dst, &b)| (src, dst, b)))
+    }
+
+    /// Per-rank `(sent bytes, received bytes, message count in+out)`.
+    pub fn per_rank_traffic(&self) -> Vec<(u64, u64, u64)> {
+        let p = self.rows.len();
+        let mut out = vec![(0u64, 0u64, 0u64); p];
+        for (src, dst, b) in self.entries() {
+            out[src].0 += b;
+            out[src].2 += 1;
+            if dst < p {
+                out[dst].1 += b;
+                out[dst].2 += 1;
+            }
+        }
+        out
+    }
+}
+
+/// Aggregate traffic and timing statistics of one engine run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Total bytes moved over the (virtual) network.
+    pub bytes_total: u64,
+    /// Total point-to-point messages (collectives count their constituent
+    /// messages under the chosen algorithm's schedule).
+    pub msgs_total: u64,
+    /// Number of collective operations executed.
+    pub collectives: u64,
+    /// Makespan attributed to each named phase, simulated seconds.
+    pub phase_times: HashMap<String, f64>,
+    /// Bytes attributed to each named phase.
+    pub phase_bytes: HashMap<String, u64>,
+}
+
+impl RunStats {
+    /// Time spent in `phase`, 0 if never entered.
+    pub fn phase_time(&self, phase: &str) -> f64 {
+        self.phase_times.get(phase).copied().unwrap_or(0.0)
+    }
+
+    /// Bytes moved during `phase`.
+    pub fn phase_bytes(&self, phase: &str) -> u64 {
+        self.phase_bytes.get(phase).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nnz_counts_distinct_pairs() {
+        let mut m = CommMatrix::new(4);
+        m.add(0, 1, 10);
+        m.add(0, 1, 5);
+        m.add(1, 0, 7);
+        m.add(2, 3, 1);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), 15);
+        assert_eq!(m.total_bytes(), 23);
+    }
+
+    #[test]
+    fn self_sends_and_zero_ignored() {
+        let mut m = CommMatrix::new(2);
+        m.add(0, 0, 100);
+        m.add(0, 1, 0);
+        assert_eq!(m.nnz(), 0);
+        assert_eq!(m.total_bytes(), 0);
+    }
+
+    #[test]
+    fn per_rank_counts_both_directions() {
+        let mut m = CommMatrix::new(3);
+        m.add(0, 1, 10);
+        m.add(2, 1, 4);
+        let per = m.per_rank_bytes();
+        assert_eq!(per, vec![10, 14, 4]);
+        assert_eq!(m.cmax(), 14);
+    }
+
+    #[test]
+    fn comm_imbalance_ignores_silent_ranks() {
+        let mut m = CommMatrix::new(4);
+        m.add(0, 1, 8);
+        m.add(2, 1, 8);
+        // rank 3 never communicates; imbalance over communicating ranks.
+        let imb = m.comm_imbalance();
+        assert!((imb - 2.0).abs() < 1e-12, "imb {imb}");
+    }
+
+    #[test]
+    fn empty_matrix_is_balanced() {
+        let m = CommMatrix::new(4);
+        assert_eq!(m.comm_imbalance(), 1.0);
+        assert_eq!(m.cmax(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! 2:1 face-balance enforcement.
+//!
+//! Real AMR codes (and the FEM substrate here) maintain the *2:1 balance*
+//! invariant: face-adjacent leaves differ by at most one refinement level,
+//! so a face sees at most `2^(D-1)` finer neighbours. The paper's meshes are
+//! Dendro octrees, which are 2:1 balanced; we provide the same guarantee via
+//! iterated ripple refinement (the "balance refinement" of Sundar et al.
+//! 2008, simplified to faces).
+
+use crate::linear::LinearTree;
+use optipart_sfc::Cell;
+use std::collections::HashSet;
+
+/// Returns a 2:1 face-balanced refinement of `tree` (only ever refines,
+/// never coarsens, so every input leaf region stays at least as fine).
+pub fn balance21<const D: usize>(tree: &LinearTree<D>) -> LinearTree<D> {
+    let mut leaves: HashSet<Cell<D>> = tree.leaves().iter().map(|kc| kc.cell).collect();
+    let mut queue: Vec<Cell<D>> = leaves.iter().copied().collect();
+
+    while let Some(cell) = queue.pop() {
+        if !leaves.contains(&cell) {
+            continue; // already split by an earlier ripple
+        }
+        if cell.level() < 2 {
+            continue; // nothing can be 2 levels coarser
+        }
+        for axis in 0..D {
+            for dir in [-1i8, 1] {
+                let Some(region) = cell.face_neighbor(axis, dir) else {
+                    continue;
+                };
+                // A leaf covering `region` that is 2+ levels coarser than
+                // `cell` violates balance. Walk candidate ancestors from the
+                // first violating level upwards.
+                let mut lvl = cell.level() - 2;
+                loop {
+                    let cand = Cell::<D>::new(region.anchor(), lvl);
+                    if leaves.remove(&cand) {
+                        // Split the violator; its children may still violate
+                        // (w.r.t. this or other cells), so enqueue them, and
+                        // re-enqueue `cell` to re-check this face.
+                        for ch in cand.children() {
+                            leaves.insert(ch);
+                            queue.push(ch);
+                        }
+                        queue.push(cell);
+                        break;
+                    }
+                    if lvl == 0 {
+                        break;
+                    }
+                    lvl -= 1;
+                }
+            }
+        }
+    }
+    LinearTree::from_cells(leaves.into_iter().collect(), tree.curve())
+}
+
+/// Whether every pair of face-adjacent leaves differs by at most one level.
+pub fn is_balanced21<const D: usize>(tree: &LinearTree<D>) -> bool {
+    let leaves = tree.leaves();
+    for idx in 0..leaves.len() {
+        for j in crate::neighbors::face_adjacent_leaves(leaves, idx, tree.curve()) {
+            let a = leaves[idx].cell.level() as i32;
+            let b = leaves[j].cell.level() as i32;
+            if (a - b).abs() > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optipart_sfc::{Cell3, Curve};
+
+    #[test]
+    fn uniform_grid_is_already_balanced() {
+        let t = LinearTree::<3>::root(Curve::Hilbert).refine_where(|c| c.level() < 2, 2);
+        assert!(is_balanced21(&t));
+        let b = balance21(&t);
+        assert_eq!(b.len(), t.len());
+    }
+
+    #[test]
+    fn sharp_refinement_gets_balanced() {
+        // Level-1 grid with deep refinement hugging the x = 0.5 plane: the
+        // level-5 leaves there face a level-1 leaf across the plane, which
+        // violates 2:1. (Concentric "onion" refinement would already be
+        // balanced; the violation needs refinement abutting a coarse cell.)
+        use optipart_sfc::MAX_DEPTH;
+        let probe = [(1u32 << (MAX_DEPTH - 1)) - 1, 0, 0];
+        let t = LinearTree::<3>::root(Curve::Hilbert)
+            .refine_where(|c| c.level() < 1, 1)
+            .refine_where(|c: &Cell3| c.contains_point(probe) && c.level() < 5, 5);
+        assert!(!is_balanced21(&t));
+        let b = balance21(&t);
+        assert!(is_balanced21(&b), "balance21 must establish the invariant");
+        assert!(b.is_complete());
+        assert!(b.len() > t.len(), "balancing refines");
+        // The level-5 leaf must survive (balancing never coarsens).
+        let fine_leaf = b
+            .leaves()
+            .iter()
+            .find(|kc| kc.cell.contains_point(probe))
+            .unwrap();
+        assert_eq!(fine_leaf.cell.level(), 5);
+    }
+
+    #[test]
+    fn balancing_is_idempotent() {
+        let t = LinearTree::<3>::root(Curve::Morton)
+            .refine_where(|c: &Cell3| c.contains_point([1, 1, 1]) && c.level() < 4, 4);
+        let b1 = balance21(&t);
+        let b2 = balance21(&b1);
+        assert_eq!(b1.len(), b2.len());
+        assert!(is_balanced21(&b2));
+    }
+
+    #[test]
+    fn balance_works_in_2d() {
+        let t = LinearTree::<2>::root(Curve::Hilbert)
+            .refine_where(|c| c.contains_point([0, 0]) && c.level() < 5, 5);
+        let b = balance21(&t);
+        assert!(is_balanced21(&b));
+        assert!(b.is_complete());
+    }
+}

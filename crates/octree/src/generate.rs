@@ -1,0 +1,310 @@
+//! Random AMR mesh generation — the paper's §4.2 workloads.
+//!
+//! "We tested the performance using randomly generated octrees according to
+//! three distributions, uniform, normal, and log-normal. These were
+//! generated using the standard c++11 random number generators. … All
+//! results presented in this paper are for data generated according to the
+//! normal distribution."
+//!
+//! A mesh is built by sampling points from the chosen distribution and
+//! refining every cell holding more than `max_points_per_cell` points — so
+//! dense regions get deep refinement and the resulting leaf array is a
+//! complete, adaptive linear octree, exactly the input class of the paper's
+//! partitioners.
+
+use crate::linear::LinearTree;
+use optipart_sfc::{Cell, Curve, Point, MAX_DEPTH};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution as RandDistribution, LogNormal, Normal};
+use serde::{Deserialize, Serialize};
+
+/// Point distribution for mesh generation (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Uniform over the unit cube.
+    Uniform,
+    /// Normal, mean 0.5, σ 0.15 per axis, clamped to the cube.
+    Normal,
+    /// Log-normal (µ = −1.5, σ = 0.6) per axis, clamped to the cube —
+    /// concentrates points near the origin corner.
+    LogNormal,
+}
+
+impl Distribution {
+    /// All three distributions of §4.2.
+    pub const ALL: [Distribution; 3] =
+        [Distribution::Uniform, Distribution::Normal, Distribution::LogNormal];
+
+    /// Short name for table output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Normal => "normal",
+            Distribution::LogNormal => "lognormal",
+        }
+    }
+
+    /// Samples one coordinate in `[0, 1)`.
+    fn sample_unit(self, rng: &mut StdRng) -> f64 {
+        match self {
+            Distribution::Uniform => rng.gen::<f64>(),
+            Distribution::Normal => {
+                let n: Normal<f64> = Normal::new(0.5, 0.15).expect("valid params");
+                n.sample(rng).clamp(0.0, 1.0 - f64::EPSILON)
+            }
+            Distribution::LogNormal => {
+                let ln: LogNormal<f64> = LogNormal::new(-1.5, 0.6).expect("valid params");
+                ln.sample(rng).clamp(0.0, 1.0 - f64::EPSILON)
+            }
+        }
+    }
+}
+
+/// Samples `n` lattice points from a distribution.
+pub fn sample_points<const D: usize>(
+    dist: Distribution,
+    n: usize,
+    seed: u64,
+) -> Vec<Point<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let scale = (1u64 << MAX_DEPTH) as f64;
+    (0..n)
+        .map(|_| {
+            let mut p = [0u32; D];
+            for c in &mut p {
+                *c = (dist.sample_unit(&mut rng) * scale) as u32;
+            }
+            p
+        })
+        .collect()
+}
+
+/// Parameters of a generated mesh.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MeshParams {
+    /// Point distribution.
+    pub distribution: Distribution,
+    /// Number of sample points. The leaf count ends up within a small
+    /// factor of this (every split produces `2^D` leaves for > 1 point).
+    pub num_points: usize,
+    /// Refine any cell holding more points than this.
+    pub max_points_per_cell: usize,
+    /// Refinement cap (≤ [`MAX_DEPTH`]; the paper uses depth 30).
+    pub max_level: u8,
+    /// RNG seed — all meshes are reproducible.
+    pub seed: u64,
+}
+
+impl Default for MeshParams {
+    fn default() -> Self {
+        MeshParams {
+            distribution: Distribution::Normal,
+            num_points: 10_000,
+            max_points_per_cell: 1,
+            max_level: MAX_DEPTH,
+            seed: 0x0511_2017,
+        }
+    }
+}
+
+impl MeshParams {
+    /// Convenience: the paper's default (normal distribution) with a target
+    /// point count.
+    pub fn normal(num_points: usize, seed: u64) -> Self {
+        MeshParams { num_points, seed, ..Default::default() }
+    }
+
+    /// Builds the adaptive mesh for these parameters on a curve.
+    pub fn build<const D: usize>(&self, curve: Curve) -> LinearTree<D> {
+        let points = sample_points::<D>(self.distribution, self.num_points, self.seed);
+        tree_from_points(&points, self.max_points_per_cell, self.max_level, curve)
+    }
+}
+
+/// Builds a complete adaptive linear octree by splitting every cell holding
+/// more than `max_points_per_cell` of the given points.
+pub fn tree_from_points<const D: usize>(
+    points: &[Point<D>],
+    max_points_per_cell: usize,
+    max_level: u8,
+    curve: Curve,
+) -> LinearTree<D> {
+    let max_level = max_level.min(MAX_DEPTH);
+    let mut leaves: Vec<Cell<D>> = Vec::new();
+    let mut owned: Vec<Point<D>> = points.to_vec();
+    split_recursive(
+        Cell::root(),
+        &mut owned[..],
+        max_points_per_cell.max(1),
+        max_level,
+        &mut leaves,
+    );
+    LinearTree::from_cells(leaves, curve)
+}
+
+fn split_recursive<const D: usize>(
+    cell: Cell<D>,
+    points: &mut [Point<D>],
+    cap: usize,
+    max_level: u8,
+    out: &mut Vec<Cell<D>>,
+) {
+    if points.len() <= cap || cell.level() >= max_level {
+        out.push(cell);
+        return;
+    }
+    // Partition points by child (coordinate-order digit at this level).
+    let nc = 1usize << D;
+    let level = cell.level();
+    let digit = |p: &Point<D>| -> usize {
+        let bit = MAX_DEPTH - 1 - level;
+        let mut d = 0usize;
+        for (i, &c) in p.iter().enumerate() {
+            d |= (((c >> bit) & 1) as usize) << i;
+        }
+        d
+    };
+    let mut counts = vec![0usize; nc];
+    for p in points.iter() {
+        counts[digit(p)] += 1;
+    }
+    let mut offsets = vec![0usize; nc + 1];
+    for i in 0..nc {
+        offsets[i + 1] = offsets[i] + counts[i];
+    }
+    // In-place bucket permutation (cycle-following American-flag style is
+    // overkill here; a scratch buffer is clearer and the generator is not
+    // the measured hot path).
+    let mut scratch = points.to_vec();
+    let mut cursor = offsets.clone();
+    for p in points.iter() {
+        let d = digit(p);
+        scratch[cursor[d]] = *p;
+        cursor[d] += 1;
+    }
+    points.copy_from_slice(&scratch);
+    for i in 0..nc {
+        let child = cell.child(i);
+        split_recursive(child, &mut points[offsets[i]..offsets[i + 1]], cap, max_level, out);
+    }
+}
+
+/// A Gaussian-ball adaptive mesh: refinement concentrated around a spherical
+/// shell of radius `r` centred in the domain — the classic AMR test problem
+/// used for the Poisson example.
+pub fn gaussian_ball<const D: usize>(max_level: u8, curve: Curve) -> LinearTree<D> {
+    let center = [0.5f64; D];
+    let radius = 0.3f64;
+    LinearTree::root(curve).refine_where(
+        |c: &Cell<D>| {
+            // Refine cells whose bounding sphere intersects the shell.
+            let cc = c.center_unit();
+            let dist: f64 = (0..D)
+                .map(|d| (cc[d] - center[d]).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            let half_diag = (D as f64).sqrt() * 0.5 * c.side() as f64 / (1u64 << MAX_DEPTH) as f64;
+            (dist - radius).abs() <= half_diag * 1.5
+        },
+        max_level,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_trees_are_complete_and_linear() {
+        for dist in Distribution::ALL {
+            for curve in Curve::ALL {
+                let params = MeshParams {
+                    distribution: dist,
+                    num_points: 500,
+                    max_points_per_cell: 1,
+                    max_level: 12,
+                    seed: 7,
+                };
+                let t: LinearTree<3> = params.build(curve);
+                assert!(t.is_complete(), "{} {curve}", dist.name());
+                assert!(crate::linear::is_linear(t.leaves()));
+                assert!(t.len() >= 500 / 8, "leaf count too small: {}", t.len());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = MeshParams::normal(300, 42);
+        let a: LinearTree<3> = params.build(Curve::Hilbert);
+        let b: LinearTree<3> = params.build(Curve::Hilbert);
+        assert_eq!(a.leaves().len(), b.leaves().len());
+        assert!(a
+            .leaves()
+            .iter()
+            .zip(b.leaves())
+            .all(|(x, y)| x.cell == y.cell));
+    }
+
+    #[test]
+    fn different_seeds_give_different_meshes() {
+        let a: LinearTree<3> = MeshParams::normal(300, 1).build(Curve::Hilbert);
+        let b: LinearTree<3> = MeshParams::normal(300, 2).build(Curve::Hilbert);
+        let cells_a: Vec<_> = a.leaves().iter().map(|kc| kc.cell).collect();
+        let cells_b: Vec<_> = b.leaves().iter().map(|kc| kc.cell).collect();
+        assert_ne!(cells_a, cells_b);
+    }
+
+    #[test]
+    fn normal_meshes_are_adaptive() {
+        // Normal concentration ⇒ a wide spread of leaf levels.
+        let t: LinearTree<3> = MeshParams::normal(2_000, 9).build(Curve::Morton);
+        let min = t.leaves().iter().map(|kc| kc.cell.level()).min().unwrap();
+        let max = t.leaves().iter().map(|kc| kc.cell.level()).max().unwrap();
+        assert!(max - min >= 2, "levels {min}..{max} not adaptive");
+    }
+
+    #[test]
+    fn lognormal_skews_towards_origin() {
+        let pts = sample_points::<3>(Distribution::LogNormal, 2_000, 3);
+        let half = 1u32 << (MAX_DEPTH - 1);
+        let near_origin = pts.iter().filter(|p| p.iter().all(|&c| c < half)).count();
+        assert!(
+            near_origin > pts.len() / 2,
+            "lognormal should concentrate near origin: {near_origin}/2000"
+        );
+    }
+
+    #[test]
+    fn max_level_is_respected() {
+        let params = MeshParams {
+            num_points: 5_000,
+            max_level: 4,
+            max_points_per_cell: 1,
+            ..Default::default()
+        };
+        let t: LinearTree<3> = params.build(Curve::Hilbert);
+        assert!(t.leaves().iter().all(|kc| kc.cell.level() <= 4));
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn gaussian_ball_refines_shell_only() {
+        let t: LinearTree<3> = gaussian_ball(5, Curve::Hilbert);
+        assert!(t.is_complete());
+        let max = t.leaves().iter().map(|kc| kc.cell.level()).max().unwrap();
+        let min = t.leaves().iter().map(|kc| kc.cell.level()).min().unwrap();
+        assert_eq!(max, 5);
+        assert!(min <= 2, "far-field cells should stay coarse, min {min}");
+    }
+
+    #[test]
+    fn points_are_in_domain() {
+        for dist in Distribution::ALL {
+            for p in sample_points::<2>(dist, 500, 11) {
+                assert!(p.iter().all(|&c| c < (1 << MAX_DEPTH)));
+            }
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests for the octree substrate.
+
+use crate::balance::{balance21, is_balanced21};
+use crate::generate::{sample_points, tree_from_points, Distribution};
+use crate::linear::{domain_volume, is_linear, volume_u128, LinearTree};
+use crate::neighbors::{face_adjacent_leaves, find_leaf};
+use optipart_sfc::{Cell3, Curve, MAX_DEPTH};
+use proptest::prelude::*;
+
+fn curve() -> impl Strategy<Value = Curve> {
+    prop_oneof![Just(Curve::Morton), Just(Curve::Hilbert)]
+}
+
+fn dist() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Uniform),
+        Just(Distribution::Normal),
+        Just(Distribution::LogNormal)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any generated mesh is a complete linear octree.
+    #[test]
+    fn generated_mesh_invariants(seed in 0u64..1000, n in 16usize..400, c in curve(), d in dist()) {
+        let pts = sample_points::<3>(d, n, seed);
+        let t = tree_from_points(&pts, 1, 10, c);
+        prop_assert!(is_linear(t.leaves()));
+        prop_assert!(t.is_complete());
+        // Every sample point is covered by exactly one leaf.
+        for p in &pts {
+            prop_assert!(find_leaf(t.leaves(), *p, c).is_some());
+        }
+    }
+
+    /// Completion always tiles the domain and keeps all seeds.
+    #[test]
+    fn completion_invariant(seed in 0u64..1000, n in 1usize..40, c in curve()) {
+        let pts = sample_points::<3>(Distribution::Uniform, n, seed);
+        let cells: Vec<Cell3> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Cell3::new(*p, 3 + (i % 5) as u8))
+            .collect();
+        let t = LinearTree::from_cells(cells, c);
+        let completed = t.completed();
+        prop_assert!(completed.is_complete());
+        prop_assert!(is_linear(completed.leaves()));
+        for kc in t.leaves() {
+            prop_assert!(
+                completed.leaves().iter().any(|l| l.cell == kc.cell),
+                "seed leaf lost in completion"
+            );
+        }
+    }
+
+    /// balance21 establishes the invariant and never coarsens.
+    #[test]
+    fn balance_invariant(seed in 0u64..500, n in 8usize..60, c in curve()) {
+        let pts = sample_points::<3>(Distribution::Normal, n, seed);
+        let t = tree_from_points(&pts, 1, 8, c);
+        let b = balance21(&t);
+        prop_assert!(is_balanced21(&b));
+        prop_assert!(b.is_complete());
+        prop_assert!(b.len() >= t.len());
+        // Never coarsens: every original leaf region is covered by leaves of
+        // equal or finer level.
+        for kc in t.leaves() {
+            let i = find_leaf(b.leaves(), kc.cell.anchor(), c).unwrap();
+            prop_assert!(b.leaves()[i].cell.level() >= kc.cell.level());
+        }
+    }
+
+    /// Face adjacency is symmetric on generated meshes.
+    #[test]
+    fn adjacency_symmetry(seed in 0u64..500, c in curve()) {
+        let pts = sample_points::<3>(Distribution::Normal, 60, seed);
+        let t = tree_from_points(&pts, 1, 8, c);
+        let leaves = t.leaves();
+        for i in 0..leaves.len().min(40) {
+            for j in face_adjacent_leaves(leaves, i, c) {
+                prop_assert!(
+                    face_adjacent_leaves(leaves, j, c).contains(&i),
+                    "adjacency not symmetric between {i} and {j}"
+                );
+            }
+        }
+    }
+
+    /// The volume covered by leaves is conserved by coarsening.
+    #[test]
+    fn coarsen_preserves_volume(seed in 0u64..500, c in curve()) {
+        let pts = sample_points::<3>(Distribution::Uniform, 64, seed);
+        let t = tree_from_points(&pts, 1, 6, c);
+        let co = t.coarsened();
+        let v1: u128 = t.leaves().iter().map(|kc| volume_u128::<3>(&kc.cell)).sum();
+        let v2: u128 = co.leaves().iter().map(|kc| volume_u128::<3>(&kc.cell)).sum();
+        prop_assert_eq!(v1, v2);
+        prop_assert_eq!(v1, domain_volume::<3>());
+        prop_assert!(co.len() <= t.len());
+    }
+
+    /// find_leaf agrees with brute force containment scan.
+    #[test]
+    fn find_leaf_matches_bruteforce(seed in 0u64..500, c in curve(),
+                                    x in 0u32..(1 << MAX_DEPTH),
+                                    y in 0u32..(1 << MAX_DEPTH),
+                                    z in 0u32..(1 << MAX_DEPTH)) {
+        let pts = sample_points::<3>(Distribution::Normal, 50, seed);
+        let t = tree_from_points(&pts, 1, 7, c);
+        let leaves = t.leaves();
+        let fast = find_leaf(leaves, [x, y, z], c);
+        let brute = leaves.iter().position(|kc| kc.cell.contains_point([x, y, z]));
+        prop_assert_eq!(fast, brute);
+    }
+}

@@ -1,0 +1,90 @@
+//! Morton (Z-order) curve: bit interleaving of coordinates.
+//!
+//! The Morton digit of a point at split level `k` is simply the concatenation
+//! of bit `MAX_DEPTH-1-k` of each coordinate — the curve ordering of children
+//! is fixed and independent of level (§2.1: "In case of the Morton Curve, the
+//! ordering is fixed, independent of the level").
+
+use crate::cell::{Coord, MAX_DEPTH};
+
+/// Interleaves `D` coordinates of `MAX_DEPTH` bits each into a Morton path.
+///
+/// Digit `k` (level-`k+1` child rank) occupies bits
+/// `[(MAX_DEPTH-1-k)*D, (MAX_DEPTH-k)*D)` of the result, so the whole path
+/// compares MSB-first as an integer. Within a digit, coordinate `d`
+/// contributes bit `d` (x is the least significant), matching
+/// [`crate::Cell::child_number`].
+pub fn interleave<const D: usize>(coords: [Coord; D]) -> u128 {
+    let mut path: u128 = 0;
+    for k in 0..MAX_DEPTH {
+        let bit = MAX_DEPTH - 1 - k;
+        let mut digit: u128 = 0;
+        for (d, &c) in coords.iter().enumerate() {
+            digit |= (((c >> bit) & 1) as u128) << d;
+        }
+        path |= digit << ((MAX_DEPTH - 1 - k) as u32 * D as u32);
+    }
+    path
+}
+
+/// Inverse of [`interleave`]: recovers the coordinates from a Morton path.
+pub fn deinterleave<const D: usize>(path: u128) -> [Coord; D] {
+    let mut coords = [0 as Coord; D];
+    for k in 0..MAX_DEPTH {
+        let digit = (path >> ((MAX_DEPTH - 1 - k) as u32 * D as u32)) & ((1 << D) - 1);
+        let bit = MAX_DEPTH - 1 - k;
+        for (d, c) in coords.iter_mut().enumerate() {
+            *c |= (((digit >> d) & 1) as Coord) << bit;
+        }
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_roundtrip_3d() {
+        let pts: [[Coord; 3]; 4] = [
+            [0, 0, 0],
+            [(1 << MAX_DEPTH) - 1, 0, 123456],
+            [0x2AAA_AAAA & ((1 << MAX_DEPTH) - 1), 0x1555_5555, 42],
+            [1, 2, 4],
+        ];
+        for p in pts {
+            assert_eq!(deinterleave::<3>(interleave::<3>(p)), p);
+        }
+    }
+
+    #[test]
+    fn interleave_roundtrip_2d() {
+        for p in [[0, 0], [7, 3], [(1 << MAX_DEPTH) - 1, (1 << MAX_DEPTH) - 1]] {
+            assert_eq!(deinterleave::<2>(interleave::<2>(p)), p);
+        }
+    }
+
+    #[test]
+    fn morton_orders_quadrants_in_z() {
+        // The four level-1 quadrants in Z order: (0,0), (1,0), (0,1), (1,1).
+        let h = 1 << (MAX_DEPTH - 1);
+        let z00 = interleave::<2>([0, 0]);
+        let z10 = interleave::<2>([h, 0]);
+        let z01 = interleave::<2>([0, h]);
+        let z11 = interleave::<2>([h, h]);
+        assert!(z00 < z10 && z10 < z01 && z01 < z11);
+    }
+
+    #[test]
+    fn top_digit_is_child_number() {
+        let h = 1 << (MAX_DEPTH - 1);
+        for (i, p) in [[0, 0, 0], [h, 0, 0], [0, h, 0], [h, h, 0], [0, 0, h], [h, 0, h], [0, h, h], [h, h, h]]
+            .iter()
+            .enumerate()
+        {
+            let path = interleave::<3>(*p);
+            let top = (path >> ((MAX_DEPTH - 1) as u32 * 3)) & 7;
+            assert_eq!(top as usize, i);
+        }
+    }
+}

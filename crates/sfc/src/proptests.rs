@@ -1,0 +1,138 @@
+//! Property-based tests for the SFC substrate invariants.
+
+use crate::cell::{Cell2, Cell3, Coord, MAX_DEPTH};
+use crate::hilbert;
+use crate::key::{Curve, SfcKey};
+use crate::morton;
+use proptest::prelude::*;
+
+fn coord() -> impl Strategy<Value = Coord> {
+    0u32..(1 << MAX_DEPTH)
+}
+
+fn cell3() -> impl Strategy<Value = Cell3> {
+    (coord(), coord(), coord(), 0u8..=MAX_DEPTH).prop_map(|(x, y, z, l)| Cell3::new([x, y, z], l))
+}
+
+fn cell2() -> impl Strategy<Value = Cell2> {
+    (coord(), coord(), 0u8..=MAX_DEPTH).prop_map(|(x, y, l)| Cell2::new([x, y], l))
+}
+
+proptest! {
+    #[test]
+    fn morton_roundtrip_3d(x in coord(), y in coord(), z in coord()) {
+        let p = [x, y, z];
+        prop_assert_eq!(morton::deinterleave::<3>(morton::interleave::<3>(p)), p);
+    }
+
+    #[test]
+    fn hilbert_roundtrip_3d(x in coord(), y in coord(), z in coord()) {
+        let p = [x, y, z];
+        prop_assert_eq!(hilbert::hilbert_point::<3>(hilbert::hilbert_path::<3>(p)), p);
+    }
+
+    #[test]
+    fn hilbert_roundtrip_2d(x in coord(), y in coord()) {
+        let p = [x, y];
+        prop_assert_eq!(hilbert::hilbert_point::<2>(hilbert::hilbert_path::<2>(p)), p);
+    }
+
+    /// The defining Hilbert property: consecutive curve positions are
+    /// face-adjacent lattice points (differ by 1 in exactly one coordinate).
+    #[test]
+    fn hilbert_consecutive_points_adjacent_3d(h in 0u128..((1u128 << 90) - 1)) {
+        let a = hilbert::hilbert_point::<3>(h);
+        let b = hilbert::hilbert_point::<3>(h + 1);
+        let dist: u64 = (0..3)
+            .map(|d| (a[d] as i64 - b[d] as i64).unsigned_abs())
+            .sum();
+        prop_assert_eq!(dist, 1, "points {:?} and {:?} at h={} not adjacent", a, b, h);
+    }
+
+    #[test]
+    fn hilbert_consecutive_points_adjacent_2d(h in 0u128..((1u128 << 60) - 1)) {
+        let a = hilbert::hilbert_point::<2>(h);
+        let b = hilbert::hilbert_point::<2>(h + 1);
+        let dist: u64 = (0..2)
+            .map(|d| (a[d] as i64 - b[d] as i64).unsigned_abs())
+            .sum();
+        prop_assert_eq!(dist, 1);
+    }
+
+    /// Keys preserve the containment partial order as a prefix relation.
+    #[test]
+    fn ancestor_key_is_prefix(c in cell3(), lvl in 0u8..=MAX_DEPTH) {
+        let lvl = lvl.min(c.level());
+        let anc = c.ancestor_at(lvl);
+        for curve in Curve::ALL {
+            let kc = SfcKey::of(&c, curve);
+            let ka = SfcKey::of(&anc, curve);
+            prop_assert_eq!(kc.prefix::<3>(lvl), ka);
+            prop_assert!(ka <= kc);
+        }
+    }
+
+    /// Key ordering of disjoint cells agrees with the ordering of any points
+    /// they contain (the curve order of regions is the curve order of their
+    /// interiors).
+    #[test]
+    fn disjoint_cells_order_like_their_points(a in cell3(), b in cell3()) {
+        prop_assume!(!a.overlaps(&b));
+        for curve in Curve::ALL {
+            let ka = SfcKey::of(&a, curve);
+            let kb = SfcKey::of(&b, curve);
+            prop_assert_ne!(ka.cmp(&kb), std::cmp::Ordering::Equal);
+            // The anchors' full-resolution keys must order the same way the
+            // cell keys do.
+            let pa = SfcKey::of(&Cell3::from_point(a.anchor()), curve);
+            let pb = SfcKey::of(&Cell3::from_point(b.anchor()), curve);
+            prop_assert_eq!(ka < kb, pa < pb);
+        }
+    }
+
+    #[test]
+    fn key_cell_roundtrip_3d(c in cell3()) {
+        for curve in Curve::ALL {
+            prop_assert_eq!(SfcKey::of(&c, curve).to_cell::<3>(curve), c);
+        }
+    }
+
+    #[test]
+    fn key_cell_roundtrip_2d(c in cell2()) {
+        for curve in Curve::ALL {
+            prop_assert_eq!(SfcKey::of(&c, curve).to_cell::<2>(curve), c);
+        }
+    }
+
+    /// child_number/coordinate_digit consistency along the ancestor chain.
+    #[test]
+    fn digits_trace_ancestry(c in cell3()) {
+        for k in 0..c.level() {
+            let child = c.ancestor_at(k + 1);
+            prop_assert_eq!(c.coordinate_digit(k), child.child_number());
+        }
+    }
+
+    /// Face sharing is symmetric and disjoint from overlap.
+    #[test]
+    fn face_sharing_symmetric(a in cell3(), b in cell3()) {
+        prop_assert_eq!(a.shares_face_with(&b), b.shares_face_with(&a));
+        if a.overlaps(&b) {
+            prop_assert!(!a.shares_face_with(&b));
+        }
+        prop_assert_eq!(a.shared_face_area(&b), b.shared_face_area(&a));
+    }
+
+    /// Shared face area is bounded by the smaller cell's face.
+    #[test]
+    fn shared_area_bounded(a in cell3(), b in cell3()) {
+        let area = a.shared_face_area(&b);
+        let min_side = a.side().min(b.side()) as u64;
+        prop_assert!(area <= min_side * min_side);
+        if a.shares_face_with(&b) {
+            prop_assert!(area > 0);
+        } else {
+            prop_assert_eq!(area, 0);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! 2D reproduction of the paper's Figs. 2 and 3: deeper TreeSort levels
+//! improve the load balance λ but monotonically grow the partition
+//! boundary `s`.
+//!
+//! Fig. 2 draws a 3-way partition of a uniform quadtree at levels 1–4 with
+//! `(l, λ, s)` annotated; Fig. 3 analyses how refining a quadrant changes
+//! the shared surface. Here we compute both exactly using the quadtree
+//! machinery.
+//!
+//! ```text
+//! cargo run --release --example boundary_growth
+//! ```
+
+use optipart::octree::neighbors::segment_surface;
+use optipart::octree::LinearTree;
+use optipart::sfc::{Cell, Curve, MAX_DEPTH};
+
+fn main() {
+    println!("-- Fig. 2: uniform 2D grid split among p = 3 ranks --");
+    println!("{:>5} {:>7} {:>9} {:>12}", "level", "cells", "lambda", "boundary");
+    let p = 3;
+    for level in 1u8..=6 {
+        let tree: LinearTree<2> =
+            LinearTree::root(Curve::Hilbert).refine_where(|c| c.level() < level, level);
+        let n = tree.len();
+        // Contiguous curve split into p parts, N/p with remainder up front —
+        // the "orange partition gets the extra load" of Fig. 2.
+        let mut bounds = vec![0usize];
+        for r in 1..=p {
+            bounds.push(r * n / p + usize::from(!(r * n).is_multiple_of(p)));
+        }
+        bounds[p] = n;
+        let sizes: Vec<usize> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+        let lambda = *sizes.iter().max().unwrap() as f64 / *sizes.iter().min().unwrap() as f64;
+        // Boundary in units of the current level's edge length.
+        let edge = (1u64 << (MAX_DEPTH - level)) as f64;
+        let s: f64 = bounds
+            .windows(2)
+            .map(|w| segment_surface(tree.leaves(), w[0], w[1], Curve::Hilbert) as f64 / edge)
+            .sum::<f64>()
+            / 2.0; // each internal face counted from both sides
+        println!("{level:>5} {n:>7} {lambda:>9.3} {s:>12.1}");
+    }
+
+    println!("\n-- Fig. 3: refining a quadrant against a fixed partition --");
+    // A 4x4 grid; Q is an interior quadrant and the blue partition owns 1-3
+    // of Q's face neighbours. Q is refined into 4 children, and 0-3 of the
+    // children joining the blue partition. We report the blue partition's
+    // total boundary (against all non-blue cells) in child-edge units: the
+    // paper's point is that it is non-decreasing under refinement except in
+    // pathological corner cases.
+    let tree: LinearTree<2> = LinearTree::root(Curve::Morton).refine_where(|c| c.level() < 2, 2);
+    let q = Cell::<2>::new([1 << (MAX_DEPTH - 2), 1 << (MAX_DEPTH - 2)], 2);
+    let child_edge = (q.side() / 2) as u64;
+    let grid: Vec<Cell<2>> = tree
+        .leaves()
+        .iter()
+        .map(|kc| kc.cell)
+        .filter(|c| *c != q)
+        .collect();
+    let kids = {
+        let mut k = q.children();
+        // Order children nearest the blue (west) side first.
+        k.sort_by_key(|c| (c.anchor()[0], c.anchor()[1]));
+        k
+    };
+    for shared_faces in 1..=3usize {
+        let mut blue_base: Vec<Cell<2>> = vec![q.face_neighbor(0, -1).unwrap()];
+        if shared_faces >= 2 {
+            blue_base.push(q.face_neighbor(1, -1).unwrap());
+        }
+        if shared_faces >= 3 {
+            blue_base.push(q.face_neighbor(1, 1).unwrap());
+        }
+        print!("blue shares {shared_faces} face(s):");
+        for take in 0..=3usize {
+            let blue: Vec<Cell<2>> =
+                blue_base.iter().copied().chain(kids.iter().take(take).copied()).collect();
+            let others: Vec<Cell<2>> = grid
+                .iter()
+                .copied()
+                .filter(|c| !blue.contains(c))
+                .chain(kids.iter().skip(take).copied())
+                .collect();
+            let perimeter: u64 = blue
+                .iter()
+                .map(|b| others.iter().map(|o| b.shared_face_area(o)).sum::<u64>())
+                .sum::<u64>()
+                / child_edge;
+            if take == 0 {
+                print!(" base {perimeter:>2}");
+            } else {
+                print!("  | +{take} children: {perimeter:>2}");
+            }
+        }
+        println!();
+    }
+    println!("(blue-partition boundary in child-edge units; cf. Fig. 3 of the paper)");
+}

@@ -1,0 +1,57 @@
+//! Architecture- and application-awareness demo: the *same mesh* partitions
+//! differently on different machines and for different kernels.
+//!
+//! This is the paper's central point (§3.4 and footnote 1: "e.g. for the
+//! Poisson equation vs the wave Equation on the same mesh"): OptiPart
+//! consumes `tc`, `tw` and `α`, so Titan's fast Gemini network tolerates
+//! little imbalance, while a 10 GbE CloudLab cluster trades much more
+//! balance away to cut communication.
+//!
+//! ```text
+//! cargo run --release --example machine_comparison
+//! ```
+
+use optipart::core::optipart::{optipart, OptiPartOptions};
+use optipart::core::partition::distribute_tree;
+use optipart::machine::{AppModel, MachineModel, PerfModel};
+use optipart::mpisim::Engine;
+use optipart::octree::MeshParams;
+use optipart::sfc::Curve;
+
+fn main() {
+    let p = 32;
+    let tree = MeshParams::normal(20_000, 7).build::<3>(Curve::Hilbert);
+    println!("mesh: {} leaves, {p} ranks\n", tree.len());
+
+    println!("-- machine-awareness (Laplacian matvec, α = 8) --");
+    println!(
+        "{:<14} {:>10} {:>10} {:>12} {:>10}",
+        "machine", "tw/tc", "tolerance", "λ", "Cmax"
+    );
+    for machine in MachineModel::presets() {
+        let ratio = machine.comm_compute_ratio();
+        let mut e = Engine::new(p, PerfModel::new(machine.clone(), AppModel::laplacian_matvec()));
+        let out = optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::default());
+        println!(
+            "{:<14} {:>10.0} {:>10.3} {:>12.3} {:>10}",
+            machine.name, ratio, out.report.achieved_tolerance, out.report.lambda, out.report.cmax
+        );
+    }
+
+    println!("\n-- application-awareness (Wisconsin-8) --");
+    println!("{:<18} {:>6} {:>10} {:>12}", "kernel", "alpha", "tolerance", "λ");
+    for (name, app) in [
+        ("poisson (matvec)", AppModel::laplacian_matvec()),
+        ("wave (low-order)", AppModel::wave_matvec()),
+    ] {
+        let mut e = Engine::new(
+            p,
+            PerfModel::new(MachineModel::cloudlab_wisconsin(), app),
+        );
+        let out = optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::default());
+        println!(
+            "{:<18} {:>6.1} {:>10.3} {:>12.3}",
+            name, app.alpha, out.report.achieved_tolerance, out.report.lambda
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: partition an adaptive octree with equal-work SFC
+//! partitioning vs OptiPart and compare the partition quality.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use optipart::core::metrics::{assignment, communication_matrix, load_imbalance, partition_counts};
+use optipart::core::optipart::{optipart, OptiPartOptions};
+use optipart::core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart::machine::{AppModel, MachineModel, PerfModel};
+use optipart::mpisim::Engine;
+use optipart::octree::MeshParams;
+use optipart::sfc::Curve;
+
+fn main() {
+    // An adaptively refined octree from the paper's default workload:
+    // normally distributed points, depth-30 domain.
+    let p = 32;
+    let tree = MeshParams::normal(20_000, 42).build::<3>(Curve::Hilbert);
+    println!("mesh: {} leaves (adaptive, normal distribution), {p} ranks", tree.len());
+
+    // The machine and application the partition should be optimal for:
+    // a 10 GbE CloudLab cluster running a Laplacian matvec.
+    let machine = MachineModel::cloudlab_wisconsin();
+    let app = AppModel::laplacian_matvec();
+    println!(
+        "machine: {} (tw/tc = {:.0}x), app: α = {}",
+        machine.name,
+        machine.comm_compute_ratio(),
+        app.alpha
+    );
+
+    // Conventional equal-work SFC partitioning (what Dendro/p4est do).
+    let mut e1 = Engine::new(p, PerfModel::new(machine.clone(), app));
+    let exact = treesort_partition(&mut e1, distribute_tree(&tree, p), PartitionOptions::exact());
+
+    // OptiPart: trades a little imbalance for less communication, using the
+    // machine model to decide how much.
+    let mut e2 = Engine::new(p, PerfModel::new(machine, app));
+    let opti = optipart(&mut e2, distribute_tree(&tree, p), OptiPartOptions::default());
+
+    for (name, splitters) in [("equal-work", &exact.splitters), ("optipart", &opti.splitters)] {
+        let assign = assignment(&tree, splitters);
+        let counts = partition_counts(&assign, p);
+        let m = communication_matrix(&tree, &assign, p);
+        println!(
+            "{name:>10}: λ = {:.3}, comm NNZ = {}, ghost elements = {}, Cmax = {}",
+            load_imbalance(&counts),
+            m.nnz(),
+            m.total_bytes(),
+            m.cmax(),
+        );
+    }
+    println!(
+        "optipart chose tolerance {:.3} after {} refinement rounds (predicted Tp {:.3e} s/matvec)",
+        opti.report.achieved_tolerance, opti.report.rounds, opti.report.predicted_tp
+    );
+}

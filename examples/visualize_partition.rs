@@ -1,0 +1,76 @@
+//! Renders a 2D adaptive quadtree partition as a PPM image: each partition
+//! gets a colour, cell borders are drawn dark — a visual of the Fig. 2
+//! story (Hilbert's compact blobs vs Morton's staircase fragments).
+//!
+//! ```text
+//! cargo run --release --example visualize_partition
+//! # writes partition_hilbert.ppm and partition_morton.ppm
+//! ```
+
+use optipart::core::metrics::assignment;
+use optipart::core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart::machine::{AppModel, MachineModel, PerfModel};
+use optipart::mpisim::Engine;
+use optipart::octree::{sample_points, tree_from_points, Distribution};
+use optipart::sfc::{Curve, MAX_DEPTH};
+use std::io::Write;
+
+const IMG: usize = 512;
+
+fn main() {
+    let p = 7;
+    for curve in [Curve::Hilbert, Curve::Morton] {
+        let pts = sample_points::<2>(Distribution::Normal, 4_000, 42);
+        let tree = tree_from_points(&pts, 1, 9, curve);
+        let mut e = Engine::new(
+            p,
+            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+        );
+        let out = treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact());
+        let assign = assignment(&tree, &out.splitters);
+
+        // Rasterise: per pixel, find the owning leaf.
+        let mut img = vec![0u8; IMG * IMG * 3];
+        let palette: [[u8; 3]; 8] = [
+            [230, 159, 0],
+            [86, 180, 233],
+            [0, 158, 115],
+            [240, 228, 66],
+            [0, 114, 178],
+            [213, 94, 0],
+            [204, 121, 167],
+            [153, 153, 153],
+        ];
+        let scale = (1u64 << MAX_DEPTH) as f64 / IMG as f64;
+        for py in 0..IMG {
+            for px in 0..IMG {
+                let x = (px as f64 * scale) as u32;
+                let y = ((IMG - 1 - py) as f64 * scale) as u32;
+                let leaf = optipart::octree::neighbors::find_leaf(tree.leaves(), [x, y], curve)
+                    .expect("complete tree covers the domain");
+                let cell = tree.leaves()[leaf].cell;
+                let mut rgb = palette[assign[leaf] % palette.len()];
+                // Darken cell borders.
+                let a = cell.anchor();
+                let s = cell.side();
+                let fx = x - a[0];
+                let fy = y - a[1];
+                let border = (scale * 1.5) as u32;
+                if fx < border || fy < border || s - fx < border.max(1) || s - fy < border.max(1) {
+                    rgb = [rgb[0] / 3, rgb[1] / 3, rgb[2] / 3];
+                }
+                let o = (py * IMG + px) * 3;
+                img[o..o + 3].copy_from_slice(&rgb);
+            }
+        }
+        let path = format!("partition_{}.ppm", curve.name());
+        let mut f = std::fs::File::create(&path).expect("create image");
+        write!(f, "P6\n{IMG} {IMG}\n255\n").unwrap();
+        f.write_all(&img).unwrap();
+        println!(
+            "{curve}: {} leaves, {p} partitions, λ = {:.3} → {path}",
+            tree.len(),
+            out.report.lambda
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # optipart — machine- and application-aware AMR partitioning
+//!
+//! Facade crate of the OptiPart workspace, a Rust reproduction of
+//! Fernando, Duplyakin & Sundar, *Machine and Application Aware Partitioning
+//! for Adaptive Mesh Refinement Applications* (HPDC 2017). See README.md for
+//! the architecture overview, DESIGN.md for the system inventory and
+//! substitutions, and EXPERIMENTS.md for the reproduced evaluation.
+//!
+//! ## Module map
+//!
+//! * [`sfc`] — space-filling curves (Morton, Hilbert), octree cells, keys.
+//! * [`octree`] — linear octrees: construction, completion, 2:1 balance,
+//!   neighbours, random AMR mesh generators.
+//! * [`mpisim`] — the virtual-process BSP engine (cost-modeled collectives)
+//!   and the real-threads runtime used for cross-validation.
+//! * [`machine`] — machine models (Titan, Stampede, CloudLab), the Eq. (3)
+//!   performance model, power/energy simulation.
+//! * [`core`] — the paper's algorithms: TreeSort, flexible-tolerance
+//!   partitioning, PartitionQuality, OptiPart, SampleSort and histogram-sort
+//!   baselines, partition metrics.
+//! * [`fem`] — the test application: distributed octree mesh, ghost
+//!   exchange, Laplacian matvec, CG solver, AMR time-stepping driver.
+//!
+//! ## Minimal example
+//!
+//! ```
+//! use optipart::core::optipart::{optipart, OptiPartOptions};
+//! use optipart::core::partition::distribute_tree;
+//! use optipart::machine::{AppModel, MachineModel, PerfModel};
+//! use optipart::mpisim::Engine;
+//! use optipart::octree::MeshParams;
+//! use optipart::sfc::Curve;
+//!
+//! let tree = MeshParams::normal(2_000, 42).build::<3>(Curve::Hilbert);
+//! let perf = PerfModel::new(MachineModel::cloudlab_wisconsin(),
+//!                           AppModel::laplacian_matvec());
+//! let mut engine = Engine::new(16, perf);
+//! let out = optipart(&mut engine, distribute_tree(&tree, 16),
+//!                    OptiPartOptions::default());
+//! assert_eq!(out.dist.total_len(), tree.len());
+//! assert!(out.report.lambda >= 1.0);
+//! ```
+
+pub use optipart_core as core;
+pub use optipart_fem as fem;
+pub use optipart_machine as machine;
+pub use optipart_mpisim as mpisim;
+pub use optipart_octree as octree;
+pub use optipart_sfc as sfc;

@@ -1,0 +1,75 @@
+//! Determinism: identical inputs produce bit-identical results across the
+//! whole stack — the property that makes every figure regenerable.
+
+use optipart::core::optipart::{optipart, OptiPartOptions};
+use optipart::core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart::fem::{run_matvec_experiment, DistMesh};
+use optipart::machine::{AppModel, MachineModel, PerfModel};
+use optipart::mpisim::Engine;
+use optipart::octree::MeshParams;
+use optipart::sfc::Curve;
+
+fn engine(p: usize) -> Engine {
+    Engine::new(
+        p,
+        PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+    )
+}
+
+#[test]
+fn partitioning_is_deterministic() {
+    let run = || {
+        let tree = MeshParams::normal(5_000, 77).build::<3>(Curve::Hilbert);
+        let mut e = engine(16);
+        let out = optipart(&mut e, distribute_tree(&tree, 16), OptiPartOptions::default());
+        (
+            out.splitters.clone(),
+            out.report.counts.clone(),
+            out.report.achieved_tolerance,
+            e.makespan(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3, "virtual time must be exactly reproducible");
+}
+
+#[test]
+fn matvec_experiment_is_deterministic() {
+    let run = || {
+        let tree = MeshParams::normal(3_000, 78).build::<3>(Curve::Morton);
+        let mut e = engine(8);
+        let out = treesort_partition(
+            &mut e,
+            distribute_tree(&tree, 8),
+            PartitionOptions::with_tolerance(0.2),
+        );
+        let mesh = DistMesh::build(&mut e, out.dist, Curve::Morton);
+        let rep = run_matvec_experiment(&mut e, &mesh, 7);
+        (rep.seconds, rep.energy.total_j, rep.ghost_elements, rep.bytes_total)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn different_machines_same_data_movement_semantics() {
+    // Changing the machine model changes clocks/energy but never the data:
+    // the partitioned cells under *equal-work* splitters are machine
+    // independent (only OptiPart is architecture-aware).
+    let tree = MeshParams::normal(4_000, 79).build::<3>(Curve::Hilbert);
+    let mut outs = Vec::new();
+    for machine in MachineModel::presets() {
+        let mut e = Engine::new(12, PerfModel::new(machine, AppModel::laplacian_matvec()));
+        let out = treesort_partition(&mut e, distribute_tree(&tree, 12), PartitionOptions::exact());
+        outs.push(out.dist.concat());
+    }
+    assert!(outs.windows(2).all(|w| w[0] == w[1]));
+}

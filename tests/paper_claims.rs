@@ -1,0 +1,203 @@
+//! Shape-level assertions for the paper's experimental claims — the same
+//! trends the figure harness prints, pinned as tests at small scale.
+
+use optipart::core::metrics::{
+    assignment, boundary_counts, comm_imbalance, communication_matrix, load_imbalance,
+    partition_counts,
+};
+use optipart::core::optipart::{optipart, OptiPartOptions};
+use optipart::core::partition::{
+    distribute_tree, treesort_partition, PartitionOptions, PHASE_SPLITTER,
+};
+use optipart::core::quality::partition_quality;
+use optipart::core::samplesort::{samplesort_partition, SampleSortOptions};
+use optipart::fem::{run_matvec_experiment, DistMesh};
+use optipart::machine::{AppModel, MachineModel, PerfModel};
+use optipart::mpisim::Engine;
+use optipart::octree::{LinearTree, MeshParams};
+use optipart::sfc::{Curve, SfcKey};
+
+fn engine(machine: MachineModel, p: usize) -> Engine {
+    Engine::new(p, PerfModel::new(machine, AppModel::laplacian_matvec()))
+}
+
+fn split(tree: &LinearTree<3>, p: usize, tol: f64, machine: MachineModel) -> Vec<SfcKey> {
+    let mut e = engine(machine, p);
+    treesort_partition(
+        &mut e,
+        distribute_tree(tree, p),
+        PartitionOptions::with_tolerance(tol),
+    )
+    .splitters
+}
+
+/// Fig. 11: load and communication imbalance grow with tolerance.
+#[test]
+fn imbalances_grow_with_tolerance() {
+    let p = 24;
+    let tree = MeshParams::normal(20_000, 21).build::<3>(Curve::Hilbert);
+    let mut lambdas = Vec::new();
+    let mut comm = Vec::new();
+    for tol in [0.0, 0.25, 0.5] {
+        let s = split(&tree, p, tol, MachineModel::cloudlab_clemson());
+        let a = assignment(&tree, &s);
+        lambdas.push(load_imbalance(&partition_counts(&a, p)));
+        comm.push(comm_imbalance(&boundary_counts(&tree, &a, p)));
+    }
+    assert!(
+        lambdas[0] <= lambdas[1] + 1e-9 && lambdas[1] <= lambdas[2] + 1e-9,
+        "λ not non-decreasing: {lambdas:?}"
+    );
+    assert!(
+        comm[2] >= comm[0] - 1e-9,
+        "comm imbalance should grow overall: {comm:?}"
+    );
+}
+
+/// Fig. 12: NNZ and total communication decrease with tolerance, and
+/// Hilbert stays at or below Morton.
+#[test]
+fn nnz_decreases_with_tolerance_and_hilbert_wins() {
+    let p = 32;
+    let nnz_at = |curve: Curve, tol: f64| -> (usize, u64) {
+        let tree = MeshParams::normal(20_000, 23).build::<3>(curve);
+        let s = split(&tree, p, tol, MachineModel::titan());
+        let a = assignment(&tree, &s);
+        let m = communication_matrix(&tree, &a, p);
+        (m.nnz(), m.total_bytes())
+    };
+    let (h0, v0) = nnz_at(Curve::Hilbert, 0.0);
+    let (h5, v5) = nnz_at(Curve::Hilbert, 0.5);
+    let (m0, w0) = nnz_at(Curve::Morton, 0.0);
+    assert!(h5 <= h0, "hilbert nnz should not grow with tolerance: {h0} -> {h5}");
+    assert!(v5 <= v0, "hilbert volume should not grow with tolerance: {v0} -> {v5}");
+    assert!(h0 <= m0, "hilbert nnz {h0} should be <= morton {m0}");
+    assert!(v0 <= w0, "hilbert volume {v0} should be <= morton {w0}");
+}
+
+/// Fig. 10: OptiPart's model-chosen partition is essentially as good (in
+/// its own predicted time) as every fixed-tolerance alternative on the
+/// grid. The stopping rule is greedy (it halts at the first predicted
+/// uptick, like Algorithm 3), so allow a small slack rather than exact
+/// dominance.
+#[test]
+fn optipart_prediction_dominates_tolerance_grid() {
+    let p = 24;
+    let tree = MeshParams::normal(20_000, 29).build::<3>(Curve::Hilbert);
+    let mut e = engine(MachineModel::cloudlab_wisconsin(), p);
+    let chosen = optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::default());
+
+    for tol in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let s = split(&tree, p, tol, MachineModel::cloudlab_wisconsin());
+        let mut eq = engine(MachineModel::cloudlab_wisconsin(), p);
+        let mut d = distribute_tree(&tree, p);
+        let q = partition_quality(&mut eq, &mut d, &s, Curve::Hilbert);
+        assert!(
+            chosen.report.predicted_tp <= q.tp * 1.02,
+            "optipart tp {} beaten by tol {tol}: {}",
+            chosen.report.predicted_tp,
+            q.tp
+        );
+    }
+}
+
+/// Fig. 6: OptiPart's splitter phase scales better than SampleSort's.
+#[test]
+fn optipart_splitter_phase_scales_better_than_samplesort() {
+    let grain = 500;
+    let splitter_times = |p: usize| -> (f64, f64) {
+        let tree = MeshParams::normal(grain * p, 31).build::<3>(Curve::Morton);
+        let mut e1 = engine(MachineModel::stampede(), p);
+        let _ = optipart(
+            &mut e1,
+            distribute_tree(&tree, p),
+            OptiPartOptions::for_curve(Curve::Morton),
+        );
+        let mut e2 = engine(MachineModel::stampede(), p);
+        let _ = samplesort_partition(&mut e2, distribute_tree(&tree, p), SampleSortOptions::default());
+        (
+            e1.stats().phase_time(PHASE_SPLITTER),
+            e2.stats().phase_time(PHASE_SPLITTER),
+        )
+    };
+    let (o_small, s_small) = splitter_times(8);
+    let (o_large, s_large) = splitter_times(64);
+    // SampleSort's splitter phase grows much faster with p.
+    let samplesort_growth = s_large / s_small;
+    let optipart_growth = o_large / o_small;
+    assert!(
+        samplesort_growth > optipart_growth,
+        "samplesort growth {samplesort_growth} vs optipart growth {optipart_growth}"
+    );
+}
+
+/// §5.4: energy and runtime are strongly correlated across tolerances.
+#[test]
+fn energy_and_runtime_correlate_across_tolerances() {
+    let p = 16;
+    let tree = MeshParams::normal(10_000, 37).build::<3>(Curve::Hilbert);
+    let mut times = Vec::new();
+    let mut energies = Vec::new();
+    for tol in [0.0, 0.2, 0.4] {
+        let mut e = engine(MachineModel::cloudlab_wisconsin(), p);
+        let out = treesort_partition(
+            &mut e,
+            distribute_tree(&tree, p),
+            PartitionOptions::with_tolerance(tol),
+        );
+        let mesh = DistMesh::build(&mut e, out.dist, Curve::Hilbert);
+        let rep = run_matvec_experiment(&mut e, &mesh, 10);
+        times.push(rep.seconds);
+        energies.push(rep.energy.total_j);
+    }
+    // Pearson correlation over the three points must be positive and strong.
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (mt, me) = (mean(&times), mean(&energies));
+    let cov: f64 = times.iter().zip(&energies).map(|(t, e)| (t - mt) * (e - me)).sum();
+    let st: f64 = times.iter().map(|t| (t - mt).powi(2)).sum::<f64>().sqrt();
+    let se: f64 = energies.iter().map(|e| (e - me).powi(2)).sum::<f64>().sqrt();
+    let r = cov / (st * se).max(f64::MIN_POSITIVE);
+    assert!(r > 0.9, "energy–time correlation too weak: r = {r}");
+}
+
+/// §3.2: with increasing TreeSort level, the induced partition boundary is
+/// non-decreasing while λ approaches 1 — the Fig. 2 trade.
+#[test]
+fn boundary_grows_and_lambda_shrinks_with_level() {
+    use optipart::octree::neighbors::segment_surface;
+    let p = 3;
+    for curve in Curve::ALL {
+        let mut prev_surface = 0u64;
+        let mut prev_lambda = f64::INFINITY;
+        for level in 2u8..=4 {
+            let tree: LinearTree<2> =
+                LinearTree::root(curve).refine_where(|c| c.level() < level, level);
+            let n = tree.len();
+            let mut bounds = vec![0usize];
+            for r in 1..p {
+                bounds.push(r * n / p);
+            }
+            bounds.push(n);
+            let sizes: Vec<usize> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
+            let lambda =
+                *sizes.iter().max().unwrap() as f64 / *sizes.iter().min().unwrap() as f64;
+            let surface: u64 = bounds
+                .windows(2)
+                .map(|w| segment_surface(tree.leaves(), w[0], w[1], curve))
+                .sum();
+            // Normalise surface to the level's edge length so levels compare.
+            let edge = 1u64 << (optipart::sfc::MAX_DEPTH - level);
+            let surface = surface / edge;
+            assert!(
+                lambda <= prev_lambda + 1e-9,
+                "{curve} level {level}: λ must not grow ({prev_lambda} -> {lambda})"
+            );
+            assert!(
+                surface >= prev_surface,
+                "{curve} level {level}: boundary must not shrink ({prev_surface} -> {surface})"
+            );
+            prev_surface = surface;
+            prev_lambda = lambda;
+        }
+    }
+}
