@@ -6,7 +6,10 @@ use optipart_machine::{AppModel, MachineModel, PerfModel};
 use optipart_mpisim::{AllToAllAlgo, Engine};
 
 fn engine(p: usize) -> Engine {
-    Engine::new(p, PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()))
+    Engine::new(
+        p,
+        PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
+    )
 }
 
 fn bench_collectives(c: &mut Criterion) {

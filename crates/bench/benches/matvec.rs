@@ -15,7 +15,10 @@ fn bench_matvec(c: &mut Criterion) {
     let tree = MeshParams::normal(n, 3).build::<3>(Curve::Hilbert);
     let mut e = Engine::new(
         p,
-        PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+        PerfModel::new(
+            MachineModel::cloudlab_wisconsin(),
+            AppModel::laplacian_matvec(),
+        ),
     );
     let out = treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact());
     let mesh = DistMesh::build(&mut e, out.dist, Curve::Hilbert);
@@ -25,7 +28,11 @@ fn bench_matvec(c: &mut Criterion) {
     g.throughput(Throughput::Elements(elems));
     g.bench_function("laplacian_with_halo", |b| {
         let mut x = DistVec::from_parts(
-            mesh.cells.counts().iter().map(|&c| vec![1.0f64; c]).collect(),
+            mesh.cells
+                .counts()
+                .iter()
+                .map(|&c| vec![1.0f64; c])
+                .collect(),
         );
         b.iter(|| {
             let (y, _) = laplacian_matvec(&mut e, &mesh, &mut x);

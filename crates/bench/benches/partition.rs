@@ -26,7 +26,10 @@ fn bench_partitioners(c: &mut Criterion) {
     let engine = || {
         Engine::new(
             p,
-            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+            PerfModel::new(
+                MachineModel::cloudlab_wisconsin(),
+                AppModel::laplacian_matvec(),
+            ),
         )
     };
 
@@ -53,17 +56,25 @@ fn bench_partitioners(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("optipart", p), |b| {
         b.iter(|| {
             let mut e = engine();
-            optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::default())
-                .dist
-                .total_len()
+            optipart(
+                &mut e,
+                distribute_tree(&tree, p),
+                OptiPartOptions::default(),
+            )
+            .dist
+            .total_len()
         })
     });
     g.bench_function(BenchmarkId::new("samplesort", p), |b| {
         b.iter(|| {
             let mut e = engine();
-            samplesort_partition(&mut e, distribute_tree(&tree, p), SampleSortOptions::default())
-                .dist
-                .total_len()
+            samplesort_partition(
+                &mut e,
+                distribute_tree(&tree, p),
+                SampleSortOptions::default(),
+            )
+            .dist
+            .total_len()
         })
     });
     g.finish();

@@ -6,17 +6,16 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use optipart_core::treesort::treesort;
+use optipart_mpisim::rng::SplitMix64;
 use optipart_octree::{sample_points, tree_from_points, Distribution};
 use optipart_sfc::{Curve, KeyedCell};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use std::hint::black_box;
 
 fn shuffled(n: usize, curve: Curve) -> Vec<KeyedCell<3>> {
     let pts = sample_points::<3>(Distribution::Normal, n, 7);
     let tree = tree_from_points(&pts, 1, 18, curve);
     let mut cells = tree.into_leaves();
-    cells.shuffle(&mut rand::rngs::StdRng::seed_from_u64(99));
+    SplitMix64::new(99).shuffle(&mut cells);
     cells
 }
 

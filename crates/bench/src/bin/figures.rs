@@ -32,7 +32,9 @@ fn main() {
                 cfg.seed = v.parse().unwrap_or_else(|_| usage("bad --seed value"));
             }
             "--out" => {
-                let v = it.next().unwrap_or_else(|| usage("--out needs a directory"));
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--out needs a directory"));
                 cfg.out_dir = Some(v.into());
             }
             "all" => ids.extend(figs::ALL.iter().map(|s| s.to_string())),

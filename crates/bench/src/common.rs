@@ -24,7 +24,11 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { scale: 1.0, out_dir: None, seed: 0x0511_2017 }
+        RunConfig {
+            scale: 1.0,
+            out_dir: None,
+            seed: 0x0511_2017,
+        }
     }
 }
 
@@ -107,7 +111,12 @@ pub fn fmt(v: f64) -> String {
 
 /// Builds a normal-distribution mesh with roughly `n` elements.
 pub fn mesh(n: usize, seed: u64, curve: Curve) -> LinearTree<3> {
-    MeshParams { num_points: n, seed, ..Default::default() }.build(curve)
+    MeshParams {
+        num_points: n,
+        seed,
+        ..Default::default()
+    }
+    .build(curve)
 }
 
 /// Engine for a machine preset with the Laplacian application model.
@@ -116,11 +125,7 @@ pub fn engine(machine: MachineModel, p: usize) -> Engine {
 }
 
 /// Partitions a tree with the given tolerance and builds the FEM mesh.
-pub fn partitioned_mesh(
-    e: &mut Engine,
-    tree: &LinearTree<3>,
-    tol: f64,
-) -> DistMesh<3> {
+pub fn partitioned_mesh(e: &mut Engine, tree: &LinearTree<3>, tol: f64) -> DistMesh<3> {
     let p = e.p();
     let out = treesort_partition(
         e,
@@ -158,7 +163,10 @@ mod tests {
         let mut t = Table::new("test", &["a", "b"]);
         t.row(vec!["1".into(), "2".into()]);
         let dir = std::env::temp_dir().join("optipart-table-test");
-        let cfg = RunConfig { out_dir: Some(dir.clone()), ..Default::default() };
+        let cfg = RunConfig {
+            out_dir: Some(dir.clone()),
+            ..Default::default()
+        };
         t.emit(&cfg);
         let written = std::fs::read_to_string(dir.join("test.csv")).unwrap();
         assert!(written.contains("a,b"));
@@ -167,7 +175,10 @@ mod tests {
 
     #[test]
     fn scale_floors_at_min() {
-        let cfg = RunConfig { scale: 0.0001, ..Default::default() };
+        let cfg = RunConfig {
+            scale: 0.0001,
+            ..Default::default()
+        };
         assert_eq!(cfg.n(1_000_000, 500), 500);
     }
 }

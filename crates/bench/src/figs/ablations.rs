@@ -42,7 +42,11 @@ pub fn run_staging(cfg: &RunConfig) {
             },
         );
         table.row(vec![
-            if k == usize::MAX { "unlimited".into() } else { k.to_string() },
+            if k == usize::MAX {
+                "unlimited".into()
+            } else {
+                k.to_string()
+            },
             out.report.rounds.to_string(),
             fmt(e.stats().phase_time(PHASE_SPLITTER)),
             fmt(e.makespan()),
@@ -54,10 +58,7 @@ pub fn run_staging(cfg: &RunConfig) {
 /// Staged vs direct all-to-all across p.
 pub fn run_alltoall(cfg: &RunConfig) {
     let grain = cfg.n(1_000, 100);
-    let mut table = Table::new(
-        "ablation_alltoall_schedule",
-        &["p", "algo", "all2all_s"],
-    );
+    let mut table = Table::new("ablation_alltoall_schedule", &["p", "algo", "all2all_s"]);
     eprintln!("ablation: all-to-all schedule, grain = {grain}");
     for p in [16usize, 128, 1024] {
         let tree = mesh(grain * p, cfg.seed, Curve::Hilbert);
@@ -66,12 +67,17 @@ pub fn run_alltoall(cfg: &RunConfig) {
             let _ = treesort_partition(
                 &mut e,
                 distribute_shuffled(&tree, p, cfg.seed),
-                PartitionOptions { alltoall: algo, ..PartitionOptions::exact() },
+                PartitionOptions {
+                    alltoall: algo,
+                    ..PartitionOptions::exact()
+                },
             );
             table.row(vec![
                 p.to_string(),
                 format!("{algo:?}").to_lowercase(),
-                fmt(e.stats().phase_time(optipart_core::partition::PHASE_ALL2ALL)),
+                fmt(e
+                    .stats()
+                    .phase_time(optipart_core::partition::PHASE_ALL2ALL)),
             ]);
         }
     }

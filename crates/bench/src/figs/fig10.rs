@@ -25,7 +25,14 @@ pub fn run(cfg: &RunConfig) {
     let tree = mesh(n, cfg.seed, curve);
     let mut table = Table::new(
         "fig10_measured_vs_predicted",
-        &["tolerance", "measured_min", "predicted_eq3_min", "predicted_exact_min", "wmax", "cmax"],
+        &[
+            "tolerance",
+            "measured_min",
+            "predicted_eq3_min",
+            "predicted_exact_min",
+            "wmax",
+            "cmax",
+        ],
     );
     eprintln!("fig10: measured vs predicted, wisconsin-8 model, p = {p}, {n} generator points");
 
@@ -68,17 +75,29 @@ pub fn run(cfg: &RunConfig) {
     // OptiPart's own stopping point, under both model variants.
     let mut summary = Table::new(
         "fig10_optipart_choice",
-        &["model", "optipart_tolerance", "bruteforce_best_tolerance", "predicted_tp_min"],
+        &[
+            "model",
+            "optipart_tolerance",
+            "bruteforce_best_tolerance",
+            "predicted_tp_min",
+        ],
     );
     for latency_aware in [false, true] {
         let mut e = engine(MachineModel::cloudlab_wisconsin(), p);
         let out = optipart(
             &mut e,
             distribute_tree(&tree, p),
-            OptiPartOptions { latency_aware, ..OptiPartOptions::for_curve(curve) },
+            OptiPartOptions {
+                latency_aware,
+                ..OptiPartOptions::for_curve(curve)
+            },
         );
         summary.row(vec![
-            if latency_aware { "eq3+latency".into() } else { "eq3".into() },
+            if latency_aware {
+                "eq3+latency".into()
+            } else {
+                "eq3".into()
+            },
             fmt(out.report.achieved_tolerance),
             fmt(best.1),
             fmt(out.report.predicted_tp * iters as f64 / 60.0),

@@ -54,7 +54,9 @@ pub fn run(cfg: &RunConfig) {
         "fig12_total_data",
         &["curve", "tolerance", "octants_communicated"],
     );
-    eprintln!("fig12 (right): data volume, wisconsin-8 model, p = {p_data}, {n_data} generator points");
+    eprintln!(
+        "fig12 (right): data volume, wisconsin-8 model, p = {p_data}, {n_data} generator points"
+    );
     for curve in Curve::ALL {
         let tree = mesh(n_data, cfg.seed, curve);
         for tol in tolerance_grid(0.5, 0.1) {

@@ -25,7 +25,11 @@ pub fn run(cfg: &RunConfig) {
         let mut base: Option<f64> = None;
         for &p in &ps {
             let mut e = engine(MachineModel::titan(), p);
-            let _ = treesort_partition(&mut e, distribute_shuffled(&tree, p, cfg.seed), PartitionOptions::exact());
+            let _ = treesort_partition(
+                &mut e,
+                distribute_shuffled(&tree, p, cfg.seed),
+                PartitionOptions::exact(),
+            );
             let t = e.makespan();
             let eff = match base {
                 None => {

@@ -11,8 +11,8 @@
 
 use crate::common::{engine, fmt, mesh, RunConfig, Table};
 use optipart_core::partition::{
-    distribute_shuffled, treesort_partition, PartitionOptions, PHASE_ALL2ALL,
-    PHASE_LOCAL_SORT, PHASE_SPLITTER,
+    distribute_shuffled, treesort_partition, PartitionOptions, PHASE_ALL2ALL, PHASE_LOCAL_SORT,
+    PHASE_SPLITTER,
 };
 use optipart_machine::{AppModel, MachineModel, PerfModel};
 use optipart_sfc::Curve;
@@ -31,9 +31,13 @@ pub fn run(cfg: &RunConfig) {
         for &p in &ps {
             let tree = mesh(grain * p, cfg.seed, curve);
             let mut e = engine(MachineModel::titan(), p);
-            let _ = treesort_partition(&mut e, distribute_shuffled(&tree, p, cfg.seed), PartitionOptions::exact());
-            let split = e.stats().phase_time(PHASE_SPLITTER)
-                + e.stats().phase_time(PHASE_LOCAL_SORT);
+            let _ = treesort_partition(
+                &mut e,
+                distribute_shuffled(&tree, p, cfg.seed),
+                PartitionOptions::exact(),
+            );
+            let split =
+                e.stats().phase_time(PHASE_SPLITTER) + e.stats().phase_time(PHASE_LOCAL_SORT);
             let a2a = e.stats().phase_time(PHASE_ALL2ALL);
             table.row(vec![
                 curve.name().into(),

@@ -22,7 +22,15 @@ pub fn run(cfg: &RunConfig) {
     let ps = [16usize, 64, 256, 1024];
     let mut table = Table::new(
         "fig6_optipart_vs_samplesort",
-        &["machine", "algo", "p", "local_s", "all2all_s", "splitter_s", "total_s"],
+        &[
+            "machine",
+            "algo",
+            "p",
+            "local_s",
+            "all2all_s",
+            "splitter_s",
+            "total_s",
+        ],
     );
     eprintln!("fig6: weak scaling breakdown, grain = {grain}");
 

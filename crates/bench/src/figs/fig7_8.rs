@@ -23,7 +23,14 @@ pub fn sweep(
 ) {
     let mut table = Table::new(
         name,
-        &["curve", "tolerance", "runtime_min", "energy_J", "comm_J", "ghost_elems"],
+        &[
+            "curve",
+            "tolerance",
+            "runtime_min",
+            "energy_J",
+            "comm_J",
+            "ghost_elems",
+        ],
     );
     eprintln!(
         "{name}: {} model, p = {p}, {n} generator points (~3.4x leaves), {iters} matvecs",
@@ -57,7 +64,15 @@ pub fn sweep(
 pub fn run_fig7(cfg: &RunConfig) {
     let p = 224;
     let n = cfg.n(600_000, 5_000);
-    sweep(cfg, "fig7_clemson_energy_time", MachineModel::cloudlab_clemson(), p, n, 0.7, 100);
+    sweep(
+        cfg,
+        "fig7_clemson_energy_time",
+        MachineModel::cloudlab_clemson(),
+        p,
+        n,
+        0.7,
+        100,
+    );
 }
 
 /// Fig. 8: Wisconsin-8, 256 tasks as in the paper. Default mesh ≈ 2M leaves
@@ -65,5 +80,13 @@ pub fn run_fig7(cfg: &RunConfig) {
 pub fn run_fig8(cfg: &RunConfig) {
     let p = 256;
     let n = cfg.n(600_000, 5_000);
-    sweep(cfg, "fig8_wisconsin_energy_time", MachineModel::cloudlab_wisconsin(), p, n, 0.5, 100);
+    sweep(
+        cfg,
+        "fig8_wisconsin_energy_time",
+        MachineModel::cloudlab_wisconsin(),
+        p,
+        n,
+        0.5,
+        100,
+    );
 }

@@ -26,7 +26,9 @@ pub fn run(cfg: &RunConfig) {
         let run_at = |tol: f64| -> Vec<f64> {
             let mut e = engine(MachineModel::cloudlab_wisconsin(), p);
             let fem_mesh = partitioned_mesh(&mut e, &tree, tol);
-            run_matvec_experiment(&mut e, &fem_mesh, iters).energy.per_node_j
+            run_matvec_experiment(&mut e, &fem_mesh, iters)
+                .energy
+                .per_node_j
         };
         let default = run_at(0.0);
         let flexible = run_at(0.3);

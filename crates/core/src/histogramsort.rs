@@ -79,7 +79,12 @@ pub fn histogramsort_partition<const D: usize>(
                 .iter()
                 .enumerate()
                 .filter(|(_, b)| b.done.is_none())
-                .map(|(i, b)| (i, SfcKey::from_parts(b.lo_path + (b.hi_path - b.lo_path) / 2, 0)))
+                .map(|(i, b)| {
+                    (
+                        i,
+                        SfcKey::from_parts(b.lo_path + (b.hi_path - b.lo_path) / 2, 0),
+                    )
+                })
                 .collect();
             if probes.is_empty() {
                 break;
@@ -121,8 +126,10 @@ pub fn histogramsort_partition<const D: usize>(
             }
         }
 
-        let mut splitters: Vec<SfcKey> =
-            brackets.iter().map(|b| b.done.expect("all resolved")).collect();
+        let mut splitters: Vec<SfcKey> = brackets
+            .iter()
+            .map(|b| b.done.expect("all resolved"))
+            .collect();
         // Enforce monotonicity (independent bisections can cross on heavily
         // duplicated prefixes).
         for i in 1..splitters.len() {
@@ -133,7 +140,12 @@ pub fn histogramsort_partition<const D: usize>(
         let grain = (n as f64 / p as f64).max(1.0);
         let achieved = brackets
             .iter()
-            .map(|b| b.target.abs_diff(b.lo_rank).min(b.target.abs_diff(b.hi_rank)) as f64 / grain)
+            .map(|b| {
+                b.target
+                    .abs_diff(b.lo_rank)
+                    .min(b.target.abs_diff(b.hi_rank)) as f64
+                    / grain
+            })
             .fold(0.0f64, f64::max);
         (splitters, rounds, achieved)
     });
@@ -167,7 +179,10 @@ mod tests {
     use optipart_sfc::Curve;
 
     fn engine(p: usize) -> Engine {
-        Engine::new(p, PerfModel::new(MachineModel::stampede(), AppModel::laplacian_matvec()))
+        Engine::new(
+            p,
+            PerfModel::new(MachineModel::stampede(), AppModel::laplacian_matvec()),
+        )
     }
 
     #[test]

@@ -15,10 +15,9 @@ use crate::partition::{
 use crate::quality::{partition_quality, Quality};
 use optipart_mpisim::{AllToAllAlgo, DistVec, Engine};
 use optipart_sfc::{Curve, KeyedCell, MAX_DEPTH};
-use serde::{Deserialize, Serialize};
 
 /// Options for OptiPart.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct OptiPartOptions {
     /// Curve the elements were keyed with (needed to key neighbour probes in
     /// the quality pass).
@@ -40,6 +39,19 @@ pub struct OptiPartOptions {
     /// Evaluations allowed past the last improvement before stopping
     /// (plateau robustness for the greedy stopping rule).
     pub patience: usize,
+    /// Amortise the *measured* cost of the tolerance search over this many
+    /// application iterations: a finer candidate is accepted only if its
+    /// nominal Eq. (3) gain, multiplied by the iteration count, exceeds the
+    /// virtual time actually spent searching for it (refinement rounds +
+    /// quality evaluations) since the last accepted candidate.
+    ///
+    /// Measured cost is read off the engine's virtual clocks, so injected
+    /// faults participate: on a machine with stragglers the search phases
+    /// genuinely cost more, and OptiPart correctly settles for a coarser
+    /// (or equal) tolerance instead of chasing refinements whose search
+    /// cost the perturbed machine can no longer recoup. `None` (default)
+    /// reproduces the paper's model-only stopping rule.
+    pub amortize_over: Option<usize>,
 }
 
 impl Default for OptiPartOptions {
@@ -52,6 +64,7 @@ impl Default for OptiPartOptions {
             max_tolerance: 0.7,
             latency_aware: false,
             patience: 3,
+            amortize_over: None,
         }
     }
 }
@@ -59,7 +72,10 @@ impl Default for OptiPartOptions {
 impl OptiPartOptions {
     /// Options for a given curve, defaults otherwise.
     pub fn for_curve(curve: Curve) -> Self {
-        OptiPartOptions { curve, ..Default::default() }
+        OptiPartOptions {
+            curve,
+            ..Default::default()
+        }
     }
 }
 
@@ -98,7 +114,13 @@ pub fn optipart<const D: usize>(
         }
 
         let ts = engine.perf().machine.ts;
-        let score = |q: &Quality| if opts.latency_aware { q.tp_with_latency(ts) } else { q.tp };
+        let score = |q: &Quality| {
+            if opts.latency_aware {
+                q.tp_with_latency(ts)
+            } else {
+                q.tp
+            }
+        };
 
         // Lines 3–21: refine, evaluating each new candidate splitter set
         // with Algorithm 2, and keep the best *admissible* candidate
@@ -110,6 +132,10 @@ pub fn optipart<const D: usize>(
         // not get stuck on model plateaus.
         let mut best: Option<(Vec<optipart_sfc::SfcKey>, f64, Quality)> = None;
         let mut worse = 0usize;
+        // Measured virtual time spent searching (refinement + quality
+        // evaluations) since the last accepted candidate — what the
+        // `amortize_over` acceptance rule weighs the nominal gain against.
+        let mut pending_cost = 0.0f64;
         loop {
             let (cand, cand_tol) = search.choose_splitters(p);
             let admissible = cand_tol <= opts.max_tolerance
@@ -117,14 +143,25 @@ pub fn optipart<const D: usize>(
             if admissible && (cand != splitters || best.is_none()) {
                 // Inadmissible candidates can never become the answer, so
                 // Algorithm 2 only runs once the tolerance cap is reached.
+                let t_eval = engine.makespan();
                 let q = partition_quality(engine, &mut dist, &cand, opts.curve);
+                pending_cost += engine.makespan() - t_eval;
                 let improved = match &best {
-                    Some((_, _, bq)) => score(&q) < score(bq),
+                    Some((_, _, bq)) => {
+                        let gain = score(bq) - score(&q);
+                        match opts.amortize_over {
+                            // The gain must pay back the measured search
+                            // cost within the amortisation horizon.
+                            Some(iters) => gain * iters as f64 > pending_cost,
+                            None => gain > 0.0,
+                        }
+                    }
                     None => true,
                 };
                 if improved {
                     best = Some((cand.clone(), cand_tol, q));
                     worse = 0;
+                    pending_cost = 0.0;
                 } else {
                     worse += 1;
                 }
@@ -146,7 +183,9 @@ pub fn optipart<const D: usize>(
             if let Some(k) = opts.max_split_per_round {
                 split.truncate((k / (1 << D)).max(1));
             }
+            let t_refine = engine.makespan();
             search.refine_round(engine, &mut dist, &split);
+            pending_cost += engine.makespan() - t_refine;
         }
         let (splitters, achieved, current) = match best {
             Some(b) => b,
@@ -197,7 +236,11 @@ mod tests {
     fn optipart_keeps_all_elements_in_order() {
         let tree = MeshParams::normal(3000, 31).build::<3>(Curve::Hilbert);
         let mut e = engine_on(MachineModel::cloudlab_wisconsin(), 8);
-        let out = optipart(&mut e, distribute_tree(&tree, 8), OptiPartOptions::default());
+        let out = optipart(
+            &mut e,
+            distribute_tree(&tree, 8),
+            OptiPartOptions::default(),
+        );
         let mut expected: Vec<KeyedCell<3>> = tree.leaves().to_vec();
         expected.sort_unstable();
         assert_eq!(out.dist.concat(), expected);
@@ -210,10 +253,17 @@ mod tests {
         let tree = MeshParams::normal(6000, 37).build::<3>(Curve::Hilbert);
         let p = 16;
         let mut e1 = engine_on(MachineModel::cloudlab_wisconsin(), p);
-        let opti = optipart(&mut e1, distribute_tree(&tree, p), OptiPartOptions::default());
+        let opti = optipart(
+            &mut e1,
+            distribute_tree(&tree, p),
+            OptiPartOptions::default(),
+        );
         let mut e2 = engine_on(MachineModel::cloudlab_wisconsin(), p);
-        let exact =
-            treesort_partition(&mut e2, distribute_tree(&tree, p), PartitionOptions::exact());
+        let exact = treesort_partition(
+            &mut e2,
+            distribute_tree(&tree, p),
+            PartitionOptions::exact(),
+        );
         let mut e3 = engine_on(MachineModel::cloudlab_wisconsin(), p);
         let mut d = distribute_tree(&tree, p);
         let q_exact = partition_quality(&mut e3, &mut d, &exact.splitters, Curve::Hilbert);
@@ -234,9 +284,17 @@ mod tests {
         let tree = MeshParams::normal(6000, 41).build::<3>(Curve::Hilbert);
         let p = 16;
         let mut slow_net = engine_on(MachineModel::cloudlab_wisconsin(), p);
-        let loose = optipart(&mut slow_net, distribute_tree(&tree, p), OptiPartOptions::default());
+        let loose = optipart(
+            &mut slow_net,
+            distribute_tree(&tree, p),
+            OptiPartOptions::default(),
+        );
         let mut fast_net = engine_on(MachineModel::titan(), p);
-        let tight = optipart(&mut fast_net, distribute_tree(&tree, p), OptiPartOptions::default());
+        let tight = optipart(
+            &mut fast_net,
+            distribute_tree(&tree, p),
+            OptiPartOptions::default(),
+        );
         assert!(
             loose.report.achieved_tolerance >= tight.report.achieved_tolerance - 1e-9,
             "wisconsin tol {} should be ≥ titan tol {}",
@@ -254,14 +312,25 @@ mod tests {
         let p = 16;
         let mut e1 = Engine::new(
             p,
-            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+            PerfModel::new(
+                MachineModel::cloudlab_wisconsin(),
+                AppModel::laplacian_matvec(),
+            ),
         );
-        let poisson = optipart(&mut e1, distribute_tree(&tree, p), OptiPartOptions::default());
+        let poisson = optipart(
+            &mut e1,
+            distribute_tree(&tree, p),
+            OptiPartOptions::default(),
+        );
         let mut e2 = Engine::new(
             p,
             PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::wave_matvec()),
         );
-        let wave = optipart(&mut e2, distribute_tree(&tree, p), OptiPartOptions::default());
+        let wave = optipart(
+            &mut e2,
+            distribute_tree(&tree, p),
+            OptiPartOptions::default(),
+        );
         assert!(
             wave.report.achieved_tolerance >= poisson.report.achieved_tolerance - 1e-9,
             "wave tol {} vs poisson tol {}",

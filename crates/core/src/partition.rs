@@ -15,7 +15,6 @@ use crate::treesort::treesort;
 use optipart_mpisim::{AllToAllAlgo, DistVec, Engine};
 use optipart_octree::LinearTree;
 use optipart_sfc::{KeyedCell, SfcKey, MAX_DEPTH};
-use serde::{Deserialize, Serialize};
 
 /// Phase labels used for the Figs. 5–6 breakdowns.
 pub const PHASE_SPLITTER: &str = "splitter";
@@ -25,7 +24,7 @@ pub const PHASE_ALL2ALL: &str = "all2all";
 pub const PHASE_LOCAL_SORT: &str = "local_sort";
 
 /// Options for the flexible distributed TreeSort.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct PartitionOptions {
     /// Load-balance tolerance as a fraction of the ideal grain `N/p`
     /// (the x-axis of Figs. 7–12). `0.0` refines until targets are met
@@ -59,12 +58,15 @@ impl PartitionOptions {
 
     /// Flexible partitioning with the given tolerance.
     pub fn with_tolerance(tolerance: f64) -> Self {
-        PartitionOptions { tolerance, ..Self::default() }
+        PartitionOptions {
+            tolerance,
+            ..Self::default()
+        }
     }
 }
 
 /// Report of one partitioning run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PartitionReport {
     /// Reduction rounds performed during splitter selection.
     pub rounds: usize,
@@ -110,6 +112,35 @@ impl<const D: usize> PartitionOutcome<D> {
 #[inline]
 pub fn owner_of(splitters: &[SfcKey], key: &SfcKey) -> usize {
     splitters.partition_point(|s| s <= key)
+}
+
+/// Audits a splitter vector before it is used to move data: exactly `p − 1`
+/// splitters, sorted, and strictly increasing whenever the input is large
+/// enough that no partition has to be empty (`n ≥ p`; with fewer elements
+/// than ranks the tail splitters legitimately collapse to `SfcKey::MAX`).
+/// Panics with the offending positions — a wrong splitter vector here would
+/// silently mis-route elements in the exchange.
+pub fn audit_splitters(splitters: &[SfcKey], n: usize, p: usize) {
+    assert!(
+        splitters.len() == p - 1,
+        "audit: {} splitters for p = {p} (need {})",
+        splitters.len(),
+        p - 1
+    );
+    for (i, w) in splitters.windows(2).enumerate() {
+        assert!(
+            w[0] <= w[1],
+            "audit: splitters out of order at {i}: {:?} > {:?}",
+            w[0],
+            w[1]
+        );
+        assert!(
+            n < p || w[0] < w[1],
+            "audit: duplicate splitter at {i} ({:?}) with n = {n} ≥ p = {p}: \
+             a partition would be empty",
+            w[0]
+        );
+    }
 }
 
 /// Block-distributes a tree's leaves over `p` ranks — the arbitrary initial
@@ -203,7 +234,11 @@ impl SplitterSearch {
     /// an identical copy of the search.
     pub(crate) fn replicated(n: u64) -> Self {
         SplitterSearch {
-            buckets: vec![Bucket { path: 0, level: 0, count: n }],
+            buckets: vec![Bucket {
+                path: 0,
+                level: 0,
+                count: n,
+            }],
             n,
             rounds: 0,
         }
@@ -214,7 +249,11 @@ impl SplitterSearch {
         let local: Vec<u64> = dist.counts().iter().map(|&c| c as u64).collect();
         let n = engine.allreduce_sum_u64(&local);
         SplitterSearch {
-            buckets: vec![Bucket { path: 0, level: 0, count: n }],
+            buckets: vec![Bucket {
+                path: 0,
+                level: 0,
+                count: n,
+            }],
             n,
             rounds: 0,
         }
@@ -238,7 +277,11 @@ impl SplitterSearch {
         });
         let n = engine.allreduce_sum_u64(&local);
         SplitterSearch {
-            buckets: vec![Bucket { path: 0, level: 0, count: n }],
+            buckets: vec![Bucket {
+                path: 0,
+                level: 0,
+                count: n,
+            }],
             n,
             rounds: 0,
         }
@@ -341,7 +384,10 @@ impl SplitterSearch {
         let elem_bytes = std::mem::size_of::<KeyedCell<D>>() as f64;
         let local_counts: Vec<Vec<u64>> = engine.compute_map(dist, |_r, buf| {
             // One pass over the local data (the tc·N/p term of Eq. 1).
-            (buf.len() as f64 * elem_bytes, count_children::<D, _>(buf, &bounds, weight))
+            (
+                buf.len() as f64 * elem_bytes,
+                count_children::<D, _>(buf, &bounds, weight),
+            )
         });
         let global = engine.allreduce_sum_vec_u64(&local_counts);
         self.apply_split::<D>(split, &global);
@@ -471,7 +517,11 @@ where
         if path >= hi {
             continue;
         }
-        let child = if kc.key.level() <= lvl { 0 } else { kc.key.digit::<D>(lvl) };
+        let child = if kc.key.level() <= lvl {
+            0
+        } else {
+            kc.key.digit::<D>(lvl)
+        };
         counts[(si - 1) * nc + child] += weight(kc);
     }
     counts
@@ -510,8 +560,13 @@ pub(crate) fn exchange_and_sort<const D: usize>(
     splitters: &[SfcKey],
     algo: AllToAllAlgo,
 ) -> DistVec<KeyedCell<D>> {
+    audit_splitters(splitters, dist.total_len(), engine.p());
     let recv = engine.phase(PHASE_ALL2ALL, |e| {
-        e.alltoallv_by(dist.into_parts(), |_src, kc: &KeyedCell<D>| owner_of(splitters, &kc.key), algo)
+        e.alltoallv_by(
+            dist.into_parts(),
+            |_src, kc: &KeyedCell<D>| owner_of(splitters, &kc.key),
+            algo,
+        )
     });
     let mut out = DistVec::from_parts(recv);
     engine.phase(PHASE_LOCAL_SORT, |e| {
@@ -629,11 +684,19 @@ mod tests {
     use optipart_sfc::Curve;
 
     fn engine(p: usize) -> Engine {
-        Engine::new(p, PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()))
+        Engine::new(
+            p,
+            PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
+        )
     }
 
     fn mesh(n: usize, seed: u64, curve: Curve) -> LinearTree<3> {
-        MeshParams { num_points: n, seed, ..Default::default() }.build(curve)
+        MeshParams {
+            num_points: n,
+            seed,
+            ..Default::default()
+        }
+        .build(curve)
     }
 
     /// Partitioned output must be the globally sorted input.
@@ -662,7 +725,11 @@ mod tests {
         let tree = mesh(4000, 5, Curve::Hilbert);
         let n = tree.len();
         let mut e = engine(16);
-        let out = treesort_partition(&mut e, distribute_tree(&tree, 16), PartitionOptions::exact());
+        let out = treesort_partition(
+            &mut e,
+            distribute_tree(&tree, 16),
+            PartitionOptions::exact(),
+        );
         let grain = n as f64 / 16.0;
         for &c in &out.report.counts {
             assert!(
@@ -677,7 +744,11 @@ mod tests {
     fn tolerance_relaxes_balance_and_saves_rounds() {
         let tree = mesh(4000, 7, Curve::Hilbert);
         let mut e0 = engine(16);
-        let exact = treesort_partition(&mut e0, distribute_tree(&tree, 16), PartitionOptions::exact());
+        let exact = treesort_partition(
+            &mut e0,
+            distribute_tree(&tree, 16),
+            PartitionOptions::exact(),
+        );
         let mut e1 = engine(16);
         let loose = treesort_partition(
             &mut e1,
@@ -699,15 +770,25 @@ mod tests {
     fn staged_splitter_selection_matches_unstaged() {
         let tree = mesh(2000, 11, Curve::Morton);
         let mut e0 = engine(8);
-        let full = treesort_partition(&mut e0, distribute_tree(&tree, 8), PartitionOptions::exact());
+        let full = treesort_partition(
+            &mut e0,
+            distribute_tree(&tree, 8),
+            PartitionOptions::exact(),
+        );
         let mut e1 = engine(8);
         let staged = treesort_partition(
             &mut e1,
             distribute_tree(&tree, 8),
-            PartitionOptions { max_split_per_round: Some(8), ..PartitionOptions::exact() },
+            PartitionOptions {
+                max_split_per_round: Some(8),
+                ..PartitionOptions::exact()
+            },
         );
         assert_eq!(full.dist.concat(), staged.dist.concat());
-        assert!(staged.report.rounds >= full.report.rounds, "staging takes more rounds");
+        assert!(
+            staged.report.rounds >= full.report.rounds,
+            "staging takes more rounds"
+        );
     }
 
     #[test]
@@ -723,12 +804,23 @@ mod tests {
     #[test]
     fn works_across_distributions() {
         for dist in Distribution::ALL {
-            let tree = MeshParams { distribution: dist, num_points: 1200, seed: 13, ..Default::default() }
-                .build::<3>(Curve::Hilbert);
+            let tree = MeshParams {
+                distribution: dist,
+                num_points: 1200,
+                seed: 13,
+                ..Default::default()
+            }
+            .build::<3>(Curve::Hilbert);
             let mut e = engine(8);
-            let out = treesort_partition(&mut e, distribute_tree(&tree, 8), PartitionOptions::exact());
+            let out =
+                treesort_partition(&mut e, distribute_tree(&tree, 8), PartitionOptions::exact());
             assert_eq!(out.dist.total_len(), tree.len(), "{}", dist.name());
-            assert!(out.report.lambda < 1.1, "{}: λ = {}", dist.name(), out.report.lambda);
+            assert!(
+                out.report.lambda < 1.1,
+                "{}: λ = {}",
+                dist.name(),
+                out.report.lambda
+            );
         }
     }
 
@@ -784,7 +876,10 @@ mod tests {
         let counts = out.dist.counts();
         let cmax = *counts.iter().max().unwrap() as f64;
         let cmin = *counts.iter().min().unwrap() as f64;
-        assert!(cmax / cmin > 2.0, "element counts suspiciously equal: {counts:?}");
+        assert!(
+            cmax / cmin > 2.0,
+            "element counts suspiciously equal: {counts:?}"
+        );
         // Still a permutation in SFC order.
         let mut expected: Vec<KeyedCell<3>> = tree.leaves().to_vec();
         expected.sort_unstable();
@@ -796,7 +891,11 @@ mod tests {
         let tree = mesh(1500, 93, Curve::Morton);
         let p = 6;
         let mut e1 = engine(p);
-        let a = treesort_partition(&mut e1, distribute_tree(&tree, p), PartitionOptions::exact());
+        let a = treesort_partition(
+            &mut e1,
+            distribute_tree(&tree, p),
+            PartitionOptions::exact(),
+        );
         let mut e2 = engine(p);
         let b = treesort_partition_weighted(
             &mut e2,

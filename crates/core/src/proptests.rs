@@ -1,9 +1,7 @@
 //! Property-based tests for the partitioning algorithms.
 
 use crate::optipart::{optipart, OptiPartOptions};
-use crate::partition::{
-    distribute_shuffled, owner_of, treesort_partition, PartitionOptions,
-};
+use crate::partition::{distribute_shuffled, owner_of, treesort_partition, PartitionOptions};
 use crate::samplesort::{samplesort_partition, SampleSortOptions};
 use crate::treesort::treesort;
 use optipart_machine::{AppModel, MachineModel, PerfModel};
@@ -15,7 +13,10 @@ use proptest::prelude::*;
 fn engine(p: usize) -> Engine {
     Engine::new(
         p,
-        PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+        PerfModel::new(
+            MachineModel::cloudlab_wisconsin(),
+            AppModel::laplacian_matvec(),
+        ),
     )
 }
 

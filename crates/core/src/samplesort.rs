@@ -17,10 +17,9 @@ use crate::partition::{
 };
 use optipart_mpisim::{AllToAllAlgo, DistVec, Engine};
 use optipart_sfc::{KeyedCell, SfcKey};
-use serde::{Deserialize, Serialize};
 
 /// Options for the SampleSort baseline.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct SampleSortOptions {
     /// Samples contributed per rank. `None` = the classic `p − 1` (regular
     /// sampling with exact balance guarantees, quadratic total samples).
@@ -31,7 +30,10 @@ pub struct SampleSortOptions {
 
 impl Default for SampleSortOptions {
     fn default() -> Self {
-        SampleSortOptions { samples_per_rank: None, alltoall: AllToAllAlgo::Staged }
+        SampleSortOptions {
+            samples_per_rank: None,
+            alltoall: AllToAllAlgo::Staged,
+        }
     }
 }
 
@@ -125,7 +127,10 @@ mod tests {
     use optipart_sfc::Curve;
 
     fn engine(p: usize) -> Engine {
-        Engine::new(p, PerfModel::new(MachineModel::stampede(), AppModel::laplacian_matvec()))
+        Engine::new(
+            p,
+            PerfModel::new(MachineModel::stampede(), AppModel::laplacian_matvec()),
+        )
     }
 
     #[test]
@@ -133,8 +138,11 @@ mod tests {
         for curve in Curve::ALL {
             let tree = MeshParams::normal(2000, 61).build::<3>(curve);
             let mut e = engine(8);
-            let out =
-                samplesort_partition(&mut e, distribute_tree(&tree, 8), SampleSortOptions::default());
+            let out = samplesort_partition(
+                &mut e,
+                distribute_tree(&tree, 8),
+                SampleSortOptions::default(),
+            );
             let mut expected: Vec<KeyedCell<3>> = tree.leaves().to_vec();
             expected.sort_unstable();
             assert_eq!(out.dist.concat(), expected, "{curve}");
@@ -145,8 +153,11 @@ mod tests {
     fn samplesort_is_roughly_balanced() {
         let tree = MeshParams::normal(8000, 67).build::<3>(Curve::Morton);
         let mut e = engine(16);
-        let out =
-            samplesort_partition(&mut e, distribute_tree(&tree, 16), SampleSortOptions::default());
+        let out = samplesort_partition(
+            &mut e,
+            distribute_tree(&tree, 16),
+            SampleSortOptions::default(),
+        );
         // Regular sampling bounds the partition size by ~2 N/p.
         assert!(out.report.lambda < 3.0, "λ = {}", out.report.lambda);
         assert_eq!(out.dist.total_len(), tree.len());
@@ -158,16 +169,26 @@ mod tests {
         let tree = MeshParams::normal(4000, 71).build::<3>(Curve::Morton);
         let t_small = {
             let mut e = engine(4);
-            let _ = samplesort_partition(&mut e, distribute_tree(&tree, 4), SampleSortOptions::default());
+            let _ = samplesort_partition(
+                &mut e,
+                distribute_tree(&tree, 4),
+                SampleSortOptions::default(),
+            );
             e.stats().phase_time(PHASE_SPLITTER)
         };
         let t_large = {
             let mut e = engine(64);
-            let _ =
-                samplesort_partition(&mut e, distribute_tree(&tree, 64), SampleSortOptions::default());
+            let _ = samplesort_partition(
+                &mut e,
+                distribute_tree(&tree, 64),
+                SampleSortOptions::default(),
+            );
             e.stats().phase_time(PHASE_SPLITTER)
         };
-        assert!(t_large > t_small * 4.0, "small {t_small:e} vs large {t_large:e}");
+        assert!(
+            t_large > t_small * 4.0,
+            "small {t_small:e} vs large {t_large:e}"
+        );
     }
 
     #[test]
@@ -177,7 +198,10 @@ mod tests {
         let out = samplesort_partition(
             &mut e,
             distribute_tree(&tree, 8),
-            SampleSortOptions { samples_per_rank: Some(4), ..Default::default() },
+            SampleSortOptions {
+                samples_per_rank: Some(4),
+                ..Default::default()
+            },
         );
         assert_eq!(out.dist.total_len(), tree.len());
         let mut expected: Vec<KeyedCell<3>> = tree.leaves().to_vec();
@@ -189,8 +213,11 @@ mod tests {
     fn single_rank_samplesort() {
         let tree = MeshParams::normal(400, 79).build::<3>(Curve::Hilbert);
         let mut e = engine(1);
-        let out =
-            samplesort_partition(&mut e, distribute_tree(&tree, 1), SampleSortOptions::default());
+        let out = samplesort_partition(
+            &mut e,
+            distribute_tree(&tree, 1),
+            SampleSortOptions::default(),
+        );
         assert_eq!(out.dist.total_len(), tree.len());
     }
 }

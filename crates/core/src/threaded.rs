@@ -90,11 +90,7 @@ mod tests {
                 let parts = input.into_parts();
                 let results = threaded::run(p, |comm| {
                     let local = parts[comm.rank()].clone();
-                    threaded_treesort_partition(
-                        comm,
-                        local,
-                        PartitionOptions::with_tolerance(tol),
-                    )
+                    threaded_treesort_partition(comm, local, PartitionOptions::with_tolerance(tol))
                 });
 
                 for (r, (mine, splitters)) in results.into_iter().enumerate() {
@@ -118,12 +114,8 @@ mod tests {
         let p = 4;
         let parts = distribute_shuffled(&tree, p, 3).into_parts();
         let results = threaded::run(p, |comm| {
-            threaded_treesort_partition(
-                comm,
-                parts[comm.rank()].clone(),
-                PartitionOptions::exact(),
-            )
-            .0
+            threaded_treesort_partition(comm, parts[comm.rank()].clone(), PartitionOptions::exact())
+                .0
         });
         let flat: Vec<_> = results.into_iter().flatten().collect();
         let mut expected: Vec<_> = tree.leaves().to_vec();

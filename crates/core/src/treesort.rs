@@ -102,18 +102,16 @@ pub fn bucket_offsets_at_level<const D: usize>(sorted: &[KeyedCell<D>], level: u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use optipart_octree::{sample_points, tree_from_points};
+    use optipart_mpisim::rng::SplitMix64;
     use optipart_octree::generate::Distribution;
+    use optipart_octree::{sample_points, tree_from_points};
     use optipart_sfc::{Cell3, Curve, KeyedCell};
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
 
     fn shuffled_mesh(n: usize, seed: u64, curve: Curve) -> Vec<KeyedCell<3>> {
         let pts = sample_points::<3>(Distribution::Normal, n, seed);
         let tree = tree_from_points(&pts, 1, 12, curve);
         let mut cells: Vec<KeyedCell<3>> = tree.leaves().to_vec();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDEAD);
-        cells.shuffle(&mut rng);
+        SplitMix64::new(seed ^ 0xDEAD).shuffle(&mut cells);
         cells
     }
 

@@ -1,0 +1,237 @@
+//! A minimal, dependency-free stand-in for the `criterion` bench harness.
+//!
+//! The workspace builds with **no network or registry access** (see
+//! DESIGN.md, "Offline dependency policy"), so the real criterion crate
+//! cannot be fetched. This shim implements exactly the API surface the
+//! `optipart-bench` benches use — groups, throughput, parameterised ids,
+//! `Bencher::iter` — with plain `std::time::Instant` timing and plain-text
+//! reporting. Numbers from it are honest wall-clock means, but without
+//! criterion's outlier rejection or statistical machinery; swap the
+//! workspace `criterion` entry back to crates.io when a vendored copy is
+//! available and everything compiles unchanged.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group (reported per-iteration).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (for groups benchmarking one function over a
+    /// parameter sweep).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion accepted by `bench_function` — plain strings or full ids.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Passed to the closure under measurement.
+pub struct Bencher {
+    samples: usize,
+    last_mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`: a few warm-up runs, then `samples` timed runs.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..2 {
+            std::hint::black_box(routine());
+        }
+        let t0 = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.last_mean = t0.elapsed() / self.samples as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<ID: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: ID,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        self.report(&id.id, b.last_mean);
+        self
+    }
+
+    /// Runs one benchmark receiving a borrowed input.
+    pub fn bench_with_input<ID: IntoBenchmarkId, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: ID,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b, input);
+        self.report(&id.id, b.last_mean);
+        self
+    }
+
+    fn report(&self, id: &str, mean: Duration) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                format!("  {:.1} Melem/s", n as f64 / mean.as_secs_f64() / 1e6)
+            }
+            Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                format!(
+                    "  {:.1} MiB/s",
+                    n as f64 / mean.as_secs_f64() / (1 << 20) as f64
+                )
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: mean {mean:.2?}{rate}", self.name);
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: 10,
+            last_mean: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("{name}: mean {:.2?}", b.last_mean);
+        self
+    }
+}
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// Declares a group of bench functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        g.bench_function(BenchmarkId::new("count", 100), |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        g.finish();
+        assert!(ran >= 3, "routine must run at least the sampled iterations");
+    }
+}

@@ -16,16 +16,13 @@
 
 use crate::mesh::DistMesh;
 use optipart_core::optipart::{optipart, OptiPartOptions};
-use optipart_core::partition::{
-    owner_of, treesort_partition, PartitionOptions, PartitionOutcome,
-};
+use optipart_core::partition::{owner_of, treesort_partition, PartitionOptions, PartitionOutcome};
 use optipart_mpisim::{DistVec, Engine};
 use optipart_octree::LinearTree;
 use optipart_sfc::{Cell, Curve, KeyedCell, SfcKey, MAX_DEPTH};
-use serde::{Deserialize, Serialize};
 
 /// Repartitioning strategy per step.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum Strategy {
     /// Conventional equal-work SFC partitioning (tolerance 0).
     EqualWork,
@@ -50,7 +47,7 @@ impl Strategy {
 }
 
 /// Configuration of an AMR run.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct AmrConfig {
     /// Time steps (front positions).
     pub steps: usize,
@@ -77,7 +74,7 @@ impl Default for AmrConfig {
 }
 
 /// Per-step measurements.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AmrStep {
     /// Step index.
     pub step: usize,
@@ -92,7 +89,7 @@ pub struct AmrStep {
 }
 
 /// Whole-run report.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct AmrReport {
     /// Per-step data.
     pub steps: Vec<AmrStep>,
@@ -107,11 +104,7 @@ pub struct AmrReport {
 /// The refinement front at step `t`: a sphere orbiting the cube centre.
 fn front_center(t: usize, steps: usize) -> [f64; 3] {
     let phase = t as f64 / steps.max(1) as f64 * std::f64::consts::TAU;
-    [
-        0.5 + 0.22 * phase.cos(),
-        0.5 + 0.22 * phase.sin(),
-        0.5,
-    ]
+    [0.5 + 0.22 * phase.cos(), 0.5 + 0.22 * phase.sin(), 0.5]
 }
 
 /// Builds the step-`t` mesh: refined in a shell around the moving front.
@@ -121,12 +114,8 @@ pub fn step_mesh(t: usize, cfg: &AmrConfig) -> LinearTree<3> {
     LinearTree::root(cfg.curve).refine_where(
         |cell: &Cell<3>| {
             let ctr = cell.center_unit();
-            let d = (0..3)
-                .map(|k| (ctr[k] - c[k]).powi(2))
-                .sum::<f64>()
-                .sqrt();
-            let half_diag =
-                3f64.sqrt() * 0.5 * cell.side() as f64 / (1u64 << MAX_DEPTH) as f64;
+            let d = (0..3).map(|k| (ctr[k] - c[k]).powi(2)).sum::<f64>().sqrt();
+            let half_diag = 3f64.sqrt() * 0.5 * cell.side() as f64 / (1u64 << MAX_DEPTH) as f64;
             (d - radius).abs() <= half_diag * 1.5
         },
         cfg.max_level,
@@ -162,15 +151,11 @@ pub fn amr_simulation(engine: &mut Engine, cfg: &AmrConfig) -> AmrReport {
 
         // Repartition; migration = elements that change rank.
         let out: PartitionOutcome<3> = match cfg.strategy {
-            Strategy::EqualWork => {
-                treesort_partition(engine, input, PartitionOptions::exact())
-            }
+            Strategy::EqualWork => treesort_partition(engine, input, PartitionOptions::exact()),
             Strategy::Tolerance(tol) => {
                 treesort_partition(engine, input, PartitionOptions::with_tolerance(tol))
             }
-            Strategy::OptiPart => {
-                optipart(engine, input, OptiPartOptions::for_curve(cfg.curve))
-            }
+            Strategy::OptiPart => optipart(engine, input, OptiPartOptions::for_curve(cfg.curve)),
             Strategy::OptiPartLatencyAware => optipart(
                 engine,
                 input,
@@ -234,7 +219,11 @@ fn run_matvec_experiment_nonreset<const D: usize>(
 ) -> (u64,) {
     use crate::matvec::laplacian_matvec;
     let mut x = DistVec::from_parts(
-        mesh.cells.counts().iter().map(|&c| vec![1.0f64; c]).collect(),
+        mesh.cells
+            .counts()
+            .iter()
+            .map(|&c| vec![1.0f64; c])
+            .collect(),
     );
     let mut ghosts = 0u64;
     for _ in 0..iters {
@@ -253,13 +242,21 @@ mod tests {
     fn engine(p: usize) -> Engine {
         Engine::new(
             p,
-            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+            PerfModel::new(
+                MachineModel::cloudlab_wisconsin(),
+                AppModel::laplacian_matvec(),
+            ),
         )
     }
 
     #[test]
     fn amr_loop_runs_and_tracks_migration() {
-        let cfg = AmrConfig { steps: 4, max_level: 4, matvecs_per_step: 3, ..Default::default() };
+        let cfg = AmrConfig {
+            steps: 4,
+            max_level: 4,
+            matvecs_per_step: 3,
+            ..Default::default()
+        };
         let mut e = engine(8);
         let rep = amr_simulation(&mut e, &cfg);
         assert_eq!(rep.steps.len(), 4);
@@ -283,17 +280,19 @@ mod tests {
         let b = step_mesh(cfg.steps / 2, &cfg);
         assert!(a.is_complete());
         assert!(b.is_complete());
-        let cells_a: std::collections::HashSet<_> =
-            a.leaves().iter().map(|kc| kc.cell).collect();
-        let cells_b: std::collections::HashSet<_> =
-            b.leaves().iter().map(|kc| kc.cell).collect();
+        let cells_a: std::collections::HashSet<_> = a.leaves().iter().map(|kc| kc.cell).collect();
+        let cells_b: std::collections::HashSet<_> = b.leaves().iter().map(|kc| kc.cell).collect();
         assert_ne!(cells_a, cells_b, "the refinement front must move");
     }
 
     #[test]
     fn strategies_produce_same_meshes_different_partitions() {
         let mut cfgs = vec![];
-        for strategy in [Strategy::EqualWork, Strategy::Tolerance(0.3), Strategy::OptiPart] {
+        for strategy in [
+            Strategy::EqualWork,
+            Strategy::Tolerance(0.3),
+            Strategy::OptiPart,
+        ] {
             cfgs.push(AmrConfig {
                 steps: 3,
                 max_level: 4,
@@ -315,9 +314,7 @@ mod tests {
             assert!(reports.iter().all(|r| r.steps[step].elements == n0));
         }
         // Tolerance strategy tolerates more imbalance than equal-work.
-        let max_lambda = |r: &AmrReport| {
-            r.steps.iter().map(|s| s.lambda).fold(1.0f64, f64::max)
-        };
+        let max_lambda = |r: &AmrReport| r.steps.iter().map(|s| s.lambda).fold(1.0f64, f64::max);
         assert!(max_lambda(&reports[1]) >= max_lambda(&reports[0]) - 1e-9);
     }
 }

@@ -5,10 +5,9 @@ use crate::matvec::laplacian_matvec;
 use crate::mesh::DistMesh;
 use optipart_machine::EnergyReport;
 use optipart_mpisim::{DistVec, Engine};
-use serde::{Deserialize, Serialize};
 
 /// Results of one matvec experiment.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct MatvecExperiment {
     /// Iterations run (the paper uses 100).
     pub iterations: usize,
@@ -22,6 +21,13 @@ pub struct MatvecExperiment {
     pub comm_nnz: Option<usize>,
     /// Total bytes over the network.
     pub bytes_total: u64,
+    /// Per-rank virtual clocks at the end of the loop — `seconds` is their
+    /// maximum. Under an injected fault plan the spread between ranks shows
+    /// who straggled; on a clean machine matvec's trailing collective leaves
+    /// them (nearly) equal.
+    pub rank_clocks: Vec<f64>,
+    /// Transient-failure retries charged during the loop (0 without faults).
+    pub retries: u64,
 }
 
 /// Runs `iterations` Laplacian matvecs (`y ← A x; x ← y/‖y‖∞`-ish chain,
@@ -84,6 +90,8 @@ pub fn run_matvec_experiment<const D: usize>(
         ghost_elements,
         comm_nnz: engine.comm_matrix().map(|m| m.nnz()),
         bytes_total: engine.stats().bytes_total,
+        rank_clocks: engine.clocks().to_vec(),
+        retries: engine.stats().retries_total,
     }
 }
 
@@ -99,7 +107,10 @@ mod tests {
     fn engine(p: usize) -> Engine {
         Engine::new(
             p,
-            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+            PerfModel::new(
+                MachineModel::cloudlab_wisconsin(),
+                AppModel::laplacian_matvec(),
+            ),
         )
         .record_comm_matrix()
     }
@@ -136,7 +147,10 @@ mod tests {
         let time_ratio = r2.seconds / r1.seconds;
         let energy_ratio = r2.energy.total_j / r1.energy.total_j;
         assert!((time_ratio - 2.0).abs() < 0.3, "time ratio {time_ratio}");
-        assert!((energy_ratio - 2.0).abs() < 0.3, "energy ratio {energy_ratio}");
+        assert!(
+            (energy_ratio - 2.0).abs() < 0.3,
+            "energy ratio {energy_ratio}"
+        );
     }
 
     #[test]
@@ -147,13 +161,20 @@ mod tests {
         let p = 16;
 
         let mut e1 = engine(p);
-        let exact =
-            treesort_partition(&mut e1, distribute_tree(&tree, p), PartitionOptions::exact());
+        let exact = treesort_partition(
+            &mut e1,
+            distribute_tree(&tree, p),
+            PartitionOptions::exact(),
+        );
         let mesh1 = DistMesh::build(&mut e1, exact.dist, Curve::Hilbert);
         let t_exact = run_matvec_experiment(&mut e1, &mesh1, 20).seconds;
 
         let mut e2 = engine(p);
-        let opti = optipart(&mut e2, distribute_tree(&tree, p), OptiPartOptions::default());
+        let opti = optipart(
+            &mut e2,
+            distribute_tree(&tree, p),
+            OptiPartOptions::default(),
+        );
         let mesh2 = DistMesh::build(&mut e2, opti.dist, Curve::Hilbert);
         let t_opti = run_matvec_experiment(&mut e2, &mesh2, 20).seconds;
 

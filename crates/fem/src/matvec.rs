@@ -2,7 +2,6 @@
 
 use crate::mesh::{DistMesh, Slot};
 use optipart_mpisim::{AllToAllAlgo, DistVec, Engine};
-use serde::{Deserialize, Serialize};
 
 /// Phase label for the halo exchange (communication share of the matvec).
 pub const PHASE_GHOST: &str = "matvec_ghost";
@@ -10,7 +9,7 @@ pub const PHASE_GHOST: &str = "matvec_ghost";
 pub const PHASE_STENCIL: &str = "matvec_stencil";
 
 /// Traffic summary of one matvec.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct MatvecStats {
     /// Ghost values moved (elements).
     pub ghost_elements: u64,
@@ -56,8 +55,9 @@ pub fn laplacian_matvec<const D: usize>(
         .iter()
         .flat_map(|rows| rows.iter().map(|(_, v)| v.len() as u64))
         .sum();
-    let recv =
-        engine.phase(PHASE_GHOST, |e| e.alltoallv_sparse(send_rows, AllToAllAlgo::Direct));
+    let recv = engine.phase(PHASE_GHOST, |e| {
+        e.alltoallv_sparse(send_rows, AllToAllAlgo::Direct)
+    });
 
     // Assemble ghost arrays per rank: both `recv[r]` and `recv_from` are
     // sorted by the peer's rank, and owners reply with exactly the
@@ -98,7 +98,10 @@ pub fn laplacian_matvec<const D: usize>(
         })
     });
 
-    let stats = MatvecStats { ghost_elements, seconds: engine.makespan() - t0 };
+    let stats = MatvecStats {
+        ghost_elements,
+        seconds: engine.makespan() - t0,
+    };
     (DistVec::from_parts(ys), stats)
 }
 
@@ -143,16 +146,15 @@ mod tests {
     fn engine(p: usize) -> Engine {
         Engine::new(
             p,
-            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+            PerfModel::new(
+                MachineModel::cloudlab_wisconsin(),
+                AppModel::laplacian_matvec(),
+            ),
         )
         .record_comm_matrix()
     }
 
-    fn build_mesh(
-        tree: &LinearTree<3>,
-        p: usize,
-        tol: f64,
-    ) -> (Engine, DistMesh<3>) {
+    fn build_mesh(tree: &LinearTree<3>, p: usize, tol: f64) -> (Engine, DistMesh<3>) {
         let mut e = engine(p);
         let out = treesort_partition(
             &mut e,
@@ -173,9 +175,8 @@ mod tests {
         // boundary κ of cell i. Interior cells give exactly 0.
         let tree = uniform_tree(2);
         let (mut e, mesh) = build_mesh(&tree, 4, 0.0);
-        let mut x = DistVec::from_parts(
-            mesh.cells.counts().iter().map(|&c| vec![1.0; c]).collect(),
-        );
+        let mut x =
+            DistVec::from_parts(mesh.cells.counts().iter().map(|&c| vec![1.0; c]).collect());
         let (y, _) = laplacian_matvec(&mut e, &mesh, &mut x);
         for (r, buf) in y.parts().iter().enumerate() {
             for (i, &v) in buf.iter().enumerate() {
@@ -263,9 +264,8 @@ mod tests {
     fn ghost_traffic_positive_and_recorded() {
         let tree = uniform_tree(3);
         let (mut e, mesh) = build_mesh(&tree, 8, 0.0);
-        let mut x = DistVec::from_parts(
-            mesh.cells.counts().iter().map(|&c| vec![1.0; c]).collect(),
-        );
+        let mut x =
+            DistVec::from_parts(mesh.cells.counts().iter().map(|&c| vec![1.0; c]).collect());
         let before = e.stats().bytes_total;
         let (_, stats) = laplacian_matvec(&mut e, &mesh, &mut x);
         assert!(stats.ghost_elements > 0);

@@ -98,10 +98,12 @@ impl<const D: usize> DistMesh<D> {
         // Leaf-aligned splitters: the first key on each rank (empty ranks
         // inherit the next non-empty rank's key).
         let firsts: Vec<Vec<SfcKey>> = engine.compute_map(&mut cells, |_r, buf| {
-            (0.0, buf.first().map(|kc| kc.key).into_iter().collect::<Vec<_>>())
+            (
+                0.0,
+                buf.first().map(|kc| kc.key).into_iter().collect::<Vec<_>>(),
+            )
         });
-        let flat: Vec<Option<SfcKey>> =
-            firsts.iter().map(|v| v.first().copied()).collect();
+        let flat: Vec<Option<SfcKey>> = firsts.iter().map(|v| v.first().copied()).collect();
         let gathered = engine.allgather(
             &flat
                 .iter()
@@ -159,8 +161,8 @@ impl<const D: usize> DistMesh<D> {
                                     // region's whole subtree occupies the
                                     // contiguous path range [key, key+span).
                                     let key = SfcKey::of(&region, curve);
-                                    let span = 1u128
-                                        << ((MAX_DEPTH - region.level()) as u32 * D as u32);
+                                    let span =
+                                        1u128 << ((MAX_DEPTH - region.level()) as u32 * D as u32);
                                     let key_hi =
                                         SfcKey::from_parts(key.path() + (span - 1), u8::MAX);
                                     let fully_local = lo_r <= key && key_hi < hi_r;
@@ -179,7 +181,10 @@ impl<const D: usize> DistMesh<D> {
                                             let owner = crate::mesh::owner_of(&sp, &key);
                                             probes.push((
                                                 owner,
-                                                Probe { point: pt, src_cell: i as u32 },
+                                                Probe {
+                                                    point: pt,
+                                                    src_cell: i as u32,
+                                                },
                                             ));
                                         }
                                     }
@@ -207,44 +212,41 @@ impl<const D: usize> DistMesh<D> {
         }
 
         // ---- Phase 2: ship probes, resolve, reply ------------------------
-        let recv_probes = engine.alltoallv_sparse(probe_rows, AllToAllAlgo::Staged);
+        let mut recv_probes = engine.alltoallv_sparse(probe_rows, AllToAllAlgo::Staged);
         // recv_probes[owner] : (src, probes) pairs for `owner` to resolve.
         let reply_rows: Vec<Vec<(usize, Vec<Resolved<D>>)>> = {
             // Resolve in parallel per owner (read-only on cells).
             let cells_ref = &cells;
-            use rayon::prelude::*;
-            recv_probes
-                .into_par_iter()
-                .enumerate()
-                .map(|(owner, rows)| {
-                    let buf = cells_ref.rank(owner);
-                    rows.into_iter()
-                        .map(|(src, probes)| {
-                            let resolved = probes
-                                .into_iter()
-                                .filter_map(|pr| {
-                                    let cell = Cell::<D>::from_point(pr.point);
-                                    let key = SfcKey::of(&cell, curve);
-                                    let idx = buf.partition_point(|kc| kc.key <= key);
-                                    if idx == 0 {
-                                        return None;
-                                    }
-                                    let leaf = buf[idx - 1];
-                                    if !leaf.cell.contains_point(pr.point) {
-                                        return None;
-                                    }
-                                    Some(Resolved {
-                                        src_cell: pr.src_cell,
-                                        leaf_idx: (idx - 1) as u32,
-                                        leaf: leaf.cell,
-                                    })
+            use optipart_mpisim::par;
+            par::par_map_mut(&mut recv_probes, |owner, rows| {
+                let rows = std::mem::take(rows);
+                let buf = cells_ref.rank(owner);
+                rows.into_iter()
+                    .map(|(src, probes)| {
+                        let resolved = probes
+                            .into_iter()
+                            .filter_map(|pr| {
+                                let cell = Cell::<D>::from_point(pr.point);
+                                let key = SfcKey::of(&cell, curve);
+                                let idx = buf.partition_point(|kc| kc.key <= key);
+                                if idx == 0 {
+                                    return None;
+                                }
+                                let leaf = buf[idx - 1];
+                                if !leaf.cell.contains_point(pr.point) {
+                                    return None;
+                                }
+                                Some(Resolved {
+                                    src_cell: pr.src_cell,
+                                    leaf_idx: (idx - 1) as u32,
+                                    leaf: leaf.cell,
                                 })
-                                .collect();
-                            (src, resolved)
-                        })
-                        .collect()
-                })
-                .collect()
+                            })
+                            .collect();
+                        (src, resolved)
+                    })
+                    .collect()
+            })
         };
         let replies = engine.alltoallv_sparse(reply_rows, AllToAllAlgo::Staged);
         // replies[requester] : (owner, resolved ghosts) pairs, sorted by owner.
@@ -317,10 +319,8 @@ impl<const D: usize> DistMesh<D> {
         }
 
         // ---- Phase 4: exchange request lists to build send lists ---------
-        let req_rows: Vec<Vec<(usize, Vec<u32>)>> = locals
-            .iter()
-            .map(|local| local.recv_from.clone())
-            .collect();
+        let req_rows: Vec<Vec<(usize, Vec<u32>)>> =
+            locals.iter().map(|local| local.recv_from.clone()).collect();
         let recv_reqs = engine.alltoallv_sparse(req_rows, AllToAllAlgo::Staged);
         for (owner, rows) in recv_reqs.into_iter().enumerate() {
             // Already sorted by requester rank; self/empty never occur.
@@ -330,7 +330,12 @@ impl<const D: usize> DistMesh<D> {
                 .collect();
         }
 
-        DistMesh { curve, cells, splitters, locals }
+        DistMesh {
+            curve,
+            cells,
+            splitters,
+            locals,
+        }
     }
 }
 
@@ -347,10 +352,7 @@ pub(crate) fn kappa<const D: usize>(a: &Cell<D>, b: &Cell<D>) -> f64 {
     let area = a.shared_face_area(b) as f64 / h.powi(D as i32 - 1);
     let ca = a.center_unit();
     let cb = b.center_unit();
-    let dist: f64 = (0..D)
-        .map(|d| (ca[d] - cb[d]).powi(2))
-        .sum::<f64>()
-        .sqrt();
+    let dist: f64 = (0..D).map(|d| (ca[d] - cb[d]).powi(2)).sum::<f64>().sqrt();
     area / dist.max(f64::MIN_POSITIVE)
 }
 
@@ -365,11 +367,7 @@ pub(crate) fn boundary_kappa<const D: usize>(c: &Cell<D>) -> f64 {
 /// Sample points just inside `region` adjacent to the face it shares with
 /// the probing cell: the centres of the `2^(D-1)` level-`l+1` subcells on
 /// that face (all face neighbours of a 2:1-balanced mesh contain one).
-fn face_probes<const D: usize>(
-    region: &Cell<D>,
-    axis: usize,
-    dir: i8,
-) -> Vec<[u32; D]> {
+fn face_probes<const D: usize>(region: &Cell<D>, axis: usize, dir: i8) -> Vec<[u32; D]> {
     let side = region.side();
     let anchor = region.anchor();
     if side < 4 {

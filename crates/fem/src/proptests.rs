@@ -14,7 +14,10 @@ use proptest::prelude::*;
 fn engine(p: usize) -> Engine {
     Engine::new(
         p,
-        PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+        PerfModel::new(
+            MachineModel::cloudlab_wisconsin(),
+            AppModel::laplacian_matvec(),
+        ),
     )
 }
 

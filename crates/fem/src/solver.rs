@@ -9,10 +9,9 @@
 use crate::matvec::{axpy, dot, laplacian_matvec, norm2};
 use crate::mesh::DistMesh;
 use optipart_mpisim::{DistVec, Engine};
-use serde::{Deserialize, Serialize};
 
 /// Convergence report of a CG solve.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CgReport {
     /// Iterations performed (= matvecs).
     pub iterations: usize,
@@ -87,10 +86,12 @@ mod tests {
     fn setup(tree: &LinearTree<3>, p: usize) -> (Engine, DistMesh<3>) {
         let mut e = Engine::new(
             p,
-            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+            PerfModel::new(
+                MachineModel::cloudlab_wisconsin(),
+                AppModel::laplacian_matvec(),
+            ),
         );
-        let out =
-            treesort_partition(&mut e, distribute_tree(tree, p), PartitionOptions::exact());
+        let out = treesort_partition(&mut e, distribute_tree(tree, p), PartitionOptions::exact());
         let mesh = DistMesh::build(&mut e, out.dist, tree.curve());
         (e, mesh)
     }
@@ -105,7 +106,11 @@ mod tests {
         let (mut e, mesh) = setup(&tree, 4);
         let b = ones(&mesh);
         let (x, rep) = cg_solve(&mut e, &mesh, &b, 1e-8, 500);
-        assert!(rep.converged, "CG must converge: residual {}", rep.rel_residual);
+        assert!(
+            rep.converged,
+            "CG must converge: residual {}",
+            rep.rel_residual
+        );
         // Residual check: ‖Ax − b‖ small.
         let mut xs = x;
         let (ax, _) = laplacian_matvec(&mut e, &mesh, &mut xs);
@@ -144,14 +149,14 @@ mod tests {
             let (x, rep) = cg_solve(&mut e, &mesh, &b, 1e-9, 1000);
             assert!(rep.converged);
             // Global max of the solution as a partition-independent scalar.
-            x.parts()
-                .iter()
-                .flatten()
-                .fold(0.0f64, |m, &v| m.max(v))
+            x.parts().iter().flatten().fold(0.0f64, |m, &v| m.max(v))
         };
         let a = solve(1);
         let b = solve(5);
-        assert!((a - b).abs() <= 1e-6 * a.abs(), "p=1 max {a} vs p=5 max {b}");
+        assert!(
+            (a - b).abs() <= 1e-6 * a.abs(),
+            "p=1 max {a} vs p=5 max {b}"
+        );
     }
 
     #[test]

@@ -14,10 +14,8 @@
 //! and the communication energy is proportional to the data moved — which
 //! OptiPart minimises.
 
-use serde::{Deserialize, Serialize};
-
 /// Power envelope of one node.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct NodePower {
     /// Power drawn by an idle (but powered) node, Watts.
     pub idle_w: f64,
@@ -36,7 +34,7 @@ impl NodePower {
 }
 
 /// What a rank was doing during an interval.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ActivityKind {
     /// Local computation: draws dynamic core power.
     Compute,
@@ -45,7 +43,7 @@ pub enum ActivityKind {
 }
 
 /// One activity interval of one rank, in simulated seconds.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Interval {
     /// Owning rank.
     pub rank: usize,
@@ -64,7 +62,7 @@ pub struct Interval {
 /// Gaps between a rank's intervals are idle/wait time — the rank still draws
 /// its share of node idle power, which is how load imbalance shows up as
 /// wasted energy.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct PowerTrace {
     /// Busy intervals, in no particular order.
     pub intervals: Vec<Interval>,
@@ -86,13 +84,7 @@ impl PowerTrace {
     /// Communication intervals draw a fraction of dynamic power (the core is
     /// mostly stalled in the network stack) plus their NIC energy amortised
     /// over the interval.
-    pub fn power_at(
-        &self,
-        node: usize,
-        t: f64,
-        power: &NodePower,
-        ranks_per_node: usize,
-    ) -> f64 {
+    pub fn power_at(&self, node: usize, t: f64, power: &NodePower, ranks_per_node: usize) -> f64 {
         if t > self.makespan {
             return 0.0; // job finished; node handed back
         }
@@ -132,8 +124,8 @@ impl PowerTrace {
             let j = match iv.kind {
                 ActivityKind::Compute => dyn_w * dur,
                 ActivityKind::Communication => {
-                    let j = COMM_CORE_FRACTION * dyn_w * dur
-                        + iv.bytes as f64 * power.nic_j_per_byte;
+                    let j =
+                        COMM_CORE_FRACTION * dyn_w * dur + iv.bytes as f64 * power.nic_j_per_byte;
                     comm_j += j;
                     j
                 }
@@ -141,7 +133,12 @@ impl PowerTrace {
             per_node[node] += j;
         }
         let total: f64 = per_node.iter().sum();
-        EnergyReport { per_node_j: per_node, total_j: total, comm_j, makespan_s: self.makespan }
+        EnergyReport {
+            per_node_j: per_node,
+            total_j: total,
+            comm_j,
+            makespan_s: self.makespan,
+        }
     }
 }
 
@@ -205,7 +202,7 @@ impl IpmiSampler {
 /// Per-job energy estimate (§4.1: "per-job energy consumption estimates (in
 /// Joules) ... In addition to the total job consumption, we estimated the
 /// amount of energy consumed during the communication phase").
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct EnergyReport {
     /// Energy per node, Joules (Fig. 9's per-node bars).
     pub per_node_j: Vec<f64>,
@@ -222,15 +219,31 @@ mod tests {
     use super::*;
 
     fn power() -> NodePower {
-        NodePower { idle_w: 100.0, peak_w: 300.0, nic_j_per_byte: 1e-9 }
+        NodePower {
+            idle_w: 100.0,
+            peak_w: 300.0,
+            nic_j_per_byte: 1e-9,
+        }
     }
 
     fn simple_trace() -> PowerTrace {
         let mut t = PowerTrace::default();
         // Two ranks on one node (ranks_per_node = 2): rank 0 computes for
         // 10 s, rank 1 for 4 s then waits.
-        t.push(Interval { rank: 0, t0: 0.0, t1: 10.0, kind: ActivityKind::Compute, bytes: 0 });
-        t.push(Interval { rank: 1, t0: 0.0, t1: 4.0, kind: ActivityKind::Compute, bytes: 0 });
+        t.push(Interval {
+            rank: 0,
+            t0: 0.0,
+            t1: 10.0,
+            kind: ActivityKind::Compute,
+            bytes: 0,
+        });
+        t.push(Interval {
+            rank: 1,
+            t0: 0.0,
+            t1: 4.0,
+            kind: ActivityKind::Compute,
+            bytes: 0,
+        });
         t
     }
 
@@ -248,8 +261,20 @@ mod tests {
     fn imbalance_wastes_energy() {
         // Balanced: both ranks compute 7 s (same total work, makespan 7).
         let mut balanced = PowerTrace::default();
-        balanced.push(Interval { rank: 0, t0: 0.0, t1: 7.0, kind: ActivityKind::Compute, bytes: 0 });
-        balanced.push(Interval { rank: 1, t0: 0.0, t1: 7.0, kind: ActivityKind::Compute, bytes: 0 });
+        balanced.push(Interval {
+            rank: 0,
+            t0: 0.0,
+            t1: 7.0,
+            kind: ActivityKind::Compute,
+            bytes: 0,
+        });
+        balanced.push(Interval {
+            rank: 1,
+            t0: 0.0,
+            t1: 7.0,
+            kind: ActivityKind::Compute,
+            bytes: 0,
+        });
         let eb = balanced.exact_energy(&power(), 2, 1).total_j;
         let ei = simple_trace().exact_energy(&power(), 2, 1).total_j;
         assert!(eb < ei, "balanced {eb} must beat imbalanced {ei}");
@@ -260,7 +285,13 @@ mod tests {
         let p = power();
         let mk = |bytes| {
             let mut t = PowerTrace::default();
-            t.push(Interval { rank: 0, t0: 0.0, t1: 1.0, kind: ActivityKind::Communication, bytes });
+            t.push(Interval {
+                rank: 0,
+                t0: 0.0,
+                t1: 1.0,
+                kind: ActivityKind::Communication,
+                bytes,
+            });
             t.exact_energy(&p, 1, 1)
         };
         let small = mk(1_000_000);
@@ -289,7 +320,13 @@ mod tests {
         // A 0.5 s compute burst: 1 Hz sampling over- or under-counts, but
         // stays within one period × dynamic power.
         let mut t = PowerTrace::default();
-        t.push(Interval { rank: 0, t0: 0.2, t1: 0.7, kind: ActivityKind::Compute, bytes: 0 });
+        t.push(Interval {
+            rank: 0,
+            t0: 0.2,
+            t1: 0.7,
+            kind: ActivityKind::Compute,
+            bytes: 0,
+        });
         let p = power();
         let exact = t.exact_energy(&p, 1, 1).total_j;
         let sampled = IpmiSampler { period_s: 1.0 }.measure(&t, &p, 1, 1).total_j;
@@ -299,7 +336,13 @@ mod tests {
     #[test]
     fn power_at_respects_node_boundaries() {
         let mut t = PowerTrace::default();
-        t.push(Interval { rank: 3, t0: 0.0, t1: 5.0, kind: ActivityKind::Compute, bytes: 0 });
+        t.push(Interval {
+            rank: 3,
+            t0: 0.0,
+            t1: 5.0,
+            kind: ActivityKind::Compute,
+            bytes: 0,
+        });
         let p = power();
         // ranks_per_node = 2 → rank 3 is on node 1.
         assert_eq!(t.power_at(0, 1.0, &p, 2), p.idle_w);

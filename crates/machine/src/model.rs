@@ -1,13 +1,12 @@
 //! Machine and application parameter sets (Table 1 of the paper).
 
 use crate::energy::NodePower;
-use serde::{Deserialize, Serialize};
 
 /// Architectural parameters of a target machine.
 ///
 /// Units follow Table 1: `tc` and `tw` are *slownesses* in seconds per byte
 /// (1 / bandwidth); `ts` is the interconnect latency in seconds.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineModel {
     /// Human-readable machine name.
     pub name: String,
@@ -40,7 +39,11 @@ impl MachineModel {
             ts: 1.5e-6,
             tw: 1.0 / 3.0e9,
             ranks_per_node: 16,
-            power: NodePower { idle_w: 90.0, peak_w: 350.0, nic_j_per_byte: 0.3e-9 },
+            power: NodePower {
+                idle_w: 90.0,
+                peak_w: 350.0,
+                nic_j_per_byte: 0.3e-9,
+            },
         }
     }
 
@@ -56,7 +59,11 @@ impl MachineModel {
             ts: 1.0e-6,
             tw: 1.0 / 4.0e9,
             ranks_per_node: 16,
-            power: NodePower { idle_w: 95.0, peak_w: 345.0, nic_j_per_byte: 0.25e-9 },
+            power: NodePower {
+                idle_w: 95.0,
+                peak_w: 345.0,
+                nic_j_per_byte: 0.25e-9,
+            },
         }
     }
 
@@ -75,7 +82,11 @@ impl MachineModel {
             ts: 25.0e-6,
             tw: 1.0 / 0.04e9, // 1.25 GB/s node NIC / 32 ranks
             ranks_per_node: 32,
-            power: NodePower { idle_w: 105.0, peak_w: 300.0, nic_j_per_byte: 6.0e-9 },
+            power: NodePower {
+                idle_w: 105.0,
+                peak_w: 300.0,
+                nic_j_per_byte: 6.0e-9,
+            },
         }
     }
 
@@ -88,7 +99,11 @@ impl MachineModel {
             ts: 25.0e-6,
             tw: 1.0 / 0.0223e9, // 1.25 GB/s node NIC / 56 ranks
             ranks_per_node: 56,
-            power: NodePower { idle_w: 130.0, peak_w: 380.0, nic_j_per_byte: 6.0e-9 },
+            power: NodePower {
+                idle_w: 130.0,
+                peak_w: 380.0,
+                nic_j_per_byte: 6.0e-9,
+            },
         }
     }
 
@@ -116,7 +131,11 @@ impl MachineModel {
             ts,
             tw,
             ranks_per_node,
-            power: NodePower { idle_w: 100.0, peak_w: 330.0, nic_j_per_byte: 1.0e-9 },
+            power: NodePower {
+                idle_w: 100.0,
+                peak_w: 330.0,
+                nic_j_per_byte: 1.0e-9,
+            },
         }
     }
 
@@ -142,7 +161,7 @@ impl MachineModel {
 }
 
 /// Application parameters of the performance model (§3.3).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AppModel {
     /// Memory accesses performed per unit of work. "If the target
     /// application is a 7-point stencil operation, then α will be ∼ 8."
@@ -156,7 +175,10 @@ impl AppModel {
     /// The paper's test application: an adaptively discretised Laplacian
     /// (7-point-stencil-like) matvec, α ≈ 8, 8-byte doubles.
     pub fn laplacian_matvec() -> Self {
-        AppModel { alpha: 8.0, elem_bytes: 8.0 }
+        AppModel {
+            alpha: 8.0,
+            elem_bytes: 8.0,
+        }
     }
 
     /// A compute-light, communication-heavy kernel (e.g. low-order wave
@@ -165,7 +187,10 @@ impl AppModel {
     /// differently (footnote 1 of the paper: "e.g. for the Poisson equation
     /// vs the wave Equation on the same mesh").
     pub fn wave_matvec() -> Self {
-        AppModel { alpha: 2.0, elem_bytes: 8.0 }
+        AppModel {
+            alpha: 2.0,
+            elem_bytes: 8.0,
+        }
     }
 }
 

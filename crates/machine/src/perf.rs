@@ -2,14 +2,13 @@
 //! §3.1 (Eqs. 1–2).
 
 use crate::model::{AppModel, MachineModel};
-use serde::{Deserialize, Serialize};
 
 /// Performance model binding a machine to an application.
 ///
 /// This is the object OptiPart (Algorithm 3) consults: given a candidate
 /// partition's maximum work `Wmax` and maximum communication `Cmax`, it
 /// predicts the per-iteration runtime of the subsequent computation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PerfModel {
     /// Target machine.
     pub machine: MachineModel,
@@ -74,7 +73,10 @@ mod tests {
     use crate::model::{AppModel, MachineModel};
 
     fn model() -> PerfModel {
-        PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec())
+        PerfModel::new(
+            MachineModel::cloudlab_wisconsin(),
+            AppModel::laplacian_matvec(),
+        )
     }
 
     #[test]
@@ -93,7 +95,10 @@ mod tests {
         let m = model();
         let one_work = m.predict(1, 0);
         let one_comm = m.predict(0, 1);
-        assert!(one_comm > one_work, "comm {one_comm:e} vs work {one_work:e}");
+        assert!(
+            one_comm > one_work,
+            "comm {one_comm:e} vs work {one_work:e}"
+        );
     }
 
     #[test]
@@ -128,7 +133,10 @@ mod tests {
         // 5 units of data-exchange, would still provide savings" when comm is
         // 10x work cost. Reconstruct that contrived example.
         let machine = MachineModel::custom("contrived", 1.0, 0.0, 10.0, 1);
-        let app = AppModel { alpha: 1.0, elem_bytes: 1.0 };
+        let app = AppModel {
+            alpha: 1.0,
+            elem_bytes: 1.0,
+        };
         let m = PerfModel::new(machine, app);
         // 5*10 - 20 = 30 units of savings.
         assert_eq!(m.tradeoff(20, 5), -30.0);

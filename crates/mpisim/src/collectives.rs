@@ -8,10 +8,9 @@
 //! the `tw · N/p` term plus per-message latencies.
 
 use crate::engine::Engine;
-use serde::{Deserialize, Serialize};
 
 /// All-to-all scheduling algorithm.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AllToAllAlgo {
     /// Direct pairwise exchange: one message per non-empty destination.
     /// Latency-bound for large `p` with small payloads.
@@ -29,6 +28,50 @@ pub enum AllToAllAlgo {
 const STAGED_VOLUME_OVERHEAD: f64 = 1.25;
 
 impl Engine {
+    /// Per-rank clock charges of an all-to-all exchange: latency + volume
+    /// cost under the chosen schedule (with the rank's effective `tw`), plus
+    /// deterministic retry-with-backoff when the fault plan makes this
+    /// exchange fail transiently on a rank. Every retry pays the rank's
+    /// transfer cost again after an exponentially growing backoff wait.
+    fn charge_alltoall(
+        &mut self,
+        algo: AllToAllAlgo,
+        send_bytes: &[u64],
+        recv_bytes: &[u64],
+        out_msgs: &[u64],
+        in_msgs: &[u64],
+    ) {
+        let t0 = self.sync_start();
+        let ts = self.perf.machine.ts;
+        let logp = self.log_p();
+        let seq = self.collective_seq;
+        self.collective_seq += 1;
+        let plan = self.faults.as_ref().map(|(plan, _)| plan.clone());
+        for r in 0..self.p {
+            let vol = send_bytes[r].max(recv_bytes[r]) as f64;
+            let base = match algo {
+                AllToAllAlgo::Direct => {
+                    ts * (out_msgs[r] + in_msgs[r]) as f64 + self.effective_tw(r) * vol
+                }
+                AllToAllAlgo::Staged => {
+                    ts * logp + self.effective_tw(r) * vol * STAGED_VOLUME_OVERHEAD
+                }
+            };
+            let mut cost = base;
+            if let Some(plan) = &plan {
+                // Ranks that moved no bytes sent no messages that could
+                // fail.
+                if send_bytes[r] + recv_bytes[r] > 0 {
+                    let retries = plan.retries_for(seq, r);
+                    for k in 0..retries {
+                        cost += plan.backoff_s(k) + base;
+                    }
+                    self.stats.retries_total += retries as u64;
+                }
+            }
+            self.charge_comm(r, t0, cost, send_bytes[r] + recv_bytes[r]);
+        }
+    }
     /// Synchronises all ranks to the maximum clock and returns that time.
     fn sync_start(&mut self) -> f64 {
         let t = self.makespan();
@@ -48,17 +91,20 @@ impl Engine {
     }
 
     /// Generic reduction plumbing: each rank contributes `bytes_per_rank`
-    /// bytes, every rank pays `log p (ts + tw b)`.
+    /// bytes, every rank pays `log p (ts + tw b)` — with `tw` the rank's
+    /// *effective* wire slowness, so link jitter desynchronises completion
+    /// times exactly as a perturbed network would.
     fn charge_tree_collective(&mut self, bytes_per_rank: u64) {
         let t0 = self.sync_start();
-        let m = &self.perf.machine;
-        let cost = self.log_p() * (m.ts + m.tw * bytes_per_rank as f64);
+        let ts = self.perf.machine.ts;
+        let logp = self.log_p();
         self.stats.collectives += 1;
-        let moved = bytes_per_rank * self.p as u64 * self.log_p() as u64;
-        self.stats.msgs_total += self.p as u64 * self.log_p() as u64;
+        let moved = bytes_per_rank * self.p as u64 * logp as u64;
+        self.stats.msgs_total += self.p as u64 * logp as u64;
         self.stats.bytes_total += moved;
         for r in 0..self.p {
-            self.charge_comm(r, t0, cost, bytes_per_rank * self.log_p() as u64);
+            let cost = logp * (ts + self.effective_tw(r) * bytes_per_rank as f64);
+            self.charge_comm(r, t0, cost, bytes_per_rank * logp as u64);
         }
     }
 
@@ -98,7 +144,10 @@ impl Engine {
     pub fn allreduce_sum_vec_u64(&mut self, contribs: &[Vec<u64>]) -> Vec<u64> {
         assert_eq!(contribs.len(), self.p);
         let len = contribs[0].len();
-        assert!(contribs.iter().all(|c| c.len() == len), "ragged contributions");
+        assert!(
+            contribs.iter().all(|c| c.len() == len),
+            "ragged contributions"
+        );
         self.charge_tree_collective(8 * len as u64);
         let mut out = vec![0u64; len];
         for c in contribs {
@@ -113,7 +162,10 @@ impl Engine {
     pub fn allreduce_max_vec_u64(&mut self, contribs: &[Vec<u64>]) -> Vec<u64> {
         assert_eq!(contribs.len(), self.p);
         let len = contribs[0].len();
-        assert!(contribs.iter().all(|c| c.len() == len), "ragged contributions");
+        assert!(
+            contribs.iter().all(|c| c.len() == len),
+            "ragged contributions"
+        );
         self.charge_tree_collective(8 * len as u64);
         let mut out = vec![0u64; len];
         for c in contribs {
@@ -151,12 +203,13 @@ impl Engine {
         let elem = std::mem::size_of::<T>() as u64;
         let total: u64 = contribs.iter().map(|c| c.len() as u64 * elem).sum();
         let t0 = self.sync_start();
-        let m = &self.perf.machine;
-        let cost = self.log_p() * m.ts + m.tw * total as f64;
+        let ts = self.perf.machine.ts;
+        let logp = self.log_p();
         self.stats.collectives += 1;
-        self.stats.msgs_total += self.p as u64 * self.log_p() as u64;
-        self.stats.bytes_total += total * self.log_p() as u64;
+        self.stats.msgs_total += self.p as u64 * logp as u64;
+        self.stats.bytes_total += total * logp as u64;
         for r in 0..self.p {
+            let cost = logp * ts + self.effective_tw(r) * total as f64;
             self.charge_comm(r, t0, cost, total);
         }
         let mut out = Vec::with_capacity((total / elem.max(1)) as usize);
@@ -211,18 +264,15 @@ impl Engine {
             AllToAllAlgo::Staged => p as u64 * self.log_p() as u64,
         };
 
-        // Clock charges.
-        let t0 = self.sync_start();
-        let m = self.perf.machine.clone();
-        let logp = self.log_p();
-        for r in 0..p {
-            let vol = send_bytes[r].max(recv_bytes[r]) as f64;
-            let cost = match algo {
-                AllToAllAlgo::Direct => m.ts * (out_msgs[r] + in_msgs[r]) as f64 + m.tw * vol,
-                AllToAllAlgo::Staged => m.ts * logp + m.tw * vol * STAGED_VOLUME_OVERHEAD,
-            };
-            self.charge_comm(r, t0, cost, send_bytes[r] + recv_bytes[r]);
-        }
+        // Clock charges (+ fault retries).
+        self.charge_alltoall(algo, &send_bytes, &recv_bytes, &out_msgs, &in_msgs);
+
+        // Audit bookkeeping: element counts per (src, dst) before the move.
+        let expected: Option<Vec<Vec<usize>>> = self.audit.then(|| {
+            send.iter()
+                .map(|row| row.iter().map(Vec::len).collect())
+                .collect()
+        });
 
         // Data movement: recv[dst][src] = send[src][dst].
         let mut recv: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -238,7 +288,48 @@ impl Engine {
         for row in &mut recv {
             row.reverse();
         }
+
+        if let Some(expected) = expected {
+            self.audit_alltoallv(&expected, &recv, total_bytes, elem);
+        }
         recv
+    }
+
+    /// Conservation audit for a dense all-to-all: every `(src, dst)` buffer
+    /// arrived with exactly the element count it was sent with (nothing
+    /// lost, nothing duplicated), and the byte total charged to [`RunStats`]
+    /// equals the off-rank bytes actually moved.
+    fn audit_alltoallv<T>(
+        &mut self,
+        expected: &[Vec<usize>],
+        recv: &[Vec<Vec<T>>],
+        charged_bytes: u64,
+        elem: u64,
+    ) {
+        let p = self.p;
+        let mut moved = 0u64;
+        for dst in 0..p {
+            for src in 0..p {
+                let sent = expected[src][dst];
+                let got = recv[dst][src].len();
+                assert!(
+                    got == sent,
+                    "audit: alltoallv #{} lost/duplicated data on link {src}->{dst}: \
+                     sent {sent} elements, received {got}",
+                    self.collective_seq - 1,
+                );
+                if src != dst {
+                    moved += sent as u64 * elem;
+                }
+            }
+        }
+        assert!(
+            moved == charged_bytes,
+            "audit: alltoallv #{} byte accounting mismatch: charged {charged_bytes} B \
+             to stats, buffers moved {moved} B",
+            self.collective_seq - 1,
+        );
+        self.stats.audited_collectives += 1;
     }
 
     /// Sparse `MPI_Alltoallv`: each rank supplies only its non-empty
@@ -287,17 +378,19 @@ impl Engine {
             AllToAllAlgo::Staged => p as u64 * self.log_p() as u64,
         };
 
-        let t0 = self.sync_start();
-        let m = self.perf.machine.clone();
-        let logp = self.log_p();
-        for r in 0..p {
-            let vol = send_bytes[r].max(recv_bytes[r]) as f64;
-            let cost = match algo {
-                AllToAllAlgo::Direct => m.ts * (out_msgs[r] + in_msgs[r]) as f64 + m.tw * vol,
-                AllToAllAlgo::Staged => m.ts * logp + m.tw * vol * STAGED_VOLUME_OVERHEAD,
-            };
-            self.charge_comm(r, t0, cost, send_bytes[r] + recv_bytes[r]);
-        }
+        self.charge_alltoall(algo, &send_bytes, &recv_bytes, &out_msgs, &in_msgs);
+
+        // Audit bookkeeping: sent element count per (src, dst) pair.
+        let expected: Option<std::collections::HashMap<(usize, usize), usize>> =
+            self.audit.then(|| {
+                let mut m = std::collections::HashMap::new();
+                for (src, row) in send.iter().enumerate() {
+                    for (dst, buf) in row {
+                        *m.entry((src, *dst)).or_insert(0) += buf.len();
+                    }
+                }
+                m
+            });
 
         let mut recv: Vec<Vec<(usize, Vec<T>)>> = (0..p).map(|_| Vec::new()).collect();
         for (src, row) in send.into_iter().enumerate() {
@@ -307,6 +400,32 @@ impl Engine {
         }
         for row in &mut recv {
             row.sort_by_key(|(src, _)| *src);
+        }
+
+        if let Some(mut expected) = expected {
+            for (dst, row) in recv.iter().enumerate() {
+                for (src, buf) in row {
+                    let e = expected.get_mut(&(*src, dst));
+                    let sent = e.as_deref().copied().unwrap_or(0);
+                    assert!(
+                        sent >= buf.len(),
+                        "audit: alltoallv_sparse #{} duplicated data on link {src}->{dst}: \
+                         sent {sent} elements, received {}",
+                        self.collective_seq - 1,
+                        buf.len(),
+                    );
+                    *e.expect("audited above") -= buf.len();
+                }
+            }
+            let lost: usize = expected.values().sum();
+            assert!(
+                lost == 0,
+                "audit: alltoallv_sparse #{} lost {lost} elements \
+                 (per-link leftovers: {:?})",
+                self.collective_seq - 1,
+                expected.iter().filter(|(_, &v)| v > 0).collect::<Vec<_>>(),
+            );
+            self.stats.audited_collectives += 1;
         }
         recv
     }
@@ -352,7 +471,10 @@ mod tests {
     use optipart_machine::{AppModel, MachineModel, PerfModel};
 
     fn engine(p: usize) -> Engine {
-        Engine::new(p, PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()))
+        Engine::new(
+            p,
+            PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
+        )
     }
 
     #[test]
@@ -417,7 +539,9 @@ mod tests {
         // 126 latencies per rank, Staged pays log2(64)=6.
         let p = 64;
         let make_send = || -> Vec<Vec<Vec<u64>>> {
-            (0..p).map(|_| (0..p).map(|_| vec![1u64]).collect()).collect()
+            (0..p)
+                .map(|_| (0..p).map(|_| vec![1u64]).collect())
+                .collect()
         };
         let mut e1 = engine(p);
         let _ = e1.alltoallv(make_send(), AllToAllAlgo::Direct);
@@ -431,7 +555,10 @@ mod tests {
         // Two ranks exchanging big buffers: staging only adds volume.
         let p = 2;
         let make_send = || -> Vec<Vec<Vec<u64>>> {
-            vec![vec![vec![], vec![0u64; 100_000]], vec![vec![0u64; 100_000], vec![]]]
+            vec![
+                vec![vec![], vec![0u64; 100_000]],
+                vec![vec![0u64; 100_000], vec![]],
+            ]
         };
         let mut e1 = engine(p);
         let _ = e1.alltoallv(make_send(), AllToAllAlgo::Direct);
@@ -489,5 +616,144 @@ mod tests {
         assert_eq!(e.allreduce_sum_u64(&[42]), 42);
         let recv = e.alltoallv(vec![vec![vec![7u8]]], AllToAllAlgo::Direct);
         assert_eq!(recv[0][0], vec![7]);
+    }
+
+    /// Seeded per-rank payloads for conservation tests: rank `src` sends
+    /// `(src + dst) % 5` tagged elements to each `dst`.
+    fn tagged_send(p: usize) -> Vec<Vec<Vec<u64>>> {
+        (0..p)
+            .map(|src| {
+                (0..p)
+                    .map(|dst| {
+                        (0..(src + dst) % 5)
+                            .map(|i| (src * 1000 + dst * 10 + i) as u64)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn alltoallv_conserves_every_element() {
+        // Conservation pinned at the element level, not just counts: the
+        // multiset of values out equals the multiset in, for both schedules.
+        for algo in [AllToAllAlgo::Direct, AllToAllAlgo::Staged] {
+            let p = 7;
+            let send = tagged_send(p);
+            let mut sent: Vec<u64> = send.iter().flatten().flatten().copied().collect();
+            let mut e = engine(p);
+            let recv = e.alltoallv(send, algo);
+            let mut got: Vec<u64> = recv.iter().flatten().flatten().copied().collect();
+            sent.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(sent, got, "{algo:?} lost or duplicated elements");
+            assert_eq!(e.stats().audited_collectives, 1);
+        }
+    }
+
+    #[test]
+    fn staged_and_direct_deliver_identical_data() {
+        // The schedule changes clocks and message counts — never payloads.
+        let p = 9;
+        let mut e1 = engine(p);
+        let r1 = e1.alltoallv(tagged_send(p), AllToAllAlgo::Direct);
+        let mut e2 = engine(p);
+        let r2 = e2.alltoallv(tagged_send(p), AllToAllAlgo::Staged);
+        assert_eq!(r1, r2);
+        assert_eq!(e1.stats().bytes_total, e2.stats().bytes_total);
+        assert_ne!(e1.stats().msgs_total, e2.stats().msgs_total);
+    }
+
+    #[test]
+    fn sparse_alltoallv_conserves_and_sorts_by_source() {
+        let p = 6;
+        let send: Vec<Vec<(usize, Vec<u32>)>> = (0..p)
+            .map(|src| {
+                // Each rank sends to (src+1)%p and (src+3)%p, plus an empty
+                // bucket that must not confuse the audit.
+                vec![
+                    ((src + 1) % p, vec![src as u32; 3]),
+                    ((src + 3) % p, vec![src as u32 + 100]),
+                    ((src + 2) % p, vec![]),
+                ]
+            })
+            .collect();
+        let mut e = engine(p);
+        let recv = e.alltoallv_sparse(send, AllToAllAlgo::Staged);
+        for (dst, row) in recv.iter().enumerate() {
+            assert!(
+                row.windows(2).all(|w| w[0].0 < w[1].0),
+                "row {dst} unsorted"
+            );
+            let total: usize = row.iter().map(|(_, b)| b.len()).sum();
+            assert_eq!(total, 4, "rank {dst} should receive 3 + 1 elements");
+        }
+        assert_eq!(e.stats().audited_collectives, 1);
+    }
+
+    #[test]
+    fn empty_buckets_and_p1_edge_cases() {
+        // Empty rows everywhere.
+        let mut e = engine(3);
+        let recv = e.alltoallv_sparse::<u8>(vec![vec![], vec![], vec![]], AllToAllAlgo::Direct);
+        assert!(recv.iter().all(Vec::is_empty));
+        assert_eq!(e.makespan(), 0.0);
+        // p = 1: self-delivery only, zero network bytes.
+        let mut e1 = engine(1);
+        let recv = e1.alltoallv_sparse(vec![vec![(0, vec![1u8, 2, 3])]], AllToAllAlgo::Staged);
+        assert_eq!(recv[0], vec![(0, vec![1u8, 2, 3])]);
+        assert_eq!(e1.stats().bytes_total, 0);
+    }
+
+    #[test]
+    fn link_jitter_desynchronises_but_preserves_data() {
+        use crate::faults::FaultPlan;
+        let p = 8;
+        let mut clean = engine(p);
+        let r_clean = clean.alltoallv(tagged_send(p), AllToAllAlgo::Direct);
+        let mut faulty = Engine::new(
+            p,
+            PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
+        )
+        .with_faults(FaultPlan::new(99).with_tw_jitter(0.5));
+        let r_faulty = faulty.alltoallv(tagged_send(p), AllToAllAlgo::Direct);
+        assert_eq!(r_clean, r_faulty, "faults must never touch payload data");
+        let clocks = faulty.clocks();
+        let spread = clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - clocks.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            spread > 0.0,
+            "jittered links should desynchronise completion"
+        );
+    }
+
+    #[test]
+    fn transient_failures_cost_time_and_count_retries() {
+        use crate::faults::FaultPlan;
+        let p = 8;
+        let run = |plan: Option<FaultPlan>| {
+            let mut e = Engine::new(
+                p,
+                PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
+            );
+            if let Some(plan) = plan {
+                e = e.with_faults(plan);
+            }
+            let r = e.alltoallv(tagged_send(p), AllToAllAlgo::Staged);
+            (e.makespan(), e.stats().retries_total, r)
+        };
+        let (t_clean, retries_clean, data_clean) = run(None);
+        let plan = FaultPlan::new(5)
+            .with_transient_failures(0.6)
+            .with_retry_policy(3, 1e-3);
+        let (t_faulty, retries_faulty, data_faulty) = run(Some(plan));
+        assert_eq!(retries_clean, 0);
+        assert!(
+            retries_faulty > 0,
+            "p_fail 0.6 over 8 ranks must retry somewhere"
+        );
+        assert!(t_faulty > t_clean, "retries must cost virtual time");
+        assert_eq!(data_clean, data_faulty);
     }
 }

@@ -14,7 +14,9 @@ impl<T> DistVec<T> {
     /// Empty local buffers on `p` ranks.
     pub fn new(p: usize) -> Self {
         assert!(p >= 1, "need at least one rank");
-        DistVec { ranks: (0..p).map(|_| Vec::new()).collect() }
+        DistVec {
+            ranks: (0..p).map(|_| Vec::new()).collect(),
+        }
     }
 
     /// Wraps existing per-rank buffers.

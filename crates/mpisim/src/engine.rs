@@ -1,10 +1,11 @@
 //! The virtual-process BSP engine.
 
 use crate::dist::DistVec;
+use crate::faults::{FaultPlan, RankFaults};
+use crate::par;
 use crate::stats::{CommMatrix, RunStats};
 use optipart_machine::energy::{ActivityKind, Interval, COMM_CORE_FRACTION};
 use optipart_machine::{EnergyReport, PerfModel, PowerTrace};
-use rayon::prelude::*;
 
 /// How rank-local compute phases are charged to the virtual clocks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -53,6 +54,16 @@ pub struct Engine {
     /// (idle × makespan is added at report time).
     pub(crate) node_dynamic_j: Vec<f64>,
     pub(crate) comm_j: f64,
+    /// Injected faults: the plan plus its materialised per-rank factors.
+    /// `None` means a clean machine (all factors 1, no failures).
+    pub(crate) faults: Option<(FaultPlan, RankFaults)>,
+    /// Conservation/monotonicity auditing (crate docs, "Fault injection and
+    /// auditing"). On by default; the checks are cheap relative to the data
+    /// movement they guard.
+    pub(crate) audit: bool,
+    /// Sequence number of the next data-moving collective — the event
+    /// identity transient-failure draws are keyed on.
+    pub(crate) collective_seq: u64,
 }
 
 impl Engine {
@@ -70,6 +81,46 @@ impl Engine {
             trace: None,
             node_dynamic_j: vec![0.0; nodes],
             comm_j: 0.0,
+            faults: None,
+            audit: true,
+            collective_seq: 0,
+        }
+    }
+
+    /// Injects the given fault plan (materialised for this machine's `p`).
+    /// Faults perturb clocks, energy and retry counters only — never data.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        let ranks = plan.materialize(self.p);
+        self.faults = Some((plan, ranks));
+        self
+    }
+
+    /// Enables or disables invariant auditing (on by default).
+    pub fn with_audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// The active fault plan, if any.
+    #[inline]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|(plan, _)| plan)
+    }
+
+    /// The materialised per-rank fault factors, if any.
+    #[inline]
+    pub fn rank_faults(&self) -> Option<&RankFaults> {
+        self.faults.as_ref().map(|(_, ranks)| ranks)
+    }
+
+    /// `rank`'s effective wire slowness: nominal `tw` × the rank's fault
+    /// factor.
+    #[inline]
+    pub(crate) fn effective_tw(&self, rank: usize) -> f64 {
+        let tw = self.perf.machine.tw;
+        match &self.faults {
+            Some((_, ranks)) => tw * ranks.tw_factor[rank],
+            None => tw,
         }
     }
 
@@ -134,9 +185,12 @@ impl Engine {
         self.trace.as_ref()
     }
 
-    /// Resets clocks, stats, energy and matrices, keeping the configuration.
+    /// Resets clocks, stats, energy and matrices, keeping the configuration
+    /// (including any fault plan — the collective sequence restarts at 0, so
+    /// a reset engine replays the same fault schedule).
     pub fn reset(&mut self) {
         self.clocks.iter_mut().for_each(|c| *c = 0.0);
+        self.collective_seq = 0;
         self.stats = RunStats::default();
         if let Some(m) = &mut self.comm_matrix {
             *m = CommMatrix::new(self.p);
@@ -169,20 +223,15 @@ impl Engine {
         F: Fn(usize, &mut Vec<T>) -> (f64, R) + Sync,
     {
         let measured = self.time_mode == TimeMode::Measured;
-        let results: Vec<(f64, R)> = dist
-            .parts_mut()
-            .par_iter_mut()
-            .enumerate()
-            .map(|(r, buf)| {
-                if measured {
-                    let t0 = std::time::Instant::now();
-                    let (_, res) = f(r, buf);
-                    (t0.elapsed().as_secs_f64(), res)
-                } else {
-                    f(r, buf)
-                }
-            })
-            .collect();
+        let results: Vec<(f64, R)> = par::par_map_mut(dist.parts_mut(), |r, buf| {
+            if measured {
+                let t0 = std::time::Instant::now();
+                let (_, res) = f(r, buf);
+                (t0.elapsed().as_secs_f64(), res)
+            } else {
+                f(r, buf)
+            }
+        });
         let tc = self.perf.machine.tc;
         let mut out = Vec::with_capacity(self.p);
         for (r, (cost, res)) in results.into_iter().enumerate() {
@@ -210,13 +259,8 @@ impl Engine {
     {
         assert_eq!(a.p(), self.p);
         assert_eq!(b.p(), self.p);
-        let results: Vec<(f64, R)> = a
-            .parts_mut()
-            .par_iter_mut()
-            .zip(b.parts_mut().par_iter_mut())
-            .enumerate()
-            .map(|(r, (ab, bb))| f(r, ab, bb))
-            .collect();
+        let results: Vec<(f64, R)> =
+            par::par_map_zip_mut(a.parts_mut(), b.parts_mut(), |r, ab, bb| f(r, ab, bb));
         let tc = self.perf.machine.tc;
         let mut out = Vec::with_capacity(self.p);
         for (r, (bytes, res)) in results.into_iter().enumerate() {
@@ -227,10 +271,21 @@ impl Engine {
     }
 
     /// Charges `secs` of pure computation to `rank` (clock + energy +
-    /// optional trace).
+    /// optional trace). A straggling rank's charge is scaled by its fault
+    /// factor.
     pub(crate) fn charge_compute(&mut self, rank: usize, secs: f64) {
         if secs <= 0.0 {
             return;
+        }
+        let secs = match &self.faults {
+            Some((_, ranks)) => secs * ranks.compute_factor[rank],
+            None => secs,
+        };
+        if self.audit {
+            assert!(
+                secs.is_finite() && secs > 0.0,
+                "audit: rank {rank} charged non-finite/negative compute time {secs}"
+            );
         }
         let t0 = self.clocks[rank];
         let t1 = t0 + secs;
@@ -240,7 +295,13 @@ impl Engine {
         self.node_dynamic_j[node] +=
             machine.power.dynamic_per_rank_w(machine.ranks_per_node) * secs;
         if let Some(trace) = &mut self.trace {
-            trace.push(Interval { rank, t0, t1, kind: ActivityKind::Compute, bytes: 0 });
+            trace.push(Interval {
+                rank,
+                t0,
+                t1,
+                kind: ActivityKind::Compute,
+                bytes: 0,
+            });
         }
     }
 
@@ -248,6 +309,17 @@ impl Engine {
     /// `rank`.
     pub(crate) fn charge_comm(&mut self, rank: usize, t0: f64, secs: f64, bytes: u64) {
         let t1 = t0 + secs;
+        if self.audit {
+            assert!(
+                secs.is_finite() && secs >= 0.0,
+                "audit: rank {rank} charged non-finite/negative comm time {secs}"
+            );
+            assert!(
+                t1 + 1e-15 >= self.clocks[rank],
+                "audit: rank {rank} clock would run backwards ({} -> {t1})",
+                self.clocks[rank]
+            );
+        }
         self.clocks[rank] = t1;
         let machine = &self.perf.machine;
         let node = machine.node_of(rank);
@@ -256,7 +328,13 @@ impl Engine {
         self.node_dynamic_j[node] += j;
         self.comm_j += j;
         if let Some(trace) = &mut self.trace {
-            trace.push(Interval { rank, t0, t1, kind: ActivityKind::Communication, bytes });
+            trace.push(Interval {
+                rank,
+                t0,
+                t1,
+                kind: ActivityKind::Communication,
+                bytes,
+            });
         }
     }
 
@@ -292,7 +370,12 @@ impl Engine {
             .map(|dj| machine.power.idle_w * makespan + dj)
             .collect();
         let total = per_node.iter().sum();
-        EnergyReport { per_node_j: per_node, total_j: total, comm_j: self.comm_j, makespan_s: makespan }
+        EnergyReport {
+            per_node_j: per_node,
+            total_j: total,
+            comm_j: self.comm_j,
+            makespan_s: makespan,
+        }
     }
 }
 
@@ -302,7 +385,10 @@ mod tests {
     use optipart_machine::{AppModel, MachineModel};
 
     fn engine(p: usize) -> Engine {
-        Engine::new(p, PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()))
+        Engine::new(
+            p,
+            PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
+        )
     }
 
     #[test]
@@ -390,10 +476,10 @@ mod tests {
         let mut d = DistVec::from_parts(vec![vec![0u8; 10], vec![0; 20], vec![0; 5], vec![0; 40]]);
         e.compute(&mut d, |_, b| b.len() as f64 * 1e7);
         let m = e.perf().machine.clone();
-        let from_trace = e
-            .trace()
-            .unwrap()
-            .exact_energy(&m.power, m.ranks_per_node, m.nodes_for(4));
+        let from_trace =
+            e.trace()
+                .unwrap()
+                .exact_energy(&m.power, m.ranks_per_node, m.nodes_for(4));
         let incremental = e.energy_report();
         assert!((from_trace.total_j - incremental.total_j).abs() < 1e-9);
     }

@@ -1,0 +1,276 @@
+//! Deterministic fault injection for the BSP engine.
+//!
+//! Real machines are not the clean LogGP abstraction of §3.1: some cores run
+//! slow (OS noise, thermal throttling, a failing DIMM), some links are
+//! congested, and collectives occasionally hit transient failures that the
+//! transport retries. A [`FaultPlan`] models all three **on the virtual
+//! clocks only**:
+//!
+//! * **Compute stragglers** — a seeded fraction of ranks multiply every
+//!   compute charge by a severity factor (`compute_factor ≥ 1`).
+//! * **Link jitter** — every rank's effective `tw` is scaled by a log-normal
+//!   factor (`tw_factor`, median 1), so communication costs become
+//!   heterogeneous across ranks.
+//! * **Transient collective failures** — each data-moving collective may
+//!   fail on a rank and be retried with exponential backoff; every retry
+//!   charges the rank's transfer cost again plus the backoff wait.
+//!
+//! Faults never touch payload data: buffers move exactly as in a fault-free
+//! run, so splitters, partitions and FEM results are bit-identical with
+//! faults on or off — only clocks, energy and retry counters change. All
+//! draws are keyed hashes of `(seed, event identity)` via [`rng::mix`], not
+//! stateful streams, so the injected faults are independent of host thread
+//! count and of how many unrelated events ran before: the same plan replays
+//! the same faults, always.
+
+use crate::rng::{self, SplitMix64};
+
+/// A seeded, reproducible description of what goes wrong during a run.
+///
+/// The default plan is entirely benign (no stragglers, no jitter, no
+/// failures); build the failure modes you want:
+///
+/// ```
+/// use optipart_mpisim::FaultPlan;
+/// let plan = FaultPlan::new(42)
+///     .with_stragglers(0.25, 3.0)     // a quarter of ranks run 3× slow
+///     .with_tw_jitter(0.2)            // per-rank link speed spread
+///     .with_transient_failures(0.05); // 5% of exchanges need a retry
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; equal seeds give identical fault sequences.
+    pub seed: u64,
+    /// Fraction of ranks that straggle, in `[0, 1]`.
+    pub straggler_frac: f64,
+    /// Multiplicative compute slowdown of a straggling rank (`≥ 1`).
+    pub straggler_severity: f64,
+    /// σ of the log-normal per-rank `tw` factor (0 disables jitter).
+    pub tw_jitter_sigma: f64,
+    /// Probability that one attempt of a data-moving collective fails on a
+    /// given rank and must be retried.
+    pub alltoall_fail_prob: f64,
+    /// Retry budget per (collective, rank). The draw for the final attempt
+    /// is ignored — transient faults always heal within the budget.
+    pub max_retries: u32,
+    /// Backoff before the first retry, seconds; doubles per further retry.
+    pub backoff_base_s: f64,
+}
+
+impl FaultPlan {
+    /// A benign plan: seeded but injecting nothing until configured.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            straggler_frac: 0.0,
+            straggler_severity: 1.0,
+            tw_jitter_sigma: 0.0,
+            alltoall_fail_prob: 0.0,
+            max_retries: 3,
+            backoff_base_s: 1e-4,
+        }
+    }
+
+    /// Marks a `frac` of ranks (seeded choice) as `severity`× slower in
+    /// compute.
+    pub fn with_stragglers(mut self, frac: f64, severity: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "straggler_frac {frac} outside [0,1]"
+        );
+        assert!(
+            severity >= 1.0,
+            "straggler_severity {severity} < 1 would be a speedup"
+        );
+        self.straggler_frac = frac;
+        self.straggler_severity = severity;
+        self
+    }
+
+    /// Log-normal per-rank `tw` perturbation with the given σ (median 1).
+    pub fn with_tw_jitter(mut self, sigma: f64) -> Self {
+        assert!(sigma >= 0.0, "tw_jitter_sigma {sigma} negative");
+        self.tw_jitter_sigma = sigma;
+        self
+    }
+
+    /// Transient per-(collective, rank) failure probability for data-moving
+    /// collectives.
+    pub fn with_transient_failures(mut self, prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&prob), "fail prob {prob} outside [0,1)");
+        self.alltoall_fail_prob = prob;
+        self
+    }
+
+    /// Retry budget and initial backoff for transient failures.
+    pub fn with_retry_policy(mut self, max_retries: u32, backoff_base_s: f64) -> Self {
+        assert!(backoff_base_s >= 0.0);
+        self.max_retries = max_retries;
+        self.backoff_base_s = backoff_base_s;
+        self
+    }
+
+    /// Materialises the per-rank factors for a machine of `p` ranks.
+    pub fn materialize(&self, p: usize) -> RankFaults {
+        let mut compute_factor = vec![1.0; p];
+        if self.straggler_frac > 0.0 && self.straggler_severity > 1.0 {
+            // Seeded choice of straggler ranks: shuffle indices, take the
+            // first k — every rank equally likely, count exact.
+            let k = (self.straggler_frac * p as f64).round() as usize;
+            let mut idx: Vec<usize> = (0..p).collect();
+            SplitMix64::new(self.seed)
+                .fork(STREAM_STRAGGLERS)
+                .shuffle(&mut idx);
+            for &r in idx.iter().take(k.min(p)) {
+                compute_factor[r] = self.straggler_severity;
+            }
+        }
+        let tw_factor = if self.tw_jitter_sigma > 0.0 {
+            let mut rng = SplitMix64::new(self.seed).fork(STREAM_TW_JITTER);
+            (0..p)
+                .map(|_| rng.next_log_normal(0.0, self.tw_jitter_sigma))
+                .collect()
+        } else {
+            vec![1.0; p]
+        };
+        RankFaults {
+            compute_factor,
+            tw_factor,
+        }
+    }
+
+    /// Does attempt `attempt` of data-moving collective number `seq` fail on
+    /// `rank`? A stateless keyed draw: independent of every other event and
+    /// of host threading. The final budgeted attempt never fails.
+    pub fn attempt_fails(&self, seq: u64, rank: usize, attempt: u32) -> bool {
+        if self.alltoall_fail_prob <= 0.0 || attempt >= self.max_retries {
+            return false;
+        }
+        let key = rng::mix(
+            self.seed
+                ^ rng::mix(seq)
+                ^ rng::mix(((rank as u64) << 8) | attempt as u64 | STREAM_FAILURES),
+        );
+        rng::unit_f64(key) < self.alltoall_fail_prob
+    }
+
+    /// Number of retries collective `seq` costs `rank` under this plan.
+    pub fn retries_for(&self, seq: u64, rank: usize) -> u32 {
+        let mut n = 0;
+        while self.attempt_fails(seq, rank, n) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Backoff wait charged before retry number `retry` (0-based), seconds.
+    #[inline]
+    pub fn backoff_s(&self, retry: u32) -> f64 {
+        self.backoff_base_s * (1u64 << retry.min(62)) as f64
+    }
+}
+
+// Distinct sub-stream tags so the three fault classes draw independently.
+const STREAM_STRAGGLERS: u64 = 0x5354_5241_4747;
+const STREAM_TW_JITTER: u64 = 0x4a49_5454_4552;
+const STREAM_FAILURES: u64 = 0x4641_494c << 32;
+
+/// Per-rank multiplicative factors materialised from a [`FaultPlan`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankFaults {
+    /// Compute-time multiplier per rank (`1.0` = healthy).
+    pub compute_factor: Vec<f64>,
+    /// Effective-`tw` multiplier per rank (`1.0` = nominal link).
+    pub tw_factor: Vec<f64>,
+}
+
+impl RankFaults {
+    /// Ranks whose compute factor exceeds 1 — the stragglers.
+    pub fn straggler_ranks(&self) -> Vec<usize> {
+        self.compute_factor
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| f > 1.0)
+            .map(|(r, _)| r)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_benign() {
+        let rf = FaultPlan::new(1).materialize(16);
+        assert!(rf.compute_factor.iter().all(|&f| f == 1.0));
+        assert!(rf.tw_factor.iter().all(|&f| f == 1.0));
+        assert!(rf.straggler_ranks().is_empty());
+        assert!(!FaultPlan::new(1).attempt_fails(0, 0, 0));
+    }
+
+    #[test]
+    fn straggler_count_is_exact_and_seeded() {
+        let plan = FaultPlan::new(7).with_stragglers(0.25, 3.0);
+        let rf = plan.materialize(64);
+        assert_eq!(rf.straggler_ranks().len(), 16);
+        assert!(rf
+            .straggler_ranks()
+            .iter()
+            .all(|&r| rf.compute_factor[r] == 3.0));
+        // Same seed, same stragglers; different seed, (almost surely) not.
+        assert_eq!(rf, plan.materialize(64));
+        let other = FaultPlan::new(8).with_stragglers(0.25, 3.0).materialize(64);
+        assert_ne!(rf.straggler_ranks(), other.straggler_ranks());
+    }
+
+    #[test]
+    fn tw_jitter_has_unit_median_and_spread() {
+        let rf = FaultPlan::new(3).with_tw_jitter(0.3).materialize(10_000);
+        assert!(rf.tw_factor.iter().all(|&f| f > 0.0));
+        let mut sorted = rf.tw_factor.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[5_000];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+        assert!(sorted[0] < 0.7 && sorted[9_999] > 1.4, "no spread");
+    }
+
+    #[test]
+    fn failure_draws_are_stateless_and_bounded() {
+        let plan = FaultPlan::new(11)
+            .with_transient_failures(0.5)
+            .with_retry_policy(4, 1e-3);
+        for seq in 0..50u64 {
+            for rank in 0..8 {
+                let a = plan.retries_for(seq, rank);
+                let b = plan.retries_for(seq, rank);
+                assert_eq!(a, b, "draws must be reproducible");
+                assert!(a <= 4, "retry budget exceeded");
+            }
+        }
+        // With p_fail = 0.5 over 400 events, some retries must occur.
+        let total: u32 = (0..50)
+            .flat_map(|s| (0..8).map(move |r| (s, r)))
+            .map(|(s, r)| plan.retries_for(s, r))
+            .sum();
+        assert!(total > 50, "expected plenty of retries, got {total}");
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let plan = FaultPlan::new(1).with_retry_policy(5, 0.5);
+        assert_eq!(plan.backoff_s(0), 0.5);
+        assert_eq!(plan.backoff_s(1), 1.0);
+        assert_eq!(plan.backoff_s(3), 4.0);
+    }
+
+    #[test]
+    fn materialize_is_independent_of_p_prefix() {
+        // The first ranks' tw factors agree across machine sizes (stream
+        // draws are positional), which keeps small-p debugging sessions
+        // representative of larger runs.
+        let a = FaultPlan::new(5).with_tw_jitter(0.2).materialize(8);
+        let b = FaultPlan::new(5).with_tw_jitter(0.2).materialize(16);
+        assert_eq!(a.tw_factor[..8], b.tw_factor[..8]);
+    }
+}

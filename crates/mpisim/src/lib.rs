@@ -9,7 +9,8 @@
 //!
 //! Algorithms are written in *global view* SPMD style against [`Engine`]:
 //! rank-local state lives in a [`DistVec`] (one `Vec` per virtual rank),
-//! local compute phases run all ranks' closures in parallel via rayon, and
+//! local compute phases run all ranks' closures in parallel on scoped
+//! threads ([`par`], honouring `RAYON_NUM_THREADS`), and
 //! collectives ([`Engine::allreduce_sum_u64`], [`Engine::alltoallv`], …)
 //! move real data between rank buffers *and* charge every rank's virtual
 //! clock using the machine model's LogGP-style costs (Eqs. 1–2 of the
@@ -32,17 +33,41 @@
 //! communication matrix — the `M` of §5.5), named phase timers give the
 //! partition/all2all/splitter breakdowns of Figs. 5–6, and an energy
 //! accumulator feeds `optipart-machine`'s per-node reports.
+//!
+//! ## Fault injection and auditing
+//!
+//! An engine built with [`Engine::with_faults`] applies a seeded
+//! [`FaultPlan`]: per-rank compute stragglers (clock-only slowdowns),
+//! per-link `tw` perturbation, and transient `alltoallv` failures that cost
+//! modeled retry-with-backoff time on the virtual clock. Faults never touch
+//! payload data — only clocks — so the same seed reproduces the same
+//! makespan bit-for-bit at any host thread count, and data-level results
+//! are identical with faults on or off.
+//!
+//! Independently of faults, an always-on audit checks conservation
+//! invariants after every collective — `alltoallv` neither loses nor
+//! duplicates elements, byte accounting matches the buffers actually
+//! moved, virtual clocks never run backwards — and panics with rank-level
+//! diagnostics on the first violation. See DESIGN.md, "Fault model and
+//! audits".
 
 pub mod collectives;
 pub mod dist;
 pub mod engine;
+pub mod faults;
+pub mod par;
+pub mod rng;
 pub mod stats;
 pub mod threaded;
 
 pub use collectives::AllToAllAlgo;
 pub use dist::DistVec;
 pub use engine::{Engine, TimeMode};
+pub use faults::{FaultPlan, RankFaults};
 pub use stats::{CommMatrix, RunStats};
 
-#[cfg(test)]
+// Property-test suites need the external `proptest` crate, which the
+// offline tier-1 build cannot fetch; enable with `--features proptest`
+// once a vendored copy is available.
+#[cfg(all(test, feature = "proptest"))]
 mod proptests;

@@ -1,0 +1,224 @@
+//! Deterministic fork–join parallelism over rank buffers.
+//!
+//! A registry-free replacement for the rayon idioms the engine used: maps
+//! over slices are split into contiguous chunks, one scoped OS thread per
+//! chunk, and results are stitched back **in index order** — so the output
+//! (and everything downstream: splitters, clocks, stats) is bit-identical
+//! for every thread count. The thread budget honours `RAYON_NUM_THREADS`
+//! (the conventional knob, kept for compatibility with existing scripts)
+//! and falls back to the host's available parallelism.
+
+/// Number of worker threads to use for a parallel phase.
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `len` items into at most `k` contiguous chunk ranges covering
+/// `0..len` in order.
+fn chunk_ranges(len: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let k = k.clamp(1, len.max(1));
+    (0..k)
+        .map(|i| (i * len / k)..((i + 1) * len / k))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Parallel indexed map over a mutable slice; returns the per-item results
+/// in index order regardless of the thread count.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let len = items.len();
+    let ranges = chunk_ranges(len, num_threads());
+    if ranges.len() <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    // Carve the slice into disjoint chunks to move into scoped threads.
+    let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+    let mut rest = items;
+    let mut offset = 0usize;
+    for r in &ranges {
+        let (head, tail) = rest.split_at_mut(r.end - offset);
+        chunks.push((r.start, head));
+        rest = tail;
+        offset = r.end;
+    }
+    let f = &f;
+    let mut parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(start, chunk)| {
+                scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, t)| f(start + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for part in parts.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+/// Parallel indexed map over two zipped mutable slices (equal length).
+pub fn par_map_zip_mut<A, B, R, F>(a: &mut [A], b: &mut [B], f: F) -> Vec<R>
+where
+    A: Send,
+    B: Send,
+    R: Send,
+    F: Fn(usize, &mut A, &mut B) -> R + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zipped slices must match");
+    let len = a.len();
+    let ranges = chunk_ranges(len, num_threads());
+    if ranges.len() <= 1 {
+        return a
+            .iter_mut()
+            .zip(b.iter_mut())
+            .enumerate()
+            .map(|(i, (x, y))| f(i, x, y))
+            .collect();
+    }
+    let mut chunks: Vec<(usize, &mut [A], &mut [B])> = Vec::with_capacity(ranges.len());
+    let (mut rest_a, mut rest_b) = (a, b);
+    let mut offset = 0usize;
+    for r in &ranges {
+        let (ha, ta) = rest_a.split_at_mut(r.end - offset);
+        let (hb, tb) = rest_b.split_at_mut(r.end - offset);
+        chunks.push((r.start, ha, hb));
+        rest_a = ta;
+        rest_b = tb;
+        offset = r.end;
+    }
+    let f = &f;
+    let mut parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(start, ca, cb)| {
+                scope.spawn(move || {
+                    ca.iter_mut()
+                        .zip(cb.iter_mut())
+                        .enumerate()
+                        .map(|(i, (x, y))| f(start + i, x, y))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for part in parts.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+/// Parallel map over the index range `0..n` — the `into_par_iter()` pattern
+/// for building one value per rank from shared read-only state.
+pub fn par_map_indices<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let ranges = chunk_ranges(n, num_threads());
+    if ranges.len() <= 1 {
+        return (0..n).map(&f).collect();
+    }
+    let f = &f;
+    let mut parts: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| scope.spawn(move || r.map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for part in parts.iter_mut() {
+        out.append(part);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_mut_preserves_order_and_mutates() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        let out = par_map_mut(&mut v, |i, x| {
+            *x += 1;
+            (i as u64) * 2
+        });
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<u64>>());
+        assert_eq!(v[0], 1);
+        assert_eq!(v[999], 1000);
+    }
+
+    #[test]
+    fn zip_map_pairs_elements() {
+        let mut a: Vec<u32> = (0..97).collect();
+        let mut b: Vec<u32> = (0..97).map(|x| x * 10).collect();
+        let out = par_map_zip_mut(&mut a, &mut b, |i, x, y| *x + *y + i as u32);
+        assert_eq!(out, (0..97).map(|i| i + i * 10 + i).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn map_indices_matches_sequential() {
+        let out = par_map_indices(123, |i| i * i);
+        assert_eq!(out, (0..123).map(|i| i * i).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let mut v: Vec<u8> = vec![];
+        assert!(par_map_mut(&mut v, |_, _| 0u8).is_empty());
+        let mut one = vec![7u8];
+        assert_eq!(par_map_mut(&mut one, |i, x| (i, *x)), vec![(0, 7)]);
+        assert!(par_map_indices(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn chunking_covers_range_exactly() {
+        for len in [0usize, 1, 2, 7, 100] {
+            for k in [1usize, 2, 3, 8, 200] {
+                let rs = chunk_ranges(len, k);
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for r in &rs {
+                    assert_eq!(r.start, prev_end);
+                    covered += r.len();
+                    prev_end = r.end;
+                }
+                assert_eq!(covered, len);
+            }
+        }
+    }
+}

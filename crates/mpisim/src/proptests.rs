@@ -7,7 +7,10 @@ use optipart_machine::{AppModel, MachineModel, PerfModel};
 use proptest::prelude::*;
 
 fn engine(p: usize) -> Engine {
-    Engine::new(p, PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()))
+    Engine::new(
+        p,
+        PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
+    )
 }
 
 fn algo() -> impl Strategy<Value = AllToAllAlgo> {

@@ -1,0 +1,211 @@
+//! Offline, dependency-free pseudo-randomness for the whole workspace.
+//!
+//! The tier-1 build must succeed with no network or registry access, so the
+//! workspace carries its own PRNG instead of depending on crates.io `rand` /
+//! `rand_distr`: a [SplitMix64] generator (Steele, Lea & Flood 2014) with
+//! Box–Muller normal and log-normal sampling and a Fisher–Yates shuffle.
+//! Every consumer — mesh generation, shuffled workloads, fault plans,
+//! benches — seeds explicitly, so all runs are reproducible by construction.
+//!
+//! SplitMix64 is the right tool here: 64 bits of state, passes BigCrush,
+//! trivially seedable, and `mix` doubles as a stateless hash for keyed
+//! per-event draws (e.g. "did collective #n fail on rank r?") that must not
+//! depend on how many draws other events consumed.
+
+/// The SplitMix64 finalizer: a stateless bijective mixer. Used both as the
+/// generator's output function and as a keyed hash for independent
+/// per-event randomness.
+#[inline]
+pub fn mix(z: u64) -> u64 {
+    let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a `u64` to a double in `[0, 1)` using the high 53 bits.
+#[inline]
+pub fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A seeded SplitMix64 stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+    /// Cached second Box–Muller variate.
+    spare_normal: Option<f64>,
+}
+
+impl SplitMix64 {
+    /// A stream seeded with `seed`. Equal seeds give equal streams, on every
+    /// platform and thread count.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 {
+            state: seed,
+            spare_normal: None,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        unit_f64(self.next_u64())
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be non-zero. Uses the
+    /// widening-multiply method; the bias is < 2⁻⁶⁴·n — irrelevant for the
+    /// workload sizes here.
+    #[inline]
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "next_below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Standard normal variate via Box–Muller (the second variate of each
+    /// pair is cached, so consecutive calls consume uniform draws in a
+    /// fixed, reproducible pattern).
+    pub fn next_standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // u1 in (0, 1] so the log is finite.
+        let u1 = 1.0 - self.next_f64();
+        let u2 = self.next_f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    #[inline]
+    pub fn next_normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.next_standard_normal()
+    }
+
+    /// Log-normal variate: `exp(N(mu, sigma))` of the underlying normal.
+    #[inline]
+    pub fn next_log_normal(&mut self, mu: f64, sigma: f64) -> f64 {
+        self.next_normal(mu, sigma).exp()
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Derives an independent child stream for `stream_id` without
+    /// disturbing this stream's sequence — used to give each rank / fault
+    /// class its own reproducible randomness.
+    pub fn fork(&self, stream_id: u64) -> SplitMix64 {
+        SplitMix64::new(mix(self.state ^ mix(stream_id)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn known_splitmix_vector() {
+        // Reference values for seed 1234567 from the published SplitMix64
+        // algorithm (Vigna's C implementation).
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn unit_doubles_in_range() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn next_below_is_bounded_and_covers() {
+        let mut r = SplitMix64::new(9);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let v = r.next_below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn normal_moments_are_sane() {
+        let mut r = SplitMix64::new(11);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| r.next_normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_with_right_median() {
+        let mut r = SplitMix64::new(13);
+        let n = 50_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| r.next_log_normal(-1.5, 0.6)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!((median - (-1.5f64).exp()).abs() < 0.02, "median {median}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_dependent() {
+        let base: Vec<u32> = (0..1000).collect();
+        let mut a = base.clone();
+        let mut b = base.clone();
+        SplitMix64::new(1).shuffle(&mut a);
+        SplitMix64::new(2).shuffle(&mut b);
+        let mut sa = a.clone();
+        sa.sort_unstable();
+        assert_eq!(sa, base);
+        assert_ne!(a, base, "seed 1 should move something");
+        assert_ne!(a, b, "different seeds should differ");
+        let mut a2 = base.clone();
+        SplitMix64::new(1).shuffle(&mut a2);
+        assert_eq!(a, a2, "same seed, same permutation");
+    }
+
+    #[test]
+    fn forked_streams_are_independent_and_reproducible() {
+        let parent = SplitMix64::new(5);
+        let mut c1 = parent.fork(0);
+        let mut c2 = parent.fork(1);
+        assert_ne!(c1.next_u64(), c2.next_u64());
+        let mut c1b = parent.fork(0);
+        c1 = parent.fork(0);
+        assert_eq!(c1.next_u64(), c1b.next_u64());
+    }
+}

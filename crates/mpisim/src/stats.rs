@@ -1,6 +1,5 @@
 //! Run statistics: traffic counters, communication matrix, phase timers.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// The communication matrix `M` of §5.5: `m[i][j]` is the number of bytes
@@ -9,7 +8,7 @@ use std::collections::HashMap;
 ///
 /// Stored sparsely — the whole point of the paper's NNZ metric is that this
 /// matrix is sparse and should get sparser as the tolerance grows.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct CommMatrix {
     rows: Vec<HashMap<usize, u64>>,
 }
@@ -17,7 +16,9 @@ pub struct CommMatrix {
 impl CommMatrix {
     /// An empty `p × p` matrix.
     pub fn new(p: usize) -> Self {
-        CommMatrix { rows: vec![HashMap::new(); p] }
+        CommMatrix {
+            rows: vec![HashMap::new(); p],
+        }
     }
 
     /// Adds `bytes` to entry `(src, dst)`.
@@ -30,7 +31,11 @@ impl CommMatrix {
 
     /// Entry lookup, zero when absent.
     pub fn get(&self, src: usize, dst: usize) -> u64 {
-        self.rows.get(src).and_then(|r| r.get(&dst)).copied().unwrap_or(0)
+        self.rows
+            .get(src)
+            .and_then(|r| r.get(&dst))
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Number of non-zero entries — the paper's NNZ metric, "the total
@@ -110,7 +115,7 @@ impl CommMatrix {
 }
 
 /// Aggregate traffic and timing statistics of one engine run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Total bytes moved over the (virtual) network.
     pub bytes_total: u64,
@@ -119,6 +124,11 @@ pub struct RunStats {
     pub msgs_total: u64,
     /// Number of collective operations executed.
     pub collectives: u64,
+    /// Transient-failure retries charged by the fault plan (0 on a clean
+    /// machine).
+    pub retries_total: u64,
+    /// Data-moving collectives whose conservation audit ran and passed.
+    pub audited_collectives: u64,
     /// Makespan attributed to each named phase, simulated seconds.
     pub phase_times: HashMap<String, f64>,
     /// Bytes attributed to each named phase.

@@ -8,14 +8,14 @@
 //! `optipart-core::threaded`) must produce bit-identical results to the
 //! virtual engine — which is exactly what the cross-validation tests assert.
 //!
-//! Messages are boxed `dyn Any` payloads over crossbeam channels (typed
+//! Messages are boxed `dyn Any` payloads over `std::sync::mpsc` channels (typed
 //! end-to-end by the `send`/`recv` call pair), with per-source stashing so
 //! out-of-order arrivals from different sources do not block each other —
 //! the same guarantees MPI point-to-point ordering gives per (source, comm).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::any::Any;
 use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Barrier};
 
 type Packet = (usize, Box<dyn Any + Send>);
@@ -59,7 +59,9 @@ impl ThreadComm {
     pub fn recv<T: Send + 'static>(&mut self, src: usize) -> T {
         loop {
             if let Some(b) = self.stash[src].pop_front() {
-                return *b.downcast::<T>().expect("protocol mismatch: wrong payload type");
+                return *b
+                    .downcast::<T>()
+                    .expect("protocol mismatch: wrong payload type");
             }
             let (from, payload) = self
                 .receiver
@@ -83,7 +85,13 @@ impl ThreadComm {
             }
         }
         (0..self.p)
-            .map(|src| if src == self.rank { mine.clone() } else { self.recv::<T>(src) })
+            .map(|src| {
+                if src == self.rank {
+                    mine.clone()
+                } else {
+                    self.recv::<T>(src)
+                }
+            })
             .collect()
     }
 
@@ -140,7 +148,7 @@ where
     let mut senders = Vec::with_capacity(p);
     let mut receivers = Vec::with_capacity(p);
     for _ in 0..p {
-        let (tx, rx) = unbounded::<Packet>();
+        let (tx, rx) = channel::<Packet>();
         senders.push(tx);
         receivers.push(rx);
     }
@@ -164,7 +172,10 @@ where
             .iter_mut()
             .map(|comm| scope.spawn(|| f(comm)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
     })
 }
 
@@ -214,17 +225,15 @@ mod tests {
     fn out_of_order_sources_are_stashed() {
         // Rank 0 receives from 2 first even though 1 sent earlier in
         // program order — the stash keeps per-source streams intact.
-        let results = run(3, |comm| {
-            match comm.rank() {
-                0 => {
-                    let from2: u64 = comm.recv(2);
-                    let from1: u64 = comm.recv(1);
-                    from2 * 100 + from1
-                }
-                r => {
-                    comm.send(0, r as u64);
-                    0
-                }
+        let results = run(3, |comm| match comm.rank() {
+            0 => {
+                let from2: u64 = comm.recv(2);
+                let from1: u64 = comm.recv(1);
+                from2 * 100 + from1
+            }
+            r => {
+                comm.send(0, r as u64);
+                0
             }
         });
         assert_eq!(results[0], 201);

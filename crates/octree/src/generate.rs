@@ -13,14 +13,11 @@
 //! partitioners.
 
 use crate::linear::LinearTree;
+use optipart_mpisim::rng::SplitMix64;
 use optipart_sfc::{Cell, Curve, Point, MAX_DEPTH};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use rand_distr::{Distribution as RandDistribution, LogNormal, Normal};
-use serde::{Deserialize, Serialize};
 
 /// Point distribution for mesh generation (§4.2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Distribution {
     /// Uniform over the unit cube.
     Uniform,
@@ -33,8 +30,11 @@ pub enum Distribution {
 
 impl Distribution {
     /// All three distributions of §4.2.
-    pub const ALL: [Distribution; 3] =
-        [Distribution::Uniform, Distribution::Normal, Distribution::LogNormal];
+    pub const ALL: [Distribution; 3] = [
+        Distribution::Uniform,
+        Distribution::Normal,
+        Distribution::LogNormal,
+    ];
 
     /// Short name for table output.
     pub fn name(self) -> &'static str {
@@ -46,28 +46,20 @@ impl Distribution {
     }
 
     /// Samples one coordinate in `[0, 1)`.
-    fn sample_unit(self, rng: &mut StdRng) -> f64 {
+    fn sample_unit(self, rng: &mut SplitMix64) -> f64 {
         match self {
-            Distribution::Uniform => rng.gen::<f64>(),
-            Distribution::Normal => {
-                let n: Normal<f64> = Normal::new(0.5, 0.15).expect("valid params");
-                n.sample(rng).clamp(0.0, 1.0 - f64::EPSILON)
-            }
-            Distribution::LogNormal => {
-                let ln: LogNormal<f64> = LogNormal::new(-1.5, 0.6).expect("valid params");
-                ln.sample(rng).clamp(0.0, 1.0 - f64::EPSILON)
-            }
+            Distribution::Uniform => rng.next_f64(),
+            Distribution::Normal => rng.next_normal(0.5, 0.15).clamp(0.0, 1.0 - f64::EPSILON),
+            Distribution::LogNormal => rng
+                .next_log_normal(-1.5, 0.6)
+                .clamp(0.0, 1.0 - f64::EPSILON),
         }
     }
 }
 
 /// Samples `n` lattice points from a distribution.
-pub fn sample_points<const D: usize>(
-    dist: Distribution,
-    n: usize,
-    seed: u64,
-) -> Vec<Point<D>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+pub fn sample_points<const D: usize>(dist: Distribution, n: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = SplitMix64::new(seed);
     let scale = (1u64 << MAX_DEPTH) as f64;
     (0..n)
         .map(|_| {
@@ -81,7 +73,7 @@ pub fn sample_points<const D: usize>(
 }
 
 /// Parameters of a generated mesh.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MeshParams {
     /// Point distribution.
     pub distribution: Distribution,
@@ -112,7 +104,11 @@ impl MeshParams {
     /// Convenience: the paper's default (normal distribution) with a target
     /// point count.
     pub fn normal(num_points: usize, seed: u64) -> Self {
-        MeshParams { num_points, seed, ..Default::default() }
+        MeshParams {
+            num_points,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Builds the adaptive mesh for these parameters on a curve.
@@ -186,7 +182,13 @@ fn split_recursive<const D: usize>(
     points.copy_from_slice(&scratch);
     for i in 0..nc {
         let child = cell.child(i);
-        split_recursive(child, &mut points[offsets[i]..offsets[i + 1]], cap, max_level, out);
+        split_recursive(
+            child,
+            &mut points[offsets[i]..offsets[i + 1]],
+            cap,
+            max_level,
+            out,
+        );
     }
 }
 

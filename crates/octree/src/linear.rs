@@ -55,7 +55,10 @@ impl<const D: usize> LinearTree<D> {
 
     /// The complete tree with a single leaf: the root.
     pub fn root(curve: Curve) -> Self {
-        LinearTree { curve, leaves: vec![KeyedCell::new(Cell::root(), curve)] }
+        LinearTree {
+            curve,
+            leaves: vec![KeyedCell::new(Cell::root(), curve)],
+        }
     }
 
     /// Curve used for ordering.
@@ -89,7 +92,11 @@ impl<const D: usize> LinearTree<D> {
 
     /// Whether the leaves tile the entire domain.
     pub fn is_complete(&self) -> bool {
-        let total: u128 = self.leaves.iter().map(|kc| volume_u128::<D>(&kc.cell)).sum();
+        let total: u128 = self
+            .leaves
+            .iter()
+            .map(|kc| volume_u128::<D>(&kc.cell))
+            .sum();
         total == domain_volume::<D>()
     }
 
@@ -99,7 +106,10 @@ impl<const D: usize> LinearTree<D> {
     pub fn completed(&self) -> Self {
         let mut out = Vec::with_capacity(self.leaves.len());
         complete_recursive(Cell::root(), &self.leaves, self.curve, &mut out);
-        LinearTree { curve: self.curve, leaves: out }
+        LinearTree {
+            curve: self.curve,
+            leaves: out,
+        }
     }
 
     /// Refines every leaf for which `pred` holds, repeatedly, until no leaf
@@ -130,8 +140,8 @@ impl<const D: usize> LinearTree<D> {
             let c = self.leaves[i].cell;
             if c.level() > 0 && c.child_number() == 0 && i + group <= n {
                 let parent = c.parent().expect("level > 0");
-                let all_siblings = (0..group)
-                    .all(|j| self.leaves[i + j].cell.parent() == Some(parent));
+                let all_siblings =
+                    (0..group).all(|j| self.leaves[i + j].cell.parent() == Some(parent));
                 if all_siblings {
                     out.push(parent);
                     i += group;
@@ -174,8 +184,10 @@ fn complete_recursive<const D: usize>(
     out: &mut Vec<KeyedCell<D>>,
 ) {
     // Seeds overlapping this region.
-    let relevant: Vec<&KeyedCell<D>> =
-        seeds.iter().filter(|kc| region.overlaps(&kc.cell)).collect();
+    let relevant: Vec<&KeyedCell<D>> = seeds
+        .iter()
+        .filter(|kc| region.overlaps(&kc.cell))
+        .collect();
     if relevant.is_empty() {
         out.push(KeyedCell::new(region, curve));
         return;
@@ -185,8 +197,11 @@ fn complete_recursive<const D: usize>(
         return;
     }
     // Region contains seeds strictly inside: recurse in curve order.
-    let mut kids: Vec<KeyedCell<D>> =
-        region.children().into_iter().map(|c| KeyedCell::new(c, curve)).collect();
+    let mut kids: Vec<KeyedCell<D>> = region
+        .children()
+        .into_iter()
+        .map(|c| KeyedCell::new(c, curve))
+        .collect();
     kids.sort_unstable();
     let owned: Vec<KeyedCell<D>> = relevant.into_iter().copied().collect();
     for kid in kids {

@@ -161,9 +161,7 @@ mod tests {
             let (i, _) = leaves
                 .iter()
                 .enumerate()
-                .find(|(_, kc)| {
-                    kc.cell.anchor().iter().all(|&a| a > 0 && a < max)
-                })
+                .find(|(_, kc)| kc.cell.anchor().iter().all(|&a| a > 0 && a < max))
                 .expect("interior cell exists at level 2");
             assert_eq!(face_adjacent_leaves(leaves, i, curve).len(), 6, "{curve}");
         }

@@ -41,7 +41,10 @@ impl<const D: usize> Cell<D> {
     /// The root cell covering the whole domain.
     #[inline]
     pub const fn root() -> Self {
-        Cell { anchor: [0; D], level: 0 }
+        Cell {
+            anchor: [0; D],
+            level: 0,
+        }
     }
 
     /// Builds a cell from an anchor and level, aligning the anchor to the
@@ -51,7 +54,10 @@ impl<const D: usize> Cell<D> {
     /// Panics if `level > MAX_DEPTH` or any coordinate is out of domain.
     #[inline]
     pub fn new(anchor: [Coord; D], level: u8) -> Self {
-        assert!(level <= MAX_DEPTH, "level {level} exceeds MAX_DEPTH {MAX_DEPTH}");
+        assert!(
+            level <= MAX_DEPTH,
+            "level {level} exceeds MAX_DEPTH {MAX_DEPTH}"
+        );
         let mask = !(side_len(level) - 1);
         let mut a = anchor;
         for c in &mut a {
@@ -164,7 +170,10 @@ impl<const D: usize> Cell<D> {
                 *c += half;
             }
         }
-        Cell { anchor: a, level: self.level + 1 }
+        Cell {
+            anchor: a,
+            level: self.level + 1,
+        }
     }
 
     /// All `2^D` children in coordinate order.
@@ -225,7 +234,10 @@ impl<const D: usize> Cell<D> {
             }
             _ => panic!("dir must be -1 or +1"),
         }
-        Some(Cell { anchor: a, level: self.level })
+        Some(Cell {
+            anchor: a,
+            level: self.level,
+        })
     }
 
     /// All existing same-size face neighbours (up to `2 D` of them).

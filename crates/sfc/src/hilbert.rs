@@ -130,7 +130,11 @@ mod tests {
 
     #[test]
     fn roundtrip_3d() {
-        for p in [[0u32, 0, 0], [123456, 654321, 42], [(1 << MAX_DEPTH) - 1; 3]] {
+        for p in [
+            [0u32, 0, 0],
+            [123456, 654321, 42],
+            [(1 << MAX_DEPTH) - 1; 3],
+        ] {
             assert_eq!(hilbert_point::<3>(hilbert_path::<3>(p)), p);
         }
     }

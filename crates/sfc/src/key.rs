@@ -2,10 +2,9 @@
 
 use crate::cell::{Cell, MAX_DEPTH};
 use crate::{hilbert, morton};
-use serde::{Deserialize, Serialize};
 
 /// The space-filling curve used for ordering, the two evaluated in the paper.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum Curve {
     /// Z-order / Lebesgue curve: fixed child ordering, cheap, discontinuous.
     Morton,
@@ -41,7 +40,7 @@ impl std::fmt::Display for Curve {
 /// *ancestor-before-descendant* ordering of linear octrees: an ancestor's
 /// zero-padded path is `<=` every descendant path, and the `level` tie-break
 /// puts the ancestor first.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SfcKey {
     path: u128,
     level: u8,
@@ -72,7 +71,10 @@ impl SfcKey {
             Curve::Morton => morton::interleave(cell.anchor()),
             Curve::Hilbert => hilbert::hilbert_path(cell.anchor()),
         };
-        SfcKey { path: mask_below_level::<D>(full, cell.level()), level: cell.level() }
+        SfcKey {
+            path: mask_below_level::<D>(full, cell.level()),
+            level: cell.level(),
+        }
     }
 
     /// The smallest possible key (root's position).
@@ -80,7 +82,10 @@ impl SfcKey {
 
     /// A key strictly greater than every cell key (used as a sentinel
     /// splitter for the last partition).
-    pub const MAX: SfcKey = SfcKey { path: u128::MAX, level: u8::MAX };
+    pub const MAX: SfcKey = SfcKey {
+        path: u128::MAX,
+        level: u8::MAX,
+    };
 
     /// The raw digit path.
     #[inline]
@@ -109,7 +114,10 @@ impl SfcKey {
     #[inline]
     pub fn prefix<const D: usize>(&self, level: u8) -> SfcKey {
         let l = level.min(self.level);
-        SfcKey { path: mask_below_level::<D>(self.path, l), level: l }
+        SfcKey {
+            path: mask_below_level::<D>(self.path, l),
+            level: l,
+        }
     }
 
     /// Reconstructs the cell this key addresses.
@@ -163,7 +171,10 @@ impl<const D: usize> KeyedCell<D> {
     /// Keys a cell on the given curve.
     #[inline]
     pub fn new(cell: Cell<D>, curve: Curve) -> Self {
-        KeyedCell { key: SfcKey::of(&cell, curve), cell }
+        KeyedCell {
+            key: SfcKey::of(&cell, curve),
+            cell,
+        }
     }
 
     /// Keys every cell of a slice (convenience for building inputs).
@@ -233,7 +244,11 @@ mod tests {
     #[test]
     fn key_to_cell_roundtrip() {
         for curve in Curve::ALL {
-            for (a, l) in [([0u32, 0, 0], 0u8), ([5 << 24, 3 << 24, 1 << 24], 6), ([1, 2, 3], MAX_DEPTH)] {
+            for (a, l) in [
+                ([0u32, 0, 0], 0u8),
+                ([5 << 24, 3 << 24, 1 << 24], 6),
+                ([1, 2, 3], MAX_DEPTH),
+            ] {
                 let cell = Cell3::new(a, l);
                 let key = SfcKey::of(&cell, curve);
                 assert_eq!(key.to_cell::<3>(curve), cell, "{curve} roundtrip failed");

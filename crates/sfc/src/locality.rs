@@ -11,7 +11,10 @@ use crate::key::{Curve, KeyedCell};
 /// Enumerates all `2^(D·level)` cells of a uniform grid at `level`, sorted in
 /// curve order.
 pub fn curve_traversal<const D: usize>(level: u8, curve: Curve) -> Vec<KeyedCell<D>> {
-    assert!(level as u32 * D as u32 <= 24, "traversal grids are test-sized");
+    assert!(
+        level as u32 * D as u32 <= 24,
+        "traversal grids are test-sized"
+    );
     let mut cells = vec![Cell::<D>::root()];
     for _ in 0..level {
         cells = cells.iter().flat_map(|c| c.children()).collect();
@@ -65,10 +68,7 @@ pub fn segment_boundary_area<const D: usize>(cells: &[KeyedCell<D>], lo: usize, 
         // Recompute properly: each exposed face has area side^(D-1).
         // (The loop added side once per face; multiply by side^(D-2).)
         // Cheaper than branching inside the hot loop for test-sized grids.
-        let side = cells
-            .get(lo)
-            .map(|kc| kc.cell.side() as u64)
-            .unwrap_or(1);
+        let side = cells.get(lo).map(|kc| kc.cell.side() as u64).unwrap_or(1);
         return area * side.pow((D as u32).saturating_sub(2));
     }
     area
@@ -167,7 +167,10 @@ mod tests {
         // Moon et al.: Hilbert needs no more clusters per query box.
         let h = mean_clusters_per_box::<2>(4, Curve::Hilbert, 4);
         let m = mean_clusters_per_box::<2>(4, Curve::Morton, 4);
-        assert!(h <= m, "hilbert {h} should cluster no worse than morton {m}");
+        assert!(
+            h <= m,
+            "hilbert {h} should cluster no worse than morton {m}"
+        );
     }
 
     #[test]

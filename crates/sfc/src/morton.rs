@@ -78,9 +78,18 @@ mod tests {
     #[test]
     fn top_digit_is_child_number() {
         let h = 1 << (MAX_DEPTH - 1);
-        for (i, p) in [[0, 0, 0], [h, 0, 0], [0, h, 0], [h, h, 0], [0, 0, h], [h, 0, h], [0, h, h], [h, h, h]]
-            .iter()
-            .enumerate()
+        for (i, p) in [
+            [0, 0, 0],
+            [h, 0, 0],
+            [0, h, 0],
+            [h, h, 0],
+            [0, 0, h],
+            [h, 0, h],
+            [0, h, h],
+            [h, h, h],
+        ]
+        .iter()
+        .enumerate()
         {
             let path = interleave::<3>(*p);
             let top = (path >> ((MAX_DEPTH - 1) as u32 * 3)) & 7;

@@ -31,8 +31,17 @@ fn main() {
         Strategy::OptiPart,
         Strategy::OptiPartLatencyAware,
     ] {
-        let cfg = AmrConfig { steps: 6, max_level: 7, matvecs_per_step: 60, strategy, ..Default::default() };
-        let mut engine = Engine::new(p, PerfModel::new(machine.clone(), AppModel::laplacian_matvec()));
+        let cfg = AmrConfig {
+            steps: 6,
+            max_level: 7,
+            matvecs_per_step: 60,
+            strategy,
+            ..Default::default()
+        };
+        let mut engine = Engine::new(
+            p,
+            PerfModel::new(machine.clone(), AppModel::laplacian_matvec()),
+        );
         let rep = amr_simulation(&mut engine, &cfg);
         let migrated: u64 = rep.steps.iter().map(|s| s.migrated).sum();
         let max_lambda = rep.steps.iter().map(|s| s.lambda).fold(1.0f64, f64::max);
@@ -47,10 +56,19 @@ fn main() {
         );
     }
     println!("\nper-step detail for OptiPart:");
-    let cfg = AmrConfig { steps: 6, max_level: 7, matvecs_per_step: 60, strategy: Strategy::OptiPart, ..Default::default() };
+    let cfg = AmrConfig {
+        steps: 6,
+        max_level: 7,
+        matvecs_per_step: 60,
+        strategy: Strategy::OptiPart,
+        ..Default::default()
+    };
     let mut engine = Engine::new(p, PerfModel::new(machine, AppModel::laplacian_matvec()));
     let rep = amr_simulation(&mut engine, &cfg);
-    println!("{:>5} {:>9} {:>10} {:>8} {:>9}", "step", "elements", "migrated", "λ", "sec");
+    println!(
+        "{:>5} {:>9} {:>10} {:>8} {:>9}",
+        "step", "elements", "migrated", "λ", "sec"
+    );
     for s in &rep.steps {
         println!(
             "{:>5} {:>9} {:>10} {:>8.3} {:>9.4}",

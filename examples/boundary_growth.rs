@@ -17,7 +17,10 @@ use optipart::sfc::{Cell, Curve, MAX_DEPTH};
 
 fn main() {
     println!("-- Fig. 2: uniform 2D grid split among p = 3 ranks --");
-    println!("{:>5} {:>7} {:>9} {:>12}", "level", "cells", "lambda", "boundary");
+    println!(
+        "{:>5} {:>7} {:>9} {:>12}",
+        "level", "cells", "lambda", "boundary"
+    );
     let p = 3;
     for level in 1u8..=6 {
         let tree: LinearTree<2> =
@@ -74,8 +77,11 @@ fn main() {
         }
         print!("blue shares {shared_faces} face(s):");
         for take in 0..=3usize {
-            let blue: Vec<Cell<2>> =
-                blue_base.iter().copied().chain(kids.iter().take(take).copied()).collect();
+            let blue: Vec<Cell<2>> = blue_base
+                .iter()
+                .copied()
+                .chain(kids.iter().take(take).copied())
+                .collect();
             let others: Vec<Cell<2>> = grid
                 .iter()
                 .copied()

@@ -30,8 +30,15 @@ fn main() {
     );
     for machine in MachineModel::presets() {
         let ratio = machine.comm_compute_ratio();
-        let mut e = Engine::new(p, PerfModel::new(machine.clone(), AppModel::laplacian_matvec()));
-        let out = optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::default());
+        let mut e = Engine::new(
+            p,
+            PerfModel::new(machine.clone(), AppModel::laplacian_matvec()),
+        );
+        let out = optipart(
+            &mut e,
+            distribute_tree(&tree, p),
+            OptiPartOptions::default(),
+        );
         println!(
             "{:<14} {:>10.0} {:>10.3} {:>12.3} {:>10}",
             machine.name, ratio, out.report.achieved_tolerance, out.report.lambda, out.report.cmax
@@ -39,16 +46,20 @@ fn main() {
     }
 
     println!("\n-- application-awareness (Wisconsin-8) --");
-    println!("{:<18} {:>6} {:>10} {:>12}", "kernel", "alpha", "tolerance", "λ");
+    println!(
+        "{:<18} {:>6} {:>10} {:>12}",
+        "kernel", "alpha", "tolerance", "λ"
+    );
     for (name, app) in [
         ("poisson (matvec)", AppModel::laplacian_matvec()),
         ("wave (low-order)", AppModel::wave_matvec()),
     ] {
-        let mut e = Engine::new(
-            p,
-            PerfModel::new(MachineModel::cloudlab_wisconsin(), app),
+        let mut e = Engine::new(p, PerfModel::new(MachineModel::cloudlab_wisconsin(), app));
+        let out = optipart(
+            &mut e,
+            distribute_tree(&tree, p),
+            OptiPartOptions::default(),
         );
-        let out = optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::default());
         println!(
             "{:<18} {:>6.1} {:>10.3} {:>12.3}",
             name, app.alpha, out.report.achieved_tolerance, out.report.lambda

@@ -24,8 +24,16 @@ fn main() {
     println!(
         "gaussian-ball mesh: {} leaves, levels {}..{}, 2:1 balanced",
         tree.len(),
-        tree.leaves().iter().map(|kc| kc.cell.level()).min().unwrap(),
-        tree.leaves().iter().map(|kc| kc.cell.level()).max().unwrap()
+        tree.leaves()
+            .iter()
+            .map(|kc| kc.cell.level())
+            .min()
+            .unwrap(),
+        tree.leaves()
+            .iter()
+            .map(|kc| kc.cell.level())
+            .max()
+            .unwrap()
     );
 
     let machine = MachineModel::cloudlab_clemson();
@@ -34,7 +42,11 @@ fn main() {
     for flexible in [false, true] {
         let mut e = Engine::new(p, PerfModel::new(machine.clone(), app));
         let parted = if flexible {
-            optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::default())
+            optipart(
+                &mut e,
+                distribute_tree(&tree, p),
+                OptiPartOptions::default(),
+            )
         } else {
             treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact())
         };
@@ -42,9 +54,7 @@ fn main() {
         let mesh = DistMesh::build(&mut e, parted.dist, Curve::Hilbert);
         e.reset(); // measure the solve alone
 
-        let b = DistVec::from_parts(
-            mesh.cells.counts().iter().map(|&c| vec![1.0; c]).collect(),
-        );
+        let b = DistVec::from_parts(mesh.cells.counts().iter().map(|&c| vec![1.0; c]).collect());
         let (u, rep) = cg_solve(&mut e, &mesh, &b, 1e-8, 2000);
         let umax = u.parts().iter().flatten().fold(0.0f64, |m, &v| m.max(v));
         let energy = e.energy_report();

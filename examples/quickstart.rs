@@ -18,7 +18,10 @@ fn main() {
     // normally distributed points, depth-30 domain.
     let p = 32;
     let tree = MeshParams::normal(20_000, 42).build::<3>(Curve::Hilbert);
-    println!("mesh: {} leaves (adaptive, normal distribution), {p} ranks", tree.len());
+    println!(
+        "mesh: {} leaves (adaptive, normal distribution), {p} ranks",
+        tree.len()
+    );
 
     // The machine and application the partition should be optimal for:
     // a 10 GbE CloudLab cluster running a Laplacian matvec.
@@ -33,14 +36,25 @@ fn main() {
 
     // Conventional equal-work SFC partitioning (what Dendro/p4est do).
     let mut e1 = Engine::new(p, PerfModel::new(machine.clone(), app));
-    let exact = treesort_partition(&mut e1, distribute_tree(&tree, p), PartitionOptions::exact());
+    let exact = treesort_partition(
+        &mut e1,
+        distribute_tree(&tree, p),
+        PartitionOptions::exact(),
+    );
 
     // OptiPart: trades a little imbalance for less communication, using the
     // machine model to decide how much.
     let mut e2 = Engine::new(p, PerfModel::new(machine, app));
-    let opti = optipart(&mut e2, distribute_tree(&tree, p), OptiPartOptions::default());
+    let opti = optipart(
+        &mut e2,
+        distribute_tree(&tree, p),
+        OptiPartOptions::default(),
+    );
 
-    for (name, splitters) in [("equal-work", &exact.splitters), ("optipart", &opti.splitters)] {
+    for (name, splitters) in [
+        ("equal-work", &exact.splitters),
+        ("optipart", &opti.splitters),
+    ] {
         let assign = assignment(&tree, splitters);
         let counts = partition_counts(&assign, p);
         let m = communication_matrix(&tree, &assign, p);

@@ -24,7 +24,10 @@ fn main() {
         let tree = tree_from_points(&pts, 1, 9, curve);
         let mut e = Engine::new(
             p,
-            PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+            PerfModel::new(
+                MachineModel::cloudlab_wisconsin(),
+                AppModel::laplacian_matvec(),
+            ),
         );
         let out = treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact());
         let assign = assignment(&tree, &out.splitters);

@@ -20,8 +20,8 @@ use optipart::core::optipart::{optipart, OptiPartOptions};
 use optipart::core::partition::{distribute_tree, treesort_partition, PartitionOptions};
 use optipart::machine::{AppModel, MachineModel, PerfModel};
 use optipart::mpisim::Engine;
-use optipart::octree::{LinearTree, MeshParams};
 use optipart::octree::Distribution;
+use optipart::octree::{LinearTree, MeshParams};
 use optipart::sfc::{Cell3, Curve};
 use std::io::{BufRead, BufWriter, Write};
 use std::process::exit;
@@ -45,12 +45,18 @@ struct Flags(Vec<(String, String)>);
 
 impl Flags {
     fn get(&self, key: &str) -> Option<&str> {
-        self.0.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.0
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
     fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
         match self.get(key) {
             None => default,
-            Some(v) => v.parse().unwrap_or_else(|_| usage(&format!("bad value for --{key}"))),
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad value for --{key}"))),
         }
     }
     fn has(&self, key: &str) -> bool {
@@ -71,7 +77,9 @@ fn parse_flags(args: &[String]) -> Flags {
         if matches!(key.as_str(), "optipart" | "latency-aware") {
             out.push((key, "true".into()));
         } else {
-            let v = it.next().unwrap_or_else(|| usage(&format!("--{key} needs a value")));
+            let v = it
+                .next()
+                .unwrap_or_else(|| usage(&format!("--{key} needs a value")));
             out.push((key, v.clone()));
         }
     }
@@ -108,7 +116,10 @@ fn cmd_gen(f: &Flags) {
 }
 
 fn cmd_partition(f: &Flags) {
-    let tree = read_mesh(f.get("mesh").unwrap_or_else(|| usage("--mesh required")), curve_of(f));
+    let tree = read_mesh(
+        f.get("mesh").unwrap_or_else(|| usage("--mesh required")),
+        curve_of(f),
+    );
     let p: usize = f.parse("p", 16);
     let machine = MachineModel::by_name(f.get("machine").unwrap_or("wisconsin-8"))
         .unwrap_or_else(|| usage("unknown machine (titan|stampede|wisconsin-8|clemson-32)"));
@@ -143,16 +154,29 @@ fn cmd_partition(f: &Flags) {
         let mut w = BufWriter::new(file);
         for (kc, owner) in tree.leaves().iter().zip(&assign) {
             let a = kc.cell.anchor();
-            writeln!(w, "{} {} {} {} {}", a[0], a[1], a[2], kc.cell.level(), owner).unwrap();
+            writeln!(
+                w,
+                "{} {} {} {} {}",
+                a[0],
+                a[1],
+                a[2],
+                kc.cell.level(),
+                owner
+            )
+            .unwrap();
         }
         eprintln!("wrote assignment to {path}");
     }
 }
 
 fn cmd_analyze(f: &Flags) {
-    let tree = read_mesh(f.get("mesh").unwrap_or_else(|| usage("--mesh required")), curve_of(f));
+    let tree = read_mesh(
+        f.get("mesh").unwrap_or_else(|| usage("--mesh required")),
+        curve_of(f),
+    );
     let parts_path = f.get("parts").unwrap_or_else(|| usage("--parts required"));
-    let file = std::fs::File::open(parts_path).unwrap_or_else(|e| usage(&format!("{parts_path}: {e}")));
+    let file =
+        std::fs::File::open(parts_path).unwrap_or_else(|e| usage(&format!("{parts_path}: {e}")));
     let mut assign = Vec::new();
     for line in std::io::BufReader::new(file).lines() {
         let line = line.expect("readable parts file");
@@ -164,7 +188,11 @@ fn cmd_analyze(f: &Flags) {
         assign.push(owner);
     }
     if assign.len() != tree.len() {
-        usage(&format!("parts file has {} lines, mesh has {}", assign.len(), tree.len()));
+        usage(&format!(
+            "parts file has {} lines, mesh has {}",
+            assign.len(),
+            tree.len()
+        ));
     }
     let p = assign.iter().max().map_or(1, |m| m + 1);
     let counts = partition_counts(&assign, p);
@@ -199,7 +227,10 @@ fn read_mesh(path: &str, curve: Curve) -> LinearTree<3> {
         let v: Vec<u32> = line
             .split_whitespace()
             .take(4)
-            .map(|s| s.parse().unwrap_or_else(|_| usage(&format!("{path}:{}: bad number", ln + 1))))
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| usage(&format!("{path}:{}: bad number", ln + 1)))
+            })
             .collect();
         if v.len() != 4 {
             usage(&format!("{path}:{}: expected 'x y z level'", ln + 1));

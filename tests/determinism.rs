@@ -12,7 +12,10 @@ use optipart::sfc::Curve;
 fn engine(p: usize) -> Engine {
     Engine::new(
         p,
-        PerfModel::new(MachineModel::cloudlab_wisconsin(), AppModel::laplacian_matvec()),
+        PerfModel::new(
+            MachineModel::cloudlab_wisconsin(),
+            AppModel::laplacian_matvec(),
+        ),
     )
 }
 
@@ -21,7 +24,11 @@ fn partitioning_is_deterministic() {
     let run = || {
         let tree = MeshParams::normal(5_000, 77).build::<3>(Curve::Hilbert);
         let mut e = engine(16);
-        let out = optipart(&mut e, distribute_tree(&tree, 16), OptiPartOptions::default());
+        let out = optipart(
+            &mut e,
+            distribute_tree(&tree, 16),
+            OptiPartOptions::default(),
+        );
         (
             out.splitters.clone(),
             out.report.counts.clone(),
@@ -49,7 +56,12 @@ fn matvec_experiment_is_deterministic() {
         );
         let mesh = DistMesh::build(&mut e, out.dist, Curve::Morton);
         let rep = run_matvec_experiment(&mut e, &mesh, 7);
-        (rep.seconds, rep.energy.total_j, rep.ghost_elements, rep.bytes_total)
+        (
+            rep.seconds,
+            rep.energy.total_j,
+            rep.ghost_elements,
+            rep.bytes_total,
+        )
     };
     let a = run();
     let b = run();
@@ -57,6 +69,69 @@ fn matvec_experiment_is_deterministic() {
     assert_eq!(a.1, b.1);
     assert_eq!(a.2, b.2);
     assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn identical_across_worker_thread_counts() {
+    // The fork–join helpers chunk contiguously and stitch in index order,
+    // so the worker count can never leak into results: splitters, stats
+    // and every per-rank virtual clock are bit-identical at any
+    // RAYON_NUM_THREADS.
+    let run = || {
+        let tree = MeshParams::normal(4_000, 80).build::<3>(Curve::Hilbert);
+        let mut e = engine(12);
+        let out = treesort_partition(
+            &mut e,
+            distribute_tree(&tree, 12),
+            PartitionOptions::with_tolerance(0.1),
+        );
+        (
+            out.splitters.clone(),
+            out.report.counts.clone(),
+            e.clocks().to_vec(),
+            e.stats().bytes_total,
+            e.stats().msgs_total,
+        )
+    };
+    let reference = run();
+    for threads in ["1", "4", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        assert_eq!(
+            reference,
+            run(),
+            "divergence at RAYON_NUM_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn fault_plans_replay_exactly() {
+    // A fault plan is part of the seed: two engines with the same plan see
+    // the same stragglers, the same link jitter and the same transient
+    // failures, down to the last retry and clock tick.
+    use optipart::mpisim::FaultPlan;
+    let run = || {
+        let tree = MeshParams::normal(3_000, 81).build::<3>(Curve::Morton);
+        let plan = FaultPlan::new(4242)
+            .with_stragglers(0.25, 5.0)
+            .with_tw_jitter(0.3)
+            .with_transient_failures(0.25);
+        let mut e = engine(8).with_faults(plan);
+        let out = treesort_partition(&mut e, distribute_tree(&tree, 8), PartitionOptions::exact());
+        let mesh = DistMesh::build(&mut e, out.dist, Curve::Morton);
+        let rep = run_matvec_experiment(&mut e, &mesh, 5);
+        (
+            rep.seconds,
+            rep.rank_clocks,
+            rep.retries,
+            rep.energy.total_j,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert!(a.2 > 0, "this plan should produce retries");
+    assert_eq!(a, b, "fault schedule must replay bit-identically");
 }
 
 #[test]
@@ -68,7 +143,11 @@ fn different_machines_same_data_movement_semantics() {
     let mut outs = Vec::new();
     for machine in MachineModel::presets() {
         let mut e = Engine::new(12, PerfModel::new(machine, AppModel::laplacian_matvec()));
-        let out = treesort_partition(&mut e, distribute_tree(&tree, 12), PartitionOptions::exact());
+        let out = treesort_partition(
+            &mut e,
+            distribute_tree(&tree, 12),
+            PartitionOptions::exact(),
+        );
         outs.push(out.dist.concat());
     }
     assert!(outs.windows(2).all(|w| w[0] == w[1]));

@@ -2,9 +2,7 @@
 //! partitioning, FEM mesh construction, matvec and energy reporting.
 
 use optipart::core::optipart::{optipart, OptiPartOptions};
-use optipart::core::partition::{
-    distribute_tree, treesort_partition, PartitionOptions,
-};
+use optipart::core::partition::{distribute_tree, treesort_partition, PartitionOptions};
 use optipart::core::samplesort::{samplesort_partition, SampleSortOptions};
 use optipart::fem::{cg_solve, run_matvec_experiment, DistMesh};
 use optipart::machine::{AppModel, IpmiSampler, MachineModel, PerfModel};
@@ -26,11 +24,23 @@ fn all_partitioners_agree_on_global_order() {
     expected.sort_unstable();
 
     let mut e1 = engine(MachineModel::titan(), p);
-    let a = treesort_partition(&mut e1, distribute_tree(&tree, p), PartitionOptions::exact());
+    let a = treesort_partition(
+        &mut e1,
+        distribute_tree(&tree, p),
+        PartitionOptions::exact(),
+    );
     let mut e2 = engine(MachineModel::titan(), p);
-    let b = optipart(&mut e2, distribute_tree(&tree, p), OptiPartOptions::default());
+    let b = optipart(
+        &mut e2,
+        distribute_tree(&tree, p),
+        OptiPartOptions::default(),
+    );
     let mut e3 = engine(MachineModel::titan(), p);
-    let c = samplesort_partition(&mut e3, distribute_tree(&tree, p), SampleSortOptions::default());
+    let c = samplesort_partition(
+        &mut e3,
+        distribute_tree(&tree, p),
+        SampleSortOptions::default(),
+    );
 
     assert_eq!(a.dist.concat(), expected);
     assert_eq!(b.dist.concat(), expected);
@@ -51,7 +61,11 @@ fn pipeline_runs_for_all_distributions_and_curves() {
             .build::<3>(curve);
             let p = 6;
             let mut e = engine(MachineModel::cloudlab_wisconsin(), p);
-            let out = optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::for_curve(curve));
+            let out = optipart(
+                &mut e,
+                distribute_tree(&tree, p),
+                OptiPartOptions::for_curve(curve),
+            );
             let mesh = DistMesh::build(&mut e, out.dist, curve);
             let rep = run_matvec_experiment(&mut e, &mesh, 5);
             assert!(rep.seconds > 0.0, "{} {curve}", dist.name());
@@ -69,7 +83,11 @@ fn optipart_reduces_communication_on_cloudlab() {
     let p = 32;
 
     let mut e1 = engine(MachineModel::cloudlab_wisconsin(), p);
-    let exact = treesort_partition(&mut e1, distribute_tree(&tree, p), PartitionOptions::exact());
+    let exact = treesort_partition(
+        &mut e1,
+        distribute_tree(&tree, p),
+        PartitionOptions::exact(),
+    );
     let mesh1 = DistMesh::build(&mut e1, exact.dist, Curve::Hilbert);
     let r_exact = run_matvec_experiment(&mut e1, &mesh1, 10);
 
@@ -97,7 +115,11 @@ fn poisson_on_gaussian_ball() {
     assert!(is_balanced21(&tree));
     let p = 8;
     let mut e = engine(MachineModel::cloudlab_clemson(), p);
-    let out = optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::default());
+    let out = optipart(
+        &mut e,
+        distribute_tree(&tree, p),
+        OptiPartOptions::default(),
+    );
     let mesh = DistMesh::build(&mut e, out.dist, Curve::Hilbert);
     let b = DistVec::from_parts(mesh.cells.counts().iter().map(|&c| vec![1.0; c]).collect());
     let (u, rep) = cg_solve(&mut e, &mesh, &b, 1e-7, 2000);
@@ -115,7 +137,10 @@ fn ipmi_sampling_matches_exact_energy() {
     let out = treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact());
     let machine = e.perf().machine.clone();
     let exact = e.energy_report();
-    let sampled = IpmiSampler { period_s: exact.makespan_s / 10_000.0 }.measure(
+    let sampled = IpmiSampler {
+        period_s: exact.makespan_s / 10_000.0,
+    }
+    .measure(
         e.trace().unwrap(),
         &machine.power,
         machine.ranks_per_node,
@@ -123,7 +148,12 @@ fn ipmi_sampling_matches_exact_energy() {
     );
     let _ = out;
     let rel = (sampled.total_j - exact.total_j).abs() / exact.total_j;
-    assert!(rel < 0.05, "sampled {} vs exact {} (rel {rel})", sampled.total_j, exact.total_j);
+    assert!(
+        rel < 0.05,
+        "sampled {} vs exact {} (rel {rel})",
+        sampled.total_j,
+        exact.total_j
+    );
 }
 
 /// The facade crate re-exports everything needed for the README quickstart.

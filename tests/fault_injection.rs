@@ -1,0 +1,258 @@
+//! Fault injection end-to-end: seeded fault plans perturb the *virtual
+//! machine* (straggling ranks, jittered links, transient all-to-all
+//! failures) while the always-on audits check that no collective ever loses
+//! or duplicates data and no clock runs backwards. The partitioned data must
+//! be bit-identical with faults on or off — faults cost time, never
+//! correctness — and OptiPart's measured-cost stopping rule must respond to
+//! the perturbed machine by settling for a coarser (or equal) tolerance.
+
+use optipart::core::optipart::{optipart, OptiPartOptions};
+use optipart::core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart::fem::{run_matvec_experiment, DistMesh};
+use optipart::machine::{AppModel, MachineModel, PerfModel};
+use optipart::mpisim::{Engine, FaultPlan};
+use optipart::octree::MeshParams;
+use optipart::sfc::Curve;
+
+fn engine(p: usize) -> Engine {
+    Engine::new(
+        p,
+        PerfModel::new(
+            MachineModel::cloudlab_wisconsin(),
+            AppModel::laplacian_matvec(),
+        ),
+    )
+}
+
+/// A plan exercising all three fault channels at once.
+fn stormy(seed: u64) -> FaultPlan {
+    FaultPlan::new(seed)
+        .with_stragglers(0.25, 4.0)
+        .with_tw_jitter(0.4)
+        .with_transient_failures(0.3)
+        .with_retry_policy(4, 1e-4)
+}
+
+#[test]
+fn faulted_run_is_bit_reproducible() {
+    // Same fault seed ⇒ identical schedule of stragglers, jitter and
+    // failures ⇒ bit-identical splitters, stats and clocks — across repeat
+    // runs AND across worker thread counts.
+    let run = || {
+        let tree = MeshParams::normal(4_000, 81).build::<3>(Curve::Hilbert);
+        let mut e = engine(12).with_faults(stormy(7));
+        let out = optipart(
+            &mut e,
+            distribute_tree(&tree, 12),
+            OptiPartOptions::default(),
+        );
+        (
+            out.splitters.clone(),
+            out.report.counts.clone(),
+            e.makespan(),
+            e.clocks().to_vec(),
+            e.stats().retries_total,
+            e.stats().audited_collectives,
+        )
+    };
+    let reference = run();
+    assert!(
+        reference.4 > 0,
+        "the stormy plan should trigger at least one retry"
+    );
+    assert!(reference.5 > 0, "audits must have run");
+    for threads in ["1", "4", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let again = run();
+        assert_eq!(
+            reference, again,
+            "divergence at RAYON_NUM_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn faults_cost_time_but_never_touch_data() {
+    // TreeSort under the stormy plan: the exchanged + sorted cells are
+    // bit-identical to the fault-free run; only the virtual clock suffers.
+    let tree = MeshParams::normal(5_000, 82).build::<3>(Curve::Hilbert);
+    let p = 16;
+
+    let mut clean = engine(p);
+    let out_clean = treesort_partition(
+        &mut clean,
+        distribute_tree(&tree, p),
+        PartitionOptions::exact(),
+    );
+
+    let mut faulty = engine(p).with_faults(stormy(11));
+    let out_faulty = treesort_partition(
+        &mut faulty,
+        distribute_tree(&tree, p),
+        PartitionOptions::exact(),
+    );
+
+    assert_eq!(out_clean.splitters, out_faulty.splitters);
+    assert_eq!(out_clean.dist.concat(), out_faulty.dist.concat());
+    assert_eq!(out_clean.report.counts, out_faulty.report.counts);
+    assert!(
+        faulty.makespan() > clean.makespan(),
+        "stragglers + retries must inflate virtual time: {} vs {}",
+        faulty.makespan(),
+        clean.makespan()
+    );
+    // Both runs were audited end to end; a conservation violation would
+    // have panicked above.
+    assert!(clean.stats().audited_collectives > 0);
+    assert_eq!(
+        clean.stats().audited_collectives,
+        faulty.stats().audited_collectives
+    );
+}
+
+#[test]
+fn audits_hold_across_algorithms_and_seeds() {
+    // Sweep fault seeds over TreeSort, OptiPart and the FEM matvec driver —
+    // every collective in every run passes the conservation audit (the
+    // audit panics on violation, so reaching the end *is* the assertion).
+    for seed in [1u64, 2, 3] {
+        let tree = MeshParams::normal(3_000, 83).build::<3>(Curve::Hilbert);
+        let p = 8;
+
+        let mut e1 = engine(p).with_faults(stormy(seed));
+        let out = treesort_partition(
+            &mut e1,
+            distribute_tree(&tree, p),
+            PartitionOptions::with_tolerance(0.3),
+        );
+        assert!(e1.stats().audited_collectives > 0);
+
+        let mut e2 = engine(p).with_faults(stormy(seed ^ 0xABCD));
+        let _ = optipart(
+            &mut e2,
+            distribute_tree(&tree, p),
+            OptiPartOptions::default(),
+        );
+        assert!(e2.stats().audited_collectives > 0);
+
+        let mesh = DistMesh::build(&mut e1, out.dist, Curve::Hilbert);
+        let rep = run_matvec_experiment(&mut e1, &mesh, 5);
+        assert!(rep.seconds > 0.0);
+        assert_eq!(rep.rank_clocks.len(), p);
+    }
+}
+
+#[test]
+fn stragglers_drive_optipart_to_coarser_or_equal_tolerance() {
+    // The acceptance-criterion test: with the measured-cost stopping rule
+    // (`amortize_over`), straggling ranks inflate the *measured* cost of
+    // every further refinement round while the nominal Eq. (3) gain is
+    // unchanged — so the search must stop at a coarser (or equal) tolerance
+    // than on the clean machine, and the data must still be a valid
+    // partition of the same cells.
+    // The amortisation horizon is where machine-awareness lives: over 100
+    // iterations the clean machine recoups deep refinement, the straggling
+    // machine (search phases ~20× slower on hot ranks) cannot.
+    let p = 16;
+    let mut strictly_coarser = 0usize;
+    for seed in [84u64, 85, 86, 87, 88] {
+        let tree = MeshParams::normal(6_000, seed).build::<3>(Curve::Hilbert);
+        let opts = OptiPartOptions {
+            amortize_over: Some(100),
+            ..Default::default()
+        };
+
+        let mut clean = engine(p);
+        let out_clean = optipart(&mut clean, distribute_tree(&tree, p), opts);
+
+        let mut faulty = engine(p).with_faults(FaultPlan::new(seed).with_stragglers(0.25, 20.0));
+        let out_faulty = optipart(&mut faulty, distribute_tree(&tree, p), opts);
+
+        let (tol_clean, tol_faulty) = (
+            out_clean.report.achieved_tolerance,
+            out_faulty.report.achieved_tolerance,
+        );
+        assert!(
+            tol_faulty >= tol_clean - 1e-12,
+            "seed {seed}: stragglers made OptiPart pick a finer tolerance \
+             ({tol_faulty} < {tol_clean}) — measured-cost rule is inverted"
+        );
+        if tol_faulty > tol_clean + 1e-12 {
+            strictly_coarser += 1;
+        }
+        // Whatever tolerance was chosen, the partition is complete.
+        let mut cells_clean = out_clean.dist.concat();
+        let mut cells_faulty = out_faulty.dist.concat();
+        cells_clean.sort();
+        cells_faulty.sort();
+        assert_eq!(
+            cells_clean, cells_faulty,
+            "seed {seed}: partitions hold different cells"
+        );
+    }
+    assert!(
+        strictly_coarser >= 2,
+        "severity-20 stragglers changed the tolerance decision on only \
+         {strictly_coarser}/5 seeds — the measured cost is not reaching \
+         the acceptance rule"
+    );
+}
+
+#[test]
+fn matvec_report_exposes_straggle_and_retries() {
+    let tree = MeshParams::normal(2_500, 87).build::<3>(Curve::Hilbert);
+    let p = 8;
+
+    let build = |e: &mut Engine| {
+        let out = treesort_partition(e, distribute_tree(&tree, p), PartitionOptions::exact());
+        DistMesh::build(e, out.dist, Curve::Hilbert)
+    };
+
+    let mut clean = engine(p);
+    let mesh = build(&mut clean);
+    let rep_clean = run_matvec_experiment(&mut clean, &mesh, 10);
+
+    let mut faulty = engine(p).with_faults(
+        FaultPlan::new(13)
+            .with_stragglers(0.25, 6.0)
+            .with_transient_failures(0.2),
+    );
+    let mesh_f = build(&mut faulty);
+    let rep_faulty = run_matvec_experiment(&mut faulty, &mesh_f, 10);
+
+    assert_eq!(rep_clean.retries, 0);
+    assert!(
+        rep_faulty.retries > 0,
+        "transient failures should surface as retries"
+    );
+    assert!(rep_faulty.seconds > rep_clean.seconds);
+    assert_eq!(
+        rep_clean.ghost_elements, rep_faulty.ghost_elements,
+        "faults moved data"
+    );
+
+    // Straggling ranks finish late: the clock spread under faults dwarfs
+    // the clean spread (a trailing collective nearly equalises the latter).
+    let spread = |clocks: &[f64]| {
+        clocks.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - clocks.iter().cloned().fold(f64::INFINITY, f64::min)
+    };
+    assert!(spread(&rep_faulty.rank_clocks) > spread(&rep_clean.rank_clocks));
+}
+
+#[test]
+#[should_panic(expected = "audit")]
+fn audit_catches_a_lying_splitter_set() {
+    // Negative control: a duplicated splitter (an empty-partition bug a
+    // broken search could produce) must be refused loudly by the splitter
+    // audit every exchange runs through.
+    use optipart::core::partition::audit_splitters;
+    let tree = MeshParams::normal(1_000, 88).build::<3>(Curve::Hilbert);
+    let p = 4;
+    let mut e = engine(p);
+    let out = treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact());
+    let mut bad = out.splitters.clone();
+    bad[1] = bad[0]; // duplicate ⇒ partition 1 provably empty
+    audit_splitters(&bad, tree.len(), p);
+}

@@ -69,8 +69,14 @@ fn nnz_decreases_with_tolerance_and_hilbert_wins() {
     let (h0, v0) = nnz_at(Curve::Hilbert, 0.0);
     let (h5, v5) = nnz_at(Curve::Hilbert, 0.5);
     let (m0, w0) = nnz_at(Curve::Morton, 0.0);
-    assert!(h5 <= h0, "hilbert nnz should not grow with tolerance: {h0} -> {h5}");
-    assert!(v5 <= v0, "hilbert volume should not grow with tolerance: {v0} -> {v5}");
+    assert!(
+        h5 <= h0,
+        "hilbert nnz should not grow with tolerance: {h0} -> {h5}"
+    );
+    assert!(
+        v5 <= v0,
+        "hilbert volume should not grow with tolerance: {v0} -> {v5}"
+    );
     assert!(h0 <= m0, "hilbert nnz {h0} should be <= morton {m0}");
     assert!(v0 <= w0, "hilbert volume {v0} should be <= morton {w0}");
 }
@@ -85,7 +91,11 @@ fn optipart_prediction_dominates_tolerance_grid() {
     let p = 24;
     let tree = MeshParams::normal(20_000, 29).build::<3>(Curve::Hilbert);
     let mut e = engine(MachineModel::cloudlab_wisconsin(), p);
-    let chosen = optipart(&mut e, distribute_tree(&tree, p), OptiPartOptions::default());
+    let chosen = optipart(
+        &mut e,
+        distribute_tree(&tree, p),
+        OptiPartOptions::default(),
+    );
 
     for tol in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
         let s = split(&tree, p, tol, MachineModel::cloudlab_wisconsin());
@@ -114,7 +124,11 @@ fn optipart_splitter_phase_scales_better_than_samplesort() {
             OptiPartOptions::for_curve(Curve::Morton),
         );
         let mut e2 = engine(MachineModel::stampede(), p);
-        let _ = samplesort_partition(&mut e2, distribute_tree(&tree, p), SampleSortOptions::default());
+        let _ = samplesort_partition(
+            &mut e2,
+            distribute_tree(&tree, p),
+            SampleSortOptions::default(),
+        );
         (
             e1.stats().phase_time(PHASE_SPLITTER),
             e2.stats().phase_time(PHASE_SPLITTER),
@@ -153,9 +167,17 @@ fn energy_and_runtime_correlate_across_tolerances() {
     // Pearson correlation over the three points must be positive and strong.
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let (mt, me) = (mean(&times), mean(&energies));
-    let cov: f64 = times.iter().zip(&energies).map(|(t, e)| (t - mt) * (e - me)).sum();
+    let cov: f64 = times
+        .iter()
+        .zip(&energies)
+        .map(|(t, e)| (t - mt) * (e - me))
+        .sum();
     let st: f64 = times.iter().map(|t| (t - mt).powi(2)).sum::<f64>().sqrt();
-    let se: f64 = energies.iter().map(|e| (e - me).powi(2)).sum::<f64>().sqrt();
+    let se: f64 = energies
+        .iter()
+        .map(|e| (e - me).powi(2))
+        .sum::<f64>()
+        .sqrt();
     let r = cov / (st * se).max(f64::MIN_POSITIVE);
     assert!(r > 0.9, "energy–time correlation too weak: r = {r}");
 }
@@ -179,8 +201,7 @@ fn boundary_grows_and_lambda_shrinks_with_level() {
             }
             bounds.push(n);
             let sizes: Vec<usize> = bounds.windows(2).map(|w| w[1] - w[0]).collect();
-            let lambda =
-                *sizes.iter().max().unwrap() as f64 / *sizes.iter().min().unwrap() as f64;
+            let lambda = *sizes.iter().max().unwrap() as f64 / *sizes.iter().min().unwrap() as f64;
             let surface: u64 = bounds
                 .windows(2)
                 .map(|w| segment_surface(tree.leaves(), w[0], w[1], curve))
