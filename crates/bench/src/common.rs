@@ -9,6 +9,14 @@ use optipart_sfc::Curve;
 use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// A captured table: name, headers, string rows.
+type EmittedTable = (String, Vec<String>, Vec<Vec<String>>);
+
+/// Every table emitted during this process, captured for
+/// [`write_summary`]'s machine-readable `BENCH_summary.json`.
+static EMITTED: Mutex<Vec<EmittedTable>> = Mutex::new(Vec::new());
 
 /// Global configuration of a harness run.
 #[derive(Clone, Debug)]
@@ -93,7 +101,57 @@ impl Table {
             }
             eprintln!("wrote {}", path.display());
         }
+        EMITTED
+            .lock()
+            .unwrap()
+            .push((self.name.clone(), self.headers.clone(), self.rows.clone()));
     }
+}
+
+/// Writes `BENCH_summary.json` — a machine-readable digest of the run: one
+/// entry per figure with its host wall time, plus every emitted table
+/// (virtual timings, NNZ, imbalance, …) as headers + string rows. Lands in
+/// `--out DIR` when given, the working directory otherwise.
+pub fn write_summary(cfg: &RunConfig, figures: &[(String, f64)]) {
+    use optipart_trace::json_escape;
+    let mut s = String::from("{\n  \"figures\": [\n");
+    for (i, (id, wall)) in figures.iter().enumerate() {
+        let sep = if i + 1 == figures.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"wall_s\": {:.6}}}{}\n",
+            json_escape(id),
+            wall,
+            sep
+        ));
+    }
+    s.push_str("  ],\n  \"tables\": [\n");
+    let tables = EMITTED.lock().unwrap();
+    for (i, (name, headers, rows)) in tables.iter().enumerate() {
+        let quote = |cells: &[String]| {
+            cells
+                .iter()
+                .map(|c| format!("\"{}\"", json_escape(c)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"headers\": [{}], \"rows\": [",
+            json_escape(name),
+            quote(headers)
+        ));
+        for (j, row) in rows.iter().enumerate() {
+            let sep = if j + 1 == rows.len() { "" } else { ", " };
+            s.push_str(&format!("[{}]{}", quote(row), sep));
+        }
+        let sep = if i + 1 == tables.len() { "" } else { "," };
+        s.push_str(&format!("]}}{}\n", sep));
+    }
+    s.push_str("  ]\n}\n");
+    let dir = cfg.out_dir.clone().unwrap_or_else(|| PathBuf::from("."));
+    fs::create_dir_all(&dir).expect("create out dir");
+    let path = dir.join("BENCH_summary.json");
+    fs::write(&path, s).expect("write summary");
+    eprintln!("wrote {}", path.display());
 }
 
 /// Formats a float compactly for tables.

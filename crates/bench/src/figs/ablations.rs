@@ -48,7 +48,7 @@ pub fn run_staging(cfg: &RunConfig) {
                 k.to_string()
             },
             out.report.rounds.to_string(),
-            fmt(e.stats().phase_time(PHASE_SPLITTER)),
+            fmt(e.phase_time(PHASE_SPLITTER)),
             fmt(e.makespan()),
         ]);
     }
@@ -75,9 +75,7 @@ pub fn run_alltoall(cfg: &RunConfig) {
             table.row(vec![
                 p.to_string(),
                 format!("{algo:?}").to_lowercase(),
-                fmt(e
-                    .stats()
-                    .phase_time(optipart_core::partition::PHASE_ALL2ALL)),
+                fmt(e.phase_time(optipart_core::partition::PHASE_ALL2ALL)),
             ]);
         }
     }

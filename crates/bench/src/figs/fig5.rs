@@ -36,9 +36,8 @@ pub fn run(cfg: &RunConfig) {
                 distribute_shuffled(&tree, p, cfg.seed),
                 PartitionOptions::exact(),
             );
-            let split =
-                e.stats().phase_time(PHASE_SPLITTER) + e.stats().phase_time(PHASE_LOCAL_SORT);
-            let a2a = e.stats().phase_time(PHASE_ALL2ALL);
+            let split = e.phase_time(PHASE_SPLITTER) + e.phase_time(PHASE_LOCAL_SORT);
+            let a2a = e.phase_time(PHASE_ALL2ALL);
             table.row(vec![
                 curve.name().into(),
                 p.to_string(),

@@ -49,9 +49,9 @@ pub fn run(cfg: &RunConfig) {
                     machine.name.clone(),
                     "optipart".into(),
                     p.to_string(),
-                    fmt(e.stats().phase_time(PHASE_LOCAL_SORT)),
-                    fmt(e.stats().phase_time(PHASE_ALL2ALL)),
-                    fmt(e.stats().phase_time(PHASE_SPLITTER)),
+                    fmt(e.phase_time(PHASE_LOCAL_SORT)),
+                    fmt(e.phase_time(PHASE_ALL2ALL)),
+                    fmt(e.phase_time(PHASE_SPLITTER)),
                     fmt(e.makespan()),
                 ]);
             }
@@ -67,9 +67,9 @@ pub fn run(cfg: &RunConfig) {
                     machine.name.clone(),
                     "samplesort".into(),
                     p.to_string(),
-                    fmt(e.stats().phase_time(PHASE_LOCAL_SORT)),
-                    fmt(e.stats().phase_time(PHASE_ALL2ALL)),
-                    fmt(e.stats().phase_time(PHASE_SPLITTER)),
+                    fmt(e.phase_time(PHASE_LOCAL_SORT)),
+                    fmt(e.phase_time(PHASE_ALL2ALL)),
+                    fmt(e.phase_time(PHASE_SPLITTER)),
                     fmt(e.makespan()),
                 ]);
             }

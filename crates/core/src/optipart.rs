@@ -10,7 +10,8 @@
 //! the user guessing a tolerance.
 
 use crate::partition::{
-    exchange_and_sort, PartitionOutcome, PartitionReport, SplitterSearch, PHASE_SPLITTER,
+    exchange_and_sort, PartitionOutcome, PartitionReport, SplitterSearch, PHASE_REFINE,
+    PHASE_SPLITTER,
 };
 use crate::quality::{partition_quality, Quality};
 use optipart_mpisim::{AllToAllAlgo, DistVec, Engine};
@@ -100,7 +101,7 @@ pub fn optipart<const D: usize>(
             if split.is_empty() {
                 break;
             }
-            search.refine_round(engine, &mut dist, &split);
+            engine.phase(PHASE_REFINE, |e| search.refine_round(e, &mut dist, &split));
         }
         let (mut splitters, mut achieved) = search.choose_splitters(p);
         if p == 1 {
@@ -146,6 +147,7 @@ pub fn optipart<const D: usize>(
                 let t_eval = engine.makespan();
                 let q = partition_quality(engine, &mut dist, &cand, opts.curve);
                 pending_cost += engine.makespan() - t_eval;
+                let prev_tp = best.as_ref().map(|(_, _, bq)| score(bq));
                 let improved = match &best {
                     Some((_, _, bq)) => {
                         let gain = score(bq) - score(&q);
@@ -158,6 +160,16 @@ pub fn optipart<const D: usize>(
                     }
                     None => true,
                 };
+                engine.trace_decision(
+                    "optipart.probe",
+                    &[
+                        ("tp_candidate", score(&q)),
+                        ("tp_best", prev_tp.unwrap_or(score(&q))),
+                        ("tolerance", cand_tol),
+                        ("search_cost_s", pending_cost),
+                        ("accepted", if improved { 1.0 } else { 0.0 }),
+                    ],
+                );
                 if improved {
                     best = Some((cand.clone(), cand_tol, q));
                     worse = 0;
@@ -184,7 +196,7 @@ pub fn optipart<const D: usize>(
                 split.truncate((k / (1 << D)).max(1));
             }
             let t_refine = engine.makespan();
-            search.refine_round(engine, &mut dist, &split);
+            engine.phase(PHASE_REFINE, |e| search.refine_round(e, &mut dist, &split));
             pending_cost += engine.makespan() - t_refine;
         }
         let (splitters, achieved, current) = match best {
@@ -196,6 +208,10 @@ pub fn optipart<const D: usize>(
                 (splitters, achieved, q)
             }
         };
+        engine.trace_decision(
+            "optipart.accept",
+            &[("tp", current.tp), ("tolerance", achieved)],
+        );
         (search, splitters, achieved, current)
     });
 

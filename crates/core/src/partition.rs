@@ -22,6 +22,9 @@ pub const PHASE_SPLITTER: &str = "splitter";
 pub const PHASE_ALL2ALL: &str = "all2all";
 /// Local sort phase label.
 pub const PHASE_LOCAL_SORT: &str = "local_sort";
+/// One splitter-refinement round (nested inside [`PHASE_SPLITTER`]): the
+/// per-round spans the trace timeline shows for the tolerance search.
+pub const PHASE_REFINE: &str = "refine";
 
 /// Options for the flexible distributed TreeSort.
 #[derive(Clone, Copy, Debug)]
@@ -547,7 +550,7 @@ pub(crate) fn select_splitters<const D: usize>(
             let max_buckets = (k / (1 << D)).max(1);
             violating.truncate(max_buckets);
         }
-        search.refine_round(engine, dist, &violating);
+        engine.phase(PHASE_REFINE, |e| search.refine_round(e, dist, &violating));
     }
     let (splitters, achieved) = search.choose_splitters(p);
     (search, splitters, achieved)
@@ -796,9 +799,9 @@ mod tests {
         let tree = mesh(1000, 2, Curve::Hilbert);
         let mut e = engine(4);
         let _ = treesort_partition(&mut e, distribute_tree(&tree, 4), PartitionOptions::exact());
-        assert!(e.stats().phase_time(PHASE_SPLITTER) > 0.0);
-        assert!(e.stats().phase_time(PHASE_ALL2ALL) > 0.0);
-        assert!(e.stats().phase_time(PHASE_LOCAL_SORT) > 0.0);
+        assert!(e.phase_time(PHASE_SPLITTER) > 0.0);
+        assert!(e.phase_time(PHASE_ALL2ALL) > 0.0);
+        assert!(e.phase_time(PHASE_LOCAL_SORT) > 0.0);
     }
 
     #[test]

@@ -174,7 +174,7 @@ mod tests {
                 distribute_tree(&tree, 4),
                 SampleSortOptions::default(),
             );
-            e.stats().phase_time(PHASE_SPLITTER)
+            e.phase_time(PHASE_SPLITTER)
         };
         let t_large = {
             let mut e = engine(64);
@@ -183,7 +183,7 @@ mod tests {
                 distribute_tree(&tree, 64),
                 SampleSortOptions::default(),
             );
-            e.stats().phase_time(PHASE_SPLITTER)
+            e.phase_time(PHASE_SPLITTER)
         };
         assert!(
             t_large > t_small * 4.0,

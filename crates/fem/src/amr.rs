@@ -150,21 +150,21 @@ pub fn amr_simulation(engine: &mut Engine, cfg: &AmrConfig) -> AmrReport {
         };
 
         // Repartition; migration = elements that change rank.
-        let out: PartitionOutcome<3> = match cfg.strategy {
-            Strategy::EqualWork => treesort_partition(engine, input, PartitionOptions::exact()),
+        let out: PartitionOutcome<3> = engine.phase("amr.partition", |e| match cfg.strategy {
+            Strategy::EqualWork => treesort_partition(e, input, PartitionOptions::exact()),
             Strategy::Tolerance(tol) => {
-                treesort_partition(engine, input, PartitionOptions::with_tolerance(tol))
+                treesort_partition(e, input, PartitionOptions::with_tolerance(tol))
             }
-            Strategy::OptiPart => optipart(engine, input, OptiPartOptions::for_curve(cfg.curve)),
+            Strategy::OptiPart => optipart(e, input, OptiPartOptions::for_curve(cfg.curve)),
             Strategy::OptiPartLatencyAware => optipart(
-                engine,
+                e,
                 input,
                 OptiPartOptions {
                     latency_aware: true,
                     ..OptiPartOptions::for_curve(cfg.curve)
                 },
             ),
-        };
+        });
         // Count migrations: compare each element's final owner with where
         // the block/previous distribution had put it. (Sequential check over
         // the global view — measurement, not simulation.)
@@ -186,10 +186,22 @@ pub fn amr_simulation(engine: &mut Engine, cfg: &AmrConfig) -> AmrReport {
         }
 
         // Solve on the new partition.
-        let mesh = DistMesh::build(engine, out.dist, cfg.curve);
-        let rep = run_matvec_experiment_nonreset(engine, &mesh, cfg.matvecs_per_step);
+        let mesh = engine.phase("amr.mesh", |e| DistMesh::build(e, out.dist, cfg.curve));
+        let rep = engine.phase("amr.solve", |e| {
+            run_matvec_experiment_nonreset(e, &mesh, cfg.matvecs_per_step)
+        });
         total_ghosts += rep.0;
         energy_j = engine.energy_report().total_j;
+
+        engine.trace_decision(
+            "amr.step",
+            &[
+                ("step", t as f64),
+                ("elements", n as f64),
+                ("migrated", migrated as f64),
+                ("lambda", out.report.lambda),
+            ],
+        );
 
         steps.push(AmrStep {
             step: t,

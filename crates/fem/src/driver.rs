@@ -59,25 +59,27 @@ pub fn run_matvec_experiment<const D: usize>(
 
     let mut ghost_elements = 0u64;
     for it in 0..iterations {
-        let (y, stats) = laplacian_matvec(engine, mesh, &mut x);
+        let (y, stats) = engine.phase("matvec", |e| laplacian_matvec(e, mesh, &mut x));
         ghost_elements += stats.ghost_elements;
         x = y;
         // Rescale occasionally so repeated application stays in range (the
         // physics is irrelevant; only the compute/comm pattern matters).
         if it % 10 == 9 {
-            let max = engine
-                .allreduce_max_f64(
-                    &x.parts()
-                        .iter()
-                        .map(|b| b.iter().fold(0.0f64, |m, v| m.max(v.abs())))
-                        .collect::<Vec<_>>(),
-                )
-                .max(f64::MIN_POSITIVE);
-            engine.compute(&mut x, |_r, buf| {
-                for v in buf.iter_mut() {
-                    *v /= max;
-                }
-                buf.len() as f64 * 16.0
+            engine.phase("rescale", |e| {
+                let max = e
+                    .allreduce_max_f64(
+                        &x.parts()
+                            .iter()
+                            .map(|b| b.iter().fold(0.0f64, |m, v| m.max(v.abs())))
+                            .collect::<Vec<_>>(),
+                    )
+                    .max(f64::MIN_POSITIVE);
+                e.compute(&mut x, |_r, buf| {
+                    for v in buf.iter_mut() {
+                        *v /= max;
+                    }
+                    buf.len() as f64 * 16.0
+                });
             });
         }
     }

@@ -41,7 +41,7 @@ impl Engine {
         out_msgs: &[u64],
         in_msgs: &[u64],
     ) {
-        let t0 = self.sync_start();
+        let t0 = self.sync_start("alltoallv");
         let ts = self.perf.machine.ts;
         let logp = self.log_p();
         let seq = self.collective_seq;
@@ -67,21 +67,36 @@ impl Engine {
                         cost += plan.backoff_s(k) + base;
                     }
                     self.stats.retries_total += retries as u64;
+                    if retries > 0 {
+                        // First failure surfaces after the base attempt.
+                        self.tracer
+                            .mark(r, t0 + base, "fault.retry", retries as f64);
+                    }
                 }
             }
             self.charge_comm(r, t0, cost, send_bytes[r] + recv_bytes[r]);
         }
     }
-    /// Synchronises all ranks to the maximum clock and returns that time.
-    fn sync_start(&mut self) -> f64 {
-        let t = self.makespan();
+    /// Synchronises all ranks to the maximum clock and returns that time,
+    /// recording the sync point (and the blocking rank — the last arrival,
+    /// lowest rank on ties) on the structured trace.
+    fn sync_start(&mut self, name: &str) -> f64 {
+        let mut t = 0.0;
+        let mut blocker = 0;
+        for (r, &c) in self.clocks.iter().enumerate() {
+            if c > t {
+                t = c;
+                blocker = r;
+            }
+        }
         self.clocks.iter_mut().for_each(|c| *c = t);
+        self.tracer.begin_collective(name, t, blocker);
         t
     }
 
     /// Barrier: `log p` latencies.
     pub fn barrier(&mut self) {
-        let t0 = self.sync_start();
+        let t0 = self.sync_start("barrier");
         let cost = self.log_p() * self.perf.machine.ts;
         self.stats.collectives += 1;
         self.stats.msgs_total += (self.p as u64) * self.log_p() as u64;
@@ -94,8 +109,8 @@ impl Engine {
     /// bytes, every rank pays `log p (ts + tw b)` — with `tw` the rank's
     /// *effective* wire slowness, so link jitter desynchronises completion
     /// times exactly as a perturbed network would.
-    fn charge_tree_collective(&mut self, bytes_per_rank: u64) {
-        let t0 = self.sync_start();
+    fn charge_tree_collective(&mut self, name: &str, bytes_per_rank: u64) {
+        let t0 = self.sync_start(name);
         let ts = self.perf.machine.ts;
         let logp = self.log_p();
         self.stats.collectives += 1;
@@ -111,28 +126,28 @@ impl Engine {
     /// `MPI_Allreduce(SUM)` over one `u64` per rank.
     pub fn allreduce_sum_u64(&mut self, contrib: &[u64]) -> u64 {
         assert_eq!(contrib.len(), self.p);
-        self.charge_tree_collective(8);
+        self.charge_tree_collective("allreduce", 8);
         contrib.iter().sum()
     }
 
     /// `MPI_Allreduce(MAX)` over one `u64` per rank.
     pub fn allreduce_max_u64(&mut self, contrib: &[u64]) -> u64 {
         assert_eq!(contrib.len(), self.p);
-        self.charge_tree_collective(8);
+        self.charge_tree_collective("allreduce", 8);
         contrib.iter().copied().max().unwrap_or(0)
     }
 
     /// `MPI_Allreduce(MAX)` over one `f64` per rank.
     pub fn allreduce_max_f64(&mut self, contrib: &[f64]) -> f64 {
         assert_eq!(contrib.len(), self.p);
-        self.charge_tree_collective(8);
+        self.charge_tree_collective("allreduce", 8);
         contrib.iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// `MPI_Allreduce(SUM)` over one `f64` per rank.
     pub fn allreduce_sum_f64(&mut self, contrib: &[f64]) -> f64 {
         assert_eq!(contrib.len(), self.p);
-        self.charge_tree_collective(8);
+        self.charge_tree_collective("allreduce", 8);
         contrib.iter().sum()
     }
 
@@ -148,7 +163,7 @@ impl Engine {
             contribs.iter().all(|c| c.len() == len),
             "ragged contributions"
         );
-        self.charge_tree_collective(8 * len as u64);
+        self.charge_tree_collective("allreduce", 8 * len as u64);
         let mut out = vec![0u64; len];
         for c in contribs {
             for (o, v) in out.iter_mut().zip(c) {
@@ -166,7 +181,7 @@ impl Engine {
             contribs.iter().all(|c| c.len() == len),
             "ragged contributions"
         );
-        self.charge_tree_collective(8 * len as u64);
+        self.charge_tree_collective("allreduce", 8 * len as u64);
         let mut out = vec![0u64; len];
         for c in contribs {
             for (o, v) in out.iter_mut().zip(c) {
@@ -180,7 +195,7 @@ impl Engine {
     /// `sum(contrib[0..r])`; rank 0 receives 0.
     pub fn exscan_sum_u64(&mut self, contrib: &[u64]) -> Vec<u64> {
         assert_eq!(contrib.len(), self.p);
-        self.charge_tree_collective(8);
+        self.charge_tree_collective("exscan", 8);
         let mut out = Vec::with_capacity(self.p);
         let mut acc = 0u64;
         for &c in contrib {
@@ -192,7 +207,7 @@ impl Engine {
 
     /// Broadcast of `bytes` from one rank to all.
     pub fn bcast_cost(&mut self, bytes: u64) {
-        self.charge_tree_collective(bytes);
+        self.charge_tree_collective("bcast", bytes);
     }
 
     /// `MPI_Allgather`: every rank contributes a small buffer; all ranks
@@ -202,7 +217,7 @@ impl Engine {
         assert_eq!(contribs.len(), self.p);
         let elem = std::mem::size_of::<T>() as u64;
         let total: u64 = contribs.iter().map(|c| c.len() as u64 * elem).sum();
-        let t0 = self.sync_start();
+        let t0 = self.sync_start("allgather");
         let ts = self.perf.machine.ts;
         let logp = self.log_p();
         self.stats.collectives += 1;

@@ -6,6 +6,10 @@ use crate::par;
 use crate::stats::{CommMatrix, RunStats};
 use optipart_machine::energy::{ActivityKind, Interval, COMM_CORE_FRACTION};
 use optipart_machine::{EnergyReport, PerfModel, PowerTrace};
+use optipart_trace::{
+    chrome_trace_json, critical_path, model_attribution, profile, CriticalPath, ModelAttribution,
+    ModelParams, Profile, Tracer,
+};
 
 /// How rank-local compute phases are charged to the virtual clocks.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -64,6 +68,10 @@ pub struct Engine {
     /// Sequence number of the next data-moving collective — the event
     /// identity transient-failure draws are keyed on.
     pub(crate) collective_seq: u64,
+    /// Structured virtual-time recorder (`optipart-trace`). Phase counters
+    /// are always live; span/sync/mark recording is opt-in via
+    /// [`Engine::with_tracing`].
+    pub(crate) tracer: Tracer,
 }
 
 impl Engine {
@@ -84,6 +92,7 @@ impl Engine {
             faults: None,
             audit: true,
             collective_seq: 0,
+            tracer: Tracer::new(p),
         }
     }
 
@@ -92,7 +101,58 @@ impl Engine {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         let ranks = plan.materialize(self.p);
         self.faults = Some((plan, ranks));
+        self.annotate_faults();
         self
+    }
+
+    /// Enables structured span tracing: every compute segment, collective
+    /// charge and synchronisation point is recorded on the virtual
+    /// timeline, ready for [`Engine::trace_json`], [`Engine::critical_path`]
+    /// and [`Engine::model_attribution`]. Near-zero overhead remains when
+    /// not enabled (each record call is one branch).
+    pub fn with_tracing(mut self) -> Self {
+        self.tracer.enable_spans();
+        self.annotate_faults();
+        self
+    }
+
+    /// Additionally stamps spans with host wall-clock seconds. Wall time is
+    /// determinism-exempt: enabling it makes the export differ between
+    /// runs. Implies nothing about the virtual clocks, which stay exact.
+    pub fn with_wall_time(mut self) -> Self {
+        self.tracer.enable_wall_time();
+        self
+    }
+
+    /// Drops t=0 marks onto straggling/jittered ranks so fault injection is
+    /// visible in the exported timeline. Idempotent: marks carry fixed
+    /// names, and this runs only when both faults and tracing are present
+    /// and no fault marks exist yet.
+    fn annotate_faults(&mut self) {
+        if !self.tracer.spans_enabled() || !self.tracer.marks().is_empty() {
+            return;
+        }
+        let Some((_, ranks)) = &self.faults else {
+            return;
+        };
+        let stragglers: Vec<(usize, f64)> = ranks
+            .straggler_ranks()
+            .into_iter()
+            .map(|r| (r, ranks.compute_factor[r]))
+            .collect();
+        let jittered: Vec<(usize, f64)> = ranks
+            .tw_factor
+            .iter()
+            .enumerate()
+            .filter(|(_, &f)| (f - 1.0).abs() > 1e-12)
+            .map(|(r, &f)| (r, f))
+            .collect();
+        for (r, f) in stragglers {
+            self.tracer.mark(r, 0.0, "fault.straggler", f);
+        }
+        for (r, f) in jittered {
+            self.tracer.mark(r, 0.0, "fault.link_jitter", f);
+        }
     }
 
     /// Enables or disables invariant auditing (on by default).
@@ -185,6 +245,57 @@ impl Engine {
         self.trace.as_ref()
     }
 
+    /// The structured virtual-time recorder (always present; span recording
+    /// is gated on [`Engine::with_tracing`]).
+    #[inline]
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Virtual seconds attributed to the named [`Engine::phase`], 0 if the
+    /// phase never ran. Always available — phase counters do not require
+    /// [`Engine::with_tracing`].
+    #[inline]
+    pub fn phase_time(&self, name: &str) -> f64 {
+        self.tracer.phase_time(name)
+    }
+
+    /// Network bytes attributed to the named [`Engine::phase`].
+    #[inline]
+    pub fn phase_bytes(&self, name: &str) -> u64 {
+        self.tracer.phase_bytes(name)
+    }
+
+    /// Records a decision instant on the global trace track at the current
+    /// makespan (no-op unless tracing is enabled).
+    pub fn trace_decision(&mut self, name: &str, args: &[(&str, f64)]) {
+        let t = self.makespan();
+        self.tracer.decision(t, name, args);
+    }
+
+    /// Serialises the recorded trace as Chrome `trace_event` JSON
+    /// (`chrome://tracing` / Perfetto).
+    pub fn trace_json(&self) -> String {
+        chrome_trace_json(&self.tracer)
+    }
+
+    /// Extracts the critical path bounding this run's makespan (requires
+    /// [`Engine::with_tracing`] from the start of the run).
+    pub fn critical_path(&self) -> CriticalPath {
+        critical_path(&self.tracer, &self.clocks)
+    }
+
+    /// Builds the Eq. (3) model-attribution report for this run (requires
+    /// [`Engine::with_tracing`]).
+    pub fn model_attribution(&self) -> ModelAttribution {
+        model_attribution(&self.tracer, ModelParams::from_perf(&self.perf, self.p))
+    }
+
+    /// Builds the aggregate per-phase/per-rank profile for this run.
+    pub fn profile(&self) -> Profile {
+        profile(&self.tracer, &self.clocks)
+    }
+
     /// Resets clocks, stats, energy and matrices, keeping the configuration
     /// (including any fault plan — the collective sequence restarts at 0, so
     /// a reset engine replays the same fault schedule).
@@ -200,6 +311,8 @@ impl Engine {
         }
         self.node_dynamic_j.iter_mut().for_each(|j| *j = 0.0);
         self.comm_j = 0.0;
+        self.tracer.reset();
+        self.annotate_faults();
     }
 
     /// Runs a rank-local compute phase in parallel over all ranks.
@@ -236,8 +349,12 @@ impl Engine {
         let mut out = Vec::with_capacity(self.p);
         for (r, (cost, res)) in results.into_iter().enumerate() {
             debug_assert!(cost >= 0.0, "negative compute cost reported");
-            let secs = if measured { cost } else { cost * tc };
-            self.charge_compute(r, secs);
+            let (secs, bytes) = if measured {
+                (cost, 0.0)
+            } else {
+                (cost * tc, cost)
+            };
+            self.charge_compute(r, secs, bytes);
             out.push(res);
         }
         out
@@ -264,16 +381,17 @@ impl Engine {
         let tc = self.perf.machine.tc;
         let mut out = Vec::with_capacity(self.p);
         for (r, (bytes, res)) in results.into_iter().enumerate() {
-            self.charge_compute(r, bytes * tc);
+            self.charge_compute(r, bytes * tc, bytes);
             out.push(res);
         }
         out
     }
 
     /// Charges `secs` of pure computation to `rank` (clock + energy +
-    /// optional trace). A straggling rank's charge is scaled by its fault
-    /// factor.
-    pub(crate) fn charge_compute(&mut self, rank: usize, secs: f64) {
+    /// optional traces; `bytes` is the reported memory traffic, recorded on
+    /// the structured trace). A straggling rank's charge is scaled by its
+    /// fault factor.
+    pub(crate) fn charge_compute(&mut self, rank: usize, secs: f64, bytes: f64) {
         if secs <= 0.0 {
             return;
         }
@@ -303,6 +421,7 @@ impl Engine {
                 bytes: 0,
             });
         }
+        self.tracer.record_compute(rank, t0, t1, bytes as u64);
     }
 
     /// Charges a communication interval `(t0, t0+secs)` carrying `bytes` to
@@ -336,6 +455,7 @@ impl Engine {
                 bytes,
             });
         }
+        self.tracer.record_comm(rank, t0, t1, bytes);
     }
 
     /// `ceil(log2 p)` with the convention `log2 1 = 1` (a lone rank still
@@ -351,11 +471,10 @@ impl Engine {
     pub fn phase<R>(&mut self, name: &str, f: impl FnOnce(&mut Self) -> R) -> R {
         let t0 = self.makespan();
         let b0 = self.stats.bytes_total;
+        self.tracer.phase_begin(name);
         let out = f(self);
-        let dt = self.makespan() - t0;
-        let db = self.stats.bytes_total - b0;
-        *self.stats.phase_times.entry(name.to_string()).or_default() += dt;
-        *self.stats.phase_bytes.entry(name.to_string()).or_default() += db;
+        let t1 = self.makespan();
+        self.tracer.phase_end(t0, t1, self.stats.bytes_total - b0);
         out
     }
 
@@ -414,8 +533,8 @@ mod tests {
         let mut e = engine(2);
         let mut d = DistVec::from_parts(vec![vec![0u8; 100], vec![0; 100]]);
         e.phase("work", |e| e.compute(&mut d, |_, b| b.len() as f64 * 1e6));
-        assert!(e.stats().phase_time("work") > 0.0);
-        assert_eq!(e.stats().phase_time("nothing"), 0.0);
+        assert!(e.phase_time("work") > 0.0);
+        assert_eq!(e.phase_time("nothing"), 0.0);
     }
 
     #[test]

@@ -30,9 +30,14 @@
 //! ## What is recorded
 //!
 //! [`RunStats`] counts messages and bytes (optionally a full rank×rank
-//! communication matrix — the `M` of §5.5), named phase timers give the
-//! partition/all2all/splitter breakdowns of Figs. 5–6, and an energy
-//! accumulator feeds `optipart-machine`'s per-node reports.
+//! communication matrix — the `M` of §5.5), always-on phase counters
+//! ([`Engine::phase_time`] / [`Engine::phase_bytes`], backed by
+//! `optipart-trace`) give the partition/all2all/splitter breakdowns of
+//! Figs. 5–6, and an energy accumulator feeds `optipart-machine`'s
+//! per-node reports. [`Engine::with_tracing`] additionally records every
+//! compute segment, collective charge and synchronisation point on the
+//! virtual timeline — see [`Engine::trace_json`],
+//! [`Engine::critical_path`] and [`Engine::model_attribution`].
 //!
 //! ## Fault injection and auditing
 //!
@@ -64,6 +69,7 @@ pub use collectives::AllToAllAlgo;
 pub use dist::DistVec;
 pub use engine::{Engine, TimeMode};
 pub use faults::{FaultPlan, RankFaults};
+pub use optipart_trace::{CriticalPath, ModelAttribution, PathKind, Profile, Tracer};
 pub use stats::{CommMatrix, RunStats};
 
 // Property-test suites need the external `proptest` crate, which the

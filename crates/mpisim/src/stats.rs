@@ -1,4 +1,9 @@
-//! Run statistics: traffic counters, communication matrix, phase timers.
+//! Run statistics: traffic counters and the communication matrix.
+//!
+//! Per-phase virtual time and bytes live on the engine's
+//! `optipart_trace::Tracer` (the always-on phase counters behind
+//! `Engine::phase_time` / `Engine::phase_bytes`) — this module only keeps
+//! the whole-run traffic aggregates and the §5.5 matrix.
 
 use std::collections::HashMap;
 
@@ -129,22 +134,6 @@ pub struct RunStats {
     pub retries_total: u64,
     /// Data-moving collectives whose conservation audit ran and passed.
     pub audited_collectives: u64,
-    /// Makespan attributed to each named phase, simulated seconds.
-    pub phase_times: HashMap<String, f64>,
-    /// Bytes attributed to each named phase.
-    pub phase_bytes: HashMap<String, u64>,
-}
-
-impl RunStats {
-    /// Time spent in `phase`, 0 if never entered.
-    pub fn phase_time(&self, phase: &str) -> f64 {
-        self.phase_times.get(phase).copied().unwrap_or(0.0)
-    }
-
-    /// Bytes moved during `phase`.
-    pub fn phase_bytes(&self, phase: &str) -> u64 {
-        self.phase_bytes.get(phase).copied().unwrap_or(0)
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,159 @@
+//! Compact aggregate profile: per-phase totals and per-rank imbalance
+//! histograms — the one-screen summary next to the full Chrome export.
+
+use crate::tracer::{Tracer, ROOT_PHASE};
+
+/// Aggregate view of one phase.
+#[derive(Clone, Debug)]
+pub struct PhaseProfile {
+    /// Phase name ("(top)" for code outside any phase block).
+    pub name: String,
+    /// Phase makespan from the always-on counter, virtual seconds.
+    pub time_s: f64,
+    /// Network bytes moved during the phase.
+    pub bytes: u64,
+    /// Per-rank busy seconds (compute + comm charged inside the phase).
+    pub busy_s: Vec<f64>,
+    /// `max busy / mean busy` — 1.0 is perfectly balanced.
+    pub imbalance: f64,
+    /// 10-bin histogram of `busy / max busy` over ranks: a left-heavy
+    /// histogram means most ranks idle while a few do the work.
+    pub histogram: [u32; 10],
+}
+
+/// The whole run's aggregate profile.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    /// Phases in first-use order.
+    pub phases: Vec<PhaseProfile>,
+    /// Engine makespan, seconds.
+    pub makespan_s: f64,
+}
+
+impl Profile {
+    /// A human-readable table with sparkline-style histograms.
+    pub fn render(&self) -> String {
+        let mut s = format!("profile: makespan {:.6} s\n", self.makespan_s);
+        for ph in &self.phases {
+            let bars: String = ph
+                .histogram
+                .iter()
+                .map(|&c| match c {
+                    0 => '.',
+                    1..=2 => ':',
+                    3..=9 => '|',
+                    _ => '#',
+                })
+                .collect();
+            s.push_str(&format!(
+                "  {:<14} {:>12.6} s  {:>12} B  imbalance {:>7.3}  [{bars}]\n",
+                ph.name, ph.time_s, ph.bytes, ph.imbalance,
+            ));
+        }
+        s
+    }
+}
+
+/// Builds the aggregate profile from a recorded trace and the engine's
+/// final clocks. Imbalance histograms need span recording; with spans
+/// disabled only the always-on phase counters appear.
+pub fn profile(t: &Tracer, clocks: &[f64]) -> Profile {
+    let makespan = clocks.iter().copied().fold(0.0, f64::max);
+    let stats = t.per_phase_rank();
+    let mut phase_ids: Vec<u32> = stats.iter().map(|&((ph, _), _)| ph).collect();
+    phase_ids.dedup();
+    phase_ids.sort_unstable();
+    phase_ids.dedup();
+
+    let mut phases = Vec::new();
+    for ph in phase_ids {
+        let mut busy = vec![0.0f64; t.p()];
+        for &((p_id, r), s) in &stats {
+            if p_id == ph {
+                busy[r] = s.compute_s + s.comm_s;
+            }
+        }
+        let max = busy.iter().copied().fold(0.0, f64::max);
+        let mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
+        let imbalance = if mean > 0.0 { max / mean } else { 1.0 };
+        let mut histogram = [0u32; 10];
+        if max > 0.0 {
+            for &b in &busy {
+                let bin = ((b / max) * 10.0).floor().min(9.0) as usize;
+                histogram[bin] += 1;
+            }
+        }
+        let name = t.name(ph);
+        let (time_s, bytes) = if ph == ROOT_PHASE {
+            (max, 0)
+        } else {
+            (t.phase_time(name), t.phase_bytes(name))
+        };
+        phases.push(PhaseProfile {
+            name: if ph == ROOT_PHASE {
+                "(top)".to_string()
+            } else {
+                name.to_string()
+            },
+            time_s,
+            bytes,
+            busy_s: busy,
+            imbalance,
+            histogram,
+        });
+    }
+    // Phases whose counters ran without any span recording (spans off).
+    for (name, time_s, bytes) in t.phase_totals() {
+        if phases.iter().any(|p| p.name == name) {
+            continue;
+        }
+        phases.push(PhaseProfile {
+            name: name.to_string(),
+            time_s,
+            bytes,
+            busy_s: vec![0.0; t.p()],
+            imbalance: 1.0,
+            histogram: [0; 10],
+        });
+    }
+    Profile {
+        phases,
+        makespan_s: makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tracer::Tracer;
+
+    #[test]
+    fn imbalance_and_histogram() {
+        let mut t = Tracer::new(4);
+        t.enable_spans();
+        t.phase_begin("work");
+        t.record_compute(0, 0.0, 4.0, 4);
+        t.record_compute(1, 0.0, 1.0, 1);
+        t.record_compute(2, 0.0, 1.0, 1);
+        t.record_compute(3, 0.0, 2.0, 2);
+        t.phase_end(0.0, 4.0, 0);
+        let p = profile(&t, &[4.0, 1.0, 1.0, 2.0]);
+        let ph = &p.phases[0];
+        assert_eq!(ph.name, "work");
+        assert!((ph.imbalance - 2.0).abs() < 1e-12);
+        assert_eq!(ph.histogram.iter().sum::<u32>(), 4);
+        assert_eq!(ph.histogram[9], 1, "one rank at max");
+        assert_eq!(ph.histogram[2], 2, "two ranks at 25%");
+    }
+
+    #[test]
+    fn counters_surface_without_spans() {
+        let mut t = Tracer::new(2);
+        t.phase_begin("quiet");
+        t.phase_end(0.0, 1.5, 99);
+        let p = profile(&t, &[1.5, 1.5]);
+        assert_eq!(p.phases.len(), 1);
+        assert_eq!(p.phases[0].name, "quiet");
+        assert_eq!(p.phases[0].bytes, 99);
+    }
+}

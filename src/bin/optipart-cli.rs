@@ -124,6 +124,9 @@ fn cmd_partition(f: &Flags) {
     let machine = MachineModel::by_name(f.get("machine").unwrap_or("wisconsin-8"))
         .unwrap_or_else(|| usage("unknown machine (titan|stampede|wisconsin-8|clemson-32)"));
     let mut engine = Engine::new(p, PerfModel::new(machine, AppModel::laplacian_matvec()));
+    if f.has("trace") {
+        engine = engine.with_tracing();
+    }
     let input = distribute_tree(&tree, p);
 
     let outcome = if f.has("optipart") {
@@ -148,6 +151,13 @@ fn cmd_partition(f: &Flags) {
         outcome.report.rounds,
         engine.makespan() * 1e3,
     );
+    if let Some(path) = f.get("trace") {
+        std::fs::write(path, engine.trace_json())
+            .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
+        eprintln!("wrote Chrome trace to {path} (load in chrome://tracing or Perfetto)");
+        eprintln!("{}", engine.critical_path().render());
+        eprintln!("{}", engine.model_attribution().render());
+    }
     if let Some(path) = f.get("out") {
         let assign = optipart::core::metrics::assignment(&tree, &outcome.splitters);
         let file = std::fs::File::create(path).unwrap_or_else(|e| usage(&format!("{path}: {e}")));
@@ -248,7 +258,8 @@ fn usage(err: &str) -> ! {
         "usage:\n  optipart-cli gen --points N [--dist uniform|normal|lognormal] \
          [--seed S] [--curve hilbert|morton] [--out FILE]\n  \
          optipart-cli partition --mesh FILE -p RANKS [--machine NAME] \
-         [--tolerance T | --optipart [--latency-aware]] [--curve C] [--out FILE]\n  \
+         [--tolerance T | --optipart [--latency-aware]] [--curve C] [--out FILE] \
+         [--trace FILE]\n  \
          optipart-cli analyze --mesh FILE --parts FILE [--curve C]"
     );
     exit(if err.is_empty() { 0 } else { 2 });

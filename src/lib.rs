@@ -20,6 +20,9 @@
 //!   baselines, partition metrics.
 //! * [`fem`] — the test application: distributed octree mesh, ghost
 //!   exchange, Laplacian matvec, CG solver, AMR time-stepping driver.
+//! * [`trace`] — deterministic structured tracing over the virtual BSP
+//!   clock: Chrome-trace export, critical-path extraction, Eq. (3) model
+//!   attribution.
 //!
 //! ## Minimal example
 //!
@@ -47,3 +50,4 @@ pub use optipart_machine as machine;
 pub use optipart_mpisim as mpisim;
 pub use optipart_octree as octree;
 pub use optipart_sfc as sfc;
+pub use optipart_trace as trace;

@@ -106,6 +106,36 @@ fn identical_across_worker_thread_counts() {
 }
 
 #[test]
+fn trace_export_identical_across_worker_thread_counts() {
+    // The tracer only mutates on the engine thread (after every fork–join),
+    // so the full event stream — spans, syncs, decisions — and therefore
+    // the serialised Chrome trace is byte-identical at any worker count.
+    let run = || {
+        let tree = MeshParams::normal(3_000, 90).build::<3>(Curve::Hilbert);
+        let mut e = engine(8).with_tracing();
+        let out = treesort_partition(
+            &mut e,
+            distribute_tree(&tree, 8),
+            PartitionOptions::with_tolerance(0.2),
+        );
+        let mesh = DistMesh::build(&mut e, out.dist, Curve::Hilbert);
+        run_matvec_experiment(&mut e, &mesh, 5);
+        e.trace_json()
+    };
+    let reference = run();
+    assert!(reference.contains("\"traceEvents\""));
+    for threads in ["1", "4", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        assert_eq!(
+            reference,
+            run(),
+            "trace bytes diverged at RAYON_NUM_THREADS={threads}"
+        );
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
 fn fault_plans_replay_exactly() {
     // A fault plan is part of the seed: two engines with the same plan see
     // the same stragglers, the same link jitter and the same transient

@@ -73,6 +73,41 @@ fn faulted_run_is_bit_reproducible() {
 }
 
 #[test]
+fn traced_faulted_run_annotates_and_replays() {
+    // Tracing a faulted run: the exported trace carries the fault
+    // annotations (straggler marks at t=0, retry marks at each failed
+    // alltoallv), its critical path is exactly the engine's makespan, and
+    // the same seed reproduces the same bytes.
+    let run = || {
+        let tree = MeshParams::normal(3_000, 91).build::<3>(Curve::Hilbert);
+        let mut e = engine(8).with_faults(stormy(7)).with_tracing();
+        let out = treesort_partition(&mut e, distribute_tree(&tree, 8), PartitionOptions::exact());
+        let mesh = DistMesh::build(&mut e, out.dist, Curve::Hilbert);
+        run_matvec_experiment(&mut e, &mesh, 5);
+        let cp = e.critical_path();
+        let makespan = e.makespan();
+        assert!(
+            (cp.covered_s() - makespan).abs() <= 1e-12 * makespan,
+            "critical path ({}) must equal the virtual makespan ({})",
+            cp.covered_s(),
+            makespan
+        );
+        (e.trace_json(), makespan)
+    };
+    let (json, _) = run();
+    assert!(
+        json.contains("fault.straggler"),
+        "straggler ranks must be annotated in the trace"
+    );
+    assert!(
+        json.contains("fault.retry"),
+        "transient-failure retries must be annotated in the trace"
+    );
+    let (json2, _) = run();
+    assert_eq!(json, json2, "faulted trace must replay byte-identically");
+}
+
+#[test]
 fn faults_cost_time_but_never_touch_data() {
     // TreeSort under the stormy plan: the exchanged + sorted cells are
     // bit-identical to the fault-free run; only the virtual clock suffers.

@@ -129,10 +129,7 @@ fn optipart_splitter_phase_scales_better_than_samplesort() {
             distribute_tree(&tree, p),
             SampleSortOptions::default(),
         );
-        (
-            e1.stats().phase_time(PHASE_SPLITTER),
-            e2.stats().phase_time(PHASE_SPLITTER),
-        )
+        (e1.phase_time(PHASE_SPLITTER), e2.phase_time(PHASE_SPLITTER))
     };
     let (o_small, s_small) = splitter_times(8);
     let (o_large, s_large) = splitter_times(64);
