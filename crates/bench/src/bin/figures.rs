@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Figure ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 (or `all`),
-//! plus `ablations` (design-choice studies; not part of `all`).
+//! plus `ablations` (design-choice studies) and `recovery` (fail-stop
+//! checkpoint/recovery ablation); neither is part of `all`.
 //! `--scale` multiplies the scaled default problem sizes (1.0 = defaults
 //! documented in DESIGN.md §6; the paper's full sizes need a cluster-class
 //! machine). `--seed` changes the mesh RNG seed; `--out DIR` also writes
@@ -140,7 +141,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: figures <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|all>... \
-         [ablations] [--scale X] [--seed N] [--out DIR] [--trace FILE]"
+         [ablations] [recovery] [--scale X] [--seed N] [--out DIR] [--trace FILE]"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -14,6 +14,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7_8;
 pub mod fig9;
+pub mod recovery;
 
 use crate::common::RunConfig;
 
@@ -35,6 +36,7 @@ pub fn run(id: &str, cfg: &RunConfig) -> Result<(), String> {
         "fig11" => fig11::run(cfg),
         "fig12" => fig12::run(cfg),
         "ablations" => ablations::run(cfg),
+        "recovery" => recovery::run(cfg),
         other => return Err(format!("unknown figure id '{other}'; known: {ALL:?}")),
     }
     Ok(())

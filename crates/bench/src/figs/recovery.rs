@@ -1,0 +1,90 @@
+//! Recovery ablation: checkpoint overhead and recovery cost vs. interval.
+//!
+//! Not a figure from the paper — an experiment over the fail-stop layer
+//! this reproduction adds. For each checkpoint policy, run the same matvec
+//! workload twice on a `p = 8` machine:
+//!
+//! * **clean** — no faults, measuring the pure checkpoint overhead over the
+//!   checkpoint-free baseline;
+//! * **faulted** — one rank killed halfway through the run's sync-point
+//!   timeline, measuring restore + survivor-repartition + re-execution.
+//!
+//! The interval trade-off the Young/Daly formula formalises shows up
+//! directly: frequent checkpoints cost steady overhead but lose few
+//! iterations at a death; sparse checkpoints are cheap until the rollback.
+
+use crate::common::{engine, fmt, mesh, partitioned_mesh, RunConfig, Table};
+use optipart_fem::run_matvec_ft;
+use optipart_machine::MachineModel;
+use optipart_mpisim::{CheckpointPolicy, FaultPlan};
+use optipart_sfc::Curve;
+
+fn policy_name(p: CheckpointPolicy) -> String {
+    match p {
+        CheckpointPolicy::Never => "never".into(),
+        CheckpointPolicy::EveryStep => "every-step".into(),
+        CheckpointPolicy::EveryN(n) => format!("every-{n}"),
+        CheckpointPolicy::YoungDaly { mtbf_s } => format!("young-daly@{mtbf_s:.0e}"),
+    }
+}
+
+/// Recovery-overhead ablation table.
+pub fn run(cfg: &RunConfig) {
+    let p = 8;
+    let iters = 30;
+    let n = cfg.n(50_000, 2_000);
+    let tree = mesh(n, cfg.seed, Curve::Hilbert);
+    let mut table = Table::new(
+        "ablation_recovery_overhead",
+        &[
+            "policy",
+            "saves",
+            "checkpoint_s",
+            "ckpt_overhead_pct",
+            "restores",
+            "lost_iters",
+            "recovery_s",
+            "faulted_total_s",
+        ],
+    );
+    eprintln!("ablation: recovery overhead, p = {p}, {n} generator points, {iters} matvecs");
+
+    // Checkpoint-free baseline.
+    let mut base = engine(MachineModel::cloudlab_wisconsin(), p);
+    let base_mesh = partitioned_mesh(&mut base, &tree, 0.0);
+    let baseline = run_matvec_ft(&mut base, &base_mesh, iters, CheckpointPolicy::Never);
+
+    for policy in [
+        CheckpointPolicy::EveryStep,
+        CheckpointPolicy::EveryN(2),
+        CheckpointPolicy::EveryN(5),
+        CheckpointPolicy::EveryN(10),
+        CheckpointPolicy::YoungDaly { mtbf_s: 1e-3 },
+    ] {
+        // Clean run: checkpoint overhead, and a probe of the sync-point
+        // timeline so the faulted run's kill lands mid-solve.
+        let mut clean = engine(MachineModel::cloudlab_wisconsin(), p);
+        let clean_mesh = partitioned_mesh(&mut clean, &tree, 0.0);
+        let clean_rep = run_matvec_ft(&mut clean, &clean_mesh, iters, policy);
+        let mid = clean.sync_points() / 2;
+        let overhead_pct = (clean_rep.seconds / baseline.seconds - 1.0) * 100.0;
+
+        let mut e = engine(MachineModel::cloudlab_wisconsin(), p);
+        let faulted_mesh = partitioned_mesh(&mut e, &tree, 0.0);
+        let mut e = e.with_faults(FaultPlan::new(cfg.seed).kill_rank(3, mid));
+        let rep = run_matvec_ft(&mut e, &faulted_mesh, iters, policy);
+        assert_eq!(rep.deaths.len(), 1, "the scheduled kill must fire");
+
+        table.row(vec![
+            policy_name(policy),
+            rep.checkpoint.saves.to_string(),
+            fmt(rep.checkpoint.checkpoint_s),
+            format!("{overhead_pct:.2}"),
+            rep.checkpoint.restores.to_string(),
+            rep.lost_iterations.to_string(),
+            fmt(rep.deaths.iter().map(|d| d.recovery_s).sum::<f64>()),
+            fmt(rep.seconds),
+        ]);
+    }
+    table.emit(cfg);
+}

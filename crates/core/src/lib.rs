@@ -32,7 +32,7 @@ pub mod threaded;
 pub mod treesort;
 
 pub use histogramsort::histogramsort_partition;
-pub use optipart::{optipart, OptiPartOptions};
+pub use optipart::{optipart, optipart_survivors, OptiPartOptions};
 pub use partition::{
     distribute_shuffled, distribute_tree, treesort_partition, treesort_partition_weighted,
     PartitionOptions, PartitionOutcome, PartitionReport,

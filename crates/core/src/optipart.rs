@@ -237,6 +237,29 @@ pub fn optipart<const D: usize>(
     }
 }
 
+/// Shrink-recovery repartitioning: runs OptiPart over the engine's current
+/// (post-[`Engine::shrink_after_death`]) survivor set from a globally sorted
+/// cell list — typically the restored checkpoint state.
+///
+/// The cells are block-distributed over the `p − 1` survivors first, then
+/// [`optipart`] rebalances them under the machine model exactly as at
+/// startup: the same machine-aware Eq. (3) search, now sized to the
+/// survivor machine (which may be heterogeneous if the fault plan also
+/// straggles ranks). All redistribution traffic is charged to the clocks
+/// and attributed to the usual partition phases.
+pub fn optipart_survivors<const D: usize>(
+    engine: &mut Engine,
+    cells: &[KeyedCell<D>],
+    opts: OptiPartOptions,
+) -> PartitionOutcome<D> {
+    debug_assert!(
+        cells.windows(2).all(|w| w[0].key <= w[1].key),
+        "optipart_survivors expects globally sorted cells"
+    );
+    let dist = DistVec::from_global(cells, engine.p());
+    optipart(engine, dist, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,7 +18,7 @@ use crate::mesh::DistMesh;
 use optipart_core::optipart::{optipart, OptiPartOptions};
 use optipart_core::partition::{owner_of, treesort_partition, PartitionOptions, PartitionOutcome};
 use optipart_mpisim::{DistVec, Engine};
-use optipart_octree::LinearTree;
+use optipart_octree::{balance::balance21, LinearTree};
 use optipart_sfc::{Cell, Curve, KeyedCell, SfcKey, MAX_DEPTH};
 
 /// Repartitioning strategy per step.
@@ -107,11 +107,15 @@ fn front_center(t: usize, steps: usize) -> [f64; 3] {
     [0.5 + 0.22 * phase.cos(), 0.5 + 0.22 * phase.sin(), 0.5]
 }
 
-/// Builds the step-`t` mesh: refined in a shell around the moving front.
+/// Builds the step-`t` mesh: refined in a shell around the moving front,
+/// then 2:1 face-balanced — the invariant Dendro meshes carry, and what
+/// makes the FEM stencil independent of the partition (ghost discovery
+/// finds every face neighbour of a balanced mesh, so faulted runs that
+/// repartition over survivors reproduce the fault-free solution).
 pub fn step_mesh(t: usize, cfg: &AmrConfig) -> LinearTree<3> {
     let c = front_center(t, cfg.steps);
     let radius = 0.18;
-    LinearTree::root(cfg.curve).refine_where(
+    balance21(&LinearTree::root(cfg.curve).refine_where(
         |cell: &Cell<3>| {
             let ctr = cell.center_unit();
             let d = (0..3).map(|k| (ctr[k] - c[k]).powi(2)).sum::<f64>().sqrt();
@@ -119,7 +123,7 @@ pub fn step_mesh(t: usize, cfg: &AmrConfig) -> LinearTree<3> {
             (d - radius).abs() <= half_diag * 1.5
         },
         cfg.max_level,
-    )
+    ))
 }
 
 /// Runs the AMR loop on the engine and reports aggregate cost.
@@ -150,21 +154,8 @@ pub fn amr_simulation(engine: &mut Engine, cfg: &AmrConfig) -> AmrReport {
         };
 
         // Repartition; migration = elements that change rank.
-        let out: PartitionOutcome<3> = engine.phase("amr.partition", |e| match cfg.strategy {
-            Strategy::EqualWork => treesort_partition(e, input, PartitionOptions::exact()),
-            Strategy::Tolerance(tol) => {
-                treesort_partition(e, input, PartitionOptions::with_tolerance(tol))
-            }
-            Strategy::OptiPart => optipart(e, input, OptiPartOptions::for_curve(cfg.curve)),
-            Strategy::OptiPartLatencyAware => optipart(
-                e,
-                input,
-                OptiPartOptions {
-                    latency_aware: true,
-                    ..OptiPartOptions::for_curve(cfg.curve)
-                },
-            ),
-        });
+        let out: PartitionOutcome<3> =
+            engine.phase("amr.partition", |e| partition_step(e, input, cfg));
         // Count migrations: compare each element's final owner with where
         // the block/previous distribution had put it. (Sequential check over
         // the global view — measurement, not simulation.)
@@ -218,6 +209,31 @@ pub fn amr_simulation(engine: &mut Engine, cfg: &AmrConfig) -> AmrReport {
         total_seconds: engine.makespan(),
         total_energy_j: energy_j,
         total_ghosts,
+    }
+}
+
+/// One step's repartition under `cfg.strategy` — shared between
+/// [`amr_simulation`] and the fail-stop recovery driver
+/// ([`crate::recovery::amr_simulation_ft`]).
+pub(crate) fn partition_step(
+    e: &mut Engine,
+    input: DistVec<KeyedCell<3>>,
+    cfg: &AmrConfig,
+) -> PartitionOutcome<3> {
+    match cfg.strategy {
+        Strategy::EqualWork => treesort_partition(e, input, PartitionOptions::exact()),
+        Strategy::Tolerance(tol) => {
+            treesort_partition(e, input, PartitionOptions::with_tolerance(tol))
+        }
+        Strategy::OptiPart => optipart(e, input, OptiPartOptions::for_curve(cfg.curve)),
+        Strategy::OptiPartLatencyAware => optipart(
+            e,
+            input,
+            OptiPartOptions {
+                latency_aware: true,
+                ..OptiPartOptions::for_curve(cfg.curve)
+            },
+        ),
     }
 }
 

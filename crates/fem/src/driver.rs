@@ -30,19 +30,12 @@ pub struct MatvecExperiment {
     pub retries: u64,
 }
 
-/// Runs `iterations` Laplacian matvecs (`y ← A x; x ← y/‖y‖∞`-ish chain,
-/// keeping values bounded) and reports time, energy and traffic.
-///
-/// The engine's clocks/energy are reset at entry so the report covers the
-/// matvec loop alone, matching the paper's measurement of the matvec phase.
-pub fn run_matvec_experiment<const D: usize>(
-    engine: &mut Engine,
-    mesh: &DistMesh<D>,
-    iterations: usize,
-) -> MatvecExperiment {
-    engine.reset();
-    // Initial vector: cell-centre based, deterministic.
-    let mut x = DistVec::from_parts(
+/// The driver's deterministic initial vector: a cell-centre based linear
+/// ramp, so the value attached to an octant depends only on the octant —
+/// not on which rank holds it or how many ranks exist. Recovery drivers
+/// rely on this to compare faulted and fault-free solutions.
+pub fn initial_vector<const D: usize>(mesh: &DistMesh<D>) -> DistVec<f64> {
+    DistVec::from_parts(
         (0..mesh.p())
             .map(|r| {
                 mesh.cells
@@ -55,7 +48,21 @@ pub fn run_matvec_experiment<const D: usize>(
                     .collect()
             })
             .collect(),
-    );
+    )
+}
+
+/// Runs `iterations` Laplacian matvecs (`y ← A x; x ← y/‖y‖∞`-ish chain,
+/// keeping values bounded) and reports time, energy and traffic.
+///
+/// The engine's clocks/energy are reset at entry so the report covers the
+/// matvec loop alone, matching the paper's measurement of the matvec phase.
+pub fn run_matvec_experiment<const D: usize>(
+    engine: &mut Engine,
+    mesh: &DistMesh<D>,
+    iterations: usize,
+) -> MatvecExperiment {
+    engine.reset();
+    let mut x = initial_vector(mesh);
 
     let mut ghost_elements = 0u64;
     for it in 0..iterations {

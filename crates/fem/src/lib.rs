@@ -34,12 +34,14 @@ pub mod amr;
 pub mod driver;
 pub mod matvec;
 pub mod mesh;
+pub mod recovery;
 pub mod solver;
 
 pub use amr::{amr_simulation, AmrConfig, AmrReport, Strategy};
-pub use driver::{run_matvec_experiment, MatvecExperiment};
+pub use driver::{initial_vector, run_matvec_experiment, MatvecExperiment};
 pub use matvec::{laplacian_matvec, MatvecStats};
 pub use mesh::{DistMesh, LocalMesh, Slot};
+pub use recovery::{amr_simulation_ft, run_matvec_ft, DeathRecord, FtAmrReport, FtReport};
 pub use solver::{cg_solve, CgReport};
 
 // Property-test suites need the external `proptest` crate, which the

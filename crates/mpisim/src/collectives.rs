@@ -62,7 +62,7 @@ impl Engine {
                 // Ranks that moved no bytes sent no messages that could
                 // fail.
                 if send_bytes[r] + recv_bytes[r] > 0 {
-                    let retries = plan.retries_for(seq, r);
+                    let retries = plan.retries_for(seq, self.tracks[r]);
                     for k in 0..retries {
                         cost += plan.backoff_s(k) + base;
                     }
@@ -70,7 +70,7 @@ impl Engine {
                     if retries > 0 {
                         // First failure surfaces after the base attempt.
                         self.tracer
-                            .mark(r, t0 + base, "fault.retry", retries as f64);
+                            .mark(self.tracks[r], t0 + base, "fault.retry", retries as f64);
                     }
                 }
             }
@@ -79,8 +79,13 @@ impl Engine {
     }
     /// Synchronises all ranks to the maximum clock and returns that time,
     /// recording the sync point (and the blocking rank — the last arrival,
-    /// lowest rank on ties) on the structured trace.
-    fn sync_start(&mut self, name: &str) -> f64 {
+    /// lowest rank on ties) on the structured trace. Every sync point
+    /// advances the global `sync_seq` and first fires any fail-stop kill
+    /// scheduled at or before it ([`Engine::check_failstop`] unwinds with a
+    /// `RankDeath` in that case — the collective never happens).
+    pub(crate) fn sync_start(&mut self, name: &str) -> f64 {
+        self.check_failstop();
+        self.sync_seq += 1;
         let mut t = 0.0;
         let mut blocker = 0;
         for (r, &c) in self.clocks.iter().enumerate() {
@@ -90,7 +95,7 @@ impl Engine {
             }
         }
         self.clocks.iter_mut().for_each(|c| *c = t);
-        self.tracer.begin_collective(name, t, blocker);
+        self.tracer.begin_collective(name, t, self.tracks[blocker]);
         t
     }
 
@@ -266,7 +271,7 @@ impl Engine {
                 out_msgs[src] += 1;
                 in_msgs[dst] += 1;
                 if let Some(mat) = &mut self.comm_matrix {
-                    mat.add(src, dst, b);
+                    mat.add(self.tracks[src], self.tracks[dst], b);
                 }
             }
         }
@@ -380,7 +385,7 @@ impl Engine {
                 out_msgs[src] += 1;
                 in_msgs[*dst] += 1;
                 if let Some(mat) = &mut self.comm_matrix {
-                    mat.add(src, *dst, b);
+                    mat.add(self.tracks[src], self.tracks[*dst], b);
                 }
             }
         }

@@ -1,7 +1,7 @@
 //! The virtual-process BSP engine.
 
 use crate::dist::DistVec;
-use crate::faults::{FaultPlan, RankFaults};
+use crate::faults::{FaultPlan, RankDeath, RankFaults};
 use crate::par;
 use crate::stats::{CommMatrix, RunStats};
 use optipart_machine::energy::{ActivityKind, Interval, COMM_CORE_FRACTION};
@@ -68,6 +68,21 @@ pub struct Engine {
     /// Sequence number of the next data-moving collective — the event
     /// identity transient-failure draws are keyed on.
     pub(crate) collective_seq: u64,
+    /// Sequence number of the next *global sync point* (every collective,
+    /// barrier and checkpoint) — the timeline fail-stop kills are scheduled
+    /// on.
+    pub(crate) sync_seq: u64,
+    /// Slot → original rank id. Starts as the identity; a fail-stop shrink
+    /// removes the dead slot, so slot indices stay dense while trace
+    /// tracks, fault factors and node assignment keep the original ids.
+    pub(crate) tracks: Vec<usize>,
+    /// Dead ranks: `(original id, frozen clock)`. Frozen clocks are capped
+    /// at the detection sync time, so the makespan stays the alive maximum.
+    pub(crate) retired: Vec<(usize, f64)>,
+    /// Pending fail-stop kill events `(sync_seq, original rank)`, sorted.
+    pub(crate) kills: Vec<(u64, usize)>,
+    /// Death raised but not yet resolved by `Engine::shrink_after_death`.
+    pub(crate) pending_death: Option<RankDeath>,
     /// Structured virtual-time recorder (`optipart-trace`). Phase counters
     /// are always live; span/sync/mark recording is opt-in via
     /// [`Engine::with_tracing`].
@@ -92,14 +107,22 @@ impl Engine {
             faults: None,
             audit: true,
             collective_seq: 0,
+            sync_seq: 0,
+            tracks: (0..p).collect(),
+            retired: Vec::new(),
+            kills: Vec::new(),
+            pending_death: None,
             tracer: Tracer::new(p),
         }
     }
 
     /// Injects the given fault plan (materialised for this machine's `p`).
-    /// Faults perturb clocks, energy and retry counters only — never data.
+    /// Clock faults perturb clocks, energy and retry counters only — never
+    /// data; fail-stop events additionally arm the kill schedule
+    /// ([`FaultPlan::death_schedule`]).
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         let ranks = plan.materialize(self.p);
+        self.kills = plan.death_schedule(self.p);
         self.faults = Some((plan, ranks));
         self.annotate_faults();
         self
@@ -153,6 +176,9 @@ impl Engine {
         for (r, f) in jittered {
             self.tracer.mark(r, 0.0, "fault.link_jitter", f);
         }
+        for (seq, r) in self.kills.clone() {
+            self.tracer.mark(r, 0.0, "fault.failstop", seq as f64);
+        }
     }
 
     /// Enables or disables invariant auditing (on by default).
@@ -174,12 +200,12 @@ impl Engine {
     }
 
     /// `rank`'s effective wire slowness: nominal `tw` × the rank's fault
-    /// factor.
+    /// factor (`rank` is a live slot; factors are keyed on original ids).
     #[inline]
     pub(crate) fn effective_tw(&self, rank: usize) -> f64 {
         let tw = self.perf.machine.tw;
         match &self.faults {
-            Some((_, ranks)) => tw * ranks.tw_factor[rank],
+            Some((_, ranks)) => tw * ranks.tw_factor[self.tracks[rank]],
             None => tw,
         }
     }
@@ -216,10 +242,47 @@ impl Engine {
         &self.perf
     }
 
-    /// Per-rank virtual clocks, seconds.
+    /// Per-rank virtual clocks, seconds (live slots only after a shrink).
     #[inline]
     pub fn clocks(&self) -> &[f64] {
         &self.clocks
+    }
+
+    /// Original rank ids of the ranks still alive, in slot order. The
+    /// identity permutation until a fail-stop shrink removes a slot.
+    #[inline]
+    pub fn alive_ranks(&self) -> &[usize] {
+        &self.tracks
+    }
+
+    /// The rank count the engine was built with (fail-stop shrinks reduce
+    /// [`Engine::p`] but trace tracks keep the original width).
+    #[inline]
+    pub fn initial_p(&self) -> usize {
+        self.tracer.p()
+    }
+
+    /// Synchronisation points passed so far — every collective, barrier,
+    /// checkpoint and restore counts one. This is the timeline
+    /// [`FaultPlan::kill_rank`](crate::FaultPlan::kill_rank) schedules
+    /// fail-stop deaths on, so callers can probe a clean run to aim a kill
+    /// at a specific point of a later one.
+    #[inline]
+    pub fn sync_points(&self) -> u64 {
+        self.sync_seq
+    }
+
+    /// Per-original-rank clocks over the full initial width: live slots map
+    /// through `tracks`, retired ranks report their frozen clocks.
+    pub(crate) fn track_clocks(&self) -> Vec<f64> {
+        let mut v = vec![0.0; self.tracer.p()];
+        for &(r, t) in &self.retired {
+            v[r] = t;
+        }
+        for (slot, &r) in self.tracks.iter().enumerate() {
+            v[r] = self.clocks[slot];
+        }
+        v
     }
 
     /// Virtual wall-clock of the run so far: the slowest rank's clock.
@@ -282,7 +345,7 @@ impl Engine {
     /// Extracts the critical path bounding this run's makespan (requires
     /// [`Engine::with_tracing`] from the start of the run).
     pub fn critical_path(&self) -> CriticalPath {
-        critical_path(&self.tracer, &self.clocks)
+        critical_path(&self.tracer, &self.track_clocks())
     }
 
     /// Builds the Eq. (3) model-attribution report for this run (requires
@@ -293,18 +356,31 @@ impl Engine {
 
     /// Builds the aggregate per-phase/per-rank profile for this run.
     pub fn profile(&self) -> Profile {
-        profile(&self.tracer, &self.clocks)
+        profile(&self.tracer, &self.track_clocks())
     }
 
     /// Resets clocks, stats, energy and matrices, keeping the configuration
-    /// (including any fault plan — the collective sequence restarts at 0, so
-    /// a reset engine replays the same fault schedule).
+    /// (including any fault plan — the collective and sync sequences restart
+    /// at 0, so a reset engine replays the same fault schedule, including
+    /// any fail-stop kills whose victims are still alive). A shrink is *not*
+    /// undone: retired ranks stay retired, with their frozen clocks zeroed.
     pub fn reset(&mut self) {
         self.clocks.iter_mut().for_each(|c| *c = 0.0);
         self.collective_seq = 0;
+        self.sync_seq = 0;
+        self.pending_death = None;
+        self.retired.iter_mut().for_each(|(_, t)| *t = 0.0);
+        self.kills = match &self.faults {
+            Some((plan, _)) => plan
+                .death_schedule(self.tracer.p())
+                .into_iter()
+                .filter(|(_, r)| self.tracks.contains(r))
+                .collect(),
+            None => Vec::new(),
+        };
         self.stats = RunStats::default();
         if let Some(m) = &mut self.comm_matrix {
-            *m = CommMatrix::new(self.p);
+            *m = CommMatrix::new(self.tracer.p());
         }
         if let Some(t) = &mut self.trace {
             *t = PowerTrace::default();
@@ -313,6 +389,87 @@ impl Engine {
         self.comm_j = 0.0;
         self.tracer.reset();
         self.annotate_faults();
+    }
+
+    /// Fires any due fail-stop kill at a sync point: caps the victim's
+    /// clock at the survivors' sync time, charges every survivor the
+    /// detection timeout, records `fault.death` / `fault.detect` on the
+    /// trace, and unwinds with a [`RankDeath`] payload. Catch the unwind
+    /// with [`crate::catch_rank_death`], then call
+    /// [`Engine::shrink_after_death`] before touching the engine again.
+    pub(crate) fn check_failstop(&mut self) {
+        assert!(
+            self.pending_death.is_none(),
+            "rank death pending — call Engine::shrink_after_death before continuing"
+        );
+        if self.kills.is_empty() || self.kills[0].0 > self.sync_seq {
+            return;
+        }
+        let (seq, rank) = self.kills.remove(0);
+        assert!(self.p > 1, "fail-stop would kill the last surviving rank");
+        let slot = self
+            .tracks
+            .iter()
+            .position(|&r| r == rank)
+            .expect("kill schedule names a live rank");
+        let t_sync = self
+            .clocks
+            .iter()
+            .enumerate()
+            .filter(|&(s, _)| s != slot)
+            .map(|(_, &c)| c)
+            .fold(0.0, f64::max);
+        // The victim stops at the sync it never reaches; capping at the
+        // survivors' arrival time keeps the makespan the alive maximum even
+        // when a straggling victim's clock ran ahead.
+        let frozen = self.clocks[slot].min(t_sync);
+        self.clocks[slot] = frozen;
+        let timeout = self
+            .faults
+            .as_ref()
+            .map_or(1e-3, |(plan, _)| plan.detect_timeout_s);
+        self.tracer.mark(rank, frozen, "fault.death", seq as f64);
+        self.tracer.begin_collective("fault.detect", t_sync, rank);
+        self.stats.collectives += 1;
+        self.stats.deaths += 1;
+        for s in 0..self.p {
+            if s != slot {
+                self.charge_comm(s, t_sync, timeout, 0);
+            }
+        }
+        let death = RankDeath {
+            rank,
+            at_seq: seq,
+            t_last: frozen,
+            t_detect: t_sync + timeout,
+        };
+        self.pending_death = Some(death.clone());
+        std::panic::panic_any(death);
+    }
+
+    /// Resolves a raised [`RankDeath`]: retires the dead rank's slot and
+    /// continues as a `p − 1`-rank machine (clocks, fault factors, node
+    /// placement and trace tracks all keep their original-rank identity).
+    /// Returns the death record. Panics if no death is pending.
+    pub fn shrink_after_death(&mut self) -> RankDeath {
+        let death = self
+            .pending_death
+            .take()
+            .expect("no rank death pending — nothing to shrink");
+        let slot = self
+            .tracks
+            .iter()
+            .position(|&r| r == death.rank)
+            .expect("dead rank already removed");
+        self.retired.push((death.rank, death.t_last));
+        self.tracks.remove(slot);
+        self.clocks.remove(slot);
+        self.p -= 1;
+        self.kills.retain(|&(_, r)| r != death.rank);
+        // The unwind skipped `phase_end` for any phase open at the death;
+        // drop them so recovery phases attribute cleanly.
+        self.tracer.abort_open_phases();
+        death
     }
 
     /// Runs a rank-local compute phase in parallel over all ranks.
@@ -335,6 +492,10 @@ impl Engine {
         R: Send,
         F: Fn(usize, &mut Vec<T>) -> (f64, R) + Sync,
     {
+        assert!(
+            self.pending_death.is_none(),
+            "rank death pending — call Engine::shrink_after_death before continuing"
+        );
         let measured = self.time_mode == TimeMode::Measured;
         let results: Vec<(f64, R)> = par::par_map_mut(dist.parts_mut(), |r, buf| {
             if measured {
@@ -374,6 +535,10 @@ impl Engine {
         R: Send,
         F: Fn(usize, &mut Vec<A>, &mut Vec<B>) -> (f64, R) + Sync,
     {
+        assert!(
+            self.pending_death.is_none(),
+            "rank death pending — call Engine::shrink_after_death before continuing"
+        );
         assert_eq!(a.p(), self.p);
         assert_eq!(b.p(), self.p);
         let results: Vec<(f64, R)> =
@@ -395,8 +560,9 @@ impl Engine {
         if secs <= 0.0 {
             return;
         }
+        let track = self.tracks[rank];
         let secs = match &self.faults {
-            Some((_, ranks)) => secs * ranks.compute_factor[rank],
+            Some((_, ranks)) => secs * ranks.compute_factor[track],
             None => secs,
         };
         if self.audit {
@@ -409,19 +575,19 @@ impl Engine {
         let t1 = t0 + secs;
         self.clocks[rank] = t1;
         let machine = &self.perf.machine;
-        let node = machine.node_of(rank);
+        let node = machine.node_of(track);
         self.node_dynamic_j[node] +=
             machine.power.dynamic_per_rank_w(machine.ranks_per_node) * secs;
         if let Some(trace) = &mut self.trace {
             trace.push(Interval {
-                rank,
+                rank: track,
                 t0,
                 t1,
                 kind: ActivityKind::Compute,
                 bytes: 0,
             });
         }
-        self.tracer.record_compute(rank, t0, t1, bytes as u64);
+        self.tracer.record_compute(track, t0, t1, bytes as u64);
     }
 
     /// Charges a communication interval `(t0, t0+secs)` carrying `bytes` to
@@ -440,22 +606,23 @@ impl Engine {
             );
         }
         self.clocks[rank] = t1;
+        let track = self.tracks[rank];
         let machine = &self.perf.machine;
-        let node = machine.node_of(rank);
+        let node = machine.node_of(track);
         let dyn_w = machine.power.dynamic_per_rank_w(machine.ranks_per_node);
         let j = COMM_CORE_FRACTION * dyn_w * secs + bytes as f64 * machine.power.nic_j_per_byte;
         self.node_dynamic_j[node] += j;
         self.comm_j += j;
         if let Some(trace) = &mut self.trace {
             trace.push(Interval {
-                rank,
+                rank: track,
                 t0,
                 t1,
                 kind: ActivityKind::Communication,
                 bytes,
             });
         }
-        self.tracer.record_comm(rank, t0, t1, bytes);
+        self.tracer.record_comm(track, t0, t1, bytes);
     }
 
     /// `ceil(log2 p)` with the convention `log2 1 = 1` (a lone rank still

@@ -14,16 +14,24 @@
 //! * **Transient collective failures** — each data-moving collective may
 //!   fail on a rank and be retried with exponential backoff; every retry
 //!   charges the rank's transfer cost again plus the backoff wait.
+//! * **Fail-stop rank failures** — a seeded fraction of ranks (or explicitly
+//!   scheduled ranks) *die* at a chosen synchronisation point: the dead rank
+//!   never arrives, survivors detect the death after a timeout charge, and
+//!   the engine surfaces a [`RankDeath`] that recovery drivers catch via
+//!   [`catch_rank_death`] before shrinking to the survivor set.
 //!
 //! Faults never touch payload data: buffers move exactly as in a fault-free
 //! run, so splitters, partitions and FEM results are bit-identical with
-//! faults on or off — only clocks, energy and retry counters change. All
-//! draws are keyed hashes of `(seed, event identity)` via [`rng::mix`], not
-//! stateful streams, so the injected faults are independent of host thread
-//! count and of how many unrelated events ran before: the same plan replays
-//! the same faults, always.
+//! faults on or off — only clocks, energy and retry counters change (and,
+//! for fail-stop events, the rank count after recovery). All draws are
+//! keyed hashes of `(seed, event identity)` via [`rng::mix`], not stateful
+//! streams, so the injected faults are independent of host thread count and
+//! of how many unrelated events ran before: the same plan replays the same
+//! faults, always.
 
 use crate::rng::{self, SplitMix64};
+use std::fmt;
+use std::str::FromStr;
 
 /// A seeded, reproducible description of what goes wrong during a run.
 ///
@@ -55,6 +63,19 @@ pub struct FaultPlan {
     pub max_retries: u32,
     /// Backoff before the first retry, seconds; doubles per further retry.
     pub backoff_base_s: f64,
+    /// Fraction of ranks that fail-stop during the run, in `[0, 1]`
+    /// (seeded choice of victims and death times).
+    pub failstop_frac: f64,
+    /// Seeded fail-stop death times are drawn uniformly from sync points
+    /// `1..=failstop_horizon` (see [`FaultPlan::death_schedule`]).
+    pub failstop_horizon: u64,
+    /// Explicit fail-stop events: `(rank, sync_seq)` — the rank never
+    /// arrives at the global synchronisation point with that 0-based
+    /// sequence number.
+    pub kills: Vec<(usize, u64)>,
+    /// Seconds survivors wait at a collective before declaring a missing
+    /// rank dead (the detection timeout charged to every survivor clock).
+    pub detect_timeout_s: f64,
 }
 
 impl FaultPlan {
@@ -68,6 +89,10 @@ impl FaultPlan {
             alltoall_fail_prob: 0.0,
             max_retries: 3,
             backoff_base_s: 1e-4,
+            failstop_frac: 0.0,
+            failstop_horizon: 24,
+            kills: Vec::new(),
+            detect_timeout_s: 1e-3,
         }
     }
 
@@ -95,10 +120,52 @@ impl FaultPlan {
     }
 
     /// Transient per-(collective, rank) failure probability for data-moving
-    /// collectives.
+    /// collectives. The closed interval `[0, 1]` is accepted: even at
+    /// `prob = 1.0` the final budgeted attempt never fails
+    /// ([`FaultPlan::attempt_fails`]), so every exchange costs exactly
+    /// `max_retries` retries instead of livelocking.
     pub fn with_transient_failures(mut self, prob: f64) -> Self {
-        assert!((0.0..1.0).contains(&prob), "fail prob {prob} outside [0,1)");
+        assert!(
+            (0.0..=1.0).contains(&prob),
+            "fail prob {prob} outside [0,1]"
+        );
         self.alltoall_fail_prob = prob;
+        self
+    }
+
+    /// Marks a `frac` of ranks (seeded choice) as fail-stop victims: each
+    /// dies at a seeded sync point within [`FaultPlan::failstop_horizon`].
+    pub fn with_rank_failures(mut self, frac: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "failstop_frac {frac} outside [0,1]"
+        );
+        self.failstop_frac = frac;
+        self
+    }
+
+    /// Horizon (in global sync points) within which seeded fail-stop deaths
+    /// are drawn.
+    pub fn with_failstop_horizon(mut self, horizon: u64) -> Self {
+        assert!(horizon >= 1, "failstop_horizon must be at least 1");
+        self.failstop_horizon = horizon;
+        self
+    }
+
+    /// Schedules an explicit fail-stop: `rank` never arrives at the global
+    /// synchronisation point with 0-based sequence number `at_collective_seq`
+    /// (every collective — reductions, barriers, exchanges, checkpoints —
+    /// advances the sequence by one).
+    pub fn kill_rank(mut self, rank: usize, at_collective_seq: u64) -> Self {
+        self.kills.push((rank, at_collective_seq));
+        self
+    }
+
+    /// Detection timeout: how long survivors wait at a collective before
+    /// declaring a missing rank dead.
+    pub fn with_detect_timeout(mut self, secs: f64) -> Self {
+        assert!(secs >= 0.0, "detect timeout {secs} negative");
+        self.detect_timeout_s = secs;
         self
     }
 
@@ -139,6 +206,35 @@ impl FaultPlan {
         }
     }
 
+    /// The fail-stop schedule for a machine of `p` ranks: `(sync_seq, rank)`
+    /// death events, sorted by firing order. Explicit [`FaultPlan::kill_rank`]
+    /// events are merged with the seeded draws of
+    /// [`FaultPlan::with_rank_failures`] (victims chosen by seeded shuffle,
+    /// death times uniform in `1..=failstop_horizon`); a rank scheduled to
+    /// die twice dies at the earlier point.
+    pub fn death_schedule(&self, p: usize) -> Vec<(u64, usize)> {
+        let mut by_rank: std::collections::BTreeMap<usize, u64> = std::collections::BTreeMap::new();
+        for &(r, seq) in &self.kills {
+            assert!(r < p, "kill_rank({r}, ..) targets a rank outside 0..{p}");
+            let e = by_rank.entry(r).or_insert(seq);
+            *e = (*e).min(seq);
+        }
+        if self.failstop_frac > 0.0 {
+            let k = ((self.failstop_frac * p as f64).round() as usize).min(p);
+            let mut idx: Vec<usize> = (0..p).collect();
+            let mut rng = SplitMix64::new(self.seed).fork(STREAM_FAILSTOP);
+            rng.shuffle(&mut idx);
+            for &r in idx.iter().take(k) {
+                let seq = 1 + rng.next_below(self.failstop_horizon.max(1));
+                let e = by_rank.entry(r).or_insert(seq);
+                *e = (*e).min(seq);
+            }
+        }
+        let mut out: Vec<(u64, usize)> = by_rank.into_iter().map(|(r, s)| (s, r)).collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Does attempt `attempt` of data-moving collective number `seq` fail on
     /// `rank`? A stateless keyed draw: independent of every other event and
     /// of host threading. The final budgeted attempt never fails.
@@ -170,10 +266,181 @@ impl FaultPlan {
     }
 }
 
-// Distinct sub-stream tags so the three fault classes draw independently.
+// Distinct sub-stream tags so the fault classes draw independently.
 const STREAM_STRAGGLERS: u64 = 0x5354_5241_4747;
 const STREAM_TW_JITTER: u64 = 0x4a49_5454_4552;
 const STREAM_FAILURES: u64 = 0x4641_494c << 32;
+const STREAM_FAILSTOP: u64 = 0x4445_4144; // "DEAD"
+
+/// A fail-stop event, raised by the engine (as a panic payload) when a
+/// scheduled death fires at a synchronisation point. Catch it with
+/// [`catch_rank_death`], then call `Engine::shrink_after_death` and restore
+/// from a checkpoint to continue on the survivor set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankDeath {
+    /// The dead rank's *original* id (its trace track), stable across
+    /// shrinks.
+    pub rank: usize,
+    /// 0-based global sync-point sequence number it failed to arrive at.
+    pub at_seq: u64,
+    /// The dead rank's frozen clock (capped at the detection sync time).
+    pub t_last: f64,
+    /// Virtual time at which survivors completed detection (sync time +
+    /// detection timeout).
+    pub t_detect: f64,
+}
+
+impl fmt::Display for RankDeath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rank {} failed at sync point {} (detected at t = {:.6} s)",
+            self.rank, self.at_seq, self.t_detect
+        )
+    }
+}
+
+/// Runs `f`, converting an engine-raised [`RankDeath`] unwind into
+/// `Err(death)`. Any other panic is propagated unchanged. Installs (once) a
+/// panic hook that keeps `RankDeath` unwinds silent — they are control flow,
+/// not errors.
+pub fn catch_rank_death<R>(f: impl FnOnce() -> R) -> Result<R, RankDeath> {
+    install_death_hook();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(v) => Ok(v),
+        Err(payload) => match payload.downcast::<RankDeath>() {
+            Ok(death) => Err(*death),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    }
+}
+
+/// Silences the default panic message for [`RankDeath`] payloads only;
+/// every other panic keeps the previous hook's behaviour.
+fn install_death_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<RankDeath>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+impl fmt::Display for FaultPlan {
+    /// Canonical compact spec, e.g.
+    /// `seed=7,straggler=0.25x3,jitter=0.2,fail=0.05,kill=3@12`. Only
+    /// non-default fields are printed (after the always-present seed), and
+    /// floats use Rust's shortest round-trip formatting, so
+    /// `spec.parse::<FaultPlan>()` reproduces the plan exactly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = FaultPlan::new(self.seed);
+        write!(f, "seed={}", self.seed)?;
+        if self.straggler_frac > 0.0 && self.straggler_severity > 1.0 {
+            write!(
+                f,
+                ",straggler={}x{}",
+                self.straggler_frac, self.straggler_severity
+            )?;
+        }
+        if self.tw_jitter_sigma > 0.0 {
+            write!(f, ",jitter={}", self.tw_jitter_sigma)?;
+        }
+        if self.alltoall_fail_prob > 0.0 {
+            write!(f, ",trans={}", self.alltoall_fail_prob)?;
+        }
+        if self.max_retries != d.max_retries || self.backoff_base_s != d.backoff_base_s {
+            write!(f, ",retry={}@{}", self.max_retries, self.backoff_base_s)?;
+        }
+        if self.failstop_frac > 0.0 {
+            write!(f, ",fail={}", self.failstop_frac)?;
+            if self.failstop_horizon != d.failstop_horizon {
+                write!(f, "@{}", self.failstop_horizon)?;
+            }
+        }
+        for &(r, seq) in &self.kills {
+            write!(f, ",kill={r}@{seq}")?;
+        }
+        if self.detect_timeout_s != d.detect_timeout_s {
+            write!(f, ",detect={}", self.detect_timeout_s)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for FaultPlan {
+    type Err = String;
+
+    /// Parses the compact spec of the `Display` impl. Grammar (tokens comma
+    /// separated, any order, `seed` defaulting to 0 when absent):
+    ///
+    /// ```text
+    /// seed=<u64>            master seed
+    /// straggler=<frac>x<sev>  straggling ranks
+    /// jitter=<sigma>        log-normal tw jitter
+    /// trans=<prob>          transient collective failure probability
+    /// retry=<n>@<backoff>   retry budget @ initial backoff seconds
+    /// fail=<frac>[@<horizon>]  seeded fail-stop fraction [@ sync horizon]
+    /// kill=<rank>@<seq>     explicit fail-stop (repeatable)
+    /// detect=<secs>         death detection timeout
+    /// ```
+    fn from_str(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err("empty fault spec".into());
+        }
+        let mut plan = FaultPlan::new(0);
+        for tok in s.split(',') {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("token '{tok}' is not key=value"))?;
+            let num = |v: &str| -> Result<f64, String> { v.parse().map_err(|_| bad(key, v)) };
+            match key.trim() {
+                "seed" => plan.seed = val.parse().map_err(|_| bad(key, val))?,
+                "straggler" => {
+                    let (frac, sev) = val
+                        .split_once('x')
+                        .ok_or_else(|| format!("straggler wants <frac>x<severity>, got '{val}'"))?;
+                    plan = plan.with_stragglers(num(frac)?, num(sev)?);
+                }
+                "jitter" => plan = plan.with_tw_jitter(num(val)?),
+                "trans" => plan = plan.with_transient_failures(num(val)?),
+                "retry" => {
+                    let (n, base) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("retry wants <n>@<backoff_s>, got '{val}'"))?;
+                    plan = plan.with_retry_policy(n.parse().map_err(|_| bad(key, n))?, num(base)?);
+                }
+                "fail" => match val.split_once('@') {
+                    Some((frac, horizon)) => {
+                        plan = plan
+                            .with_rank_failures(num(frac)?)
+                            .with_failstop_horizon(horizon.parse().map_err(|_| bad(key, horizon))?);
+                    }
+                    None => plan = plan.with_rank_failures(num(val)?),
+                },
+                "kill" => {
+                    let (r, seq) = val
+                        .split_once('@')
+                        .ok_or_else(|| format!("kill wants <rank>@<sync_seq>, got '{val}'"))?;
+                    plan = plan.kill_rank(
+                        r.parse().map_err(|_| bad(key, r))?,
+                        seq.parse().map_err(|_| bad(key, seq))?,
+                    );
+                }
+                "detect" => plan = plan.with_detect_timeout(num(val)?),
+                other => return Err(format!("unknown fault spec key '{other}'")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+fn bad(key: &str, val: &str) -> String {
+    format!("bad value '{val}' for fault spec key '{key}'")
+}
 
 /// Per-rank multiplicative factors materialised from a [`FaultPlan`].
 #[derive(Clone, Debug, PartialEq)]
@@ -262,6 +529,97 @@ mod tests {
         assert_eq!(plan.backoff_s(0), 0.5);
         assert_eq!(plan.backoff_s(1), 1.0);
         assert_eq!(plan.backoff_s(3), 4.0);
+    }
+
+    #[test]
+    fn transient_prob_one_is_accepted_and_bounded() {
+        // The closed interval: prob = 1.0 costs exactly the retry budget on
+        // every attempt (the final attempt never fails), no livelock.
+        let plan = FaultPlan::new(9)
+            .with_transient_failures(1.0)
+            .with_retry_policy(4, 1e-4);
+        for seq in 0..20u64 {
+            for rank in 0..8 {
+                assert_eq!(plan.retries_for(seq, rank), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn death_schedule_is_seeded_and_merges_kills() {
+        let plan = FaultPlan::new(21).with_rank_failures(0.25);
+        let a = plan.death_schedule(16);
+        assert_eq!(a.len(), 4, "0.25 × 16 ranks must die: {a:?}");
+        assert_eq!(a, plan.death_schedule(16), "schedule must replay");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "unsorted: {a:?}");
+        assert!(a.iter().all(|&(s, r)| (1..=24).contains(&s) && r < 16));
+        // An explicit kill earlier than the seeded draw wins; a fresh rank
+        // is appended.
+        let victim = a[0].1;
+        let plan2 = plan.clone().kill_rank(victim, 0);
+        let b = plan2.death_schedule(16);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b[0], (0, victim));
+        let other = FaultPlan::new(22)
+            .with_rank_failures(0.25)
+            .death_schedule(16);
+        assert_ne!(a, other, "different seeds, different schedules");
+    }
+
+    #[test]
+    fn spec_string_round_trips() {
+        // Fixed cases, including the ISSUE's example shape.
+        for spec in [
+            "seed=7",
+            "seed=7,straggler=0.25x3,jitter=0.2,fail=0.05,kill=3@12",
+            "seed=1,trans=0.3,retry=5@0.001,fail=0.5@10,detect=0.01",
+        ] {
+            let plan: FaultPlan = spec.parse().expect("valid spec");
+            let printed = plan.to_string();
+            let again: FaultPlan = printed.parse().expect("printed spec parses");
+            assert_eq!(plan, again, "round trip failed for '{spec}'");
+        }
+        // Seeded randomized round-trip property: Display ∘ FromStr is the
+        // identity on arbitrary plans (shortest-float formatting is exact).
+        let mut rng = SplitMix64::new(0xF00D);
+        for _ in 0..200 {
+            let mut plan = FaultPlan::new(rng.next_u64());
+            if rng.next_f64() < 0.5 {
+                plan = plan.with_stragglers(rng.next_f64(), 1.0 + 9.0 * rng.next_f64());
+            }
+            if rng.next_f64() < 0.5 {
+                plan = plan.with_tw_jitter(rng.next_f64());
+            }
+            if rng.next_f64() < 0.5 {
+                plan = plan.with_transient_failures(rng.next_f64());
+            }
+            if rng.next_f64() < 0.5 {
+                plan = plan.with_retry_policy(rng.next_below(8) as u32, rng.next_f64() * 1e-2);
+            }
+            if rng.next_f64() < 0.5 {
+                plan = plan
+                    .with_rank_failures(rng.next_f64())
+                    .with_failstop_horizon(1 + rng.next_below(100));
+            }
+            for _ in 0..rng.next_below(3) {
+                plan = plan.kill_rank(rng.next_below(64) as usize, rng.next_below(40));
+            }
+            if rng.next_f64() < 0.5 {
+                plan = plan.with_detect_timeout(rng.next_f64() * 1e-2);
+            }
+            let again: FaultPlan = plan.to_string().parse().expect("printed spec parses");
+            assert_eq!(plan, again, "round trip failed for '{plan}'");
+        }
+    }
+
+    #[test]
+    fn spec_string_rejects_garbage() {
+        assert!("".parse::<FaultPlan>().is_err());
+        assert!("seed".parse::<FaultPlan>().is_err());
+        assert!("bogus=1".parse::<FaultPlan>().is_err());
+        assert!("straggler=0.5".parse::<FaultPlan>().is_err());
+        assert!("kill=3".parse::<FaultPlan>().is_err());
+        assert!("seed=notanumber".parse::<FaultPlan>().is_err());
     }
 
     #[test]

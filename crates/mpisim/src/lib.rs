@@ -55,7 +55,21 @@
 //! moved, virtual clocks never run backwards — and panics with rank-level
 //! diagnostics on the first violation. See DESIGN.md, "Fault model and
 //! audits".
+//!
+//! ## Fail-stop failures and recovery
+//!
+//! A [`FaultPlan`] can additionally schedule **fail-stop rank deaths**
+//! ([`FaultPlan::with_rank_failures`], [`FaultPlan::kill_rank`]): the
+//! victim stops arriving at synchronisation points, survivors detect the
+//! death at the next collective after a timeout charge, and the engine
+//! unwinds with a [`RankDeath`] payload. Drivers catch it with
+//! [`catch_rank_death`], call [`Engine::shrink_after_death`] to continue as
+//! a `p − 1`-rank machine, restore app state from a [`CheckpointStore`]
+//! (in-memory partner checkpointing, [`checkpoint`] module), repartition
+//! over the survivors, and re-run lost work — every recovery cost lands on
+//! the virtual clocks and in the critical path. See DESIGN.md §11.
 
+pub mod checkpoint;
 pub mod collectives;
 pub mod dist;
 pub mod engine;
@@ -65,10 +79,11 @@ pub mod rng;
 pub mod stats;
 pub mod threaded;
 
+pub use checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStats, CheckpointStore, Snapshot};
 pub use collectives::AllToAllAlgo;
 pub use dist::DistVec;
 pub use engine::{Engine, TimeMode};
-pub use faults::{FaultPlan, RankFaults};
+pub use faults::{catch_rank_death, FaultPlan, RankDeath, RankFaults};
 pub use optipart_trace::{CriticalPath, ModelAttribution, PathKind, Profile, Tracer};
 pub use stats::{CommMatrix, RunStats};
 

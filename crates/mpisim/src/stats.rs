@@ -134,6 +134,12 @@ pub struct RunStats {
     pub retries_total: u64,
     /// Data-moving collectives whose conservation audit ran and passed.
     pub audited_collectives: u64,
+    /// Fail-stop rank deaths detected during the run.
+    pub deaths: u64,
+    /// Checkpoint saves charged to the clocks.
+    pub checkpoints: u64,
+    /// Bytes mirrored to checkpoint partners across all saves.
+    pub checkpoint_bytes: u64,
 }
 
 #[cfg(test)]

@@ -257,6 +257,13 @@ impl Tracer {
         self.phase_stack.last().copied().unwrap_or(ROOT_PHASE)
     }
 
+    /// Discards all open phases without attributing time to them — for
+    /// recovery drivers whose `RankDeath` unwound through open
+    /// `Engine::phase` blocks, leaving their `phase_end` calls unreached.
+    pub fn abort_open_phases(&mut self) {
+        self.phase_stack.clear();
+    }
+
     /// Virtual seconds attributed to `phase`, 0 if never entered.
     pub fn phase_time(&self, phase: &str) -> f64 {
         self.ids
@@ -386,6 +393,21 @@ impl Tracer {
     /// Instant marks in record order.
     pub fn marks(&self) -> &[Mark] {
         &self.marks
+    }
+
+    /// The marks whose interned name equals `name`, in record order —
+    /// convenient for filtering fault annotations (`"fault.death"`,
+    /// `"fault.retry"`, …) out of a recorded run.
+    pub fn marks_named(&self, name: &str) -> Vec<Mark> {
+        match self.ids.get(name) {
+            Some(&id) => self
+                .marks
+                .iter()
+                .filter(|m| m.name == id)
+                .copied()
+                .collect(),
+            None => Vec::new(),
+        }
     }
 
     /// Completed phase blocks in completion order.

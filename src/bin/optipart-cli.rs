@@ -6,6 +6,8 @@
 //! optipart-cli partition --mesh mesh.txt --machine wisconsin-8 -p 256 \
 //!     --curve hilbert --optipart --out parts.txt
 //! optipart-cli partition --mesh mesh.txt -p 64 --tolerance 0.3
+//! optipart-cli partition --mesh mesh.txt -p 64 --optipart \
+//!     --faults seed=7,straggler=0.2x3,trans=0.01,kill=3@40
 //! optipart-cli analyze --mesh mesh.txt --parts parts.txt
 //! ```
 //!
@@ -19,7 +21,7 @@ use optipart::core::metrics::{
 use optipart::core::optipart::{optipart, OptiPartOptions};
 use optipart::core::partition::{distribute_tree, treesort_partition, PartitionOptions};
 use optipart::machine::{AppModel, MachineModel, PerfModel};
-use optipart::mpisim::Engine;
+use optipart::mpisim::{catch_rank_death, Engine, FaultPlan};
 use optipart::octree::Distribution;
 use optipart::octree::{LinearTree, MeshParams};
 use optipart::sfc::{Cell3, Curve};
@@ -127,20 +129,39 @@ fn cmd_partition(f: &Flags) {
     if f.has("trace") {
         engine = engine.with_tracing();
     }
+    if let Some(spec) = f.get("faults") {
+        let plan: FaultPlan = spec
+            .parse()
+            .unwrap_or_else(|e| usage(&format!("--faults: {e}")));
+        engine = engine.with_faults(plan);
+    }
     let input = distribute_tree(&tree, p);
 
-    let outcome = if f.has("optipart") {
-        optipart(
-            &mut engine,
-            input,
-            OptiPartOptions {
-                latency_aware: f.has("latency-aware"),
-                ..OptiPartOptions::for_curve(curve_of(f))
-            },
-        )
-    } else {
-        let tol: f64 = f.parse("tolerance", 0.0);
-        treesort_partition(&mut engine, input, PartitionOptions::with_tolerance(tol))
+    let run = catch_rank_death(|| {
+        if f.has("optipart") {
+            optipart(
+                &mut engine,
+                input,
+                OptiPartOptions {
+                    latency_aware: f.has("latency-aware"),
+                    ..OptiPartOptions::for_curve(curve_of(f))
+                },
+            )
+        } else {
+            let tol: f64 = f.parse("tolerance", 0.0);
+            treesort_partition(&mut engine, input, PartitionOptions::with_tolerance(tol))
+        }
+    });
+    let outcome = match run {
+        Ok(o) => o,
+        Err(death) => {
+            eprintln!(
+                "error: {death}; partitioning aborted — the CLI runs without a \
+                 checkpoint layer (see the library's recovery drivers for \
+                 survivable runs)"
+            );
+            exit(1);
+        }
     };
     eprintln!(
         "partitioned {} octants over {p} ranks: λ = {:.4}, tolerance = {:.4}, \
@@ -151,6 +172,13 @@ fn cmd_partition(f: &Flags) {
         outcome.report.rounds,
         engine.makespan() * 1e3,
     );
+    if f.has("faults") {
+        eprintln!(
+            "fault plan: {} transient retries charged, {} rank deaths",
+            engine.stats().retries_total,
+            engine.stats().deaths,
+        );
+    }
     if let Some(path) = f.get("trace") {
         std::fs::write(path, engine.trace_json())
             .unwrap_or_else(|e| usage(&format!("{path}: {e}")));
@@ -259,8 +287,10 @@ fn usage(err: &str) -> ! {
          [--seed S] [--curve hilbert|morton] [--out FILE]\n  \
          optipart-cli partition --mesh FILE -p RANKS [--machine NAME] \
          [--tolerance T | --optipart [--latency-aware]] [--curve C] [--out FILE] \
-         [--trace FILE]\n  \
-         optipart-cli analyze --mesh FILE --parts FILE [--curve C]"
+         [--trace FILE] [--faults SPEC]\n  \
+         optipart-cli analyze --mesh FILE --parts FILE [--curve C]\n\n\
+         --faults SPEC is a comma-separated fault plan, e.g.\n  \
+         seed=7,straggler=0.2x3,jitter=0.1,trans=0.01,retry=4@1e-4,fail=0.12@20,kill=3@40,detect=1e-3"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -277,6 +277,77 @@ fn matvec_report_exposes_straggle_and_retries() {
 }
 
 #[test]
+fn reset_replays_the_fault_schedule_byte_identically() {
+    // `Engine::reset` must re-arm the *entire* fault schedule: a reset
+    // engine re-running the same workload reproduces the same stragglers,
+    // jitter draws, retries and trace bytes as its first run.
+    let tree = MeshParams::normal(4_000, 81).build::<3>(Curve::Hilbert);
+    let p = 12;
+    let mut e = engine(p).with_faults(stormy(7)).with_tracing();
+
+    let run = |e: &mut Engine| {
+        let out = optipart(e, distribute_tree(&tree, p), OptiPartOptions::default());
+        (
+            out.splitters.clone(),
+            e.makespan(),
+            e.clocks().to_vec(),
+            e.stats().retries_total,
+            e.trace_json(),
+        )
+    };
+    let first = run(&mut e);
+    assert!(first.3 > 0, "the stormy plan should trigger retries");
+    e.reset();
+    let second = run(&mut e);
+    assert_eq!(first, second, "reset must replay the fault schedule");
+}
+
+#[test]
+fn reset_re_arms_a_fired_kill() {
+    // A fail-stop kill consumes its schedule entry when it fires; `reset`
+    // without a shrink must put it back, so the replayed run dies at the
+    // same sync point with a byte-identical `RankDeath`.
+    use optipart::mpisim::catch_rank_death;
+    let tree = MeshParams::normal(2_000, 94).build::<3>(Curve::Hilbert);
+    let p = 8;
+
+    // Probe a clean run's sync-point timeline to aim the kill mid-workload.
+    let mut probe = engine(p);
+    let _ = treesort_partition(
+        &mut probe,
+        distribute_tree(&tree, p),
+        PartitionOptions::exact(),
+    );
+    let mid = probe.sync_points() / 2;
+    assert!(mid >= 1);
+
+    let mut e = engine(p).with_faults(FaultPlan::new(21).kill_rank(3, mid));
+    let die = |e: &mut Engine| {
+        catch_rank_death(|| {
+            let _ = treesort_partition(e, distribute_tree(&tree, p), PartitionOptions::exact());
+        })
+        .expect_err("the scheduled kill must fire")
+    };
+    let d1 = die(&mut e);
+    assert_eq!(d1.rank, 3);
+    e.reset();
+    let d2 = die(&mut e);
+    assert_eq!(d1, d2, "reset must re-arm the kill at the same sync point");
+
+    // After a shrink the victim is gone for good: reset keeps it dead and
+    // the workload completes on the survivors.
+    e.shrink_after_death();
+    e.reset();
+    assert_eq!(e.p(), p - 1);
+    let out = treesort_partition(
+        &mut e,
+        distribute_tree(&tree, p - 1),
+        PartitionOptions::exact(),
+    );
+    assert_eq!(out.dist.total_len(), tree.len());
+}
+
+#[test]
 #[should_panic(expected = "audit")]
 fn audit_catches_a_lying_splitter_set() {
     // Negative control: a duplicated splitter (an empty-partition bug a

@@ -1,0 +1,191 @@
+//! Fail-stop recovery end-to-end: seeded kills remove ranks mid-run, the
+//! checkpointed drivers shrink to the survivor set, re-run OptiPart and
+//! continue — conserving the global octant multiset, reproducing the
+//! fault-free FEM solution to round-off, and staying bit-deterministic
+//! (byte-identical Chrome trace, identical makespan) across host thread
+//! counts. The critical path must tile `[0, makespan]` exactly *through*
+//! the detection, restore and repartition events.
+
+use optipart::core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart::fem::{amr_simulation_ft, run_matvec_ft, AmrConfig, DistMesh};
+use optipart::machine::{AppModel, MachineModel, PerfModel};
+use optipart::mpisim::{CheckpointPolicy, Engine, FaultPlan};
+use optipart::octree::{balance::balance21, LinearTree, MeshParams};
+use optipart::sfc::{Curve, SfcKey};
+
+fn engine(p: usize) -> Engine {
+    Engine::new(
+        p,
+        PerfModel::new(
+            MachineModel::cloudlab_wisconsin(),
+            AppModel::laplacian_matvec(),
+        ),
+    )
+}
+
+/// 2:1-balanced test mesh — the class (Dendro's) on which the FEM stencil
+/// is partition-independent, so faulted and fault-free solutions compare.
+fn balanced_tree(n: usize, seed: u64) -> LinearTree<3> {
+    balance21(&MeshParams::normal(n, seed).build::<3>(Curve::Hilbert))
+}
+
+fn built(e: &mut Engine, tree: &LinearTree<3>) -> DistMesh<3> {
+    let out = treesort_partition(e, distribute_tree(tree, e.p()), PartitionOptions::exact());
+    DistMesh::build(e, out.dist, Curve::Hilbert)
+}
+
+/// `|a - b| ≤ 1e-12` relative to the solution's ∞-norm (per-element relative
+/// error is meaningless where the stencil cancels to ~0).
+fn assert_solutions_match(want: &[(SfcKey, f64)], got: &[(SfcKey, f64)]) {
+    assert_eq!(want.len(), got.len());
+    let norm = want
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    for ((ka, a), (kb, b)) in want.iter().zip(got) {
+        assert_eq!(ka, kb, "octant multiset diverged");
+        assert!(
+            (a - b).abs() <= 1e-12 * norm,
+            "solution diverged: {a} vs {b} (norm {norm:e})"
+        );
+    }
+}
+
+#[test]
+fn killed_amr_run_completes_on_survivors() {
+    // The acceptance scenario: a faulted AMR run that kills one rank
+    // mid-solve completes on the survivor set with the same global octant
+    // multiset and a FEM solution matching the fault-free run.
+    let cfg = AmrConfig {
+        steps: 4,
+        max_level: 4,
+        matvecs_per_step: 3,
+        ..Default::default()
+    };
+    let mut clean = engine(8);
+    let want = amr_simulation_ft(&mut clean, &cfg, CheckpointPolicy::EveryStep);
+    assert!(want.deaths.is_empty());
+    let mid = clean.sync_points() / 2;
+
+    let mut e = engine(8).with_faults(FaultPlan::new(17).kill_rank(5, mid));
+    let got = amr_simulation_ft(&mut e, &cfg, CheckpointPolicy::EveryStep);
+    assert_eq!(got.deaths.len(), 1);
+    assert_eq!(got.deaths[0].rank, 5);
+    assert_eq!(got.final_p, 7);
+    assert_eq!(got.checkpoint.restores, 1);
+    assert_eq!(got.steps.last().unwrap().step, cfg.steps - 1);
+    assert!(got.total_seconds > want.total_seconds);
+    assert_solutions_match(&want.solution, &got.solution);
+}
+
+#[test]
+fn seeded_double_kill_shrinks_twice_and_still_matches() {
+    // `with_rank_failures(0.25)` on p = 8 seeds two kills early in the run;
+    // each is survived by a separate shrink + restore + repartition.
+    let tree = balanced_tree(1_500, 53);
+
+    let mut clean = engine(8);
+    let mesh_c = built(&mut clean, &tree);
+    let want = run_matvec_ft(&mut clean, &mesh_c, 20, CheckpointPolicy::EveryStep);
+
+    let mut e = engine(8);
+    let mesh = built(&mut e, &tree);
+    let mut e = e.with_faults(FaultPlan::new(29).with_rank_failures(0.25));
+    let got = run_matvec_ft(&mut e, &mesh, 20, CheckpointPolicy::EveryStep);
+    assert_eq!(got.deaths.len(), 2, "0.25 × 8 ranks ⇒ two seeded kills");
+    assert_eq!(got.final_p, 6);
+    assert_eq!(got.checkpoint.restores, 2);
+    assert_solutions_match(&want.solution, &got.solution);
+}
+
+#[test]
+fn recovery_is_deterministic_across_thread_counts() {
+    // Same seed + kill schedule ⇒ byte-identical Chrome trace and identical
+    // makespan at any host thread count, with the critical path tiling
+    // [0, makespan] exactly through detection, restore and repartition.
+    let tree = balanced_tree(1_200, 59);
+
+    // Probe a clean run's sync-point timeline to aim the kill mid-solve.
+    let mut probe = engine(8);
+    let mesh_p = built(&mut probe, &tree);
+    let _ = run_matvec_ft(&mut probe, &mesh_p, 12, CheckpointPolicy::EveryN(2));
+    let mid = probe.sync_points() / 2;
+    assert!(mid >= 2);
+
+    let run = || {
+        let mut e = engine(8).with_tracing();
+        let mesh = built(&mut e, &tree);
+        let mut e = e.with_faults(FaultPlan::new(31).kill_rank(4, mid));
+        let rep = run_matvec_ft(&mut e, &mesh, 12, CheckpointPolicy::EveryN(2));
+        assert_eq!(rep.deaths.len(), 1, "the scheduled kill must fire");
+        assert_eq!(rep.final_p, 7);
+
+        // Critical path must tile the whole timeline through the recovery.
+        let cp = e.critical_path();
+        let makespan = e.makespan();
+        assert!(
+            (cp.covered_s() - makespan).abs() <= 1e-12 * makespan,
+            "critical path ({}) must equal the virtual makespan ({})",
+            cp.covered_s(),
+            makespan
+        );
+        (e.trace_json(), makespan, rep.solution.clone())
+    };
+
+    let (json, makespan, solution) = run();
+    assert!(
+        json.contains("fault.death"),
+        "the victim's death must be annotated in the trace"
+    );
+    assert!(
+        json.contains("fault.detect"),
+        "the survivors' detection sync must be in the trace"
+    );
+    assert!(
+        json.contains("checkpoint"),
+        "checkpoint syncs must be traced"
+    );
+    assert!(json.contains("restore"), "the restore sync must be traced");
+    for threads in ["1", "4", "8"] {
+        std::env::set_var("RAYON_NUM_THREADS", threads);
+        let (json2, makespan2, solution2) = run();
+        assert_eq!(json, json2, "trace diverged at RAYON_NUM_THREADS={threads}");
+        assert_eq!(makespan, makespan2);
+        assert_eq!(solution, solution2);
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn checkpoint_interval_trades_overhead_for_lost_work() {
+    // The Young/Daly trade-off the recovery ablation measures: frequent
+    // checkpoints cost clean-run time but lose fewer iterations at a death.
+    let tree = balanced_tree(1_000, 61);
+
+    let clean_secs = |policy: CheckpointPolicy| {
+        let mut e = engine(8);
+        let mesh = built(&mut e, &tree);
+        let rep = run_matvec_ft(&mut e, &mesh, 20, policy);
+        (rep.seconds, e.sync_points())
+    };
+    let (t_none, _) = clean_secs(CheckpointPolicy::Never);
+    let (t_every, _) = clean_secs(CheckpointPolicy::EveryStep);
+    let (t_sparse, sync_sparse) = clean_secs(CheckpointPolicy::EveryN(10));
+    assert!(t_every > t_sparse, "denser checkpoints must cost more");
+    assert!(t_sparse > t_none, "any checkpointing costs virtual time");
+
+    let lost = |policy: CheckpointPolicy, mid: u64| {
+        let mut e = engine(8);
+        let mesh = built(&mut e, &tree);
+        let mut e = e.with_faults(FaultPlan::new(5).kill_rank(1, mid));
+        let rep = run_matvec_ft(&mut e, &mesh, 20, policy);
+        assert_eq!(rep.deaths.len(), 1);
+        rep.lost_iterations
+    };
+    // Aim both kills at the same point of the sparse run's timeline.
+    let mid = sync_sparse / 2;
+    assert!(
+        lost(CheckpointPolicy::EveryN(10), mid) > lost(CheckpointPolicy::EveryStep, mid),
+        "sparse checkpoints must lose more work at a death"
+    );
+}
