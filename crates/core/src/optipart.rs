@@ -1,13 +1,14 @@
 //! OptiPart — Algorithm 3 of the paper.
 //!
-//! Distributed TreeSort whose stopping rule is the performance model: after
-//! an initial coarse splitter computation (`TreeSort(Ar, l − log p, l)`,
-//! line 2), each further refinement level is accepted only if the predicted
-//! runtime of the induced partition (Algorithm 2 / Eq. 3) does not get
-//! worse. "OptiPart starts from a higher tolerance and progressively
-//! decreases this, i.e. … it approaches the optimum from the right"
-//! (Fig. 10) — and stops exactly where predicted time turns upward, without
-//! the user guessing a tolerance.
+//! Distributed TreeSort whose stopping rule is the performance model:
+//! starting from the loosest admissible tolerance (`max_tolerance`), the
+//! search descends a tolerance ladder one rung at a time, refining the
+//! shared splitter state to each rung and accepting the step only if the
+//! predicted runtime of the induced partition (Algorithm 2 / Eq. 3) does
+//! not get worse. "OptiPart starts from a higher tolerance and
+//! progressively decreases this, i.e. … it approaches the optimum from the
+//! right" (Fig. 10) — and stops exactly where predicted time turns upward,
+//! without the user guessing a tolerance.
 
 use crate::partition::{
     exchange_and_sort, PartitionOutcome, PartitionReport, SplitterSearch, PHASE_REFINE,
@@ -37,8 +38,8 @@ pub struct OptiPartOptions {
     /// ([`Quality::tp_with_latency`]) — the model refinement the paper's
     /// future work proposes. Off by default (paper-faithful Eq. 3).
     pub latency_aware: bool,
-    /// Evaluations allowed past the last improvement before stopping
-    /// (plateau robustness for the greedy stopping rule).
+    /// Tolerance-ladder rungs allowed past the last improvement before
+    /// stopping (plateau robustness for the greedy stopping rule).
     pub patience: usize,
     /// Amortise the *measured* cost of the tolerance search over this many
     /// application iterations: a finer candidate is accepted only if its
@@ -54,6 +55,10 @@ pub struct OptiPartOptions {
     /// reproduces the paper's model-only stopping rule.
     pub amortize_over: Option<usize>,
 }
+
+/// Step between rungs of the flexible-tolerance ladder Algorithm 3
+/// descends — the resolution of the paper's Fig. 10 tolerance axis.
+const TOLERANCE_STEP: f64 = 0.1;
 
 impl Default for OptiPartOptions {
     fn default() -> Self {
@@ -93,16 +98,6 @@ pub fn optipart<const D: usize>(
     let p = engine.p();
     let (search, splitters, achieved, quality) = engine.phase(PHASE_SPLITTER, |engine| {
         let mut search = SplitterSearch::new(engine, &dist);
-
-        // Line 2: initial coarse splitters — refine until there is at least
-        // one bucket boundary per rank (log_{2^D} p levels).
-        while search.buckets.len() < p {
-            let split = search.violating_buckets(p, 0.0, opts.max_level);
-            if split.is_empty() {
-                break;
-            }
-            engine.phase(PHASE_REFINE, |e| search.refine_round(e, &mut dist, &split));
-        }
         let (mut splitters, mut achieved) = search.choose_splitters(p);
         if p == 1 {
             let q = Quality {
@@ -123,24 +118,47 @@ pub fn optipart<const D: usize>(
             }
         };
 
-        // Lines 3–21: refine, evaluating each new candidate splitter set
-        // with Algorithm 2, and keep the best *admissible* candidate
-        // (achieved tolerance within `max_tolerance`, non-empty partitions
-        // guaranteed by the multi-target rule). Refinement continues until
-        // either the work is perfectly divided or `patience` consecutive
-        // evaluations failed to improve the prediction — a robust version
-        // of Algorithm 3's "proceed while `default ≥ current`" that does
-        // not get stuck on model plateaus.
+        // Lines 3–21: walk the flexible tolerance down a ladder from
+        // `max_tolerance` to exact balance in the paper's Fig. 10 grid
+        // resolution, refining the shared search state to each rung and
+        // scoring the rung's candidate with Algorithm 2. A bucket that
+        // violates a loose tolerance also violates every tighter one, so
+        // refinement is monotone along the ladder and the state at each
+        // rung matches what a from-scratch TreeSort at that tolerance
+        // would reach (exactly, up to the rare global feasibility forcing)
+        // — the trajectory therefore visits every partition a brute-force
+        // tolerance sweep would score, coarse ones included, instead of
+        // leaping from one bucket level to the next. Descent
+        // stops once `patience` consecutive rungs failed to improve the
+        // prediction — a robust version of Algorithm 3's "proceed while
+        // `default ≥ current`" that does not get stuck on model plateaus.
         let mut best: Option<(Vec<optipart_sfc::SfcKey>, f64, Quality)> = None;
         let mut worse = 0usize;
         // Measured virtual time spent searching (refinement + quality
         // evaluations) since the last accepted candidate — what the
         // `amortize_over` acceptance rule weighs the nominal gain against.
         let mut pending_cost = 0.0f64;
+        let mut rung = opts.max_tolerance.max(0.0);
         loop {
+            // Refine until this rung's tolerance is met everywhere (staged
+            // by `max_split_per_round` when a budget is set, Eq. 2).
+            let tol_units = rung * (search.n as f64 / p as f64);
+            loop {
+                let mut split = search.pending_splits(p, tol_units, opts.max_level);
+                if split.is_empty() {
+                    break;
+                }
+                if let Some(k) = opts.max_split_per_round {
+                    split.truncate((k / (1 << D)).max(1));
+                }
+                let t_refine = engine.makespan();
+                engine.phase(PHASE_REFINE, |e| search.refine_round(e, &mut dist, &split));
+                pending_cost += engine.makespan() - t_refine;
+            }
             let (cand, cand_tol) = search.choose_splitters(p);
-            let admissible = cand_tol <= opts.max_tolerance
-                && search.multi_target_buckets(p, opts.max_level).is_empty();
+            // `pending_splits` returning empty already guarantees no
+            // multi-target buckets and a feasible boundary set.
+            let admissible = cand_tol <= opts.max_tolerance;
             if admissible && (cand != splitters || best.is_none()) {
                 // Inadmissible candidates can never become the answer, so
                 // Algorithm 2 only runs once the tolerance cap is reached.
@@ -160,6 +178,15 @@ pub fn optipart<const D: usize>(
                     }
                     None => true,
                 };
+                // Trajectory dump for debugging dominance regressions
+                // (pairs with the testkit oracle's grid dump).
+                if std::env::var_os("OPTIPART_DEBUG").is_some() {
+                    eprintln!(
+                        "probe rung={rung:.2} cand_tol={cand_tol:.4} tp={:.6e} buckets={} improved={improved}",
+                        score(&q),
+                        search.buckets.len()
+                    );
+                }
                 engine.trace_decision(
                     "optipart.probe",
                     &[
@@ -183,21 +210,10 @@ pub fn optipart<const D: usize>(
             if best.is_some() && worse > opts.patience {
                 break;
             }
-            // Refine: multi-target buckets take priority (they force empty
-            // partitions if left coarse), then any bucket still off-target.
-            let mut split = search.multi_target_buckets(p, opts.max_level);
-            if split.is_empty() {
-                split = search.violating_buckets(p, 0.0, opts.max_level);
+            if rung == 0.0 {
+                break; // bottom of the ladder — perfectly balanced
             }
-            if split.is_empty() {
-                break; // perfectly balanced — nothing left to trade
-            }
-            if let Some(k) = opts.max_split_per_round {
-                split.truncate((k / (1 << D)).max(1));
-            }
-            let t_refine = engine.makespan();
-            engine.phase(PHASE_REFINE, |e| search.refine_round(e, &mut dist, &split));
-            pending_cost += engine.makespan() - t_refine;
+            rung = (rung - TOLERANCE_STEP).max(0.0);
         }
         let (splitters, achieved, current) = match best {
             Some(b) => b,

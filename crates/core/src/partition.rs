@@ -120,7 +120,8 @@ pub fn owner_of(splitters: &[SfcKey], key: &SfcKey) -> usize {
 /// Audits a splitter vector before it is used to move data: exactly `p − 1`
 /// splitters, sorted, and strictly increasing whenever the input is large
 /// enough that no partition has to be empty (`n ≥ p`; with fewer elements
-/// than ranks the tail splitters legitimately collapse to `SfcKey::MAX`).
+/// — or fewer *distinct keys* — than ranks, the tail splitters legitimately
+/// collapse to `SfcKey::MAX`).
 /// Panics with the offending positions — a wrong splitter vector here would
 /// silently mis-route elements in the exchange.
 pub fn audit_splitters(splitters: &[SfcKey], n: usize, p: usize) {
@@ -137,8 +138,12 @@ pub fn audit_splitters(splitters: &[SfcKey], n: usize, p: usize) {
             w[0],
             w[1]
         );
+        // `SfcKey::MAX` is the deliberate give-up sentinel: it is emitted
+        // only when the key space cannot supply p − 1 distinct boundaries
+        // (duplicate-key inputs with fewer distinct keys than ranks), where
+        // empty tail ranks are unavoidable even with n ≥ p elements.
         assert!(
-            n < p || w[0] < w[1],
+            n < p || w[0] < w[1] || w[0] == SfcKey::MAX,
             "audit: duplicate splitter at {i} ({:?}) with n = {n} ≥ p = {p}: \
              a partition would be empty",
             w[0]
@@ -341,6 +346,13 @@ impl SplitterSearch {
     /// an empty partition — so OptiPart must refine it regardless of the
     /// performance model (its `Wmax` is at least two grains anyway).
     pub fn multi_target_buckets(&self, p: usize, max_level: u8) -> Vec<usize> {
+        self.buckets_with_targets(p, max_level, 2)
+    }
+
+    /// Indices of refinable non-empty buckets whose interior holds at
+    /// least `min` targets (strictly inside — a target on a bucket edge
+    /// already has its boundary).
+    fn buckets_with_targets(&self, p: usize, max_level: u8, min: usize) -> Vec<usize> {
         let cum = self.cumulative();
         let targets = self.targets(p);
         let mut out = Vec::new();
@@ -352,11 +364,75 @@ impl SplitterSearch {
             let hi = lo + b.count;
             let first = targets.partition_point(|&t| t <= lo);
             let last = targets.partition_point(|&t| t < hi);
-            if last - first >= 2 {
+            if last - first >= min {
                 out.push(bi);
             }
         }
         out
+    }
+
+    /// Distinct interior boundary candidates `(cum, key)`: one per
+    /// cumulative count strictly between 0 and `N` (the first bucket
+    /// boundary at each count — later duplicates follow empty buckets and
+    /// bound the same element split). Boundaries at 0 or `N` are excluded
+    /// because choosing one would leave rank 0 or rank `p−1` empty.
+    fn interior_bounds(&self) -> Vec<(u64, SfcKey)> {
+        let cum = self.cumulative();
+        let mut bounds: Vec<(u64, SfcKey)> = Vec::new();
+        for (b, &c) in self.buckets.iter().zip(&cum) {
+            if c == 0 || c >= self.n {
+                continue;
+            }
+            if bounds.last().is_none_or(|&(pc, _)| pc != c) {
+                bounds.push((c, b.lo_key()));
+            }
+        }
+        bounds
+    }
+
+    /// True when the bucket structure offers enough distinct interior
+    /// boundaries for [`Self::choose_splitters`] to leave every rank
+    /// non-empty. Always reachable by refinement when `N ≥ p` and keys
+    /// are distinct; never reachable when `N < p`.
+    pub(crate) fn feasible(&self, p: usize) -> bool {
+        self.interior_bounds().len() + 1 >= p
+    }
+
+    /// Buckets the flexible-tolerance splitter loop must still refine:
+    /// tolerance violations first; once those are clear, buckets whose
+    /// refinement the *chooser* forces — a bucket trapping two or more
+    /// targets, or (fewer distinct interior boundaries than targets) any
+    /// bucket holding a target. The per-target check of
+    /// [`Self::violating_buckets`] looks at bucket edges in isolation, so
+    /// at tolerances ≥ 0.5 two targets can contend for one shared edge —
+    /// satisfying the tolerance test while leaving the strictly-increasing
+    /// chooser short of boundaries (the audit's empty-partition class).
+    ///
+    /// Shared verbatim by the global-view and rank-view (threaded) loops
+    /// so both replay the identical state machine.
+    pub(crate) fn pending_splits(&self, p: usize, tol_units: f64, max_level: u8) -> Vec<usize> {
+        let violating = self.violating_buckets(p, tol_units, max_level);
+        if !violating.is_empty() {
+            return violating;
+        }
+        let multi = self.multi_target_buckets(p, max_level);
+        if !multi.is_empty() {
+            return multi;
+        }
+        if self.feasible(p) {
+            return Vec::new();
+        }
+        // Feasibility forcing: not enough distinct interior boundaries for
+        // p−1 splitters. Split only as many target-bearing buckets as the
+        // deficit requires — splitting them all would over-refine far past
+        // the requested tolerance (each split can add up to 2^D − 1
+        // boundaries). A split can also add none (all elements in one
+        // child), so the loop may come back for more; levels grow each
+        // time, which bounds termination at `max_level`.
+        let deficit = (p - 1).saturating_sub(self.interior_bounds().len());
+        let mut force = self.buckets_with_targets(p, max_level, 1);
+        force.truncate(deficit.max(1));
+        force
     }
 
     /// One refinement round: split the given buckets, recount via one
@@ -437,56 +513,58 @@ impl SplitterSearch {
         self.rounds += 1;
     }
 
-    /// Chooses the final splitters: for each target, the nearest bucket
-    /// boundary whose cumulative count strictly exceeds the previous
-    /// splitter's — so no partition is left empty (duplicate or
-    /// equal-count boundaries would assign a rank zero elements, which
-    /// the paper's λ = max/min metric cannot even express). Returns
-    /// `(splitters, achieved tolerance in N/p units)`.
+    /// Chooses the final splitters: for each target, the nearest *distinct
+    /// interior* bucket boundary (cumulative count strictly between 0 and
+    /// `N`), constrained to stay strictly above the previous choice while
+    /// reserving one boundary for every later target — so no partition is
+    /// left empty (duplicate, zero or end boundaries would assign a rank
+    /// zero elements, which the paper's λ = max/min metric cannot even
+    /// express). Returns `(splitters, achieved tolerance in N/p units)`.
     ///
     /// The non-empty constraint can push the achieved tolerance above the
     /// request only when the request is ≥ 0.5 (two targets a grain apart
-    /// contending for one boundary).
+    /// contending for one boundary). When the bucket structure has fewer
+    /// distinct interior boundaries than targets (`!feasible`, e.g.
+    /// `N < p`) the tail is padded with [`SfcKey::MAX`]; the splitter
+    /// loops refine past that state whenever `N ≥ p`.
     pub fn choose_splitters(&self, p: usize) -> (Vec<SfcKey>, f64) {
-        let cum = self.cumulative();
-        // All candidate boundaries: bucket starts plus the global end.
-        let mut bounds: Vec<(u64, SfcKey)> = self
-            .buckets
-            .iter()
-            .zip(&cum)
-            .map(|(b, &c)| (c, b.lo_key()))
-            .collect();
-        bounds.push((self.n, SfcKey::MAX));
-
+        let bounds = self.interior_bounds();
         let grain = (self.n as f64 / p as f64).max(1.0);
-        let mut splitters = Vec::with_capacity(p - 1);
+        let targets = self.targets(p);
+        let m = targets.len();
+        // With ≥ m distinct boundaries, cap each choice so every remaining
+        // target keeps a boundary of its own; the greedy walk then never
+        // strands a later target. (Short of boundaries the cap is moot —
+        // the exhausted tail pads with MAX.)
+        let reserve = bounds.len() >= m;
+        let mut splitters = Vec::with_capacity(m);
         let mut worst = 0.0f64;
-        let mut prev_cum: Option<u64> = None; // last chosen boundary's count
-        for t in self.targets(p) {
-            // Candidates: boundaries with cum strictly above the previous
-            // choice (first choice additionally needs cum > 0 so rank 0 is
-            // non-empty).
-            let floor = prev_cum.map_or(0, |c| c);
-            let start = bounds.partition_point(|&(c, _)| c <= floor);
-            if start >= bounds.len() {
-                // Degenerate: more ranks than elements — pad with MAX.
+        let mut next = 0usize; // first index above the previous choice
+        for (j, &t) in targets.iter().enumerate() {
+            let hi = if reserve {
+                bounds.len() + j - m
+            } else {
+                bounds.len().wrapping_sub(1)
+            };
+            if bounds.is_empty() || next > hi {
+                // Out of boundaries; `next` only grows, so the padding
+                // stays at the tail and the splitters remain sorted.
                 splitters.push(SfcKey::MAX);
                 worst = worst.max(1.0);
                 continue;
             }
-            let mut i = bounds[start..].partition_point(|&(c, _)| c < t) + start;
-            if i >= bounds.len() {
-                i = bounds.len() - 1;
+            let mut i = bounds[next..=hi].partition_point(|&(c, _)| c < t) + next;
+            if i > hi {
+                i = hi;
             }
-            let best = if i > start && t - bounds[i - 1].0 <= bounds[i].0.saturating_sub(t) {
+            let best = if i > next && t - bounds[i - 1].0 <= bounds[i].0.saturating_sub(t) {
                 i - 1
             } else {
                 i
             };
-            let err = bounds[best].0.abs_diff(t) as f64 / grain;
-            worst = worst.max(err);
+            worst = worst.max(bounds[best].0.abs_diff(t) as f64 / grain);
             splitters.push(bounds[best].1);
-            prev_cum = Some(bounds[best].0);
+            next = best + 1;
         }
         (splitters, worst)
     }
@@ -541,7 +619,7 @@ pub(crate) fn select_splitters<const D: usize>(
     let mut search = SplitterSearch::new(engine, dist);
     let tol_units = opts.tolerance * (search.n as f64 / p as f64);
     loop {
-        let mut violating = search.violating_buckets(p, tol_units, opts.max_level);
+        let mut violating = search.pending_splits(p, tol_units, opts.max_level);
         if violating.is_empty() {
             break;
         }
@@ -635,7 +713,7 @@ where
         let mut search = SplitterSearch::new_weighted(engine, &mut dist, &weight);
         let tol_units = opts.tolerance * (search.n as f64 / p as f64);
         loop {
-            let mut violating = search.violating_buckets(p, tol_units, opts.max_level);
+            let mut violating = search.pending_splits(p, tol_units, opts.max_level);
             if violating.is_empty() {
                 break;
             }

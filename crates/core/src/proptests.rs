@@ -1,33 +1,23 @@
 //! Property-based tests for the partitioning algorithms.
+//!
+//! Strategies, engines and meshes come from `optipart-testkit`; all types
+//! are the testkit re-exports (`optipart_testkit::core::…`), never
+//! `crate::…` paths — the unit-test target is a separate compilation of
+//! this crate, so mixing the two would break type identity.
 
-use crate::optipart::{optipart, OptiPartOptions};
-use crate::partition::{distribute_shuffled, owner_of, treesort_partition, PartitionOptions};
-use crate::samplesort::{samplesort_partition, SampleSortOptions};
-use crate::treesort::treesort;
-use optipart_machine::{AppModel, MachineModel, PerfModel};
-use optipart_mpisim::Engine;
-use optipart_octree::{tree_from_points, Distribution, LinearTree};
-use optipart_sfc::{Curve, KeyedCell};
+use optipart_testkit::core::optipart::{optipart, OptiPartOptions};
+use optipart_testkit::core::partition::{
+    distribute_shuffled, owner_of, treesort_partition, PartitionOptions,
+};
+use optipart_testkit::core::samplesort::{samplesort_partition, SampleSortOptions};
+use optipart_testkit::core::treesort::treesort;
+use optipart_testkit::gen::{engine_wisconsin as engine, tree};
+use optipart_testkit::machine::{AppModel, MachineModel, PerfModel};
+use optipart_testkit::mpisim::Engine;
+use optipart_testkit::octree::{sample_points, Distribution};
+use optipart_testkit::sfc::{Cell, Curve, KeyedCell};
+use optipart_testkit::strategies::curve;
 use proptest::prelude::*;
-
-fn engine(p: usize) -> Engine {
-    Engine::new(
-        p,
-        PerfModel::new(
-            MachineModel::cloudlab_wisconsin(),
-            AppModel::laplacian_matvec(),
-        ),
-    )
-}
-
-fn tree(seed: u64, n: usize, curve: Curve) -> LinearTree<3> {
-    let pts = optipart_octree::sample_points::<3>(Distribution::Normal, n, seed);
-    tree_from_points(&pts, 1, 14, curve)
-}
-
-fn curve() -> impl Strategy<Value = Curve> {
-    prop_oneof![Just(Curve::Morton), Just(Curve::Hilbert)]
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -125,12 +115,12 @@ proptest! {
     /// overlapping, multi-level) cell sets.
     #[test]
     fn treesort_equals_sort(seed in 0u64..1000, n in 1usize..300, c in curve()) {
-        let pts = optipart_octree::sample_points::<3>(Distribution::LogNormal, n, seed);
+        let pts = sample_points::<3>(Distribution::LogNormal, n, seed);
         let mut cells: Vec<KeyedCell<3>> = pts
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                KeyedCell::new(optipart_sfc::Cell::new(*p, 3 + (i % 10) as u8), c)
+                KeyedCell::new(Cell::new(*p, 3 + (i % 10) as u8), c)
             })
             .collect();
         let mut expected = cells.clone();

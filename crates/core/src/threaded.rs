@@ -31,7 +31,7 @@ pub fn threaded_treesort_partition<const D: usize>(
     let tol_units = opts.tolerance * (n as f64 / p as f64);
 
     loop {
-        let mut violating = search.violating_buckets(p, tol_units, opts.max_level);
+        let mut violating = search.pending_splits(p, tol_units, opts.max_level);
         if violating.is_empty() {
             break;
         }
@@ -103,6 +103,50 @@ mod tests {
                         *virt.dist.rank(r),
                         "{curve} tol {tol}: rank {r} slice diverges"
                     );
+                }
+            }
+        }
+    }
+
+    /// Staged selection (Eq. 2): with a tight `max_split_per_round` both
+    /// paths must truncate the *same* pending-split list each round —
+    /// including the forced refinement rounds past the tolerance test
+    /// (shared-edge contention at tolerance ≥ 0.5, chooser feasibility) —
+    /// or their splitter state machines silently diverge.
+    #[test]
+    fn threads_match_virtual_engine_under_split_budget() {
+        let tree = MeshParams::normal(2_000, 211).build::<3>(Curve::Morton);
+        for p in [5, 11] {
+            for budget in [8, 16] {
+                for tol in [0.0, 0.25, 0.6] {
+                    let opts = PartitionOptions {
+                        tolerance: tol,
+                        max_split_per_round: Some(budget),
+                        ..Default::default()
+                    };
+                    let mut e = Engine::new(
+                        p,
+                        PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
+                    );
+                    let input = distribute_shuffled(&tree, p, 29);
+                    let virt = treesort_partition(&mut e, input.clone(), opts);
+
+                    let parts = input.into_parts();
+                    let results = threaded::run(p, |comm| {
+                        let local = parts[comm.rank()].clone();
+                        threaded_treesort_partition(comm, local, opts)
+                    });
+                    for (r, (mine, splitters)) in results.into_iter().enumerate() {
+                        assert_eq!(
+                            &splitters, &virt.splitters,
+                            "p {p} budget {budget} tol {tol}: splitters diverge on rank {r}"
+                        );
+                        assert_eq!(
+                            mine,
+                            *virt.dist.rank(r),
+                            "p {p} budget {budget} tol {tol}: rank {r} slice diverges"
+                        );
+                    }
                 }
             }
         }

@@ -1,30 +1,21 @@
 //! Property-based tests for the FEM substrate, including the 2D (quadtree)
 //! instantiation.
+//!
+//! Strategies, engines and meshes come from `optipart-testkit`; all types
+//! are the testkit re-exports (`optipart_testkit::fem::…`), never
+//! `crate::…` paths — the unit-test target is a separate compilation of
+//! this crate, so mixing the two would break type identity.
 
-use crate::matvec::laplacian_matvec;
-use crate::mesh::DistMesh;
-use optipart_core::partition::{distribute_shuffled, treesort_partition, PartitionOptions};
-use optipart_machine::{AppModel, MachineModel, PerfModel};
-use optipart_mpisim::{DistVec, Engine};
-use optipart_octree::balance::balance21;
-use optipart_octree::{sample_points, tree_from_points, Distribution, LinearTree};
-use optipart_sfc::{Curve, SfcKey};
+use optipart_testkit::core::partition::{
+    distribute_shuffled, treesort_partition, PartitionOptions,
+};
+use optipart_testkit::fem::matvec::laplacian_matvec;
+use optipart_testkit::fem::mesh::DistMesh;
+use optipart_testkit::gen::{balanced_tree, engine_wisconsin as engine};
+use optipart_testkit::mpisim::DistVec;
+use optipart_testkit::octree::LinearTree;
+use optipart_testkit::sfc::{Curve, SfcKey};
 use proptest::prelude::*;
-
-fn engine(p: usize) -> Engine {
-    Engine::new(
-        p,
-        PerfModel::new(
-            MachineModel::cloudlab_wisconsin(),
-            AppModel::laplacian_matvec(),
-        ),
-    )
-}
-
-fn balanced_tree<const D: usize>(seed: u64, n: usize, curve: Curve) -> LinearTree<D> {
-    let pts = sample_points::<D>(Distribution::Normal, n, seed);
-    balance21(&tree_from_points(&pts, 1, 8, curve))
-}
 
 /// Runs one matvec and returns `(key, value)` pairs in global order.
 fn matvec_fingerprint<const D: usize>(

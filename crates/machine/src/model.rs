@@ -139,6 +139,23 @@ impl MachineModel {
         }
     }
 
+    /// The same machine with every time coefficient (`tc`, `ts`, `tw`)
+    /// multiplied by `c`. Eq. (3) is homogeneous of degree 1 in these, so a
+    /// uniformly rescaled machine must induce the *same* partitioning
+    /// decisions with all predicted times scaled by exactly `c` — the
+    /// scale-invariance oracle of `optipart-testkit`. Use a power-of-two
+    /// `c` for bit-exact floating-point scaling.
+    pub fn scaled(&self, c: f64) -> Self {
+        MachineModel {
+            name: format!("{}×{c}", self.name),
+            tc: self.tc * c,
+            ts: self.ts * c,
+            tw: self.tw * c,
+            ranks_per_node: self.ranks_per_node,
+            power: self.power,
+        }
+    }
+
     /// The node hosting a rank under this machine's placement.
     #[inline]
     pub fn node_of(&self, rank: usize) -> usize {

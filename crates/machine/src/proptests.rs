@@ -1,16 +1,14 @@
 //! Property-based tests for the machine and energy models.
+//!
+//! Strategies come from `optipart_testkit::strategies`; all types are the
+//! testkit re-exports (`optipart_testkit::machine::…`), never `crate::…`
+//! paths — the unit-test target is a separate compilation of this crate,
+//! so mixing the two would break type identity.
 
-use crate::energy::{ActivityKind, Interval, IpmiSampler, NodePower, PowerTrace};
-use crate::{AppModel, MachineModel, PerfModel};
+use optipart_testkit::machine::energy::{ActivityKind, Interval, IpmiSampler, PowerTrace};
+use optipart_testkit::machine::{AppModel, MachineModel, PerfModel};
+use optipart_testkit::strategies::node_power as power;
 use proptest::prelude::*;
-
-fn power() -> impl Strategy<Value = NodePower> {
-    (50.0f64..200.0, 1.0f64..400.0, 0.0f64..1e-8).prop_map(|(idle, dynr, nic)| NodePower {
-        idle_w: idle,
-        peak_w: idle + dynr,
-        nic_j_per_byte: nic,
-    })
-}
 
 proptest! {
     /// Eq. (3) is linear: predict(a+b) = predict(a) + predict(b) per term.

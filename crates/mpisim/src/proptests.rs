@@ -1,21 +1,14 @@
 //! Property-based tests for the BSP engine's collectives.
+//!
+//! Strategies and engine builders come from `optipart-testkit`; all types
+//! are the testkit re-exports (`optipart_testkit::mpisim::…`), never
+//! `crate::…` paths — the unit-test target is a separate compilation of
+//! this crate, so mixing the two would break type identity.
 
-use crate::collectives::AllToAllAlgo;
-use crate::dist::DistVec;
-use crate::engine::Engine;
-use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_testkit::gen::engine_titan as engine;
+use optipart_testkit::mpisim::dist::DistVec;
+use optipart_testkit::strategies::alltoall as algo;
 use proptest::prelude::*;
-
-fn engine(p: usize) -> Engine {
-    Engine::new(
-        p,
-        PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
-    )
-}
-
-fn algo() -> impl Strategy<Value = AllToAllAlgo> {
-    prop_oneof![Just(AllToAllAlgo::Direct), Just(AllToAllAlgo::Staged)]
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

@@ -72,6 +72,69 @@ pub fn sample_points<const D: usize>(dist: Distribution, n: usize, seed: u64) ->
         .collect()
 }
 
+/// Samples `n` lattice points concentrated on a thin spherical shell around
+/// the domain centre — a surface-concentrated workload (think a shock front
+/// or material interface driving the refinement). The resulting octree is
+/// deeply refined along a codimension-1 set and coarse everywhere else,
+/// which is the adversarial regime for SFC partition boundary surface.
+pub fn sample_points_shell<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = SplitMix64::new(seed);
+    let scale = (1u64 << MAX_DEPTH) as f64;
+    (0..n)
+        .map(|_| {
+            // Direction: D standard normals, normalised (re-draw the
+            // measure-zero all-zeros vector).
+            let mut v = [0.0f64; D];
+            let mut norm = 0.0;
+            while norm < 1e-12 {
+                norm = 0.0;
+                for c in &mut v {
+                    *c = rng.next_standard_normal();
+                    norm += *c * *c;
+                }
+                norm = norm.sqrt();
+            }
+            let radius = 0.35 + 0.015 * rng.next_standard_normal();
+            let mut p = [0u32; D];
+            for (c, dir) in p.iter_mut().zip(&v) {
+                let u = (0.5 + radius * dir / norm).clamp(0.0, 1.0 - f64::EPSILON);
+                *c = (u * scale) as u32;
+            }
+            p
+        })
+        .collect()
+}
+
+/// Samples an adversarially skewed cloud: three quarters of the points are
+/// crammed into a corner box of side `2^-shift` (forcing deep refinement on
+/// one end of the curve) and the last sixth are exact duplicates of earlier
+/// points, so partitioners must cope with extreme density contrast and
+/// repeated keys at once. `shift` of 4–9 keeps the tree non-degenerate.
+pub fn sample_points_skewed<const D: usize>(n: usize, seed: u64, shift: u32) -> Vec<Point<D>> {
+    let shift = shift.min(MAX_DEPTH as u32);
+    let side = 1u64 << (MAX_DEPTH as u32 - shift);
+    let mut rng = SplitMix64::new(seed);
+    let mut pts: Vec<Point<D>> = (0..n)
+        .map(|i| {
+            let mut p = [0u32; D];
+            for c in &mut p {
+                *c = if i % 4 == 3 {
+                    // Every fourth point is uniform background.
+                    (rng.next_f64() * (1u64 << MAX_DEPTH) as f64) as u32
+                } else {
+                    rng.next_below(side) as u32
+                };
+            }
+            p
+        })
+        .collect();
+    // Overwrite the tail with exact duplicates of random earlier points.
+    for i in (n - n / 6)..n {
+        pts[i] = pts[rng.next_below((n - n / 6) as u64) as usize];
+    }
+    pts
+}
+
 /// Parameters of a generated mesh.
 #[derive(Clone, Copy, Debug)]
 pub struct MeshParams {

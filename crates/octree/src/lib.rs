@@ -21,7 +21,10 @@ pub mod generate;
 pub mod linear;
 pub mod neighbors;
 
-pub use generate::{gaussian_ball, sample_points, tree_from_points, Distribution, MeshParams};
+pub use generate::{
+    gaussian_ball, sample_points, sample_points_shell, sample_points_skewed, tree_from_points,
+    Distribution, MeshParams,
+};
 pub use linear::LinearTree;
 
 // Property-test suites need the external `proptest` crate, which the

@@ -1,30 +1,24 @@
 //! Property-based tests for the octree substrate.
+//!
+//! Strategies come from `optipart_testkit::strategies`; all other items
+//! are the testkit re-exports (`optipart_testkit::octree::…`) rather than
+//! `crate::…` paths — the unit-test target is a separate compilation of
+//! this crate, so mixing the two would break type identity.
 
-use crate::balance::{balance21, is_balanced21};
-use crate::generate::{sample_points, tree_from_points, Distribution};
-use crate::linear::{domain_volume, is_linear, volume_u128, LinearTree};
-use crate::neighbors::{face_adjacent_leaves, find_leaf};
-use optipart_sfc::{Cell3, Curve, MAX_DEPTH};
+use optipart_testkit::octree::balance::{balance21, is_balanced21};
+use optipart_testkit::octree::generate::{sample_points, tree_from_points, Distribution};
+use optipart_testkit::octree::linear::{domain_volume, is_linear, volume_u128, LinearTree};
+use optipart_testkit::octree::neighbors::{face_adjacent_leaves, find_leaf};
+use optipart_testkit::sfc::{Cell3, MAX_DEPTH};
+use optipart_testkit::strategies::{curve, distribution};
 use proptest::prelude::*;
-
-fn curve() -> impl Strategy<Value = Curve> {
-    prop_oneof![Just(Curve::Morton), Just(Curve::Hilbert)]
-}
-
-fn dist() -> impl Strategy<Value = Distribution> {
-    prop_oneof![
-        Just(Distribution::Uniform),
-        Just(Distribution::Normal),
-        Just(Distribution::LogNormal)
-    ]
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Any generated mesh is a complete linear octree.
     #[test]
-    fn generated_mesh_invariants(seed in 0u64..1000, n in 16usize..400, c in curve(), d in dist()) {
+    fn generated_mesh_invariants(seed in 0u64..1000, n in 16usize..400, c in curve(), d in distribution()) {
         let pts = sample_points::<3>(d, n, seed);
         let t = tree_from_points(&pts, 1, 10, c);
         prop_assert!(is_linear(t.leaves()));

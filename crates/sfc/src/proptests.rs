@@ -1,22 +1,17 @@
 //! Property-based tests for the SFC substrate invariants.
+//!
+//! Strategies come from `optipart_testkit::strategies` — the shared home
+//! of the generators every crate's property suite draws from. Because a
+//! crate's unit-test target is a *separate compilation* of the crate, the
+//! types in scope here must be the testkit re-exports
+//! (`optipart_testkit::sfc::…`), never `crate::…` paths: mixing the two
+//! produces "expected `Cell3`, found `Cell3`" type-identity errors.
 
-use crate::cell::{Cell2, Cell3, Coord, MAX_DEPTH};
-use crate::hilbert;
-use crate::key::{Curve, SfcKey};
-use crate::morton;
+use optipart_testkit::sfc::cell::{Cell3, MAX_DEPTH};
+use optipart_testkit::sfc::key::{Curve, SfcKey};
+use optipart_testkit::sfc::{hilbert, morton};
+use optipart_testkit::strategies::{cell2, cell3, coord};
 use proptest::prelude::*;
-
-fn coord() -> impl Strategy<Value = Coord> {
-    0u32..(1 << MAX_DEPTH)
-}
-
-fn cell3() -> impl Strategy<Value = Cell3> {
-    (coord(), coord(), coord(), 0u8..=MAX_DEPTH).prop_map(|(x, y, z, l)| Cell3::new([x, y, z], l))
-}
-
-fn cell2() -> impl Strategy<Value = Cell2> {
-    (coord(), coord(), 0u8..=MAX_DEPTH).prop_map(|(x, y, l)| Cell2::new([x, y], l))
-}
 
 proptest! {
     #[test]

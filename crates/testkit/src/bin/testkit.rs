@@ -1,0 +1,177 @@
+//! The testkit CLI: bounded soak runs, single-seed replay, corpus replay.
+//!
+//! ```text
+//! testkit soak --budget 200 --seed 1 [--repro-file target/testkit-repro.txt]
+//! testkit replay --seed 0x51a9 [--check stack] [field overrides…]
+//! testkit corpus tests/corpus
+//! ```
+//!
+//! `soak` exits non-zero on failure after printing the shrunken scenario's
+//! one-line replay command (and writing it to the repro file for CI
+//! artifact upload). `replay` accepts exactly the flags `replay_cmd()`
+//! emits, so any failure message is copy-pastable.
+
+use optipart_testkit::corpus;
+use optipart_testkit::scenario::Scenario;
+use optipart_testkit::soak::{check_by_name, run_scenario, soak, CHECKS};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  testkit soak --budget <n> [--seed <s>] [--repro-file <path>]\n  \
+         testkit replay --seed <s> [--check <name>] [--shape|--n|--p|--curve|--tol|\
+         --split-budget|--machine|--app|--faults <v>] [--no-faults]\n  \
+         testkit corpus <dir-or-file>…\n\nchecks: all {}",
+        CHECKS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn parse_seed(s: &str) -> u64 {
+    s.strip_prefix("0x")
+        .map_or_else(|| s.parse(), |h| u64::from_str_radix(h, 16))
+        .unwrap_or_else(|_| {
+            eprintln!("bad seed `{s}`");
+            std::process::exit(2);
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("soak") => cmd_soak(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_soak(args: &[String]) {
+    let mut budget = 100usize;
+    let mut seed = 1u64;
+    let mut repro_file = "target/testkit-repro.txt".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--budget" => {
+                budget = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--seed" => seed = parse_seed(it.next().unwrap_or_else(|| usage())),
+            "--repro-file" => repro_file = it.next().unwrap_or_else(|| usage()).clone(),
+            _ => usage(),
+        }
+    }
+    println!(
+        "testkit soak: budget {budget}, seed {seed}, {} checks",
+        CHECKS.len()
+    );
+    let report = soak(budget, seed);
+    match report.failure {
+        None => println!(
+            "soak OK: {} scenarios × {} checks",
+            report.passed,
+            CHECKS.len()
+        ),
+        Some(f) => {
+            eprintln!(
+                "soak FAILED after {} clean scenarios\n  check:    {}\n  scenario: {}\n  {}\n  replay:   {}",
+                report.passed,
+                f.check,
+                f.scenario,
+                f.message.replace('\n', "\n  "),
+                f.replay
+            );
+            if let Some(dir) = std::path::Path::new(&repro_file).parent() {
+                let _ = std::fs::create_dir_all(dir);
+            }
+            let _ = std::fs::write(&repro_file, format!("{}\n", f.replay));
+            eprintln!("  repro written to {repro_file}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_replay(args: &[String]) {
+    let mut seed: Option<u64> = None;
+    let mut check = "all".to_string();
+    let mut overrides: Vec<(String, String)> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let flag = a.strip_prefix("--").unwrap_or_else(|| usage());
+        match flag {
+            "seed" => seed = Some(parse_seed(it.next().unwrap_or_else(|| usage()))),
+            "check" => check = it.next().unwrap_or_else(|| usage()).clone(),
+            "no-faults" => overrides.push(("no-faults".into(), String::new())),
+            "shape" | "n" | "p" | "curve" | "tol" | "split-budget" | "machine" | "app"
+            | "faults" => overrides.push((
+                flag.to_string(),
+                it.next().unwrap_or_else(|| usage()).clone(),
+            )),
+            _ => usage(),
+        }
+    }
+    let Some(seed) = seed else { usage() };
+    let mut scn = Scenario::from_seed(seed);
+    for (key, value) in &overrides {
+        if let Err(e) = corpus::apply_override(&mut scn, key, value) {
+            eprintln!("--{key} {value}: {e}");
+            std::process::exit(2);
+        }
+    }
+    println!("replaying: {scn}");
+    if check == "all" {
+        run_scenario(&scn);
+    } else {
+        let Some(f) = check_by_name(&check) else {
+            eprintln!("unknown check `{check}`");
+            usage();
+        };
+        f(&scn);
+    }
+    println!("replay OK ({check})");
+}
+
+fn cmd_corpus(args: &[String]) {
+    if args.is_empty() {
+        usage();
+    }
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    for a in args {
+        let path = std::path::Path::new(a);
+        if path.is_dir() {
+            let mut entries: Vec<_> = std::fs::read_dir(path)
+                .unwrap_or_else(|e| {
+                    eprintln!("{a}: {e}");
+                    std::process::exit(2);
+                })
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "seed"))
+                .collect();
+            entries.sort();
+            files.extend(entries);
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    for file in &files {
+        let contents = std::fs::read_to_string(file).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", file.display());
+            std::process::exit(2);
+        });
+        let case = corpus::parse(&contents).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", file.display());
+            std::process::exit(2);
+        });
+        println!(
+            "corpus {}: {} ({})",
+            file.display(),
+            case.scenario,
+            case.check
+        );
+        corpus::replay(&case);
+    }
+    println!("corpus OK: {} case(s)", files.len());
+}

@@ -1,0 +1,51 @@
+//! Shared seeded generators — the single home of the helpers the per-crate
+//! property suites used to carry as private copies.
+//!
+//! Everything here is deterministic in its arguments; no global state, no
+//! host entropy. The `proptest` `Strategy` wrappers live in
+//! `crate::strategies` behind the `proptest` feature.
+
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_mpisim::Engine;
+use optipart_octree::balance::balance21;
+use optipart_octree::{sample_points, tree_from_points, Distribution, LinearTree};
+use optipart_sfc::Curve;
+
+/// An engine on an arbitrary machine with the Laplacian matvec app model.
+pub fn engine_on(machine: MachineModel, p: usize) -> Engine {
+    Engine::new(p, PerfModel::new(machine, AppModel::laplacian_matvec()))
+}
+
+/// The engine the `mpisim` property suite uses (Titan).
+pub fn engine_titan(p: usize) -> Engine {
+    engine_on(MachineModel::titan(), p)
+}
+
+/// The engine the `core`/`fem` property suites use (CloudLab Wisconsin).
+pub fn engine_wisconsin(p: usize) -> Engine {
+    engine_on(MachineModel::cloudlab_wisconsin(), p)
+}
+
+/// A normally-distributed adaptive octree capped at `max_level` — the
+/// generic mesh generator behind the property suites.
+pub fn normal_tree<const D: usize>(
+    seed: u64,
+    n: usize,
+    max_level: u8,
+    curve: Curve,
+) -> LinearTree<D> {
+    let pts = sample_points::<D>(Distribution::Normal, n, seed);
+    tree_from_points(&pts, 1, max_level, curve)
+}
+
+/// The `core` suite's mesh: normal distribution, refinement cap 14.
+pub fn tree(seed: u64, n: usize, curve: Curve) -> LinearTree<3> {
+    normal_tree::<3>(seed, n, 14, curve)
+}
+
+/// The `fem` suite's mesh: 2:1-balanced (the class on which ghost discovery
+/// is complete and the stencil partition-independent), cap 8. Generic in
+/// `D` for the quadtree instantiation.
+pub fn balanced_tree<const D: usize>(seed: u64, n: usize, curve: Curve) -> LinearTree<D> {
+    balance21(&normal_tree::<D>(seed, n, 8, curve))
+}

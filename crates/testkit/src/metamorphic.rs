@@ -1,0 +1,315 @@
+//! Metamorphic properties: transform the input in a way whose effect on
+//! the output is known, and check the relation — no external oracle needed.
+//!
+//! * [`permutation_invariance`] — splitter search consumes only globally
+//!   summed bucket counts, so *any* redistribution/permutation of the same
+//!   multiset (including ragged and empty ranks) yields bit-identical
+//!   splitters and partitions.
+//! * [`duplication_robustness`] — doubling every element keeps the output a
+//!   valid partition of the doubled multiset: globally sorted, ownership
+//!   consistent (all copies of a key land on one rank) and within the
+//!   tolerance envelope. (Bit-identical splitters are *not* implied:
+//!   integer targets `⌊r·2n/p⌋` round differently from `2⌊r·n/p⌋`.)
+//! * [`tolerance_monotonicity`] — on the paper's §4.2 workload class,
+//!   relaxing the tolerance monotonically (with slack for small-mesh
+//!   noise) reduces boundary surface: `Cmax`, comm-matrix NNZ and total
+//!   volume do not grow as the tolerance grows.
+//! * [`scale_invariance`] — Eq. (3) is homogeneous of degree 1 in
+//!   `tc`/`ts`/`tw`: a machine uniformly rescaled by a *power of two*
+//!   induces bit-identical OptiPart decisions with every predicted and
+//!   measured time scaled exactly, down to the trace attribution's byte
+//!   counters.
+
+use crate::scenario::{MeshShape, NamedCheck, Scenario};
+use crate::{tk_assert, tk_assert_eq};
+use optipart_core::metrics::{assignment, communication_matrix};
+use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart_core::quality::partition_quality;
+use optipart_core::{optipart, OptiPartOptions};
+use optipart_mpisim::rng::SplitMix64;
+use optipart_mpisim::{DistVec, Engine};
+use optipart_sfc::{KeyedCell, SfcKey};
+
+/// The registry the soak driver and the tier-1 harness iterate over.
+pub const PROPERTIES: &[NamedCheck] = &[
+    ("permutation-invariance", permutation_invariance),
+    ("duplication-robustness", duplication_robustness),
+    ("tolerance-monotonicity", tolerance_monotonicity),
+    ("scale-invariance", scale_invariance),
+];
+
+/// Shuffles `leaves` and cuts them into `p` ragged (possibly empty) rank
+/// buffers — the adversarial initial distribution.
+fn ragged_distribution(leaves: &[KeyedCell<3>], p: usize, seed: u64) -> DistVec<KeyedCell<3>> {
+    let mut rng = SplitMix64::new(seed);
+    let mut shuffled = leaves.to_vec();
+    rng.shuffle(&mut shuffled);
+    let mut cuts: Vec<usize> = (0..p - 1)
+        .map(|_| rng.next_below(shuffled.len() as u64 + 1) as usize)
+        .collect();
+    cuts.sort_unstable();
+    let mut parts: Vec<Vec<KeyedCell<3>>> = Vec::with_capacity(p);
+    let mut lo = 0;
+    for &c in &cuts {
+        parts.push(shuffled[lo..c].to_vec());
+        lo = c;
+    }
+    parts.push(shuffled[lo..].to_vec());
+    DistVec::from_parts(parts)
+}
+
+/// Splitter refinement sees only global bucket counts, so the initial
+/// placement of elements — block, shuffled, ragged, even empty ranks — must
+/// not leak into the result: bit-identical splitters and slices.
+pub fn permutation_invariance(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let p = scn.p;
+    let a = {
+        let mut e = scn.engine();
+        treesort_partition(&mut e, distribute_tree(&tree, p), scn.opts())
+    };
+    let b = {
+        let mut e = scn.engine();
+        let ragged = ragged_distribution(tree.leaves(), p, scn.shuffle_seed(10));
+        treesort_partition(&mut e, ragged, scn.opts())
+    };
+    tk_assert!(
+        scn,
+        a.splitters == b.splitters,
+        "initial distribution leaked into the splitters"
+    );
+    for r in 0..p {
+        tk_assert!(
+            scn,
+            a.dist.rank(r) == b.dist.rank(r),
+            "initial distribution leaked into rank {r}'s slice"
+        );
+    }
+}
+
+/// Duplicating every element must still yield a valid partition of the
+/// doubled multiset — sorted global order, all copies of a key on one
+/// rank, tolerance honoured (in the doubled grain).
+pub fn duplication_robustness(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let p = scn.p;
+    let mut doubled: Vec<KeyedCell<3>> = tree.leaves().to_vec();
+    doubled.extend_from_slice(tree.leaves());
+    let mut expected = doubled.clone();
+    expected.sort_unstable();
+
+    let mut e = scn.engine();
+    let out = treesort_partition(
+        &mut e,
+        ragged_distribution(&doubled, p, scn.shuffle_seed(11)),
+        scn.opts(),
+    );
+    tk_assert!(
+        scn,
+        out.dist.concat() == expected,
+        "duplicated input: output is not the sorted doubled multiset"
+    );
+    // No key straddles a rank boundary: owner_of is a function of the key,
+    // so the last key of rank r must be strictly below the first key of
+    // the next non-empty rank.
+    let mut prev_last: Option<SfcKey> = None;
+    for r in 0..p {
+        let buf = out.dist.rank(r);
+        if buf.is_empty() {
+            continue;
+        }
+        if let Some(last) = prev_last {
+            tk_assert!(
+                scn,
+                last < buf[0].key,
+                "duplicated key straddles the boundary into rank {r}"
+            );
+        }
+        prev_last = Some(buf[buf.len() - 1].key);
+    }
+    // With fewer distinct keys than ranks the search pads tail splitters
+    // with `SfcKey::MAX` and reports achieved tolerance 1.0 — the envelope
+    // claim only applies when p − 1 distinct boundaries exist at all.
+    let distinct = {
+        let mut keys: Vec<SfcKey> = expected.iter().map(|c| c.key).collect();
+        keys.dedup();
+        keys.len()
+    };
+    if scn.tolerance < 0.45 && doubled.len() >= p && distinct >= p {
+        // Duplicated keys shift every splittable boundary to an even
+        // count, so an odd target can sit one element off its nearest
+        // boundary no matter how far the search refines — allow exactly
+        // that one grain of slack on top of the request.
+        let one_element = p as f64 / doubled.len() as f64;
+        tk_assert!(
+            scn,
+            out.report.achieved_tolerance <= scn.tolerance + one_element + 1e-9,
+            "duplicated input: achieved tolerance {} exceeds requested {} + 1 element",
+            out.report.achieved_tolerance,
+            scn.tolerance
+        );
+    }
+}
+
+/// Slack factors for the monotone-surface claim: the trend is the paper's
+/// (Fig. 2/3, Fig. 12), but at fuzz-scale meshes (hundreds to a few
+/// thousand leaves, grains of tens of elements) individual partitions are
+/// surface-noisy — soak calibration saw legitimate local upticks of ~35%
+/// (e.g. Cmax [96, 82, 111] on a 1.1K-leaf log-normal mesh). Each value
+/// is therefore checked against the running *minimum* so far times this
+/// factor plus a small absolute allowance: noise passes, while an
+/// implementation whose surface genuinely grows with tolerance compounds
+/// past the envelope within a step or two.
+const MONO_REL: f64 = 1.6;
+const MONO_ABS: f64 = 8.0;
+
+/// Relaxing the tolerance must not (beyond noise) grow `Cmax`, the
+/// comm-matrix NNZ or the total communication volume. Restricted to the
+/// §4.2 workload class the paper makes the claim for, and to scenarios
+/// with enough elements per rank for the trend to be meaningful.
+pub fn tolerance_monotonicity(scn: &Scenario) {
+    if matches!(scn.shape, MeshShape::Surface | MeshShape::Skewed) {
+        return;
+    }
+    let tree = scn.build_tree();
+    let p = scn.p;
+    if tree.len() < 8 * p {
+        return;
+    }
+    let mut cmax = Vec::new();
+    let mut nnz = Vec::new();
+    let mut volume = Vec::new();
+    for tol in [0.0, 0.3, 0.6] {
+        let mut e = scn.engine();
+        let out = treesort_partition(
+            &mut e,
+            distribute_tree(&tree, p),
+            PartitionOptions {
+                tolerance: tol,
+                max_split_per_round: scn.split_budget,
+                ..Default::default()
+            },
+        );
+        let mut eq = scn.engine();
+        let mut block = distribute_tree(&tree, p);
+        let q = partition_quality(&mut eq, &mut block, &out.splitters, scn.curve);
+        cmax.push(q.cmax);
+        let m = communication_matrix(&tree, &assignment(&tree, &out.splitters), p);
+        nnz.push(m.nnz() as u64);
+        volume.push(m.total_bytes());
+    }
+    for (name, series) in [("Cmax", &cmax), ("NNZ", &nnz), ("volume", &volume)] {
+        let mut floor = series[0] as f64;
+        for &w in &series[1..] {
+            tk_assert!(
+                scn,
+                (w as f64) <= floor * MONO_REL + MONO_ABS,
+                "{name} grew with tolerance beyond noise: {series:?}"
+            );
+            floor = floor.min(w as f64);
+        }
+    }
+}
+
+/// Power-of-two factors keep `x * c` bit-exact in IEEE 754 (pure exponent
+/// shift), so every comparison OptiPart makes on the scaled machine is
+/// *identical*, not merely close.
+const SCALE_FACTORS: [f64; 2] = [4.0, 0.25];
+
+/// A machine with `tc`/`ts`/`tw` uniformly rescaled by a power of two must
+/// produce bit-identical OptiPart decisions (splitters, counts) with
+/// `predicted_tp` scaled exactly, and a trace attribution whose byte
+/// counters are unchanged while every modelled time scales exactly.
+pub fn scale_invariance(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let p = scn.p;
+    let run = |machine: optipart_machine::MachineModel| {
+        let mut e = Engine::new(
+            p,
+            optipart_machine::PerfModel::new(machine, scn.app.model()),
+        )
+        .with_tracing();
+        let out = optipart(
+            &mut e,
+            distribute_tree(&tree, p),
+            OptiPartOptions {
+                curve: scn.curve,
+                max_split_per_round: scn.split_budget,
+                ..Default::default()
+            },
+        );
+        let attrib = e.model_attribution();
+        (out, e.makespan(), attrib)
+    };
+    let (base, base_makespan, base_attrib) = run(scn.machine.clone());
+    for c in SCALE_FACTORS {
+        let (scaled, makespan, attrib) = run(scn.machine.scaled(c));
+        tk_assert!(
+            scn,
+            scaled.splitters == base.splitters,
+            "×{c}: machine rescaling changed the splitters"
+        );
+        tk_assert_eq!(
+            scn,
+            scaled.report.counts,
+            base.report.counts,
+            "×{c}: machine rescaling changed the partition counts"
+        );
+        let rel = |a: f64, b: f64| (a - b).abs() <= 1e-12 * b.abs().max(f64::MIN_POSITIVE);
+        tk_assert!(
+            scn,
+            rel(scaled.report.predicted_tp, c * base.report.predicted_tp),
+            "×{c}: predicted_tp {} is not exactly {} × {}",
+            scaled.report.predicted_tp,
+            c,
+            base.report.predicted_tp
+        );
+        tk_assert!(
+            scn,
+            rel(makespan, c * base_makespan),
+            "×{c}: makespan {makespan} is not {c} × {base_makespan}"
+        );
+        tk_assert_eq!(
+            scn,
+            attrib.phases.len(),
+            base_attrib.phases.len(),
+            "×{c}: attribution phase sets diverge"
+        );
+        for (a, b) in attrib.phases.iter().zip(&base_attrib.phases) {
+            tk_assert_eq!(
+                scn,
+                &a.phase,
+                &b.phase,
+                "×{c}: attribution phase order diverges"
+            );
+            tk_assert_eq!(
+                scn,
+                a.wmax_bytes,
+                b.wmax_bytes,
+                "×{c}: phase {} Wmax bytes changed under rescaling",
+                a.phase
+            );
+            tk_assert_eq!(
+                scn,
+                a.cmax_bytes,
+                b.cmax_bytes,
+                "×{c}: phase {} Cmax bytes changed under rescaling",
+                a.phase
+            );
+            tk_assert!(
+                scn,
+                rel(a.measured_s, c * b.measured_s),
+                "×{c}: phase {} measured time {} is not {c} × {}",
+                a.phase,
+                a.measured_s,
+                b.measured_s
+            );
+            tk_assert!(
+                scn,
+                rel(a.predicted_compute_s, c * b.predicted_compute_s),
+                "×{c}: phase {} predicted compute does not scale exactly",
+                a.phase
+            );
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Differential oracles: every generated scenario is checked against an
+//! *independent* computation of the same answer.
+//!
+//! | oracle | claim under test | independent reference |
+//! |---|---|---|
+//! | [`treesort_differential`] | distributed TreeSort partitions correctly (§3.1–3.2) | sequential comparison sort + real-threads rank view |
+//! | [`optipart_bruteforce`] | OptiPart's stopping point minimises Eq. (3) (Alg. 3) | brute-force sweep over the induced tolerance grid |
+//! | [`samplesort_equivalence`] | SampleSort ≡ TreeSort as a sorting network (§5.2) | multiset/order equality of outputs |
+//! | [`fault_recovery`] | faults never corrupt data; fail-stop recovery is exact | fault-free runs of the same scenario |
+//!
+//! All failures panic through [`tk_assert!`], so the message always carries
+//! the scenario and its one-line replay command.
+
+use crate::scenario::{NamedCheck, Scenario};
+use crate::{tk_assert, tk_assert_eq};
+use optipart_core::partition::{
+    audit_splitters, distribute_shuffled, distribute_tree, owner_of, treesort_partition,
+};
+use optipart_core::quality::partition_quality;
+use optipart_core::samplesort::{samplesort_partition, SampleSortOptions};
+use optipart_core::threaded::threaded_treesort_partition;
+use optipart_core::treesort::treesort;
+use optipart_core::{optipart, OptiPartOptions};
+use optipart_fem::{run_matvec_ft, DistMesh};
+use optipart_mpisim::rng::SplitMix64;
+use optipart_mpisim::{threaded, CheckpointPolicy, Engine, FaultPlan};
+use optipart_octree::LinearTree;
+use optipart_sfc::{KeyedCell, SfcKey};
+
+/// The registry the soak driver and the tier-1 harness iterate over.
+pub const ORACLES: &[NamedCheck] = &[
+    ("treesort-differential", treesort_differential),
+    ("optipart-bruteforce", optipart_bruteforce),
+    ("samplesort-equivalence", samplesort_equivalence),
+    ("fault-recovery", fault_recovery),
+];
+
+/// The globally SFC-sorted leaf multiset — the ground-truth output of every
+/// partitioner on `tree`.
+pub fn sorted_leaves(tree: &LinearTree<3>) -> Vec<KeyedCell<3>> {
+    let mut v = tree.leaves().to_vec();
+    v.sort_unstable();
+    v
+}
+
+/// `|a - b| ≤ tol` relative to the solution's ∞-norm, with identical key
+/// multisets (per-element relative error is meaningless where the stencil
+/// cancels to ~0 — same contract as `tests/recovery.rs`).
+pub fn assert_solutions_match(
+    scn: &Scenario,
+    what: &str,
+    want: &[(SfcKey, f64)],
+    got: &[(SfcKey, f64)],
+) {
+    tk_assert!(
+        scn,
+        want.len() == got.len(),
+        "{what}: solution lengths diverge ({} vs {})",
+        want.len(),
+        got.len()
+    );
+    let norm = want
+        .iter()
+        .map(|(_, v)| v.abs())
+        .fold(f64::MIN_POSITIVE, f64::max);
+    for ((ka, a), (kb, b)) in want.iter().zip(got) {
+        tk_assert!(scn, ka == kb, "{what}: octant multiset diverged");
+        tk_assert!(
+            scn,
+            (a - b).abs() <= 1e-12 * norm,
+            "{what}: solution diverged: {a} vs {b} (norm {norm:e})"
+        );
+    }
+}
+
+/// **Oracle 1 — TreeSort differential.** Three independent executions of
+/// the same partitioning problem must agree bit-for-bit:
+///
+/// 1. sequential [`treesort`] vs a comparison sort (Algorithm 1);
+/// 2. the distributed virtual-engine run vs the sorted global multiset,
+///    with every element on its `owner_of` rank and audited splitters;
+/// 3. the real-threads rank-view [`threaded_treesort_partition`] vs the
+///    virtual engine — identical splitters and per-rank slices.
+pub fn treesort_differential(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let expected = sorted_leaves(&tree);
+    let n = expected.len();
+    let p = scn.p;
+
+    // Leg 1: sequential TreeSort == comparison sort on a shuffled copy.
+    let mut shuffled = tree.leaves().to_vec();
+    SplitMix64::new(scn.shuffle_seed(1)).shuffle(&mut shuffled);
+    let mut by_treesort = shuffled.clone();
+    treesort(&mut by_treesort);
+    tk_assert!(
+        scn,
+        by_treesort == expected,
+        "sequential TreeSort diverged from comparison sort ({n} cells)"
+    );
+
+    // Leg 2: distributed run on the virtual engine.
+    let input = distribute_shuffled(&tree, p, scn.shuffle_seed(2));
+    let mut e = scn.engine();
+    let virt = treesort_partition(&mut e, input.clone(), scn.opts());
+    tk_assert!(
+        scn,
+        virt.dist.concat() == expected,
+        "distributed TreeSort output is not the sorted global multiset"
+    );
+    audit_splitters(&virt.splitters, n, p);
+    for (r, buf) in virt.dist.parts().iter().enumerate() {
+        for kc in buf {
+            tk_assert_eq!(
+                scn,
+                owner_of(&virt.splitters, &kc.key),
+                r,
+                "element on rank {r} not owned by it"
+            );
+        }
+    }
+    tk_assert_eq!(
+        scn,
+        virt.report.counts.iter().sum::<u64>(),
+        n as u64,
+        "partition counts must conserve the element count"
+    );
+    // The achieved tolerance honours the request whenever the non-empty
+    // constraint cannot interfere (request < 0.5) and the input is not
+    // degenerate (§3.2; `choose_splitters` docs).
+    if scn.tolerance < 0.45 && n >= p {
+        tk_assert!(
+            scn,
+            virt.report.achieved_tolerance <= scn.tolerance + 1e-9,
+            "achieved tolerance {} exceeds requested {}",
+            virt.report.achieved_tolerance,
+            scn.tolerance
+        );
+    }
+
+    // Leg 3: real-threads rank view, bit-identical to the virtual engine.
+    let parts = input.into_parts();
+    let opts = scn.opts();
+    let results = threaded::run(p, |comm| {
+        let local = parts[comm.rank()].clone();
+        threaded_treesort_partition(comm, local, opts)
+    });
+    for (r, (mine, splitters)) in results.into_iter().enumerate() {
+        tk_assert!(
+            scn,
+            splitters == virt.splitters,
+            "threaded rank {r}: splitters diverge from the virtual engine"
+        );
+        tk_assert!(
+            scn,
+            mine == *virt.dist.rank(r),
+            "threaded rank {r}: partition slice diverges from the virtual engine"
+        );
+    }
+}
+
+/// Slack for the differential greedy emulation on the §4.2 workload
+/// class. OptiPart descends the same 0.1-step tolerance ladder the
+/// brute-force sweep samples, so the oracle replays Algorithm 3's exact
+/// stopping rule over the independently computed grid candidates and
+/// compares endpoints. The residual divergence is the global feasibility
+/// forcing: which bucket it splits first depends on the refinement order,
+/// so OptiPart's incremental ladder state can differ slightly from a
+/// from-scratch TreeSort at the same tolerance, shifting a candidate or
+/// the stop point by one rung. A 1.10× envelope absorbs that while still
+/// flagging wired-wrong models, which miss by integer factors.
+const OPTIPART_SLACK: f64 = 1.10;
+
+/// On adversarial shapes (surface shells, skewed corners with duplicate
+/// keys) the ladder states diverge more (feasibility forcing fires often,
+/// duplicate runs make bucket splits degenerate) — the paper makes no
+/// claim there. The oracle still pins a sanity envelope: never worse than
+/// 2× the emulated greedy.
+const OPTIPART_SLACK_ADVERSARIAL: f64 = 2.0;
+
+/// **Oracle 2 — OptiPart vs brute force.** Algorithm 3's chosen partition,
+/// as measured by its own Eq. (3) prediction, must match a brute-force
+/// re-enactment of the greedy over the paper's tolerance grid `[0, 0.7]` —
+/// each grid point being a full TreeSort partition scored by Algorithm 2,
+/// walked coarse-to-fine under the same admissibility cap, candidate
+/// dedup and patience rule OptiPart itself uses. On unimodal `Tp(tol)`
+/// profiles this equals the global grid optimum (the paper's Fig. 10
+/// claim); on non-unimodal ones it is exactly what the greedy contract
+/// promises.
+pub fn optipart_bruteforce(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let p = scn.p;
+    let mut e = scn.engine();
+    let chosen = optipart(
+        &mut e,
+        distribute_shuffled(&tree, p, scn.shuffle_seed(3)),
+        OptiPartOptions {
+            curve: scn.curve,
+            max_split_per_round: scn.split_budget,
+            ..Default::default()
+        },
+    );
+    tk_assert!(
+        scn,
+        chosen.dist.concat() == sorted_leaves(&tree),
+        "OptiPart output is not the sorted global multiset"
+    );
+
+    // Full grid: (tolerance, achieved, splitters, tp) per rung.
+    let grid: Vec<_> = (0..=7)
+        .map(|k| {
+            let tol = 0.1 * k as f64;
+            let mut es = scn.engine();
+            let out = treesort_partition(
+                &mut es,
+                distribute_shuffled(&tree, p, scn.shuffle_seed(3)),
+                optipart_core::partition::PartitionOptions {
+                    tolerance: tol,
+                    max_split_per_round: scn.split_budget,
+                    ..Default::default()
+                },
+            );
+            let mut eq = scn.engine();
+            let mut block = distribute_tree(&tree, p);
+            let q = partition_quality(&mut eq, &mut block, &out.splitters, scn.curve);
+            if std::env::var_os("OPTIPART_DEBUG").is_some() {
+                eprintln!(
+                    "grid tol={tol:.1} achieved={:.4} tp={:.6e}",
+                    out.report.achieved_tolerance, q.tp
+                );
+            }
+            (tol, out.report.achieved_tolerance, out.splitters, q.tp)
+        })
+        .collect();
+
+    // Re-enact the greedy over the grid, coarse to fine: skip candidates
+    // the admissibility cap rejects (at loose tolerances two targets can
+    // contend for one shared bucket edge and TreeSort then *achieves* more
+    // imbalance than requested), skip unchanged candidates, and stop after
+    // `patience` consecutive evaluations that failed to improve.
+    let defaults = OptiPartOptions::default();
+    let mut best = f64::INFINITY;
+    let mut best_tol = 0.0;
+    let mut worse = 0usize;
+    let mut prev: Option<&[optipart_sfc::SfcKey]> = None;
+    for (tol, achieved, splitters, tp) in grid.iter().rev() {
+        if *achieved > defaults.max_tolerance {
+            continue;
+        }
+        if prev.is_some_and(|s| s == &splitters[..]) {
+            continue;
+        }
+        prev = Some(splitters);
+        if *tp < best {
+            best = *tp;
+            best_tol = *tol;
+            worse = 0;
+        } else {
+            worse += 1;
+            if best.is_finite() && worse > defaults.patience {
+                break;
+            }
+        }
+    }
+    let slack = if matches!(
+        scn.shape,
+        crate::MeshShape::Surface | crate::MeshShape::Skewed
+    ) {
+        OPTIPART_SLACK_ADVERSARIAL
+    } else {
+        OPTIPART_SLACK
+    };
+    tk_assert!(
+        scn,
+        chosen.report.predicted_tp <= best * slack + 1e-15,
+        "OptiPart tp {} beaten by the emulated greedy's tol {best_tol}: {best} (slack ×{slack})",
+        chosen.report.predicted_tp
+    );
+}
+
+/// **Oracle 3 — SampleSort vs TreeSort.** The baseline partitioner and the
+/// paper's partitioner are both distributed sorts: from independently
+/// shuffled inputs they must produce the identical global sequence, and
+/// both must conserve the element count rank-by-rank sum.
+pub fn samplesort_equivalence(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let p = scn.p;
+    let mut e1 = scn.engine();
+    let a = treesort_partition(
+        &mut e1,
+        distribute_shuffled(&tree, p, scn.shuffle_seed(4)),
+        scn.opts(),
+    );
+    let mut e2 = scn.engine();
+    let b = samplesort_partition(
+        &mut e2,
+        distribute_shuffled(&tree, p, scn.shuffle_seed(5)),
+        SampleSortOptions::default(),
+    );
+    tk_assert!(
+        scn,
+        a.dist.concat() == b.dist.concat(),
+        "SampleSort and TreeSort disagree on the global order"
+    );
+    tk_assert_eq!(
+        scn,
+        b.dist.total_len(),
+        tree.len(),
+        "SampleSort lost or duplicated elements"
+    );
+}
+
+/// Points for the fail-stop leg's balanced mesh — recovery re-runs whole
+/// iteration windows, so this is deliberately smaller than the scenario
+/// mesh to keep 100 scenarios inside the tier-1 budget.
+const FT_POINTS: usize = 72;
+/// Iterations of the fail-stop matvec run.
+const FT_ITERS: usize = 5;
+
+/// **Oracle 4 — faulted vs fault-free.** Two independent guarantees:
+///
+/// 1. *Benign faults never touch payload data*: a run under the scenario's
+///    straggler/jitter/transient plan produces bit-identical splitters and
+///    partition slices to the fault-free run (only clocks differ).
+/// 2. *Fail-stop recovery is exact*: a checkpointed matvec run that loses
+///    a rank mid-solve reproduces the fault-free solution to `1e-12`
+///    relative on a 2:1-balanced mesh, finishing on `p − 1` survivors.
+pub fn fault_recovery(scn: &Scenario) {
+    // Leg 1: benign-fault data identity on the scenario's own mesh.
+    let tree = scn.build_tree();
+    let input = distribute_shuffled(&tree, scn.p, scn.shuffle_seed(6));
+    let mut clean = scn.engine();
+    let want = treesort_partition(&mut clean, input.clone(), scn.opts());
+    let plan = scn.faults.clone().unwrap_or_else(|| {
+        FaultPlan::new(scn.seed)
+            .with_stragglers(0.5, 3.0)
+            .with_tw_jitter(0.2)
+    });
+    let mut faulted = scn.engine().with_faults(plan);
+    let got = treesort_partition(&mut faulted, input, scn.opts());
+    tk_assert!(
+        scn,
+        got.splitters == want.splitters,
+        "benign faults changed the splitters"
+    );
+    for r in 0..scn.p {
+        tk_assert!(
+            scn,
+            got.dist.rank(r) == want.dist.rank(r),
+            "benign faults changed rank {r}'s partition slice"
+        );
+    }
+
+    // Leg 2: fail-stop recovery on a small balanced mesh.
+    let p = scn.p.clamp(2, 8);
+    let btree = crate::gen::balanced_tree::<3>(scn.shuffle_seed(7), FT_POINTS, scn.curve);
+    let built = |e: &mut Engine| -> DistMesh<3> {
+        let out = treesort_partition(
+            e,
+            distribute_tree(&btree, e.p()),
+            optipart_core::partition::PartitionOptions::exact(),
+        );
+        DistMesh::build(e, out.dist, scn.curve)
+    };
+
+    let mut ec = Engine::new(p, scn.perf());
+    let mesh_c = built(&mut ec);
+    let want_ft = run_matvec_ft(&mut ec, &mesh_c, FT_ITERS, CheckpointPolicy::EveryN(2));
+    tk_assert!(
+        scn,
+        want_ft.deaths.is_empty(),
+        "clean run must see no deaths"
+    );
+    let mid = ec.sync_points() / 2;
+    tk_assert!(scn, mid >= 2, "clean run too short to aim a mid-solve kill");
+
+    let victim = (scn.seed % p as u64) as usize;
+    let mut ef = Engine::new(p, scn.perf());
+    let mesh_f = built(&mut ef);
+    let mut ef = ef.with_faults(FaultPlan::new(scn.seed).kill_rank(victim, mid));
+    let got_ft = run_matvec_ft(&mut ef, &mesh_f, FT_ITERS, CheckpointPolicy::EveryN(2));
+    tk_assert_eq!(scn, got_ft.deaths.len(), 1, "the scheduled kill must fire");
+    tk_assert_eq!(scn, got_ft.deaths[0].rank, victim, "wrong victim died");
+    tk_assert_eq!(scn, got_ft.final_p, p - 1, "survivor count after one kill");
+    assert_solutions_match(
+        scn,
+        "fail-stop recovery",
+        &want_ft.solution,
+        &got_ft.solution,
+    );
+}

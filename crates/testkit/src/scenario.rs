@@ -1,0 +1,340 @@
+//! Seeded scenario generation: one `u64` → a full partitioning workload.
+//!
+//! Every scenario field is derived from the seed through forked SplitMix64
+//! streams, so (a) the same seed always reproduces the same scenario and
+//! (b) a shrinker can override individual fields while the rest stay
+//! pinned. [`Scenario::replay_cmd`] encodes exactly the overridden fields,
+//! which keeps the one-line replay command short and canonical.
+
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_mpisim::rng::SplitMix64;
+use optipart_mpisim::{Engine, FaultPlan};
+use optipart_octree::{
+    sample_points, sample_points_shell, sample_points_skewed, tree_from_points, Distribution,
+    LinearTree,
+};
+use optipart_sfc::{Curve, Point};
+use std::fmt;
+
+/// Mesh shape classes the generator draws from — the paper's §4.2
+/// distributions plus two adversarial classes real AMR codes produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeshShape {
+    /// Uniform over the unit cube.
+    Uniform,
+    /// Gaussian-clustered around the centre (the paper's default workload).
+    Gaussian,
+    /// Log-normal, concentrated near the origin corner.
+    LogNormal,
+    /// Surface-concentrated: points on a thin spherical shell (shock front
+    /// / material interface refinement pattern).
+    Surface,
+    /// Adversarially skewed: a corner box crammed with most of the points,
+    /// exact duplicates in the tail, uniform background.
+    Skewed,
+}
+
+impl MeshShape {
+    /// All generated shapes.
+    pub const ALL: [MeshShape; 5] = [
+        MeshShape::Uniform,
+        MeshShape::Gaussian,
+        MeshShape::LogNormal,
+        MeshShape::Surface,
+        MeshShape::Skewed,
+    ];
+
+    /// Canonical name, as accepted by `testkit replay --shape`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MeshShape::Uniform => "uniform",
+            MeshShape::Gaussian => "gaussian",
+            MeshShape::LogNormal => "lognormal",
+            MeshShape::Surface => "surface",
+            MeshShape::Skewed => "skewed",
+        }
+    }
+
+    /// Inverse of [`MeshShape::name`].
+    pub fn parse(s: &str) -> Option<MeshShape> {
+        MeshShape::ALL.into_iter().find(|m| m.name() == s)
+    }
+}
+
+/// Application model kind (kept as an enum so scenarios can be compared,
+/// printed and replayed by name).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppKind {
+    /// `AppModel::laplacian_matvec()` — compute-heavy, α ≈ 8.
+    Laplacian,
+    /// `AppModel::wave_matvec()` — communication-heavy, α ≈ 2.
+    Wave,
+}
+
+impl AppKind {
+    /// Canonical name, as accepted by `testkit replay --app`.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Laplacian => "laplacian",
+            AppKind::Wave => "wave",
+        }
+    }
+
+    /// Inverse of [`AppKind::name`].
+    pub fn parse(s: &str) -> Option<AppKind> {
+        match s {
+            "laplacian" => Some(AppKind::Laplacian),
+            "wave" => Some(AppKind::Wave),
+            _ => None,
+        }
+    }
+
+    /// The corresponding application model.
+    pub fn model(self) -> AppModel {
+        match self {
+            AppKind::Laplacian => AppModel::laplacian_matvec(),
+            AppKind::Wave => AppModel::wave_matvec(),
+        }
+    }
+}
+
+/// Independent RNG streams forked off the scenario seed. Points and fault
+/// schedules must not share a stream with the field derivation, or a field
+/// override would silently reshuffle everything downstream.
+const STREAM_FIELDS: u64 = 0xF1E1;
+const STREAM_POINTS: u64 = 0x90AB;
+const STREAM_SHUFFLE: u64 = 0x5F0E;
+
+/// A named check in one of the registries ([`crate::soak::CHECKS`],
+/// [`crate::oracles::ORACLES`], [`crate::metamorphic::PROPERTIES`]).
+pub type NamedCheck = (&'static str, fn(&Scenario));
+
+/// One generated workload: mesh + machine + partitioner knobs + faults.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The generating seed; every other field is derived from it (possibly
+    /// overridden afterwards by a shrinker or a corpus file).
+    pub seed: u64,
+    /// Point-cloud shape class.
+    pub shape: MeshShape,
+    /// Number of sample points (leaf count lands within a small factor).
+    pub n: usize,
+    /// Virtual ranks.
+    pub p: usize,
+    /// Space-filling curve.
+    pub curve: Curve,
+    /// Requested load-balance tolerance, quantised to 0.05 steps in
+    /// `[0, 0.7]` (the paper's sweep range).
+    pub tolerance: f64,
+    /// Staged splitter selection cap (Eq. 2's `k`); `None` = unlimited.
+    pub split_budget: Option<usize>,
+    /// Machine model (one of the Table 1 presets).
+    pub machine: MachineModel,
+    /// Application model kind.
+    pub app: AppKind,
+    /// Benign fault plan (stragglers / jitter / transient all-to-all
+    /// failures — never fail-stop; oracles add kills themselves).
+    pub faults: Option<FaultPlan>,
+}
+
+impl Scenario {
+    /// Expands a seed into a full scenario.
+    pub fn from_seed(seed: u64) -> Scenario {
+        let mut r = SplitMix64::new(seed).fork(STREAM_FIELDS);
+        let shape = MeshShape::ALL[r.next_below(MeshShape::ALL.len() as u64) as usize];
+        // Mostly 80–360 points; 2% of scenarios are degenerate (fewer
+        // points than ranks) to fuzz the tiny-input paths.
+        let n = if r.next_below(50) == 0 {
+            1 + r.next_below(11) as usize
+        } else {
+            80 + r.next_below(280) as usize
+        };
+        let p = 2 + r.next_below(11) as usize;
+        let curve = if r.next_below(2) == 0 {
+            Curve::Morton
+        } else {
+            Curve::Hilbert
+        };
+        let tolerance = 0.05 * r.next_below(15) as f64;
+        let split_budget = match r.next_below(3) {
+            0 => None,
+            1 => Some(8),
+            _ => Some(32),
+        };
+        let presets = MachineModel::presets();
+        let machine = presets[r.next_below(presets.len() as u64) as usize].clone();
+        let app = if r.next_below(2) == 0 {
+            AppKind::Laplacian
+        } else {
+            AppKind::Wave
+        };
+        let faults = if r.next_below(5) < 2 {
+            None
+        } else {
+            Some(
+                FaultPlan::new(seed)
+                    .with_stragglers(0.25, 1.5 + 2.5 * r.next_f64())
+                    .with_tw_jitter(0.25 * r.next_f64())
+                    .with_transient_failures(0.1 * r.next_f64()),
+            )
+        };
+        Scenario {
+            seed,
+            shape,
+            n,
+            p,
+            curve,
+            tolerance,
+            split_budget,
+            machine,
+            app,
+            faults,
+        }
+    }
+
+    /// The scenario's point cloud (deterministic in `seed`, `shape`, `n`).
+    pub fn points(&self) -> Vec<Point<3>> {
+        let s = SplitMix64::new(self.seed).fork(STREAM_POINTS).next_u64();
+        match self.shape {
+            MeshShape::Uniform => sample_points::<3>(Distribution::Uniform, self.n, s),
+            MeshShape::Gaussian => sample_points::<3>(Distribution::Normal, self.n, s),
+            MeshShape::LogNormal => sample_points::<3>(Distribution::LogNormal, self.n, s),
+            MeshShape::Surface => sample_points_shell::<3>(self.n, s),
+            MeshShape::Skewed => {
+                let shift = 4 + (s % 6) as u32;
+                sample_points_skewed::<3>(self.n, s, shift)
+            }
+        }
+    }
+
+    /// The scenario's adaptive linear octree.
+    pub fn build_tree(&self) -> LinearTree<3> {
+        tree_from_points(&self.points(), 1, 12, self.curve)
+    }
+
+    /// Seed for shuffled initial distributions (`stream_id` decorrelates
+    /// multiple distributions of the same scenario).
+    pub fn shuffle_seed(&self, stream_id: u64) -> u64 {
+        SplitMix64::new(self.seed)
+            .fork(STREAM_SHUFFLE)
+            .fork(stream_id)
+            .next_u64()
+    }
+
+    /// The machine+application performance model.
+    pub fn perf(&self) -> PerfModel {
+        PerfModel::new(self.machine.clone(), self.app.model())
+    }
+
+    /// A fresh fault-free engine.
+    pub fn engine(&self) -> Engine {
+        Engine::new(self.p, self.perf())
+    }
+
+    /// A fresh engine with the scenario's benign fault plan (fault-free if
+    /// the scenario drew none).
+    pub fn engine_faulted(&self) -> Engine {
+        match &self.faults {
+            Some(plan) => self.engine().with_faults(plan.clone()),
+            None => self.engine(),
+        }
+    }
+
+    /// Partitioner options induced by the scenario.
+    pub fn opts(&self) -> optipart_core::partition::PartitionOptions {
+        optipart_core::partition::PartitionOptions {
+            tolerance: self.tolerance,
+            max_split_per_round: self.split_budget,
+            ..Default::default()
+        }
+    }
+
+    /// The one-line replay command for this scenario: the seed plus exactly
+    /// the fields that differ from the seed's derivation (shrinkers and
+    /// corpus files override fields; a pristine scenario replays from the
+    /// seed alone).
+    pub fn replay_cmd(&self) -> String {
+        let base = Scenario::from_seed(self.seed);
+        let mut cmd = format!(
+            "cargo run --release -p optipart-testkit --bin testkit -- replay --seed {}",
+            self.seed
+        );
+        if self.shape != base.shape {
+            cmd += &format!(" --shape {}", self.shape.name());
+        }
+        if self.n != base.n {
+            cmd += &format!(" --n {}", self.n);
+        }
+        if self.p != base.p {
+            cmd += &format!(" --p {}", self.p);
+        }
+        if self.curve != base.curve {
+            cmd += &format!(" --curve {}", curve_name(self.curve));
+        }
+        if self.tolerance != base.tolerance {
+            cmd += &format!(" --tol {}", self.tolerance);
+        }
+        if self.split_budget != base.split_budget {
+            match self.split_budget {
+                Some(k) => cmd += &format!(" --split-budget {k}"),
+                None => cmd += " --split-budget none",
+            }
+        }
+        if self.machine.name != base.machine.name {
+            cmd += &format!(" --machine {}", self.machine.name);
+        }
+        if self.app != base.app {
+            cmd += &format!(" --app {}", self.app.name());
+        }
+        match (&self.faults, &base.faults) {
+            (None, Some(_)) => cmd += " --no-faults",
+            (Some(f), _) if Some(f.to_string()) != base.faults.as_ref().map(|b| b.to_string()) => {
+                cmd += &format!(" --faults {f}");
+            }
+            _ => {}
+        }
+        cmd
+    }
+}
+
+/// Canonical curve name, as accepted by `testkit replay --curve`.
+pub fn curve_name(c: Curve) -> &'static str {
+    match c {
+        Curve::Morton => "morton",
+        Curve::Hilbert => "hilbert",
+    }
+}
+
+/// Inverse of [`curve_name`].
+pub fn parse_curve(s: &str) -> Option<Curve> {
+    match s {
+        "morton" => Some(Curve::Morton),
+        "hilbert" => Some(Curve::Hilbert),
+        _ => None,
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={} shape={} n={} p={} curve={} tol={} budget={} machine={} app={} faults={}",
+            self.seed,
+            self.shape.name(),
+            self.n,
+            self.p,
+            curve_name(self.curve),
+            self.tolerance,
+            match self.split_budget {
+                Some(k) => k.to_string(),
+                None => "none".into(),
+            },
+            self.machine.name,
+            self.app.name(),
+            match &self.faults {
+                Some(plan) => plan.to_string(),
+                None => "none".into(),
+            },
+        )
+    }
+}

@@ -1,0 +1,269 @@
+//! The bounded fuzz/soak driver: generated scenarios through the full
+//! engine + faults + checkpoint + trace stack, with shrinking and a
+//! one-line replay on failure.
+//!
+//! `testkit soak --budget N --seed S` expands `N` seeds into scenarios and
+//! runs every registered check on each. On the first failure the driver
+//! greedily shrinks the scenario (drop faults, halve the mesh, remove
+//! ranks) while the same check still fails, then reports the *shrunken*
+//! scenario's replay command — which encodes only the overridden fields,
+//! so it stays one line.
+
+use crate::metamorphic::PROPERTIES;
+use crate::oracles::{assert_solutions_match, ORACLES};
+use crate::scenario::{NamedCheck, Scenario};
+use crate::{tk_assert, tk_assert_eq};
+use optipart_core::partition::{distribute_shuffled, treesort_partition};
+use optipart_fem::{amr_simulation_ft, AmrConfig};
+use optipart_mpisim::rng::mix;
+use optipart_mpisim::{CheckpointPolicy, Engine, FaultPlan};
+use optipart_trace::fnv1a;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Every check the soak driver runs, in order: the four differential
+/// oracles, the four metamorphic properties, plus the two whole-stack
+/// checks below.
+pub const CHECKS: &[NamedCheck] = &[
+    (
+        "treesort-differential",
+        crate::oracles::treesort_differential,
+    ),
+    ("optipart-bruteforce", crate::oracles::optipart_bruteforce),
+    (
+        "samplesort-equivalence",
+        crate::oracles::samplesort_equivalence,
+    ),
+    ("fault-recovery", crate::oracles::fault_recovery),
+    (
+        "permutation-invariance",
+        crate::metamorphic::permutation_invariance,
+    ),
+    (
+        "duplication-robustness",
+        crate::metamorphic::duplication_robustness,
+    ),
+    (
+        "tolerance-monotonicity",
+        crate::metamorphic::tolerance_monotonicity,
+    ),
+    ("scale-invariance", crate::metamorphic::scale_invariance),
+    ("stack", stack_check),
+    ("trace-identity", trace_identity),
+];
+
+/// Looks a check up by name; `"all"` is handled by callers.
+pub fn check_by_name(name: &str) -> Option<fn(&Scenario)> {
+    CHECKS
+        .iter()
+        .chain(ORACLES.iter())
+        .chain(PROPERTIES.iter())
+        .find(|(n, _)| *n == name)
+        .map(|&(_, f)| f)
+}
+
+/// Runs every registered check on one scenario, panicking (with the replay
+/// command) on the first violation. This is the deterministic tier-1 entry
+/// point — no `catch_unwind`, failures surface as ordinary test panics.
+pub fn run_scenario(scn: &Scenario) {
+    for (_, check) in CHECKS {
+        check(scn);
+    }
+}
+
+/// **Whole-stack check**: a faulted, checkpointed, traced AMR run must
+/// (a) survive a mid-run rank kill and reproduce the fault-free solution,
+/// (b) produce byte-identical traces when repeated, and (c) yield a
+/// critical path that tiles `[0, makespan]` exactly — through detection,
+/// restore and repartition events.
+pub fn stack_check(scn: &Scenario) {
+    let p = scn.p.clamp(2, 8);
+    let cfg = AmrConfig {
+        steps: 3,
+        max_level: 4,
+        matvecs_per_step: 2,
+        curve: scn.curve,
+        ..Default::default()
+    };
+    let run = |plan: Option<FaultPlan>| {
+        let mut e = Engine::new(p, scn.perf()).with_tracing();
+        if let Some(pl) = plan {
+            e = e.with_faults(pl);
+        }
+        let rep = amr_simulation_ft(&mut e, &cfg, CheckpointPolicy::EveryStep);
+        let cp = e.critical_path();
+        let covered = cp.covered_s();
+        tk_assert!(
+            scn,
+            (covered - cp.makespan_s).abs() <= 1e-9 * cp.makespan_s.max(1e-30),
+            "critical path covers {covered} of makespan {}",
+            cp.makespan_s
+        );
+        (e.trace_json(), e.makespan(), e.sync_points(), rep)
+    };
+
+    // Fault-free run, twice: determinism of the full stack.
+    let (trace_a, makespan_a, syncs, clean) = run(None);
+    let (trace_b, makespan_b, _, _) = run(None);
+    tk_assert!(
+        scn,
+        trace_a == trace_b && makespan_a == makespan_b,
+        "fault-free stack run is not deterministic"
+    );
+    tk_assert!(scn, clean.deaths.is_empty(), "clean run must see no deaths");
+
+    // Faulted run: use the scenario's plan if it schedules deaths (corpus
+    // files exercise death-during-recovery this way), else synthesize a
+    // single mid-run kill.
+    let plan = match &scn.faults {
+        Some(f) if !f.death_schedule(p).is_empty() => f.clone(),
+        _ => {
+            let victim = (scn.seed % p as u64) as usize;
+            FaultPlan::new(scn.seed).kill_rank(victim, syncs / 2)
+        }
+    };
+    let expected_deaths = plan.death_schedule(p).len();
+    let (trace_f1, mk_f1, _, faulted) = run(Some(plan.clone()));
+    let (trace_f2, mk_f2, _, _) = run(Some(plan));
+    tk_assert!(
+        scn,
+        trace_f1 == trace_f2 && mk_f1 == mk_f2,
+        "faulted stack run is not deterministic"
+    );
+    tk_assert_eq!(
+        scn,
+        faulted.deaths.len(),
+        expected_deaths,
+        "scheduled kills must all fire"
+    );
+    tk_assert_eq!(
+        scn,
+        faulted.final_p,
+        p - expected_deaths,
+        "survivor count after kills"
+    );
+    assert_solutions_match(scn, "faulted AMR", &clean.solution, &faulted.solution);
+}
+
+/// **Trace byte-identity check**: two runs of the same seeded partition
+/// with tracing on must serialise to byte-identical Chrome exports (and
+/// hence equal [`fnv1a`] digests) — the regression class PR 2 guards.
+pub fn trace_identity(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let run = || {
+        let mut e = scn.engine_faulted().with_tracing();
+        let out = treesort_partition(
+            &mut e,
+            distribute_shuffled(&tree, scn.p, scn.shuffle_seed(8)),
+            scn.opts(),
+        );
+        (e.trace_json(), out.splitters)
+    };
+    let (ja, sa) = run();
+    let (jb, sb) = run();
+    tk_assert!(scn, sa == sb, "splitters diverge across identical runs");
+    tk_assert!(
+        scn,
+        ja == jb && fnv1a(ja.as_bytes()) == fnv1a(jb.as_bytes()),
+        "trace bytes diverge across identical runs"
+    );
+}
+
+/// One shrunken failure, ready to report.
+#[derive(Clone, Debug)]
+pub struct SoakFailure {
+    /// Name of the failing check.
+    pub check: String,
+    /// The panic message of the original failure.
+    pub message: String,
+    /// The shrunken scenario (== the original if no shrink helped).
+    pub scenario: Scenario,
+    /// One-line replay command for the shrunken scenario.
+    pub replay: String,
+}
+
+/// Outcome of a soak run.
+#[derive(Clone, Debug)]
+pub struct SoakReport {
+    /// Scenarios fully checked (the failing one, if any, excluded).
+    pub passed: usize,
+    /// The first failure, shrunken — `None` on a clean run.
+    pub failure: Option<SoakFailure>,
+}
+
+/// Runs `check` on `scn`, catching the panic and returning its message.
+fn try_check(check: fn(&Scenario), scn: &Scenario) -> Result<(), String> {
+    match catch_unwind(AssertUnwindSafe(|| check(scn))) {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".into())),
+    }
+}
+
+/// Greedy shrink: repeatedly apply the first simplification under which
+/// `check` still fails — drop faults, halve the mesh, remove ranks, clear
+/// the split budget — until none helps.
+pub fn shrink(check: fn(&Scenario), scn: &Scenario) -> Scenario {
+    let mut cur = scn.clone();
+    loop {
+        let mut candidates: Vec<Scenario> = Vec::new();
+        if cur.faults.is_some() {
+            let mut c = cur.clone();
+            c.faults = None;
+            candidates.push(c);
+        }
+        if cur.n > 8 {
+            let mut c = cur.clone();
+            c.n /= 2;
+            candidates.push(c);
+        }
+        if cur.p > 2 {
+            let mut c = cur.clone();
+            c.p = (cur.p / 2).max(2);
+            candidates.push(c);
+        }
+        if cur.split_budget.is_some() {
+            let mut c = cur.clone();
+            c.split_budget = None;
+            candidates.push(c);
+        }
+        match candidates
+            .into_iter()
+            .find(|c| try_check(check, c).is_err())
+        {
+            Some(simpler) => cur = simpler,
+            None => return cur,
+        }
+    }
+}
+
+/// Runs `budget` seeded scenarios (seed stream `mix(seed0 + i)`) through
+/// every registered check; on the first failure, shrinks it and returns.
+/// Panic output is suppressed while probing/shrinking (the driver is
+/// single-threaded; the hook is restored before returning).
+pub fn soak(budget: usize, seed0: u64) -> SoakReport {
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let mut passed = 0;
+    let mut failure = None;
+    'outer: for i in 0..budget {
+        let scn = Scenario::from_seed(mix(seed0.wrapping_add(i as u64)));
+        for &(name, check) in CHECKS {
+            if let Err(message) = try_check(check, &scn) {
+                let shrunk = shrink(check, &scn);
+                failure = Some(SoakFailure {
+                    check: name.to_string(),
+                    message,
+                    replay: format!("{} --check {name}", shrunk.replay_cmd()),
+                    scenario: shrunk,
+                });
+                break 'outer;
+            }
+        }
+        passed += 1;
+    }
+    std::panic::set_hook(prev_hook);
+    SoakReport { passed, failure }
+}

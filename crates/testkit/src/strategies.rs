@@ -1,0 +1,56 @@
+//! `proptest` `Strategy` wrappers over the shared generators — the single
+//! home of the strategies the per-crate property suites used to duplicate.
+//!
+//! Only compiled with the `proptest` feature, which (like the per-crate
+//! `proptest` features that forward to it) requires a vendored `proptest`
+//! crate the offline tier-1 build cannot fetch.
+
+use optipart_machine::NodePower;
+use optipart_mpisim::AllToAllAlgo;
+use optipart_octree::Distribution;
+use optipart_sfc::cell::Coord;
+use optipart_sfc::{Cell2, Cell3, Curve, MAX_DEPTH};
+use proptest::prelude::*;
+
+/// Either space-filling curve.
+pub fn curve() -> impl Strategy<Value = Curve> {
+    prop_oneof![Just(Curve::Morton), Just(Curve::Hilbert)]
+}
+
+/// Any of the §4.2 point distributions.
+pub fn distribution() -> impl Strategy<Value = Distribution> {
+    prop_oneof![
+        Just(Distribution::Uniform),
+        Just(Distribution::Normal),
+        Just(Distribution::LogNormal)
+    ]
+}
+
+/// Either all-to-all schedule.
+pub fn alltoall() -> impl Strategy<Value = AllToAllAlgo> {
+    prop_oneof![Just(AllToAllAlgo::Direct), Just(AllToAllAlgo::Staged)]
+}
+
+/// A lattice coordinate in the domain.
+pub fn coord() -> impl Strategy<Value = Coord> {
+    0u32..(1 << MAX_DEPTH)
+}
+
+/// An arbitrary octree cell (any anchor, any level).
+pub fn cell3() -> impl Strategy<Value = Cell3> {
+    (coord(), coord(), coord(), 0u8..=MAX_DEPTH).prop_map(|(x, y, z, l)| Cell3::new([x, y, z], l))
+}
+
+/// An arbitrary quadtree cell.
+pub fn cell2() -> impl Strategy<Value = Cell2> {
+    (coord(), coord(), 0u8..=MAX_DEPTH).prop_map(|(x, y, l)| Cell2::new([x, y], l))
+}
+
+/// A physically plausible node power envelope.
+pub fn node_power() -> impl Strategy<Value = NodePower> {
+    (50.0f64..200.0, 1.0f64..400.0, 0.0f64..1e-8).prop_map(|(idle, dynr, nic)| NodePower {
+        idle_w: idle,
+        peak_w: idle + dynr,
+        nic_j_per_byte: nic,
+    })
+}

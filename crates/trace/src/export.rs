@@ -134,6 +134,26 @@ pub fn chrome_trace_json(t: &Tracer) -> String {
     out
 }
 
+/// FNV-1a over a byte string — the digest primitive behind
+/// [`chrome_trace_digest`], exposed so harnesses can fingerprint other
+/// deterministic artefacts (reports, solution vectors) the same way.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A 64-bit fingerprint of the full Chrome export. Byte-identity of traces
+/// is the repo's determinism contract (same seed ⇒ same trace at any host
+/// thread count); the digest lets cross-run and cross-thread-count checks
+/// compare traces without holding two multi-megabyte strings.
+pub fn chrome_trace_digest(t: &Tracer) -> u64 {
+    fnv1a(chrome_trace_json(t).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,34 @@
+//! Replays every committed regression seed in `tests/corpus/` — one file
+//! per historical failure class, each pinning the exact scenario that
+//! reproduced it (see the comments inside the `.seed` files).
+//!
+//! New regressions join the corpus by copying the shrunken replay line
+//! that `testkit soak` prints into a new `.seed` file.
+
+use optipart_testkit::corpus;
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/corpus must exist")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "seed"))
+        .collect();
+    files.sort();
+    assert!(
+        files.len() >= 3,
+        "corpus must keep at least the three seeded failure classes"
+    );
+    for file in &files {
+        let contents = std::fs::read_to_string(file).unwrap();
+        let case = corpus::parse(&contents).unwrap_or_else(|e| panic!("{}: {e}", file.display()));
+        println!(
+            "corpus {}: {} ({})",
+            file.display(),
+            case.scenario,
+            case.check
+        );
+        corpus::replay(&case);
+    }
+}

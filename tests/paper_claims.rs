@@ -81,6 +81,67 @@ fn nnz_decreases_with_tolerance_and_hilbert_wins() {
     assert!(v0 <= w0, "hilbert volume {v0} should be <= morton {w0}");
 }
 
+/// Fig. 11 across seeds: the achieved load imbalance is bounded by the
+/// requested flexible tolerance. Every splitter sits within `tol·grain`
+/// of its target, so the largest partition is at most
+/// `grain·(1 + 2·tol)` (both of a rank's boundaries displaced outward)
+/// plus integer rounding — for every mesh seed and every tolerance in the
+/// contention-free regime (below 0.5, no two targets can share a bucket
+/// edge, so TreeSort honours the request exactly).
+#[test]
+fn fig11_imbalance_bounded_by_tolerance_across_seeds() {
+    let p = 16;
+    for seed in [41, 42, 43] {
+        let tree = MeshParams::normal(8_000, seed).build::<3>(Curve::Hilbert);
+        let grain = tree.len() as f64 / p as f64;
+        for tol in [0.1, 0.25, 0.4] {
+            let mut e = engine(MachineModel::cloudlab_clemson(), p);
+            let out = treesort_partition(
+                &mut e,
+                distribute_tree(&tree, p),
+                PartitionOptions::with_tolerance(tol),
+            );
+            assert!(
+                out.report.achieved_tolerance <= tol + 1e-9,
+                "seed {seed} tol {tol}: achieved {} exceeds request",
+                out.report.achieved_tolerance
+            );
+            assert!(
+                (out.report.wmax as f64) <= grain * (1.0 + 2.0 * tol) + 2.0,
+                "seed {seed} tol {tol}: Wmax {} exceeds grain (1 + 2 tol)",
+                out.report.wmax
+            );
+        }
+    }
+}
+
+/// Fig. 12 across seeds: relaxing the tolerance never grows the
+/// communication surface — both the comm-matrix NNZ and the total bytes
+/// moved are non-increasing from exact balance to tol 0.5, for every mesh
+/// seed (Hilbert keys, the curve the paper plots).
+#[test]
+fn fig12_comm_surface_non_increasing_across_seeds() {
+    let p = 16;
+    for seed in [51, 52, 53] {
+        let tree = MeshParams::normal(8_000, seed).build::<3>(Curve::Hilbert);
+        let surface = |tol: f64| {
+            let s = split(&tree, p, tol, MachineModel::titan());
+            let m = communication_matrix(&tree, &assignment(&tree, &s), p);
+            (m.nnz(), m.total_bytes())
+        };
+        let (nnz0, vol0) = surface(0.0);
+        let (nnz5, vol5) = surface(0.5);
+        assert!(
+            nnz5 <= nnz0,
+            "seed {seed}: NNZ grew with tolerance: {nnz0} -> {nnz5}"
+        );
+        assert!(
+            vol5 <= vol0,
+            "seed {seed}: volume grew with tolerance: {vol0} -> {vol5}"
+        );
+    }
+}
+
 /// Fig. 10: OptiPart's model-chosen partition is essentially as good (in
 /// its own predicted time) as every fixed-tolerance alternative on the
 /// grid. The stopping rule is greedy (it halts at the first predicted

@@ -1,0 +1,87 @@
+//! Tier-1 wiring of the `optipart-testkit` correctness layer: every
+//! differential oracle sweeps 100+ generated scenarios, the metamorphic
+//! properties sweep a smaller band, and the whole-stack checks smoke a
+//! handful — all deterministic, all reporting a copy-pastable
+//! `testkit replay` command on failure.
+//!
+//! Each sweep uses its own seed stream (`mix(stream + i)`), so the four
+//! oracles cover four disjoint slices of the scenario space rather than
+//! re-checking the same 100 meshes four times.
+
+use optipart_testkit::mpisim::rng::mix;
+use optipart_testkit::scenario::Scenario;
+use optipart_testkit::{metamorphic, oracles, soak};
+
+fn sweep(check: fn(&Scenario), stream: u64, count: usize) {
+    for i in 0..count {
+        let scn = Scenario::from_seed(mix(stream.wrapping_add(i as u64)));
+        check(&scn);
+    }
+}
+
+/// Oracle 1: distributed TreeSort vs the sequential sort, the virtual
+/// engine and the real-threads rank view (bit-identical splitters).
+#[test]
+fn oracle_treesort_differential() {
+    sweep(oracles::treesort_differential, 0x0175_0001, 100);
+}
+
+/// Oracle 2: OptiPart's Eq. (3) prediction vs a brute-force tolerance
+/// grid of fully-converged TreeSort partitions.
+#[test]
+fn oracle_optipart_bruteforce() {
+    sweep(oracles::optipart_bruteforce, 0x0175_0002, 100);
+}
+
+/// Oracle 3: SampleSort and TreeSort agree on the sorted global multiset.
+#[test]
+fn oracle_samplesort_equivalence() {
+    sweep(oracles::samplesort_equivalence, 0x0175_0003, 100);
+}
+
+/// Oracle 4: a killed-and-recovered run reproduces the fault-free
+/// solution bit-for-bit (within the FT comparison tolerance).
+#[test]
+fn oracle_fault_recovery() {
+    sweep(oracles::fault_recovery, 0x0175_0004, 100);
+}
+
+/// Metamorphic: splitters ignore the input's distribution across ranks.
+#[test]
+fn property_permutation_invariance() {
+    sweep(metamorphic::permutation_invariance, 0x0175_0011, 50);
+}
+
+/// Metamorphic: duplicating every element keeps ranks non-straddling and
+/// the tolerance envelope within one element-grain.
+#[test]
+fn property_duplication_robustness() {
+    sweep(metamorphic::duplication_robustness, 0x0175_0012, 50);
+}
+
+/// Metamorphic: Cmax and comm-matrix NNZ do not grow as the tolerance
+/// relaxes (Fig. 11/12 trend, per-step slack).
+#[test]
+fn property_tolerance_monotonicity() {
+    sweep(metamorphic::tolerance_monotonicity, 0x0175_0013, 50);
+}
+
+/// Metamorphic: rescaling tc/tw by powers of two rescales every Eq. (3)
+/// attribution exactly, without moving a single splitter.
+#[test]
+fn property_scale_invariance() {
+    sweep(metamorphic::scale_invariance, 0x0175_0014, 50);
+}
+
+/// Whole stack: faulted + checkpointed + traced AMR, deterministic twice
+/// over, with a critical path that tiles the makespan.
+#[test]
+fn stack_smoke() {
+    sweep(soak::stack_check, 0x0175_0021, 6);
+}
+
+/// Trace byte-identity under benign fault plans.
+#[test]
+fn trace_identity_smoke() {
+    sweep(soak::trace_identity, 0x0175_0022, 12);
+}
