@@ -1,0 +1,274 @@
+//! The `bench` runner: measures the kernel registry and emits / gates on
+//! `BENCH_<host>.json` (see DESIGN.md §13).
+//!
+//! ```text
+//! bench run [--tiny] [--filter SUBSTR] [--samples K] [--out PATH]
+//! bench compare --baseline PATH [--current PATH] [--max-regression PCT] [--allocs-only]
+//! bench list
+//! ```
+//!
+//! `run` writes `BENCH_<host>.json` to the repository root (override with
+//! `--out`). `compare` exits nonzero when `current` regresses past the
+//! threshold (default 10%) against `baseline` — checksum drift and
+//! allocation-count regressions gate even under `--allocs-only`.
+
+use optipart_bench::alloc_count::{self, CountingAllocator};
+use optipart_bench::kernels::{self, Kernel};
+use optipart_bench::report::{compare_reports, KernelResult, Report};
+use optipart_mpisim::par;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        Some("list") => cmd_list(),
+        _ => {
+            eprintln!(
+                "usage: bench run [--tiny] [--filter SUBSTR] [--samples K] [--out PATH]\n       \
+                 bench compare --baseline PATH [--current PATH] [--max-regression PCT] [--allocs-only]\n       \
+                 bench list"
+            );
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn cmd_list() -> i32 {
+    for k in kernels::registry() {
+        println!(
+            "{:<28} group={:<12} full_n={:<8} tiny_n={}",
+            k.name, k.group, k.full_n, k.tiny_n
+        );
+    }
+    0
+}
+
+fn cmd_run(args: &[String]) -> i32 {
+    let mut tiny = false;
+    let mut filter: Option<String> = None;
+    let mut samples: usize = 0;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tiny" => tiny = true,
+            "--filter" => filter = it.next().cloned(),
+            "--samples" => {
+                samples = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bad_flag("--samples"))
+            }
+            "--out" => out = it.next().map(PathBuf::from),
+            other => bad_flag(other),
+        }
+    }
+    if samples == 0 {
+        samples = if tiny { 3 } else { 10 };
+    }
+    let host = hostname();
+    let threads = par::num_threads();
+    let mode = if tiny { "tiny" } else { "full" };
+    eprintln!("bench run: host={host} mode={mode} samples={samples} threads={threads}");
+
+    let mut results = Vec::new();
+    for k in kernels::registry() {
+        if let Some(f) = &filter {
+            if !k.name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        let n = if tiny { k.tiny_n } else { k.full_n };
+        let r = measure(&k, n, samples);
+        eprintln!(
+            "  {:<28} n={:<8} {:>10.2} ns/elem  {:>9.2} Melem/s  {:>8} allocs/iter",
+            r.name, r.n, r.ns_per_elem, r.melem_per_s, r.allocs_per_iter
+        );
+        results.push(r);
+    }
+
+    let mut derived = BTreeMap::new();
+    let ns_of = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.ns_per_elem)
+    };
+    if let (Some(opt), Some(reference)) = (ns_of("treesort_seq"), ns_of("treesort_reference")) {
+        if opt > 0.0 {
+            derived.insert("treesort_speedup_vs_reference".to_string(), reference / opt);
+        }
+    }
+    if let (Some(par_t), Some(seq)) = (ns_of("treesort_par"), ns_of("treesort_seq")) {
+        if par_t > 0.0 {
+            derived.insert("treesort_parallel_speedup".to_string(), seq / par_t);
+        }
+    }
+
+    let report = Report {
+        schema: Report::SCHEMA.into(),
+        host: host.clone(),
+        mode: mode.into(),
+        samples: samples as u64,
+        threads: threads as u64,
+        kernels: results,
+        derived,
+    };
+    let path = out.unwrap_or_else(|| repo_root().join(format!("BENCH_{host}.json")));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("bench run: cannot write {}: {e}", path.display());
+        return 1;
+    }
+    println!("wrote {}", path.display());
+    for (k, v) in &report.derived {
+        println!("  {k} = {v:.3}");
+    }
+    0
+}
+
+/// Warmup, one counted steady-state iteration for allocations, then
+/// `samples` timed iterations; the minimum is reported (least-noise
+/// estimator for a deterministic workload).
+fn measure(k: &Kernel, n: usize, samples: usize) -> KernelResult {
+    let mut prep = (k.build)(n);
+    let checksum = (prep.run)();
+    let (a0, b0) = alloc_count::counters();
+    let check2 = (prep.run)();
+    let (a1, b1) = alloc_count::counters();
+    assert_eq!(
+        checksum, check2,
+        "kernel {} is not deterministic across iterations",
+        k.name
+    );
+    let mut min_ns = u64::MAX;
+    for _ in 0..samples.max(1) {
+        let t = Instant::now();
+        let c = (prep.run)();
+        let dt = t.elapsed().as_nanos() as u64;
+        assert_eq!(checksum, c, "kernel {} checksum drifted mid-run", k.name);
+        min_ns = min_ns.min(dt.max(1));
+    }
+    let elements = prep.elements.max(1);
+    KernelResult {
+        name: k.name.into(),
+        group: k.group.into(),
+        n: n as u64,
+        elements,
+        min_iter_ns: min_ns,
+        ns_per_elem: min_ns as f64 / elements as f64,
+        melem_per_s: elements as f64 * 1e3 / min_ns as f64,
+        allocs_per_iter: a1 - a0,
+        alloc_bytes_per_iter: b1 - b0,
+        checksum: format!("{:#018x}", checksum),
+    }
+}
+
+fn cmd_compare(args: &[String]) -> i32 {
+    let mut baseline: Option<PathBuf> = None;
+    let mut current: Option<PathBuf> = None;
+    let mut max_regression = 10.0f64;
+    let mut allocs_only = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline = it.next().map(PathBuf::from),
+            "--current" => current = it.next().map(PathBuf::from),
+            "--max-regression" => {
+                max_regression = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bad_flag("--max-regression"))
+            }
+            "--allocs-only" => allocs_only = true,
+            other => bad_flag(other),
+        }
+    }
+    let Some(baseline) = baseline else {
+        eprintln!("bench compare: --baseline PATH is required");
+        return 2;
+    };
+    let current = current.unwrap_or_else(|| repo_root().join(format!("BENCH_{}.json", hostname())));
+    let base = match load(&baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench compare: {e}");
+            return 2;
+        }
+    };
+    let cur = match load(&current) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench compare: {e}");
+            return 2;
+        }
+    };
+    let violations = compare_reports(&base, &cur, max_regression, allocs_only);
+    println!(
+        "compared {} kernels of {} against {} (threshold {max_regression}%{})",
+        cur.kernels.len(),
+        current.display(),
+        baseline.display(),
+        if allocs_only { ", allocs-only" } else { "" },
+    );
+    if violations.is_empty() {
+        println!("OK: no regressions");
+        return 0;
+    }
+    for v in &violations {
+        println!("FAIL {}: {}", v.kernel, v.what);
+    }
+    1
+}
+
+fn load(path: &Path) -> Result<Report, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Report::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `BENCH_HOST` env override, else the kernel hostname, sanitised to
+/// filename-safe characters.
+fn hostname() -> String {
+    let raw = std::env::var("BENCH_HOST")
+        .ok()
+        .or_else(|| std::fs::read_to_string("/etc/hostname").ok())
+        .or_else(|| std::fs::read_to_string("/proc/sys/kernel/hostname").ok())
+        .unwrap_or_default();
+    let clean: String = raw
+        .trim()
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if clean.is_empty() {
+        "unknown-host".into()
+    } else {
+        clean
+    }
+}
+
+/// The workspace root, two levels above this crate's manifest.
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn bad_flag(flag: &str) -> ! {
+    eprintln!("bench: unknown or malformed flag {flag:?} (see `bench` with no args for usage)");
+    std::process::exit(2)
+}

@@ -1,0 +1,477 @@
+//! The hot-path kernel registry the `bench` binary (and `bench_smoke`
+//! tier-1 test) iterate over.
+//!
+//! Each kernel is a named, seeded workload factory: `build(n)` does all
+//! setup (mesh generation, engine construction inputs, scratch buffers)
+//! and returns a closure that executes one iteration and folds the output
+//! into a `u64` checksum. Checksums serve two purposes: they defeat
+//! dead-code elimination, and — because every kernel is deterministic for a
+//! fixed `n` and thread budget — they let `bench compare` detect
+//! bit-identity drift between commits.
+//!
+//! The registry covers the five criterion bench families (`sfc_keys`,
+//! `treesort`, `partition`, `matvec`, `collectives`) plus the engine /
+//! OptiPart-ladder kernels this PR optimises.
+
+use optipart_core::optipart::{optipart, OptiPartOptions};
+use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart_core::samplesort::{samplesort_partition, SampleSortOptions};
+use optipart_core::treesort::{
+    treesort, treesort_reference, treesort_threaded, treesort_threaded_with_scratch, LevelOffsets,
+};
+use optipart_fem::{laplacian_matvec, DistMesh};
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_mpisim::rng::SplitMix64;
+use optipart_mpisim::{par, AllToAllAlgo, DistVec, Engine};
+use optipart_octree::{sample_points, tree_from_points, Distribution, MeshParams};
+use optipart_sfc::{Cell3, Curve, KeyedCell, SfcKey};
+
+/// A kernel instantiated at a concrete problem size, ready to run.
+pub struct Prepared {
+    /// Elements processed per iteration (throughput denominator).
+    pub elements: u64,
+    /// Executes one iteration, returning the output checksum.
+    pub run: Box<dyn FnMut() -> u64>,
+}
+
+/// A registry entry.
+pub struct Kernel {
+    /// Unique name, stable across commits (`bench compare` joins on it).
+    pub name: &'static str,
+    /// The criterion bench family this kernel descends from.
+    pub group: &'static str,
+    /// Problem size for recorded `bench run` (full mode).
+    pub full_n: usize,
+    /// Problem size for CI / smoke-test runs (`--tiny`).
+    pub tiny_n: usize,
+    /// Workload factory.
+    pub build: fn(usize) -> Prepared,
+}
+
+/// All benchmark kernels, in reporting order.
+pub fn registry() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "sfc_keys_morton",
+            group: "sfc_keys",
+            full_n: 100_000,
+            tiny_n: 2_000,
+            build: |n| keygen(n, Curve::Morton),
+        },
+        Kernel {
+            name: "sfc_keys_hilbert",
+            group: "sfc_keys",
+            full_n: 100_000,
+            tiny_n: 2_000,
+            build: |n| keygen(n, Curve::Hilbert),
+        },
+        Kernel {
+            name: "treesort_seq",
+            group: "treesort",
+            full_n: 100_000,
+            tiny_n: 3_000,
+            build: |n| {
+                let input = shuffled(n, Curve::Hilbert);
+                let elements = input.len() as u64;
+                let mut a = input.clone();
+                let mut scratch: Vec<KeyedCell<3>> = Vec::new();
+                Prepared {
+                    elements,
+                    run: Box::new(move || {
+                        a.copy_from_slice(&input);
+                        treesort_threaded_with_scratch(&mut a, &mut scratch, 1);
+                        checksum_cells(&a)
+                    }),
+                }
+            },
+        },
+        Kernel {
+            name: "treesort_par",
+            group: "treesort",
+            full_n: 100_000,
+            tiny_n: 3_000,
+            build: |n| {
+                let input = shuffled(n, Curve::Hilbert);
+                let elements = input.len() as u64;
+                let mut a = input.clone();
+                let threads = par::num_threads();
+                Prepared {
+                    elements,
+                    run: Box::new(move || {
+                        a.copy_from_slice(&input);
+                        treesort_threaded(&mut a, threads);
+                        checksum_cells(&a)
+                    }),
+                }
+            },
+        },
+        Kernel {
+            name: "treesort_reference",
+            group: "treesort",
+            full_n: 100_000,
+            tiny_n: 3_000,
+            build: |n| {
+                let input = shuffled(n, Curve::Hilbert);
+                let elements = input.len() as u64;
+                let mut a = input.clone();
+                Prepared {
+                    elements,
+                    run: Box::new(move || {
+                        a.copy_from_slice(&input);
+                        treesort_reference(&mut a);
+                        checksum_cells(&a)
+                    }),
+                }
+            },
+        },
+        Kernel {
+            name: "sort_unstable",
+            group: "treesort",
+            full_n: 100_000,
+            tiny_n: 3_000,
+            build: |n| {
+                let input = shuffled(n, Curve::Hilbert);
+                let elements = input.len() as u64;
+                let mut a = input.clone();
+                Prepared {
+                    elements,
+                    run: Box::new(move || {
+                        a.copy_from_slice(&input);
+                        a.sort_unstable();
+                        checksum_cells(&a)
+                    }),
+                }
+            },
+        },
+        Kernel {
+            name: "level_offsets",
+            group: "treesort",
+            full_n: 100_000,
+            tiny_n: 3_000,
+            build: |n| {
+                let mut sorted = shuffled(n, Curve::Hilbert);
+                treesort(&mut sorted);
+                let elements = sorted.len() as u64;
+                Prepared {
+                    elements,
+                    run: Box::new(move || {
+                        let table = LevelOffsets::build(&sorted, 8);
+                        let mut acc = 0u64;
+                        for level in 0..=8u8 {
+                            let t = table.at(level);
+                            acc = mix(acc, t.len() as u64);
+                            acc = mix(acc, t.last().copied().unwrap_or(0) as u64);
+                        }
+                        acc
+                    }),
+                }
+            },
+        },
+        Kernel {
+            name: "partition_treesort_exact",
+            group: "partition",
+            full_n: 100_000,
+            tiny_n: 2_000,
+            build: |n| partition_kernel(n, PartitionKind::Exact),
+        },
+        Kernel {
+            name: "partition_treesort_tol03",
+            group: "partition",
+            full_n: 100_000,
+            tiny_n: 2_000,
+            build: |n| partition_kernel(n, PartitionKind::Tolerant),
+        },
+        Kernel {
+            name: "optipart_ladder",
+            group: "partition",
+            full_n: 100_000,
+            tiny_n: 2_000,
+            build: |n| partition_kernel(n, PartitionKind::OptiPart),
+        },
+        Kernel {
+            name: "samplesort",
+            group: "partition",
+            full_n: 100_000,
+            tiny_n: 2_000,
+            build: |n| partition_kernel(n, PartitionKind::SampleSort),
+        },
+        Kernel {
+            name: "alltoallv_dense_6nbr",
+            group: "collectives",
+            full_n: 512,
+            tiny_n: 16,
+            build: |p| {
+                let elements = (p * 6 * 64) as u64;
+                Prepared {
+                    elements,
+                    run: Box::new(move || {
+                        let mut e = engine(p);
+                        let send: Vec<Vec<Vec<u64>>> = (0..p)
+                            .map(|r| {
+                                (0..p)
+                                    .map(|d| {
+                                        if (1..=6).any(|k| (r + k * 7) % p == d) {
+                                            vec![r as u64; 64]
+                                        } else {
+                                            vec![]
+                                        }
+                                    })
+                                    .collect()
+                            })
+                            .collect();
+                        let recv = e.alltoallv(send, AllToAllAlgo::Direct);
+                        let mut acc = 0u64;
+                        for row in &recv {
+                            for buf in row {
+                                acc = mix(acc, buf.len() as u64);
+                                acc = mix(acc, buf.first().copied().unwrap_or(0));
+                            }
+                        }
+                        acc
+                    }),
+                }
+            },
+        },
+        Kernel {
+            name: "alltoallv_sparse_6nbr",
+            group: "collectives",
+            full_n: 512,
+            tiny_n: 16,
+            build: |p| {
+                let elements = (p * 6 * 64) as u64;
+                Prepared {
+                    elements,
+                    run: Box::new(move || {
+                        let mut e = engine(p);
+                        let send: Vec<Vec<(usize, Vec<u64>)>> = (0..p)
+                            .map(|r| {
+                                (1..=6)
+                                    .map(|k| ((r + k * 7) % p, vec![r as u64; 64]))
+                                    .collect()
+                            })
+                            .collect();
+                        let recv = e.alltoallv_sparse(send, AllToAllAlgo::Direct);
+                        let mut acc = 0u64;
+                        for row in &recv {
+                            for (src, buf) in row {
+                                acc = mix(acc, *src as u64);
+                                acc = mix(acc, buf.len() as u64);
+                            }
+                        }
+                        acc
+                    }),
+                }
+            },
+        },
+        Kernel {
+            name: "alltoallv_by_hash",
+            group: "collectives",
+            full_n: 512,
+            tiny_n: 16,
+            build: |p| {
+                // Each rank routes 256 items by a hash — exercises the
+                // engine's two-pass exact-capacity staging.
+                let send_base: Vec<Vec<u64>> = (0..p)
+                    .map(|r| (0..256).map(|i| (r * 1000 + i) as u64).collect())
+                    .collect();
+                let elements = (p * 256) as u64;
+                Prepared {
+                    elements,
+                    run: Box::new(move || {
+                        let mut e = engine(p);
+                        let recv = e.alltoallv_by(
+                            send_base.clone(),
+                            |src, item: &u64| {
+                                ((item ^ src as u64).wrapping_mul(0x9E3779B97F4A7C15) % p as u64)
+                                    as usize
+                            },
+                            AllToAllAlgo::Direct,
+                        );
+                        let mut acc = 0u64;
+                        for row in &recv {
+                            acc = mix(acc, row.len() as u64);
+                            acc = mix(acc, row.iter().fold(0u64, |a, &x| a.wrapping_add(x)));
+                        }
+                        acc
+                    }),
+                }
+            },
+        },
+        Kernel {
+            name: "allreduce_vec",
+            group: "collectives",
+            full_n: 512,
+            tiny_n: 16,
+            build: |p| {
+                let contribs: Vec<Vec<u64>> = (0..p).map(|r| vec![r as u64; 512]).collect();
+                let elements = (p * 512) as u64;
+                Prepared {
+                    elements,
+                    run: Box::new(move || {
+                        let mut e = engine(p);
+                        let out = e.allreduce_sum_vec_u64(&contribs);
+                        out.iter().fold(0u64, |a, &x| mix(a, x))
+                    }),
+                }
+            },
+        },
+        Kernel {
+            name: "matvec_laplacian",
+            group: "matvec",
+            full_n: 50_000,
+            tiny_n: 2_000,
+            build: |n| {
+                let p = if n >= 10_000 { 16 } else { 4 };
+                let tree = MeshParams::normal(n, 3).build::<3>(Curve::Hilbert);
+                let mut e = engine(p);
+                let out = treesort_partition(
+                    &mut e,
+                    distribute_tree(&tree, p),
+                    PartitionOptions::exact(),
+                );
+                let mesh = DistMesh::build(&mut e, out.dist, Curve::Hilbert);
+                let elements = mesh.total_cells() as u64;
+                let mut x = DistVec::from_parts(
+                    mesh.cells
+                        .counts()
+                        .iter()
+                        .map(|&c| vec![1.0f64; c])
+                        .collect(),
+                );
+                Prepared {
+                    elements,
+                    run: Box::new(move || {
+                        let (y, _) = laplacian_matvec(&mut e, &mesh, &mut x);
+                        let mut acc = 0u64;
+                        for r in 0..p {
+                            for v in y.rank(r) {
+                                acc = mix(acc, v.to_bits());
+                            }
+                        }
+                        acc
+                    }),
+                }
+            },
+        },
+    ]
+}
+
+/// Looks a kernel up by name.
+pub fn find(name: &str) -> Option<Kernel> {
+    registry().into_iter().find(|k| k.name == name)
+}
+
+/// Order-sensitive checksum fold.
+#[inline]
+pub fn mix(acc: u64, x: u64) -> u64 {
+    (acc.rotate_left(7) ^ x).wrapping_mul(0x9E3779B97F4A7C15)
+}
+
+/// Checksum of a keyed-cell array (order-sensitive: detects any permutation
+/// difference between two sort implementations).
+pub fn checksum_cells<const D: usize>(a: &[KeyedCell<D>]) -> u64 {
+    let mut acc = a.len() as u64;
+    for kc in a {
+        acc = mix(acc, kc.key.path() as u64);
+        acc = mix(acc, (kc.key.path() >> 64) as u64);
+        acc = mix(acc, kc.key.level() as u64);
+    }
+    acc
+}
+
+/// The shuffled-mesh input every treesort kernel sorts (same construction
+/// as `benches/treesort.rs`).
+pub fn shuffled(n: usize, curve: Curve) -> Vec<KeyedCell<3>> {
+    let pts = sample_points::<3>(Distribution::Normal, n, 7);
+    let tree = tree_from_points(&pts, 1, 18, curve);
+    let mut cells = tree.into_leaves();
+    SplitMix64::new(99).shuffle(&mut cells);
+    cells
+}
+
+/// Key-generation kernel (same construction as `benches/sfc_keys.rs`).
+fn keygen(n: usize, curve: Curve) -> Prepared {
+    let points = sample_points::<3>(Distribution::Normal, n, 42);
+    let cells: Vec<Cell3> = points.iter().map(|&p| Cell3::new(p, 20)).collect();
+    Prepared {
+        elements: n as u64,
+        run: Box::new(move || {
+            let mut acc = 0u64;
+            for cell in &cells {
+                let path = SfcKey::of(cell, curve).path();
+                acc = mix(acc, path as u64);
+                acc = mix(acc, (path >> 64) as u64);
+            }
+            acc
+        }),
+    }
+}
+
+fn engine(p: usize) -> Engine {
+    Engine::new(
+        p,
+        PerfModel::new(
+            MachineModel::cloudlab_wisconsin(),
+            AppModel::laplacian_matvec(),
+        ),
+    )
+}
+
+enum PartitionKind {
+    Exact,
+    Tolerant,
+    OptiPart,
+    SampleSort,
+}
+
+fn partition_kernel(n: usize, kind: PartitionKind) -> Prepared {
+    let p = if n >= 10_000 { 64 } else { 8 };
+    let tree = MeshParams::normal(n, 5).build::<3>(Curve::Hilbert);
+    let elements = tree.len() as u64;
+    Prepared {
+        elements,
+        run: Box::new(move || {
+            let mut e = engine(p);
+            let (splitters, total): (Vec<SfcKey>, usize) = match kind {
+                PartitionKind::Exact => {
+                    let out = treesort_partition(
+                        &mut e,
+                        distribute_tree(&tree, p),
+                        PartitionOptions::exact(),
+                    );
+                    (out.splitters, out.dist.total_len())
+                }
+                PartitionKind::Tolerant => {
+                    let out = treesort_partition(
+                        &mut e,
+                        distribute_tree(&tree, p),
+                        PartitionOptions::with_tolerance(0.3),
+                    );
+                    (out.splitters, out.dist.total_len())
+                }
+                PartitionKind::OptiPart => {
+                    let out = optipart(
+                        &mut e,
+                        distribute_tree(&tree, p),
+                        OptiPartOptions::default(),
+                    );
+                    (out.splitters, out.dist.total_len())
+                }
+                PartitionKind::SampleSort => {
+                    let out = samplesort_partition(
+                        &mut e,
+                        distribute_tree(&tree, p),
+                        SampleSortOptions::default(),
+                    );
+                    (out.splitters, out.dist.total_len())
+                }
+            };
+            let mut acc = total as u64;
+            for s in &splitters {
+                acc = mix(acc, s.path() as u64);
+                acc = mix(acc, (s.path() >> 64) as u64);
+            }
+            acc
+        }),
+    }
+}

@@ -1,0 +1,583 @@
+//! `BENCH_*.json` reports: the schema, a dependency-free JSON writer and
+//! parser (the offline policy rules out serde), and the regression
+//! comparison `bench compare` gates on.
+//!
+//! Schema (`optipart-bench/1`):
+//!
+//! ```json
+//! {
+//!   "schema": "optipart-bench/1",
+//!   "host": "mybox", "mode": "full", "samples": 10, "threads": 8,
+//!   "kernels": [
+//!     { "name": "treesort_seq", "group": "treesort", "n": 100000,
+//!       "elements": 99873, "min_iter_ns": 1234567,
+//!       "ns_per_elem": 12.36, "melem_per_s": 80.9,
+//!       "allocs_per_iter": 0, "alloc_bytes_per_iter": 0,
+//!       "checksum": "0x1a2b3c4d5e6f7788" }
+//!   ],
+//!   "derived": { "treesort_speedup_vs_reference": 1.62 }
+//! }
+//! ```
+//!
+//! Comparison policy (DESIGN.md §13): allocation counts and checksums are
+//! deterministic, so they gate unconditionally; per-element times gate at
+//! the threshold only when the runs come from the same host class
+//! (`--allocs-only` disables the time gate for cross-machine compares).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One measured kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelResult {
+    /// Registry name, e.g. `treesort_seq`.
+    pub name: String,
+    /// Which of the criterion bench families it descends from.
+    pub group: String,
+    /// Problem-size parameter the kernel was built at.
+    pub n: u64,
+    /// Elements processed per iteration (throughput denominator).
+    pub elements: u64,
+    /// Fastest observed iteration, nanoseconds.
+    pub min_iter_ns: u64,
+    /// `min_iter_ns / elements`.
+    pub ns_per_elem: f64,
+    /// `elements / min_iter_ns * 1e3` (million elements per second).
+    pub melem_per_s: f64,
+    /// Heap allocations in one steady-state iteration.
+    pub allocs_per_iter: u64,
+    /// Bytes requested in one steady-state iteration.
+    pub alloc_bytes_per_iter: u64,
+    /// Output checksum as `0x…` hex (u64 doesn't round-trip JSON numbers).
+    pub checksum: String,
+}
+
+/// A full `BENCH_*.json` document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Schema tag, [`Report::SCHEMA`].
+    pub schema: String,
+    /// Sanitised hostname the run was recorded on.
+    pub host: String,
+    /// `"full"` or `"tiny"`.
+    pub mode: String,
+    /// Timing samples per kernel (min is reported).
+    pub samples: u64,
+    /// Worker-thread budget of parallel kernels.
+    pub threads: u64,
+    /// Per-kernel results, registry order.
+    pub kernels: Vec<KernelResult>,
+    /// Derived cross-kernel figures (e.g. speedup ratios).
+    pub derived: BTreeMap<String, f64>,
+}
+
+impl Report {
+    /// Current schema tag.
+    pub const SCHEMA: &'static str = "optipart-bench/1";
+
+    /// Serialises to pretty-printed JSON (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": {},", quote(&self.schema));
+        let _ = writeln!(s, "  \"host\": {},", quote(&self.host));
+        let _ = writeln!(s, "  \"mode\": {},", quote(&self.mode));
+        let _ = writeln!(s, "  \"samples\": {},", self.samples);
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        s.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{ \"name\": {}, \"group\": {}, \"n\": {}, \"elements\": {},\n      \
+                 \"min_iter_ns\": {}, \"ns_per_elem\": {}, \"melem_per_s\": {},\n      \
+                 \"allocs_per_iter\": {}, \"alloc_bytes_per_iter\": {}, \"checksum\": {} }}",
+                quote(&k.name),
+                quote(&k.group),
+                k.n,
+                k.elements,
+                k.min_iter_ns,
+                fmt_f64(k.ns_per_elem),
+                fmt_f64(k.melem_per_s),
+                k.allocs_per_iter,
+                k.alloc_bytes_per_iter,
+                quote(&k.checksum),
+            );
+            s.push_str(if i + 1 < self.kernels.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"derived\": {");
+        for (i, (k, v)) in self.derived.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\n    {}: {}", quote(k), fmt_f64(*v));
+        }
+        if !self.derived.is_empty() {
+            s.push('\n');
+            s.push_str("  ");
+        }
+        s.push_str("}\n}\n");
+        s
+    }
+
+    /// Parses a document produced by [`Report::to_json`] (or hand-edited —
+    /// any whitespace / key order / trailing precision is accepted).
+    pub fn from_json(text: &str) -> Result<Report, String> {
+        let v = Json::parse(text)?;
+        let obj = v.as_obj("report")?;
+        let schema = obj.str_field("schema")?;
+        if schema != Report::SCHEMA {
+            return Err(format!("unsupported schema {schema:?}"));
+        }
+        let mut kernels = Vec::new();
+        for (i, kv) in obj.arr_field("kernels")?.iter().enumerate() {
+            let k = kv.as_obj(&format!("kernels[{i}]"))?;
+            kernels.push(KernelResult {
+                name: k.str_field("name")?,
+                group: k.str_field("group")?,
+                n: k.num_field("n")? as u64,
+                elements: k.num_field("elements")? as u64,
+                min_iter_ns: k.num_field("min_iter_ns")? as u64,
+                ns_per_elem: k.num_field("ns_per_elem")?,
+                melem_per_s: k.num_field("melem_per_s")?,
+                allocs_per_iter: k.num_field("allocs_per_iter")? as u64,
+                alloc_bytes_per_iter: k.num_field("alloc_bytes_per_iter")? as u64,
+                checksum: k.str_field("checksum")?,
+            });
+        }
+        let mut derived = BTreeMap::new();
+        if let Some(Json::Obj(pairs)) = obj.get("derived") {
+            for (k, v) in pairs {
+                derived.insert(k.clone(), v.as_num(k)?);
+            }
+        }
+        Ok(Report {
+            schema,
+            host: obj.str_field("host")?,
+            mode: obj.str_field("mode")?,
+            samples: obj.num_field("samples")? as u64,
+            threads: obj.num_field("threads")? as u64,
+            kernels,
+            derived,
+        })
+    }
+}
+
+fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "0.0".into()
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal JSON value for parsing `BENCH_*.json` under the offline policy.
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn as_obj(&self, what: &str) -> Result<&Vec<(String, Json)>, String> {
+        match self {
+            Json::Obj(pairs) => Ok(pairs),
+            other => Err(format!("{what}: expected object, got {other:?}")),
+        }
+    }
+
+    fn as_num(&self, what: &str) -> Result<f64, String> {
+        match self {
+            Json::Num(x) => Ok(*x),
+            other => Err(format!("{what}: expected number, got {other:?}")),
+        }
+    }
+}
+
+/// Field accessors over the `Vec<(String, Json)>` object representation.
+trait ObjExt {
+    fn get(&self, key: &str) -> Option<&Json>;
+    fn str_field(&self, key: &str) -> Result<String, String>;
+    fn num_field(&self, key: &str) -> Result<f64, String>;
+    fn arr_field(&self, key: &str) -> Result<&Vec<Json>, String>;
+}
+
+impl ObjExt for Vec<(String, Json)> {
+    fn get(&self, key: &str) -> Option<&Json> {
+        self.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn str_field(&self, key: &str) -> Result<String, String> {
+        match self.get(key) {
+            Some(Json::Str(s)) => Ok(s.clone()),
+            other => Err(format!("field {key:?}: expected string, got {other:?}")),
+        }
+    }
+
+    fn num_field(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(Json::Num(x)) => Ok(*x),
+            other => Err(format!("field {key:?}: expected number, got {other:?}")),
+        }
+    }
+
+    fn arr_field(&self, key: &str) -> Result<&Vec<Json>, String> {
+        match self.get(key) {
+            Some(Json::Arr(items)) => Ok(items),
+            other => Err(format!("field {key:?}: expected array, got {other:?}")),
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", c as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut pairs = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                expect(b, pos, b':')?;
+                let val = parse_value(b, pos)?;
+                pairs.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {s:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let esc = b.get(*pos).copied().ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    other => return Err(format!("unknown escape \\{}", other as char)),
+                }
+            }
+            c => {
+                // Re-assemble multi-byte UTF-8 sequences byte-by-byte.
+                let start = *pos - 1;
+                let len = utf8_len(c);
+                let chunk = b.get(start..start + len).ok_or("truncated UTF-8")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                *pos = start + len;
+            }
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// One regression found by [`compare_reports`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Kernel the regression was found in.
+    pub kernel: String,
+    /// Human-readable description with both values.
+    pub what: String,
+}
+
+/// Compares `current` against `baseline`.
+///
+/// * Checksum drift and allocation-count regressions always gate (both are
+///   deterministic for a fixed `n`/thread budget).
+/// * Per-element time regressions beyond `max_regression_pct` gate unless
+///   `allocs_only` (cross-machine compares have no meaningful time base).
+///
+/// Kernels missing from either side are skipped (the registry may grow),
+/// as are kernels whose `n` differs (tiny vs full runs are incomparable).
+pub fn compare_reports(
+    baseline: &Report,
+    current: &Report,
+    max_regression_pct: f64,
+    allocs_only: bool,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let factor = 1.0 + max_regression_pct / 100.0;
+    for cur in &current.kernels {
+        let Some(base) = baseline
+            .kernels
+            .iter()
+            .find(|b| b.name == cur.name && b.n == cur.n)
+        else {
+            continue;
+        };
+        if base.checksum != cur.checksum {
+            out.push(Violation {
+                kernel: cur.name.clone(),
+                what: format!(
+                    "checksum drift: baseline {} vs current {} (bit-identity broken)",
+                    base.checksum, cur.checksum
+                ),
+            });
+        }
+        // Small absolute slack: one-off setup allocations (e.g. a lazily
+        // grown scratch) must not flag as a regression.
+        if cur.allocs_per_iter as f64 > base.allocs_per_iter as f64 * factor + 4.0 {
+            out.push(Violation {
+                kernel: cur.name.clone(),
+                what: format!(
+                    "allocation regression: {} allocs/iter vs baseline {}",
+                    cur.allocs_per_iter, base.allocs_per_iter
+                ),
+            });
+        }
+        if !allocs_only && cur.ns_per_elem > base.ns_per_elem * factor {
+            out.push(Violation {
+                kernel: cur.name.clone(),
+                what: format!(
+                    "time regression: {:.3} ns/elem vs baseline {:.3} (> {:.0}% slower)",
+                    cur.ns_per_elem, base.ns_per_elem, max_regression_pct
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        Report {
+            schema: Report::SCHEMA.into(),
+            host: "unit-host".into(),
+            mode: "tiny".into(),
+            samples: 3,
+            threads: 4,
+            kernels: vec![
+                KernelResult {
+                    name: "treesort_seq".into(),
+                    group: "treesort".into(),
+                    n: 3000,
+                    elements: 2990,
+                    min_iter_ns: 120_000,
+                    ns_per_elem: 40.13,
+                    melem_per_s: 24.9,
+                    allocs_per_iter: 0,
+                    alloc_bytes_per_iter: 0,
+                    checksum: "0xdeadbeef12345678".into(),
+                },
+                KernelResult {
+                    name: "allreduce_vec".into(),
+                    group: "collectives".into(),
+                    n: 64,
+                    elements: 512,
+                    min_iter_ns: 64_000,
+                    ns_per_elem: 125.0,
+                    melem_per_s: 8.0,
+                    allocs_per_iter: 130,
+                    alloc_bytes_per_iter: 4096,
+                    checksum: "0x1".into(),
+                },
+            ],
+            derived: BTreeMap::from([("treesort_speedup_vs_reference".into(), 1.5)]),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample_report();
+        let parsed = Report::from_json(&r.to_json()).expect("round trip");
+        assert_eq!(parsed.host, r.host);
+        assert_eq!(parsed.kernels.len(), 2);
+        assert_eq!(parsed.kernels[0], r.kernels[0]);
+        assert_eq!(parsed.derived, r.derived);
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = sample_report();
+        assert!(compare_reports(&r, &r, 10.0, false).is_empty());
+    }
+
+    #[test]
+    fn injected_ten_percent_slowdown_fails() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.kernels[0].ns_per_elem *= 1.11; // just past the 10% gate
+        let v = compare_reports(&base, &cur, 10.0, false);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].what.contains("time regression"), "{v:?}");
+        // The same slowdown passes a cross-machine (allocs-only) compare.
+        assert!(compare_reports(&base, &cur, 10.0, true).is_empty());
+    }
+
+    #[test]
+    fn allocation_and_checksum_regressions_always_gate() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.kernels[1].allocs_per_iter = 500;
+        cur.kernels[0].checksum = "0x0".into();
+        let v = compare_reports(&base, &cur, 10.0, true);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().any(|x| x.what.contains("allocation regression")));
+        assert!(v.iter().any(|x| x.what.contains("checksum drift")));
+    }
+
+    #[test]
+    fn mismatched_n_and_unknown_kernels_are_skipped() {
+        let base = sample_report();
+        let mut cur = sample_report();
+        cur.kernels[0].n = 100_000; // full vs tiny: incomparable
+        cur.kernels[0].ns_per_elem *= 10.0;
+        cur.kernels[1].name = "brand_new_kernel".into();
+        assert!(compare_reports(&base, &cur, 10.0, false).is_empty());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Report::from_json("not json").is_err());
+        assert!(Report::from_json("{\"schema\": \"other/9\"}").is_err());
+        assert!(Report::from_json("{} trailing").is_err());
+    }
+}

@@ -12,7 +12,22 @@
 //! leading bucket (the ancestor-first convention of linear octrees);
 //! Algorithm 1's recursion then descends into each curve-ordered child
 //! bucket ("TreeSort(Ai, l1 − 1, l2)").
+//!
+//! # Hot-path engineering
+//!
+//! The scatter phase ping-pongs between the input slice and a single
+//! scratch buffer allocated once per top-level sort: a recursion whose data
+//! lives in `a` scatters into `scratch` and recurses with the roles
+//! swapped, instead of allocating a fresh `to_vec()` copy and copying back
+//! at every node of the recursion tree. Buckets at or above [`PAR_CUTOFF`]
+//! recurse in parallel over disjoint child slices via
+//! [`optipart_mpisim::par::par_map_mut_n`]; because the child slices are
+//! disjoint and each is sorted independently, the output is bit-identical
+//! for every thread count. The pre-optimisation implementation is retained
+//! as [`treesort_reference`] (under `cfg(any(test, feature = "reference"))`)
+//! so differential oracles can check bit-identity forever.
 
+use optipart_mpisim::par;
 use optipart_sfc::{KeyedCell, MAX_DEPTH};
 
 /// Buckets below this size switch to a comparison sort — the standard MSD
@@ -20,12 +35,48 @@ use optipart_sfc::{KeyedCell, MAX_DEPTH};
 /// "local sort" constant-factor engineering every radix implementation does).
 const SMALL_CUTOFF: usize = 48;
 
+/// Buckets at or above this size fan their child-bucket recursions out over
+/// worker threads; smaller buckets recurse sequentially (thread spawn costs
+/// more than the sort). Exposed so boundary tests and corpus seeds can pin
+/// workloads just above/below the threshold.
+pub const PAR_CUTOFF: usize = 2048;
+
 /// Sorts cells into SFC order (ancestor-first) with TreeSort.
 ///
 /// Equivalent to `a.sort_unstable()` on keyed cells, but top-down by digit,
 /// which is what gives the *distributed* variant its induced partitions.
+/// Allocates one scratch buffer; use [`treesort_with_scratch`] to reuse a
+/// buffer across calls and make the steady state allocation-free.
 pub fn treesort<const D: usize>(a: &mut [KeyedCell<D>]) {
-    treesort_levels(a, 0, MAX_DEPTH);
+    let mut scratch = Vec::new();
+    treesort_scoped(a, &mut scratch, 0, MAX_DEPTH, par::num_threads());
+}
+
+/// [`treesort`] with an explicit thread budget (1 = fully sequential) —
+/// the output is bit-identical for every budget.
+pub fn treesort_threaded<const D: usize>(a: &mut [KeyedCell<D>], threads: usize) {
+    let mut scratch = Vec::new();
+    treesort_scoped(a, &mut scratch, 0, MAX_DEPTH, threads);
+}
+
+/// [`treesort`] reusing a caller-owned scratch buffer: grown to `a.len()`
+/// on first use, never shrunk — repeated sorts of same-or-smaller inputs
+/// allocate nothing.
+pub fn treesort_with_scratch<const D: usize>(
+    a: &mut [KeyedCell<D>],
+    scratch: &mut Vec<KeyedCell<D>>,
+) {
+    treesort_scoped(a, scratch, 0, MAX_DEPTH, par::num_threads());
+}
+
+/// Explicit thread budget *and* caller-owned scratch — the bench runner's
+/// allocation-free single-thread configuration.
+pub fn treesort_threaded_with_scratch<const D: usize>(
+    a: &mut [KeyedCell<D>],
+    scratch: &mut Vec<KeyedCell<D>>,
+    threads: usize,
+) {
+    treesort_scoped(a, scratch, 0, MAX_DEPTH, threads);
 }
 
 /// Sorts by digits in split levels `[l1, l2)` only — the
@@ -34,6 +85,19 @@ pub fn treesort<const D: usize>(a: &mut [KeyedCell<D>]) {
 ///
 /// Elements must already agree on digits above `l1` (they share a bucket).
 pub fn treesort_levels<const D: usize>(a: &mut [KeyedCell<D>], l1: u8, l2: u8) {
+    let mut scratch = Vec::new();
+    treesort_scoped(a, &mut scratch, l1, l2, par::num_threads());
+}
+
+/// Common entry: clamps levels, handles trivial sizes, sizes the scratch
+/// buffer, and starts the in-place/out-of-place ping-pong.
+fn treesort_scoped<const D: usize>(
+    a: &mut [KeyedCell<D>],
+    scratch: &mut Vec<KeyedCell<D>>,
+    l1: u8,
+    l2: u8,
+    threads: usize,
+) {
     let l2 = l2.min(MAX_DEPTH);
     if l1 >= l2 || a.len() <= 1 {
         return;
@@ -42,23 +106,174 @@ pub fn treesort_levels<const D: usize>(a: &mut [KeyedCell<D>], l1: u8, l2: u8) {
         a.sort_unstable();
         return;
     }
-    let nc = 1usize << D;
-    // Bucket 0 holds parked ancestors (cells at level ≤ l1); buckets
-    // 1..=2^D hold the curve-ordered children (Rh-permuted child numbers).
-    let nb = nc + 1;
-    let bucket_of = |kc: &KeyedCell<D>| -> usize {
-        if kc.key.level() <= l1 {
-            0
-        } else {
-            1 + kc.key.digit::<D>(l1)
-        }
-    };
+    if scratch.len() < a.len() {
+        scratch.resize(a.len(), a[0]);
+    }
+    let n = a.len();
+    sort_in_place(a, &mut scratch[..n], l1, l2, threads);
+}
 
-    // counts / scan / permute — lines 1–11 of Algorithm 1.
+/// Level-`l1` bucket index: 0 parks ancestors (cells at level ≤ `l1`),
+/// 1..=2^D are the curve-ordered children (Rh-permuted child numbers).
+#[inline]
+fn bucket_of<const D: usize>(kc: &KeyedCell<D>, l1: u8) -> usize {
+    if kc.key.level() <= l1 {
+        0
+    } else {
+        1 + kc.key.digit::<D>(l1)
+    }
+}
+
+/// counts / scan / stable scatter of `src` into `dst` by level-`l1` bucket —
+/// lines 1–11 of Algorithm 1. Returns the bucket offsets (`nb + 1` valid
+/// entries for `nb = 2^D + 1` buckets). Writes every position of `dst`.
+fn scatter<const D: usize>(src: &[KeyedCell<D>], dst: &mut [KeyedCell<D>], l1: u8) -> [usize; 10] {
+    let nb = (1usize << D) + 1;
     let mut counts = [0usize; 9]; // nb ≤ 9 for D ≤ 3
     debug_assert!(nb <= counts.len());
+    for kc in src {
+        counts[bucket_of(kc, l1)] += 1;
+    }
+    let mut offsets = [0usize; 10];
+    for i in 0..nb {
+        offsets[i + 1] = offsets[i] + counts[i];
+    }
+    let mut cursor = offsets;
+    for kc in src {
+        let b = bucket_of(kc, l1);
+        dst[cursor[b]] = *kc;
+        cursor[b] += 1;
+    }
+    offsets
+}
+
+/// Carves matching child-bucket sub-slice pairs out of `x` and `y` (both
+/// bucketed by the same `offsets`), skipping the parked-ancestor bucket 0
+/// and empty buckets.
+#[allow(clippy::type_complexity)]
+fn child_pairs<'s, K>(
+    x: &'s mut [K],
+    y: &'s mut [K],
+    offsets: &[usize; 10],
+    nb: usize,
+) -> Vec<(&'s mut [K], &'s mut [K])> {
+    let mut pairs = Vec::with_capacity(nb - 1);
+    let (_, mut rest_x) = x.split_at_mut(offsets[1]);
+    let (_, mut rest_y) = y.split_at_mut(offsets[1]);
+    let mut base = offsets[1];
+    for i in 1..nb {
+        let w = offsets[i + 1] - base;
+        let (hx, tx) = rest_x.split_at_mut(w);
+        let (hy, ty) = rest_y.split_at_mut(w);
+        if w > 0 {
+            pairs.push((hx, hy));
+        }
+        rest_x = tx;
+        rest_y = ty;
+        base = offsets[i + 1];
+    }
+    pairs
+}
+
+/// Sorts `a` using `scratch` as the scatter target: data is in `a` on entry
+/// *and* on exit. `a` and `scratch` have equal length.
+fn sort_in_place<const D: usize>(
+    a: &mut [KeyedCell<D>],
+    scratch: &mut [KeyedCell<D>],
+    l1: u8,
+    l2: u8,
+    threads: usize,
+) {
+    if l1 >= l2 || a.len() <= 1 {
+        return;
+    }
+    if a.len() <= SMALL_CUTOFF {
+        a.sort_unstable();
+        return;
+    }
+    let nb = (1usize << D) + 1;
+    let offsets = scatter(a, scratch, l1);
+    // Parked ancestors come home and order among themselves by (path, level).
+    a[offsets[0]..offsets[1]].copy_from_slice(&scratch[offsets[0]..offsets[1]]);
+    a[offsets[0]..offsets[1]].sort_unstable();
+    // Child buckets now live in `scratch`; each recursion sorts one back
+    // into its `a` slice (line 14 of Algorithm 1, roles swapped per level).
+    if threads > 1 && a.len() >= PAR_CUTOFF {
+        let mut pairs = child_pairs(scratch, a, &offsets, nb);
+        par::par_map_mut_n(threads, &mut pairs, |_, (src, dst)| {
+            sort_out_of_place(src, dst, l1 + 1, l2, 1);
+        });
+    } else {
+        // `a` and `scratch` are disjoint slices, so the child ranges can be
+        // indexed directly — the sequential path allocates nothing.
+        for i in 1..nb {
+            let (s, e) = (offsets[i], offsets[i + 1]);
+            if e > s {
+                sort_out_of_place(&mut scratch[s..e], &mut a[s..e], l1 + 1, l2, 1);
+            }
+        }
+    }
+}
+
+/// Sorts `src` into `dst` (equal lengths): data is in `src` on entry and in
+/// `dst` — fully written — on exit. `src` is clobbered (it becomes the
+/// deeper levels' scratch).
+fn sort_out_of_place<const D: usize>(
+    src: &mut [KeyedCell<D>],
+    dst: &mut [KeyedCell<D>],
+    l1: u8,
+    l2: u8,
+    threads: usize,
+) {
+    if l1 >= l2 || src.len() <= SMALL_CUTOFF {
+        dst.copy_from_slice(src);
+        if l1 < l2 && dst.len() > 1 {
+            dst.sort_unstable();
+        }
+        return;
+    }
+    let nb = (1usize << D) + 1;
+    let offsets = scatter(src, dst, l1);
+    dst[offsets[0]..offsets[1]].sort_unstable();
+    if threads > 1 && dst.len() >= PAR_CUTOFF {
+        let mut pairs = child_pairs(dst, src, &offsets, nb);
+        par::par_map_mut_n(threads, &mut pairs, |_, (a, scratch)| {
+            sort_in_place(a, scratch, l1 + 1, l2, 1);
+        });
+    } else {
+        for i in 1..nb {
+            let (s, e) = (offsets[i], offsets[i + 1]);
+            if e > s {
+                sort_in_place(&mut dst[s..e], &mut src[s..e], l1 + 1, l2, 1);
+            }
+        }
+    }
+}
+
+/// The pre-optimisation TreeSort, retained verbatim as the differential
+/// oracle's ground truth: per-recursion `to_vec()` scratch, sequential
+/// child recursion. The optimised sort must stay bit-identical to this.
+#[cfg(any(test, feature = "reference"))]
+pub fn treesort_reference<const D: usize>(a: &mut [KeyedCell<D>]) {
+    treesort_levels_reference(a, 0, MAX_DEPTH);
+}
+
+/// Level-windowed form of [`treesort_reference`].
+#[cfg(any(test, feature = "reference"))]
+pub fn treesort_levels_reference<const D: usize>(a: &mut [KeyedCell<D>], l1: u8, l2: u8) {
+    let l2 = l2.min(MAX_DEPTH);
+    if l1 >= l2 || a.len() <= 1 {
+        return;
+    }
+    if a.len() <= SMALL_CUTOFF {
+        a.sort_unstable();
+        return;
+    }
+    let nb = (1usize << D) + 1;
+    let mut counts = [0usize; 9];
+    debug_assert!(nb <= counts.len());
     for kc in a.iter() {
-        counts[bucket_of(kc)] += 1;
+        counts[bucket_of(kc, l1)] += 1;
     }
     let mut offsets = [0usize; 10];
     for i in 0..nb {
@@ -67,18 +282,14 @@ pub fn treesort_levels<const D: usize>(a: &mut [KeyedCell<D>], l1: u8, l2: u8) {
     let mut scratch = a.to_vec();
     let mut cursor = offsets;
     for kc in a.iter() {
-        let b = bucket_of(kc);
+        let b = bucket_of(kc, l1);
         scratch[cursor[b]] = *kc;
         cursor[b] += 1;
     }
     a.copy_from_slice(&scratch);
-
-    // Parked ancestors order among themselves by (path, level).
     a[offsets[0]..offsets[1]].sort_unstable();
-
-    // Recurse into child buckets — line 14.
     for i in 1..nb {
-        treesort_levels(&mut a[offsets[i]..offsets[i + 1]], l1 + 1, l2);
+        treesort_levels_reference(&mut a[offsets[i]..offsets[i + 1]], l1 + 1, l2);
     }
 }
 
@@ -86,6 +297,9 @@ pub fn treesort_levels<const D: usize>(a: &mut [KeyedCell<D>], l1: u8, l2: u8) {
 /// element index at which each level-`l` bucket starts. These are the
 /// partitions §3.2 trades against — coarser levels give fewer, chunkier
 /// buckets with smaller surface.
+///
+/// For a single level this scans once; when several levels are needed,
+/// [`LevelOffsets`] builds every table in one pass instead.
 pub fn bucket_offsets_at_level<const D: usize>(sorted: &[KeyedCell<D>], level: u8) -> Vec<usize> {
     let mut offsets = Vec::new();
     let mut prev: Option<u128> = None;
@@ -97,6 +311,62 @@ pub fn bucket_offsets_at_level<const D: usize>(sorted: &[KeyedCell<D>], level: u
         }
     }
     offsets
+}
+
+/// Bucket-offset tables for every level `0..=max_level` of a sorted array,
+/// built in **one pass** instead of one [`bucket_offsets_at_level`] rescan
+/// per level.
+///
+/// For each adjacent pair the XOR of the key paths locates the most
+/// significant differing digit; a bucket boundary exists at exactly the
+/// levels deep enough to see that digit. Keys store no digits below their
+/// own level (they are zero by construction), which makes the raw path XOR
+/// agree with the clamped `prefix(level)` comparison the per-level scan
+/// performs.
+#[derive(Clone, Debug)]
+pub struct LevelOffsets {
+    per_level: Vec<Vec<usize>>,
+}
+
+impl LevelOffsets {
+    /// Builds the tables for levels `0..=max_level` of `sorted`.
+    pub fn build<const D: usize>(sorted: &[KeyedCell<D>], max_level: u8) -> LevelOffsets {
+        let max_level = max_level.min(MAX_DEPTH) as usize;
+        let mut per_level: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+        if sorted.is_empty() {
+            return LevelOffsets { per_level };
+        }
+        for table in per_level.iter_mut() {
+            table.push(0);
+        }
+        for i in 1..sorted.len() {
+            let z = sorted[i - 1].key.path() ^ sorted[i].key.path();
+            if z == 0 {
+                continue;
+            }
+            // Highest differing bit hb lies in the digit of level
+            // `MAX_DEPTH − 1 − hb/D`; every level below (numerically ≥
+            // `MAX_DEPTH − hb/D`... i.e. deep enough that its prefix
+            // includes that digit) starts a new bucket here.
+            let hb = 127 - z.leading_zeros() as usize;
+            let l_min = MAX_DEPTH as usize - hb / D;
+            for table in per_level.iter_mut().skip(l_min) {
+                table.push(i);
+            }
+        }
+        LevelOffsets { per_level }
+    }
+
+    /// The deepest level a table was built for.
+    pub fn max_level(&self) -> u8 {
+        (self.per_level.len() - 1) as u8
+    }
+
+    /// The offset table for `level` — identical to
+    /// `bucket_offsets_at_level(sorted, level)`.
+    pub fn at(&self, level: u8) -> &[usize] {
+        &self.per_level[level as usize]
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +396,69 @@ mod tests {
                 assert_eq!(a, expected, "{curve} seed {seed}");
             }
         }
+    }
+
+    #[test]
+    fn treesort_is_bit_identical_to_reference() {
+        for curve in Curve::ALL {
+            for seed in [1u64, 7, 42] {
+                // Above PAR_CUTOFF so the parallel fan-out actually runs.
+                let base = shuffled_mesh(4000, seed, curve);
+                let mut expected = base.clone();
+                treesort_levels_reference(&mut expected, 0, MAX_DEPTH);
+                for threads in [1usize, 2, 4] {
+                    let mut a = base.clone();
+                    treesort_threaded(&mut a, threads);
+                    assert_eq!(a, expected, "{curve} seed {seed} threads {threads}");
+                }
+                let mut a = base.clone();
+                let mut scratch = Vec::new();
+                treesort_with_scratch(&mut a, &mut scratch);
+                assert_eq!(a, expected, "{curve} seed {seed} with_scratch");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_levels_match_reference() {
+        // Sort each level-l1 prefix group with both implementations; the
+        // windowed sorts must stay bit-identical too.
+        for (l1, l2) in [(0u8, 2u8), (0, 5), (1, 3), (2, MAX_DEPTH)] {
+            let mut a = shuffled_mesh(900, 17, Curve::Hilbert);
+            treesort_levels(&mut a, 0, l1); // establish the l1-prefix grouping
+            let mut expected = a.clone();
+            let groups = level_groups(&a, l1);
+            for w in &groups {
+                treesort_levels_reference(&mut expected[w.clone()], l1, l2);
+            }
+            for w in &groups {
+                treesort_levels(&mut a[w.clone()], l1, l2);
+            }
+            assert_eq!(a, expected, "levels [{l1}, {l2})");
+        }
+    }
+
+    fn level_groups<const D: usize>(a: &[KeyedCell<D>], l1: u8) -> Vec<std::ops::Range<usize>> {
+        let offs = bucket_offsets_at_level(a, l1);
+        (0..offs.len())
+            .map(|i| offs[i]..offs.get(i + 1).copied().unwrap_or(a.len()))
+            .collect()
+    }
+
+    #[test]
+    fn scratch_reuse_is_allocation_free_shape() {
+        // Behavioural proxy for allocation-freedom (the counting allocator
+        // lives in the bench binary): the scratch vec keeps its capacity
+        // and the sort result is unchanged across reuses.
+        let mut scratch = Vec::new();
+        for seed in [3u64, 4, 5] {
+            let mut a = shuffled_mesh(1200, seed, Curve::Morton);
+            let mut expected = a.clone();
+            expected.sort_unstable();
+            treesort_with_scratch(&mut a, &mut scratch);
+            assert_eq!(a, expected, "seed {seed}");
+        }
+        assert!(scratch.capacity() >= 1);
     }
 
     #[test]
@@ -187,6 +520,44 @@ mod tests {
                 assert!(offs.len() >= prev.len());
             }
         }
+    }
+
+    #[test]
+    fn level_offsets_table_matches_per_level_scans() {
+        for (n, seed, curve) in [(600, 4, Curve::Hilbert), (900, 11, Curve::Morton)] {
+            let mut a = shuffled_mesh(n, seed, curve);
+            treesort(&mut a);
+            let table = LevelOffsets::build(&a, 8);
+            assert_eq!(table.max_level(), 8);
+            for level in 0..=8u8 {
+                assert_eq!(
+                    table.at(level),
+                    bucket_offsets_at_level(&a, level).as_slice(),
+                    "level {level} seed {seed}"
+                );
+            }
+        }
+        // Mixed-level input with parked ancestors.
+        let parent = Cell3::new([1 << 29, 0, 0], 3);
+        let mut cells = vec![parent];
+        for c in parent.children() {
+            cells.push(c);
+            for g in c.children() {
+                cells.push(g);
+            }
+        }
+        let mut keyed = KeyedCell::key_all(&cells, Curve::Hilbert);
+        treesort(&mut keyed);
+        let table = LevelOffsets::build(&keyed, 6);
+        for level in 0..=6u8 {
+            assert_eq!(
+                table.at(level),
+                bucket_offsets_at_level(&keyed, level).as_slice(),
+                "ancestors level {level}"
+            );
+        }
+        let empty: Vec<KeyedCell<3>> = vec![];
+        assert!(LevelOffsets::build(&empty, 3).at(2).is_empty());
     }
 
     #[test]

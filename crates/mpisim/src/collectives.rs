@@ -247,7 +247,7 @@ impl Engine {
     /// Records the communication matrix when enabled.
     pub fn alltoallv<T: Send>(
         &mut self,
-        mut send: Vec<Vec<Vec<T>>>,
+        send: Vec<Vec<Vec<T>>>,
         algo: AllToAllAlgo,
     ) -> Vec<Vec<Vec<T>>> {
         let p = self.p;
@@ -294,19 +294,14 @@ impl Engine {
                 .collect()
         });
 
-        // Data movement: recv[dst][src] = send[src][dst].
+        // Data movement: recv[dst][src] = send[src][dst]. Iterating rows in
+        // ascending src order fills every recv row in src order directly —
+        // no reversal pass, no intermediate shuffling.
         let mut recv: Vec<Vec<Vec<T>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-        for src in (0..p).rev() {
-            let row = send.pop().expect("row count checked above");
+        for row in send {
             for (dst, buf) in row.into_iter().enumerate() {
-                // Insert at the front in src order; build reversed then fix.
                 recv[dst].push(buf);
-                let _ = src;
             }
-        }
-        // Rows were filled src = p-1 .. 0; restore ascending src order.
-        for row in &mut recv {
-            row.reverse();
         }
 
         if let Some(expected) = expected {
@@ -459,21 +454,45 @@ impl Engine {
         algo: AllToAllAlgo,
     ) -> Vec<Vec<T>> {
         let p = self.p;
+        // Two-pass staging: count per destination first, then scatter into
+        // exact-capacity buffers. The routing scratch (`dests`, the sparse
+        // `slot`/`counts` maps) is reused across rows and reset only at the
+        // destinations a row touched, so per-round allocation is one
+        // right-sized Vec per non-empty (src, dst) pair — no binary-search
+        // inserts, no growth reallocations.
+        let mut dests: Vec<usize> = Vec::new();
+        let mut touched: Vec<usize> = Vec::new();
+        let mut counts = vec![0usize; p];
+        let mut slot = vec![usize::MAX; p];
         let sparse: Vec<Vec<(usize, Vec<T>)>> = send
             .into_iter()
             .enumerate()
             .map(|(src, local)| {
-                // Bucket via a destination-indexed map kept sorted; most
-                // ranks talk to a handful of destinations.
-                let mut row: Vec<(usize, Vec<T>)> = Vec::new();
-                for item in local {
-                    let d = dest(src, &item);
+                dests.clear();
+                dests.reserve(local.len());
+                for item in &local {
+                    let d = dest(src, item);
                     debug_assert!(d < p, "destination {d} out of range");
-                    match row.binary_search_by_key(&d, |(k, _)| *k) {
-                        Ok(i) => row[i].1.push(item),
-                        Err(i) => row.insert(i, (d, vec![item])),
+                    if counts[d] == 0 {
+                        touched.push(d);
                     }
+                    counts[d] += 1;
+                    dests.push(d);
                 }
+                touched.sort_unstable();
+                let mut row: Vec<(usize, Vec<T>)> = Vec::with_capacity(touched.len());
+                for (i, &d) in touched.iter().enumerate() {
+                    slot[d] = i;
+                    row.push((d, Vec::with_capacity(counts[d])));
+                }
+                for (item, &d) in local.into_iter().zip(&dests) {
+                    row[slot[d]].1.push(item);
+                }
+                for &d in &touched {
+                    counts[d] = 0;
+                    slot[d] = usize::MAX;
+                }
+                touched.clear();
                 row
             })
             .collect();

@@ -40,8 +40,20 @@ where
     R: Send,
     F: Fn(usize, &mut T) -> R + Sync,
 {
+    par_map_mut_n(num_threads(), items, f)
+}
+
+/// [`par_map_mut`] with an explicit thread budget instead of the
+/// `RAYON_NUM_THREADS` default — lets callers (and thread-invariance tests)
+/// pin the fan-out without mutating process-global environment.
+pub fn par_map_mut_n<T, R, F>(threads: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
     let len = items.len();
-    let ranges = chunk_ranges(len, num_threads());
+    let ranges = chunk_ranges(len, threads.max(1));
     if ranges.len() <= 1 {
         return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
     }
@@ -203,6 +215,25 @@ mod tests {
         let mut one = vec![7u8];
         assert_eq!(par_map_mut(&mut one, |i, x| (i, *x)), vec![(0, 7)]);
         assert!(par_map_indices(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn explicit_thread_budget_is_invariant() {
+        let base: Vec<u64> = (0..513).collect();
+        let mut expect = base.clone();
+        let seq = par_map_mut_n(1, &mut expect, |i, x| {
+            *x = x.wrapping_mul(31).wrapping_add(i as u64);
+            *x ^ 0x9E37
+        });
+        for threads in [2usize, 3, 4, 16] {
+            let mut v = base.clone();
+            let out = par_map_mut_n(threads, &mut v, |i, x| {
+                *x = x.wrapping_mul(31).wrapping_add(i as u64);
+                *x ^ 0x9E37
+            });
+            assert_eq!(out, seq, "{threads} threads: results diverge");
+            assert_eq!(v, expect, "{threads} threads: mutations diverge");
+        }
     }
 
     #[test]

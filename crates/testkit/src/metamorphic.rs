@@ -19,13 +19,20 @@
 //!   induces bit-identical OptiPart decisions with every predicted and
 //!   measured time scaled exactly, down to the trace attribution's byte
 //!   counters.
+//! * [`thread_count_invariance`] — the worker-thread budget is a pure
+//!   execution detail: TreeSort and the fork–join primitive underneath the
+//!   engine produce bit-identical output at 1 and 4 threads (the CI
+//!   determinism matrix additionally runs the whole suite under both
+//!   `RAYON_NUM_THREADS` values).
 
 use crate::scenario::{MeshShape, NamedCheck, Scenario};
 use crate::{tk_assert, tk_assert_eq};
 use optipart_core::metrics::{assignment, communication_matrix};
 use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
 use optipart_core::quality::partition_quality;
+use optipart_core::treesort::treesort_threaded;
 use optipart_core::{optipart, OptiPartOptions};
+use optipart_mpisim::par::par_map_mut_n;
 use optipart_mpisim::rng::SplitMix64;
 use optipart_mpisim::{DistVec, Engine};
 use optipart_sfc::{KeyedCell, SfcKey};
@@ -36,6 +43,7 @@ pub const PROPERTIES: &[NamedCheck] = &[
     ("duplication-robustness", duplication_robustness),
     ("tolerance-monotonicity", tolerance_monotonicity),
     ("scale-invariance", scale_invariance),
+    ("thread-count-invariance", thread_count_invariance),
 ];
 
 /// Shuffles `leaves` and cuts them into `p` ragged (possibly empty) rank
@@ -208,6 +216,69 @@ pub fn tolerance_monotonicity(scn: &Scenario) {
             );
             floor = floor.min(w as f64);
         }
+    }
+}
+
+/// The thread budget must never leak into results. Checked with *explicit*
+/// budgets (`par_map_mut_n`, [`treesort_threaded`]) so the property is
+/// deterministic regardless of the environment the test runs under; the CI
+/// determinism matrix covers the `RAYON_NUM_THREADS` env path by running
+/// the whole tier-1 suite at 1 and 4 threads.
+pub fn thread_count_invariance(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let mut cells: Vec<KeyedCell<3>> = tree.leaves().to_vec();
+    if cells.is_empty() {
+        return;
+    }
+    SplitMix64::new(scn.shuffle_seed(15)).shuffle(&mut cells);
+    // Tile past the parallel-recursion cutoff so the multi-threaded sort
+    // actually fans out (fuzz meshes alone stay below it).
+    while cells.len() <= optipart_core::treesort::PAR_CUTOFF {
+        let copy = cells.clone();
+        cells.extend_from_slice(&copy);
+    }
+    let mut expected = cells.clone();
+    treesort_threaded(&mut expected, 1);
+    for threads in [2usize, 4] {
+        let mut a = cells.clone();
+        treesort_threaded(&mut a, threads);
+        tk_assert!(
+            scn,
+            a == expected,
+            "treesort output changed between 1 and {threads} threads ({} cells)",
+            cells.len()
+        );
+    }
+    // The fork–join primitive the engine's compute phases are built on:
+    // per-rank buffers mutated under different budgets must stitch back
+    // bit-identically.
+    let buffers: Vec<Vec<u64>> = (0..scn.p)
+        .map(|r| (0..64).map(|i| (r * 1000 + i) as u64).collect())
+        .collect();
+    let mut expected_buffers = buffers.clone();
+    let expected_sums = par_map_mut_n(1, &mut expected_buffers, |i, buf| {
+        buf.iter_mut()
+            .for_each(|x| *x = x.wrapping_mul(31) ^ i as u64);
+        buf.iter().fold(0u64, |a, &x| a.wrapping_add(x))
+    });
+    for threads in [2usize, 4] {
+        let mut b = buffers.clone();
+        let sums = par_map_mut_n(threads, &mut b, |i, buf| {
+            buf.iter_mut()
+                .for_each(|x| *x = x.wrapping_mul(31) ^ i as u64);
+            buf.iter().fold(0u64, |a, &x| a.wrapping_add(x))
+        });
+        tk_assert_eq!(
+            scn,
+            &sums,
+            &expected_sums,
+            "par_map_mut_n results changed at {threads} threads"
+        );
+        tk_assert!(
+            scn,
+            b == expected_buffers,
+            "par_map_mut_n mutations changed at {threads} threads"
+        );
     }
 }
 

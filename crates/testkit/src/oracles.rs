@@ -7,6 +7,7 @@
 //! | [`optipart_bruteforce`] | OptiPart's stopping point minimises Eq. (3) (Alg. 3) | brute-force sweep over the induced tolerance grid |
 //! | [`samplesort_equivalence`] | SampleSort ≡ TreeSort as a sorting network (§5.2) | multiset/order equality of outputs |
 //! | [`fault_recovery`] | faults never corrupt data; fail-stop recovery is exact | fault-free runs of the same scenario |
+//! | [`treesort_optimized`] | the ping-pong/parallel TreeSort is a pure optimisation | bit-identity vs the retained `treesort_reference` |
 //!
 //! All failures panic through [`tk_assert!`], so the message always carries
 //! the scenario and its one-line replay command.
@@ -19,7 +20,10 @@ use optipart_core::partition::{
 use optipart_core::quality::partition_quality;
 use optipart_core::samplesort::{samplesort_partition, SampleSortOptions};
 use optipart_core::threaded::threaded_treesort_partition;
-use optipart_core::treesort::treesort;
+use optipart_core::treesort::{
+    treesort, treesort_levels, treesort_levels_reference, treesort_reference, treesort_threaded,
+    treesort_with_scratch, PAR_CUTOFF,
+};
 use optipart_core::{optipart, OptiPartOptions};
 use optipart_fem::{run_matvec_ft, DistMesh};
 use optipart_mpisim::rng::SplitMix64;
@@ -33,7 +37,65 @@ pub const ORACLES: &[NamedCheck] = &[
     ("optipart-bruteforce", optipart_bruteforce),
     ("samplesort-equivalence", samplesort_equivalence),
     ("fault-recovery", fault_recovery),
+    ("treesort-optimized", treesort_optimized),
 ];
+
+/// **Oracle 5 — optimised TreeSort vs retained reference.** The hot-path
+/// rework (single ping-pong scratch, parallel child-bucket recursion,
+/// small-sort cutoffs) must be a *pure* optimisation: every public entry
+/// point produces output bit-identical to the pre-optimisation
+/// implementation retained as `treesort_reference`.
+///
+/// Fuzz-scale meshes sit below [`PAR_CUTOFF`], so the scenario's shuffled
+/// leaves are additionally tiled just past the cutoff — the parallel
+/// fan-out and its boundary both run on every scenario.
+pub fn treesort_optimized(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let mut base: Vec<KeyedCell<3>> = tree.leaves().to_vec();
+    if base.is_empty() {
+        return;
+    }
+    SplitMix64::new(scn.shuffle_seed(14)).shuffle(&mut base);
+    let mut tiled = base.clone();
+    while tiled.len() <= PAR_CUTOFF {
+        tiled.extend_from_slice(&base);
+    }
+    for (what, input) in [("raw", &base), ("tiled", &tiled)] {
+        let mut expected = input.clone();
+        treesort_reference(&mut expected);
+        for threads in [1usize, 4] {
+            let mut a = input.clone();
+            treesort_threaded(&mut a, threads);
+            tk_assert!(
+                scn,
+                a == expected,
+                "{what} input ({} cells): treesort_threaded({threads}) diverged from reference",
+                input.len()
+            );
+        }
+        let mut a = input.clone();
+        let mut scratch = Vec::new();
+        treesort_with_scratch(&mut a, &mut scratch);
+        tk_assert!(
+            scn,
+            a == expected,
+            "{what} input: treesort_with_scratch diverged from reference"
+        );
+        // Windowed partial sorts must match too (the distributed variant
+        // sorts level ranges).
+        for (l1, l2) in [(0u8, 3u8), (0, 6)] {
+            let mut a = input.clone();
+            treesort_levels(&mut a, l1, l2);
+            let mut b = input.clone();
+            treesort_levels_reference(&mut b, l1, l2);
+            tk_assert!(
+                scn,
+                a == b,
+                "{what} input: treesort_levels([{l1}, {l2})) diverged from reference"
+            );
+        }
+    }
+}
 
 /// The globally SFC-sorted leaf multiset — the ground-truth output of every
 /// partitioner on `tree`.

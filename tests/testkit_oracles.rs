@@ -4,9 +4,9 @@
 //! handful — all deterministic, all reporting a copy-pastable
 //! `testkit replay` command on failure.
 //!
-//! Each sweep uses its own seed stream (`mix(stream + i)`), so the four
-//! oracles cover four disjoint slices of the scenario space rather than
-//! re-checking the same 100 meshes four times.
+//! Each sweep uses its own seed stream (`mix(stream + i)`), so every
+//! oracle covers its own disjoint slice of the scenario space rather than
+//! re-checking the same 100 meshes each time.
 
 use optipart_testkit::mpisim::rng::mix;
 use optipart_testkit::scenario::Scenario;
@@ -46,6 +46,15 @@ fn oracle_fault_recovery() {
     sweep(oracles::fault_recovery, 0x0175_0004, 100);
 }
 
+/// Oracle 5: the ping-pong/parallel TreeSort is bit-identical to the
+/// retained pre-optimisation reference, across thread budgets, scratch
+/// reuse and windowed level sorts — including inputs tiled past the
+/// parallel-recursion cutoff.
+#[test]
+fn oracle_treesort_optimized() {
+    sweep(oracles::treesort_optimized, 0x0175_0005, 100);
+}
+
 /// Metamorphic: splitters ignore the input's distribution across ranks.
 #[test]
 fn property_permutation_invariance() {
@@ -71,6 +80,13 @@ fn property_tolerance_monotonicity() {
 #[test]
 fn property_scale_invariance() {
     sweep(metamorphic::scale_invariance, 0x0175_0014, 50);
+}
+
+/// Metamorphic: TreeSort and the engine's fork–join primitive produce
+/// bit-identical output for every explicit worker-thread budget.
+#[test]
+fn property_thread_count_invariance() {
+    sweep(metamorphic::thread_count_invariance, 0x0175_0015, 50);
 }
 
 /// Whole stack: faulted + checkpointed + traced AMR, deterministic twice
