@@ -112,6 +112,11 @@ fn cmd_run(args: &[String]) -> i32 {
             derived.insert("treesort_parallel_speedup".to_string(), seq / par_t);
         }
     }
+    if let (Some(warm), Some(cold)) = (ns_of("optipart_amr_loop_warm"), ns_of("optipart_ladder")) {
+        if warm > 0.0 {
+            derived.insert("optipart_warm_amortized_speedup".to_string(), cold / warm);
+        }
+    }
 
     let report = Report {
         schema: Report::SCHEMA.into(),

@@ -32,7 +32,10 @@ pub mod threaded;
 pub mod treesort;
 
 pub use histogramsort::histogramsort_partition;
-pub use optipart::{optipart, optipart_survivors, OptiPartOptions};
+pub use optipart::{
+    optipart, optipart_survivors, optipart_survivors_with_state, optipart_with_state,
+    OptiPartOptions, PartitionState, WarmStats,
+};
 pub use partition::{
     distribute_shuffled, distribute_tree, treesort_partition, treesort_partition_weighted,
     PartitionOptions, PartitionOutcome, PartitionReport,

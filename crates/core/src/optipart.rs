@@ -10,13 +10,35 @@
 //! right" (Fig. 10) — and stops exactly where predicted time turns upward,
 //! without the user guessing a tolerance.
 
+//!
+//! # Warm start across AMR steps
+//!
+//! Successive AMR steps differ only near the refinement front, yet the cold
+//! ladder re-pays its full search cost every step. [`optipart_with_state`]
+//! resumes from a [`PartitionState`] instead:
+//!
+//! * **exact hit** — the `(mesh signature, machine model, α, options)`
+//!   fingerprint matches a cached entry: the ladder is skipped entirely and
+//!   the cached splitters drive the (always live) exchange;
+//! * **replay** — same configuration, changed mesh: the ladder re-runs, but
+//!   child-count queries are served from a `CountTable` built by recounting
+//!   the previous run's bucket tiling on the *current* mesh (via
+//!   [`crate::treesort::bucket_populations`]' `LevelOffsets` jump tables),
+//!   so only buckets under the moved front pay live count passes. Identical
+//!   counts imply identical ladder decisions, so the result is bit-identical
+//!   to a cold run;
+//! * **cold** — no usable entry, a failed payload self-check, or a rank
+//!   count changed by shrink recovery: the stale state is dropped and the
+//!   cold path runs, byte-for-byte the same as [`optipart`].
+
 use crate::partition::{
-    exchange_and_sort, PartitionOutcome, PartitionReport, SplitterSearch, PHASE_REFINE,
+    exchange_and_sort, CountTable, PartitionOutcome, PartitionReport, SplitterSearch, PHASE_REFINE,
     PHASE_SPLITTER,
 };
 use crate::quality::{partition_quality, Quality};
+use crate::treesort::bucket_populations;
 use optipart_mpisim::{AllToAllAlgo, DistVec, Engine};
-use optipart_sfc::{Curve, KeyedCell, MAX_DEPTH};
+use optipart_sfc::{Curve, KeyedCell, SfcKey, MAX_DEPTH};
 
 /// Options for OptiPart.
 #[derive(Clone, Copy, Debug)]
@@ -92,9 +114,27 @@ impl OptiPartOptions {
 /// partitions differently (the paper's central point).
 pub fn optipart<const D: usize>(
     engine: &mut Engine,
-    mut dist: DistVec<KeyedCell<D>>,
+    dist: DistVec<KeyedCell<D>>,
     opts: OptiPartOptions,
 ) -> PartitionOutcome<D> {
+    optipart_run(engine, dist, opts, None).0
+}
+
+/// The tolerance-ladder body shared by the cold path and the warm replay.
+///
+/// With `table = None` this **is** the cold [`optipart`], charge-for-charge
+/// and decision-for-decision. With a [`CountTable`] (holding the previous
+/// bucket tiling recounted on the current mesh) each refinement round asks
+/// the table first and only counts live below its resolution — identical
+/// counts, identical trajectory, cheaper clocks. Also returns the final
+/// bucket tiling `(path, level, count)` so the caller can cache it.
+#[allow(clippy::type_complexity)]
+fn optipart_run<const D: usize>(
+    engine: &mut Engine,
+    mut dist: DistVec<KeyedCell<D>>,
+    opts: OptiPartOptions,
+    table: Option<&CountTable>,
+) -> (PartitionOutcome<D>, Vec<(u128, u8, u64)>) {
     let p = engine.p();
     let (search, splitters, achieved, quality) = engine.phase(PHASE_SPLITTER, |engine| {
         let mut search = SplitterSearch::new(engine, &dist);
@@ -152,7 +192,10 @@ pub fn optipart<const D: usize>(
                     split.truncate((k / (1 << D)).max(1));
                 }
                 let t_refine = engine.makespan();
-                engine.phase(PHASE_REFINE, |e| search.refine_round(e, &mut dist, &split));
+                engine.phase(PHASE_REFINE, |e| match table {
+                    Some(t) => search.refine_round_warm(e, &mut dist, &split, t),
+                    None => search.refine_round(e, &mut dist, &split),
+                });
                 pending_cost += engine.makespan() - t_refine;
             }
             let (cand, cand_tol) = search.choose_splitters(p);
@@ -231,13 +274,19 @@ pub fn optipart<const D: usize>(
         (search, splitters, achieved, current)
     });
 
+    let leaves: Vec<(u128, u8, u64)> = search
+        .buckets
+        .iter()
+        .map(|b| (b.path, b.level, b.count))
+        .collect();
+
     // Line 22–23: staged all-to-all + local TreeSort.
     let out = exchange_and_sort(engine, dist, &splitters, opts.alltoall);
 
     let counts: Vec<u64> = out.counts().iter().map(|&c| c as u64).collect();
     let lambda = out.load_imbalance();
     let wmax = out.wmax() as u64;
-    PartitionOutcome {
+    let outcome = PartitionOutcome {
         dist: out,
         splitters,
         report: PartitionReport {
@@ -250,7 +299,420 @@ pub fn optipart<const D: usize>(
             cmax: quality.cmax,
             predicted_tp: quality.tp,
         },
+    };
+    (outcome, leaves)
+}
+
+/// SplitMix64-style finaliser used by the mesh signature and fingerprints.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-independent global mesh signature plus the global element count.
+///
+/// Each element contributes `mix64` of its key, folded with a wrapping sum
+/// — commutative, so a permuted or differently-distributed copy of the same
+/// mesh fingerprints identically, and (unlike XOR) duplicated elements do
+/// not cancel out. One pass over the local data plus one scalar all-reduce;
+/// a real MPI implementation folds the signature word in the same
+/// reduction (wrapping sum == `MPI_SUM` on `uint64`), so only the count
+/// all-reduce is charged to the clocks here.
+fn mesh_signature<const D: usize>(
+    engine: &mut Engine,
+    dist: &mut DistVec<KeyedCell<D>>,
+) -> (u64, u64) {
+    let elem_bytes = std::mem::size_of::<KeyedCell<D>>() as f64;
+    let local: Vec<(u64, u64)> = engine.compute_map(dist, |_r, buf| {
+        let mut sig = 0u64;
+        for kc in buf.iter() {
+            let path = kc.key.path();
+            let h = (path as u64)
+                ^ ((path >> 64) as u64).rotate_left(23)
+                ^ ((kc.key.level() as u64) << 56);
+            sig = sig.wrapping_add(mix64(h));
+        }
+        (buf.len() as f64 * elem_bytes, (sig, buf.len() as u64))
+    });
+    let counts: Vec<u64> = local.iter().map(|&(_, c)| c).collect();
+    let n = engine.allreduce_sum_u64(&counts);
+    let sig = local.iter().fold(0u64, |acc, &(s, _)| acc.wrapping_add(s));
+    (sig, n)
+}
+
+/// What must match for a cached entry to be trusted: the mesh (signature +
+/// count), the rank count, the machine/application model, and every option
+/// that steers the ladder. The all-to-all schedule is deliberately left out
+/// — it only shapes the exchange, which always runs live.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Fingerprint {
+    mesh_sig: u64,
+    n: u64,
+    p: u64,
+    model_sig: u64,
+    opts_sig: u64,
+}
+
+impl Fingerprint {
+    /// Same machine, application, rank count and ladder options — the
+    /// precondition for replaying the ladder on a *different* mesh.
+    fn config_matches(&self, other: &Fingerprint) -> bool {
+        self.p == other.p && self.model_sig == other.model_sig && self.opts_sig == other.opts_sig
     }
+}
+
+fn fingerprint(engine: &Engine, mesh_sig: u64, n: u64, opts: &OptiPartOptions) -> Fingerprint {
+    let perf = engine.perf();
+    let mut model = 0u64;
+    for bits in [
+        perf.machine.tc.to_bits(),
+        perf.machine.ts.to_bits(),
+        perf.machine.tw.to_bits(),
+        perf.machine.ranks_per_node as u64,
+        perf.app.alpha.to_bits(),
+        perf.app.elem_bytes.to_bits(),
+    ] {
+        model = mix64(model ^ bits);
+    }
+    let mut o = 0u64;
+    for v in [
+        opts.curve as u64,
+        opts.max_split_per_round.map_or(u64::MAX, |k| k as u64),
+        opts.max_level as u64,
+        opts.max_tolerance.to_bits(),
+        opts.latency_aware as u64,
+        opts.patience as u64,
+    ] {
+        o = mix64(o ^ v);
+    }
+    Fingerprint {
+        mesh_sig,
+        n,
+        p: engine.p() as u64,
+        model_sig: model,
+        opts_sig: o,
+    }
+}
+
+/// One cached partition: the fingerprint it was computed under, everything
+/// needed to reproduce the cold report on an exact hit, the final bucket
+/// tiling (the replay's [`CountTable`] skeleton), and a payload self-check
+/// signature so corruption is detected rather than trusted.
+#[derive(Clone, Debug)]
+struct StateEntry {
+    fp: Fingerprint,
+    splitters: Vec<SfcKey>,
+    achieved: f64,
+    rounds: usize,
+    splitter_level: u8,
+    cmax: u64,
+    predicted_tp: f64,
+    leaves: Vec<(u128, u8, u64)>,
+    payload_sig: u64,
+}
+
+impl StateEntry {
+    fn compute_payload_sig(&self) -> u64 {
+        let mut h = mix64(self.fp.mesh_sig ^ self.fp.opts_sig.rotate_left(32));
+        for s in &self.splitters {
+            h = mix64(h ^ (s.path() as u64));
+            h = mix64(h ^ ((s.path() >> 64) as u64) ^ ((s.level() as u64) << 32));
+        }
+        for &(path, level, count) in &self.leaves {
+            h = mix64(h ^ (path as u64) ^ ((path >> 64) as u64).rotate_left(17));
+            h = mix64(h ^ count ^ ((level as u64) << 48));
+        }
+        h = mix64(h ^ self.achieved.to_bits());
+        h = mix64(h ^ self.rounds as u64);
+        h = mix64(h ^ self.splitter_level as u64);
+        h = mix64(h ^ self.cmax);
+        h = mix64(h ^ self.predicted_tp.to_bits());
+        h
+    }
+
+    fn payload_ok(&self) -> bool {
+        self.payload_sig == self.compute_payload_sig()
+    }
+}
+
+fn entry_from<const D: usize>(
+    fp: Fingerprint,
+    outcome: &PartitionOutcome<D>,
+    leaves: Vec<(u128, u8, u64)>,
+) -> StateEntry {
+    let mut e = StateEntry {
+        fp,
+        splitters: outcome.splitters.clone(),
+        achieved: outcome.report.achieved_tolerance,
+        rounds: outcome.report.rounds,
+        splitter_level: outcome.report.splitter_level,
+        cmax: outcome.report.cmax,
+        predicted_tp: outcome.report.predicted_tp,
+        leaves,
+        payload_sig: 0,
+    };
+    e.payload_sig = e.compute_payload_sig();
+    e
+}
+
+/// Warm/cold decision counters accumulated by a [`PartitionState`] over its
+/// lifetime — surfaced on the AMR reports so tests (and the trace) can pin
+/// exactly which path every step took.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WarmStats {
+    /// Exact fingerprint hits — the ladder was skipped entirely.
+    pub hits: u64,
+    /// Same-configuration replays on a changed mesh (table-accelerated).
+    pub replays: u64,
+    /// Cold runs (no usable entry, or warm-start not applicable).
+    pub colds: u64,
+    /// Entries dropped by the payload self-check (corruption detected).
+    pub rejected: u64,
+    /// Entries dropped because the rank count changed (shrink recovery).
+    pub invalidated: u64,
+}
+
+/// Most recent entries kept per state; old meshes fall off the end. Sized
+/// to comfortably cover the repeating scenario sets of a soak or service
+/// loop (the bench kernel cycles 10 meshes).
+const STATE_CAP: usize = 16;
+
+/// Reusable warm-start state for [`optipart_with_state`]: a small FIFO of
+/// fingerprinted past partitions. Cheap to clone, checkpointable (see the
+/// `Replicated` wrapper in `optipart-mpisim`), and safe by construction —
+/// a stale, foreign or corrupted state can cost at most one cold run.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionState {
+    entries: Vec<StateEntry>,
+    /// Decision counters (monotone; survive [`PartitionState::clear`]).
+    pub stats: WarmStats,
+}
+
+impl PartitionState {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every cached entry (the counters are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of cached partitions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate in-memory footprint, for checkpoint byte accounting.
+    pub fn footprint_bytes(&self) -> u64 {
+        let per_entry: u64 = self
+            .entries
+            .iter()
+            .map(|e| {
+                (std::mem::size_of::<StateEntry>()
+                    + e.splitters.len() * std::mem::size_of::<SfcKey>()
+                    + e.leaves.len() * std::mem::size_of::<(u128, u8, u64)>())
+                    as u64
+            })
+            .sum();
+        std::mem::size_of::<Self>() as u64 + per_entry
+    }
+
+    /// Test hook: silently corrupt the most recent entry **without**
+    /// updating its payload signature — the tamper the self-check must
+    /// catch. Returns false when there is nothing to corrupt.
+    pub fn corrupt_for_test(&mut self) -> bool {
+        match self.entries.last_mut() {
+            Some(e) => {
+                match e.splitters.first_mut() {
+                    Some(s) => *s = SfcKey::from_parts(s.path() ^ 1, s.level()),
+                    None => e.cmax ^= 1,
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops entries fingerprinted under a different rank count — the
+    /// shrink-recovery invalidation. Returns how many were dropped.
+    fn prune_stale(&mut self, p: usize) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.fp.p == p as u64);
+        before - self.entries.len()
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the oldest past the cap.
+    fn store(&mut self, entry: StateEntry) {
+        self.entries.retain(|e| e.fp != entry.fp);
+        self.entries.push(entry);
+        if self.entries.len() > STATE_CAP {
+            let excess = self.entries.len() - STATE_CAP;
+            self.entries.drain(..excess);
+        }
+    }
+}
+
+/// Recounts a previous run's bucket tiling on the current mesh: one local
+/// pass over the sorted data (via the `LevelOffsets` jump tables) plus one
+/// vector all-reduce. Returns the resulting [`CountTable`] and the number
+/// of leaves whose population changed since the cached run — the size of
+/// the refinement-front diff.
+fn recount_table<const D: usize>(
+    engine: &mut Engine,
+    dist: &mut DistVec<KeyedCell<D>>,
+    prev: &[(u128, u8, u64)],
+) -> (CountTable, usize) {
+    let ranges: Vec<(u128, u8)> = prev.iter().map(|&(path, level, _)| (path, level)).collect();
+    let elem_bytes = std::mem::size_of::<KeyedCell<D>>() as f64;
+    let local: Vec<Vec<u64>> = engine.compute_map(dist, |_r, buf| {
+        (
+            buf.len() as f64 * elem_bytes,
+            bucket_populations::<D>(buf, &ranges),
+        )
+    });
+    let counts = engine.allreduce_sum_vec_u64(&local);
+    let changed = prev
+        .iter()
+        .zip(&counts)
+        .filter(|&(&(_, _, old), &new)| old != new)
+        .count();
+    let leaves = prev
+        .iter()
+        .zip(&counts)
+        .map(|(&(path, level, _), &c)| (path, level, c))
+        .collect();
+    (CountTable { leaves }, changed)
+}
+
+/// Emits the per-call warm-start decision event (mirrored by `stats`).
+fn trace_warm(
+    engine: &mut Engine,
+    hit: bool,
+    replay: bool,
+    rejected: bool,
+    changed: usize,
+    pruned: usize,
+) {
+    engine.trace_decision(
+        "optipart.warm",
+        &[
+            ("hit", if hit { 1.0 } else { 0.0 }),
+            ("replay", if replay { 1.0 } else { 0.0 }),
+            ("rejected", if rejected { 1.0 } else { 0.0 }),
+            ("changed_buckets", changed as f64),
+            ("invalidated", pruned as f64),
+        ],
+    );
+}
+
+/// [`optipart`] resuming from (and updating) a [`PartitionState`] — the
+/// incremental path for multi-step AMR loops. **Bit-identical to the cold
+/// run in every case**; the state only changes what the search costs:
+///
+/// * exact fingerprint hit → skip the ladder, reuse the cached splitters
+///   (the exchange still runs live on the actual data);
+/// * same config on a changed mesh → replay the ladder against a
+///   `CountTable` recounted from the cached bucket tiling, paying live
+///   count passes only under the moved refinement front;
+/// * anything else (stale fingerprint, failed payload self-check, rank
+///   count changed by a shrink, `amortize_over` active) → cold run.
+///
+/// `amortize_over` couples ladder decisions to the engine's *measured*
+/// virtual clocks, which a warm replay deliberately does not reproduce —
+/// so that mode always runs cold rather than risk divergence.
+pub fn optipart_with_state<const D: usize>(
+    engine: &mut Engine,
+    mut dist: DistVec<KeyedCell<D>>,
+    opts: OptiPartOptions,
+    state: &mut PartitionState,
+) -> PartitionOutcome<D> {
+    if opts.amortize_over.is_some() {
+        state.stats.colds += 1;
+        return optipart(engine, dist, opts);
+    }
+    let pruned = state.prune_stale(engine.p());
+    state.stats.invalidated += pruned as u64;
+    let (mesh_sig, n) = engine.phase(PHASE_SPLITTER, |e| mesh_signature(e, &mut dist));
+    let fp = fingerprint(engine, mesh_sig, n, &opts);
+
+    let mut rejected = false;
+    if let Some(i) = state.entries.iter().rposition(|e| e.fp == fp) {
+        if state.entries[i].payload_ok() {
+            // Exact hit: same mesh, machine, α and options — the cold run
+            // is fully determined, so skip the ladder and replay its
+            // answer. The exchange still runs live on the actual data,
+            // which reproduces counts/λ/Wmax bit-identically.
+            state.stats.hits += 1;
+            trace_warm(engine, true, false, false, 0, pruned);
+            let entry = &state.entries[i];
+            let splitters = entry.splitters.clone();
+            let (achieved, rounds, splitter_level, cmax, predicted_tp) = (
+                entry.achieved,
+                entry.rounds,
+                entry.splitter_level,
+                entry.cmax,
+                entry.predicted_tp,
+            );
+            let out = exchange_and_sort(engine, dist, &splitters, opts.alltoall);
+            let counts: Vec<u64> = out.counts().iter().map(|&c| c as u64).collect();
+            let lambda = out.load_imbalance();
+            let wmax = out.wmax() as u64;
+            return PartitionOutcome {
+                dist: out,
+                splitters,
+                report: PartitionReport {
+                    rounds,
+                    splitter_level,
+                    achieved_tolerance: achieved,
+                    counts,
+                    lambda,
+                    wmax,
+                    cmax,
+                    predicted_tp,
+                },
+            };
+        }
+        // Fingerprint matches but the payload self-check fails: the entry
+        // was tampered with — drop it and fall through to a cold run.
+        state.entries.remove(i);
+        state.stats.rejected += 1;
+        rejected = true;
+    }
+
+    if !rejected {
+        if let Some(i) = state.entries.iter().rposition(|e| e.fp.config_matches(&fp)) {
+            if state.entries[i].payload_ok() {
+                // Same configuration, changed mesh: replay the ladder with
+                // counts served from the previous tiling recounted on the
+                // current data.
+                state.stats.replays += 1;
+                let prev = state.entries[i].leaves.clone();
+                let (table, changed) =
+                    engine.phase(PHASE_REFINE, |e| recount_table(e, &mut dist, &prev));
+                trace_warm(engine, false, true, false, changed, pruned);
+                let (outcome, leaves) = optipart_run(engine, dist, opts, Some(&table));
+                state.store(entry_from(fp, &outcome, leaves));
+                return outcome;
+            }
+            state.entries.remove(i);
+            state.stats.rejected += 1;
+            rejected = true;
+        }
+    }
+
+    state.stats.colds += 1;
+    trace_warm(engine, false, false, rejected, 0, pruned);
+    let (outcome, leaves) = optipart_run(engine, dist, opts, None);
+    state.store(entry_from(fp, &outcome, leaves));
+    outcome
 }
 
 /// Shrink-recovery repartitioning: runs OptiPart over the engine's current
@@ -274,6 +736,25 @@ pub fn optipart_survivors<const D: usize>(
     );
     let dist = DistVec::from_global(cells, engine.p());
     optipart(engine, dist, opts)
+}
+
+/// [`optipart_survivors`] resuming from a [`PartitionState`]. Entries
+/// fingerprinted under the pre-death rank count fail the `p` check and are
+/// invalidated (`stats.invalidated`), so a shrink can never replay a
+/// partition sized for the dead configuration — the recovery repartition
+/// runs cold and re-seeds the state for the survivor machine.
+pub fn optipart_survivors_with_state<const D: usize>(
+    engine: &mut Engine,
+    cells: &[KeyedCell<D>],
+    opts: OptiPartOptions,
+    state: &mut PartitionState,
+) -> PartitionOutcome<D> {
+    debug_assert!(
+        cells.windows(2).all(|w| w[0].key <= w[1].key),
+        "optipart_survivors expects globally sorted cells"
+    );
+    let dist = DistVec::from_global(cells, engine.p());
+    optipart_with_state(engine, dist, opts, state)
 }
 
 #[cfg(test)]
@@ -405,6 +886,145 @@ mod tests {
         );
         assert_eq!(out.dist.total_len(), tree.len());
         assert!(out.splitters.is_empty());
+    }
+
+    fn assert_outcomes_identical<const D: usize>(a: &PartitionOutcome<D>, b: &PartitionOutcome<D>) {
+        assert_eq!(a.splitters, b.splitters, "splitters diverged");
+        assert_eq!(
+            a.report.achieved_tolerance, b.report.achieved_tolerance,
+            "accepted rung diverged"
+        );
+        assert_eq!(a.report.counts, b.report.counts);
+        assert_eq!(a.report.cmax, b.report.cmax);
+        assert_eq!(a.report.predicted_tp, b.report.predicted_tp);
+        assert_eq!(a.dist.concat(), b.dist.concat(), "partition diverged");
+    }
+
+    #[test]
+    fn warm_exact_hit_is_bit_identical_and_skips_the_ladder() {
+        let tree = MeshParams::normal(3000, 71).build::<3>(Curve::Hilbert);
+        let opts = OptiPartOptions::default();
+        let mut cold_e = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let cold = optipart(&mut cold_e, distribute_tree(&tree, 8), opts);
+
+        let mut state = PartitionState::new();
+        let mut e1 = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let first = optipart_with_state(&mut e1, distribute_tree(&tree, 8), opts, &mut state);
+        assert_outcomes_identical(&cold, &first);
+        assert_eq!(state.stats.colds, 1);
+
+        let mut e2 = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let second = optipart_with_state(&mut e2, distribute_tree(&tree, 8), opts, &mut state);
+        assert_outcomes_identical(&cold, &second);
+        assert_eq!(state.stats.hits, 1);
+        // The hit must genuinely skip the search: far fewer synchronisation
+        // points than the cold run (signature + exchange only).
+        assert!(
+            e2.sync_points() < cold_e.sync_points() / 2,
+            "hit sync points {} vs cold {}",
+            e2.sync_points(),
+            cold_e.sync_points()
+        );
+    }
+
+    #[test]
+    fn warm_replay_on_changed_mesh_matches_cold() {
+        // Prime on one mesh, partition a *different* mesh (same config):
+        // the table-served replay must land exactly on the cold answer.
+        let opts = OptiPartOptions::default();
+        let tree_a = MeshParams::normal(3000, 73).build::<3>(Curve::Hilbert);
+        let tree_b = MeshParams::normal(3400, 79).build::<3>(Curve::Hilbert);
+
+        let mut state = PartitionState::new();
+        let mut e1 = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let _ = optipart_with_state(&mut e1, distribute_tree(&tree_a, 8), opts, &mut state);
+
+        let mut warm_e = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let warm = optipart_with_state(&mut warm_e, distribute_tree(&tree_b, 8), opts, &mut state);
+        assert_eq!(state.stats.replays, 1, "{:?}", state.stats);
+
+        let mut cold_e = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let cold = optipart(&mut cold_e, distribute_tree(&tree_b, 8), opts);
+        assert_outcomes_identical(&cold, &warm);
+    }
+
+    #[test]
+    fn corrupted_state_is_detected_and_falls_back_cold() {
+        let tree = MeshParams::normal(2500, 83).build::<3>(Curve::Hilbert);
+        let opts = OptiPartOptions::default();
+        let mut state = PartitionState::new();
+        let mut e1 = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let _ = optipart_with_state(&mut e1, distribute_tree(&tree, 8), opts, &mut state);
+        assert!(state.corrupt_for_test());
+
+        let mut e2 = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let got = optipart_with_state(&mut e2, distribute_tree(&tree, 8), opts, &mut state);
+        assert_eq!(state.stats.rejected, 1);
+        assert_eq!(state.stats.colds, 2, "tampered entry must not be served");
+
+        let mut cold_e = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let cold = optipart(&mut cold_e, distribute_tree(&tree, 8), opts);
+        assert_outcomes_identical(&cold, &got);
+    }
+
+    #[test]
+    fn shrunk_rank_count_invalidates_state() {
+        // Entries fingerprinted at p = 8 must be pruned, not replayed, when
+        // the engine shrank to 7 ranks.
+        let tree = MeshParams::normal(2500, 89).build::<3>(Curve::Hilbert);
+        let opts = OptiPartOptions::default();
+        let mut state = PartitionState::new();
+        let mut e1 = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+        let _ = optipart_with_state(&mut e1, distribute_tree(&tree, 8), opts, &mut state);
+        assert_eq!(state.len(), 1);
+
+        let mut e2 = engine_on(MachineModel::cloudlab_wisconsin(), 7);
+        let warm = optipart_with_state(&mut e2, distribute_tree(&tree, 7), opts, &mut state);
+        assert_eq!(state.stats.invalidated, 1);
+        assert_eq!(state.stats.colds, 2);
+
+        let mut cold_e = engine_on(MachineModel::cloudlab_wisconsin(), 7);
+        let cold = optipart(&mut cold_e, distribute_tree(&tree, 7), opts);
+        assert_outcomes_identical(&cold, &warm);
+    }
+
+    #[test]
+    fn amortized_mode_bypasses_warm_start() {
+        let tree = MeshParams::normal(2000, 97).build::<3>(Curve::Hilbert);
+        let opts = OptiPartOptions {
+            amortize_over: Some(50),
+            ..Default::default()
+        };
+        let mut state = PartitionState::new();
+        for _ in 0..2 {
+            let mut e = engine_on(MachineModel::cloudlab_wisconsin(), 8);
+            let _ = optipart_with_state(&mut e, distribute_tree(&tree, 8), opts, &mut state);
+        }
+        assert_eq!(state.stats.colds, 2);
+        assert_eq!(state.stats.hits, 0);
+        assert!(state.is_empty(), "amortized runs must not seed the cache");
+    }
+
+    #[test]
+    fn state_cache_caps_and_refreshes() {
+        let opts = OptiPartOptions::default();
+        let mut state = PartitionState::new();
+        for seed in 0..20u64 {
+            let tree =
+                MeshParams::normal(300 + seed as usize * 7, 101 + seed).build::<3>(Curve::Hilbert);
+            let mut e = engine_on(MachineModel::titan(), 4);
+            let _ = optipart_with_state(&mut e, distribute_tree(&tree, 4), opts, &mut state);
+        }
+        assert!(
+            state.len() <= 16,
+            "cache must stay bounded: {}",
+            state.len()
+        );
+        // Re-running the newest mesh hits, not colds.
+        let tree = MeshParams::normal(300 + 19 * 7, 101 + 19).build::<3>(Curve::Hilbert);
+        let mut e = engine_on(MachineModel::titan(), 4);
+        let _ = optipart_with_state(&mut e, distribute_tree(&tree, 4), opts, &mut state);
+        assert_eq!(state.stats.hits, 1);
     }
 
     #[test]

@@ -225,6 +225,64 @@ impl Bucket {
     }
 }
 
+/// Global counts of a previous splitter search's final bucket tiling,
+/// recounted on the **current** mesh — the accelerator behind OptiPart's
+/// warm-start replay ([`crate::optipart::optipart_with_state`]). Every
+/// finished search leaves a full tiling of the key domain (buckets sorted
+/// by path, spans contiguous), so the table can answer most child-count
+/// queries of a re-run ladder without touching the element data.
+///
+/// Serving a split from the table costs nothing on the engine's virtual
+/// clocks; only buckets that descend *below* the table's resolution into a
+/// populated region — the moving refinement front — fall back to a live
+/// count pass.
+#[derive(Clone, Debug)]
+pub(crate) struct CountTable {
+    /// `(path, level, count)` per leaf, sorted by path, tiling the domain.
+    pub leaves: Vec<(u128, u8, u64)>,
+}
+
+impl CountTable {
+    /// Child counts of `b`, when derivable from the table: either every
+    /// leaf overlapping `b` is strictly deeper (octree alignment then puts
+    /// each leaf inside exactly one child — sum them), or `b` sits inside a
+    /// single coarser-or-equal leaf holding zero elements (all children
+    /// trivially empty). Returns `None` when `b` reaches below the table's
+    /// resolution into a populated region and a real recount is needed.
+    pub(crate) fn child_counts<const D: usize>(&self, b: &Bucket) -> Option<Vec<u64>> {
+        let nc = 1usize << D;
+        let span = b.span::<D>();
+        let child_span = span >> D;
+        let j = self.leaves.partition_point(|&(path, _, _)| path <= b.path);
+        debug_assert!(j > 0, "leaves must tile the domain from path 0");
+        let (leaf_path, leaf_level, leaf_count) = self.leaves[j - 1];
+        if leaf_level <= b.level {
+            // Octree alignment: a coarser-or-equal leaf whose range holds
+            // `b.path` covers all of `b`.
+            debug_assert!(leaf_path <= b.path);
+            return if leaf_count == 0 {
+                Some(vec![0; nc])
+            } else {
+                None
+            };
+        }
+        // Every leaf overlapping `b` is strictly deeper than `b`: a deeper
+        // aligned leaf starting before `b.path` ends at or before it, and
+        // no coarser leaf can start strictly inside `b`'s span. The leaves
+        // therefore tile `b`'s children exactly.
+        let hi = b.path + span;
+        let j0 = self.leaves.partition_point(|&(path, _, _)| path < b.path);
+        let mut counts = vec![0u64; nc];
+        for &(path, _, count) in &self.leaves[j0..] {
+            if path >= hi {
+                break;
+            }
+            counts[((path - b.path) / child_span) as usize] += count;
+        }
+        Some(counts)
+    }
+}
+
 /// Mutable splitter-search state shared by distributed TreeSort and
 /// OptiPart (which differ only in their stopping rule).
 pub(crate) struct SplitterSearch {
@@ -471,6 +529,47 @@ impl SplitterSearch {
         let global = engine.allreduce_sum_vec_u64(&local_counts);
         self.apply_split::<D>(split, &global);
         bounds.len() * nc
+    }
+
+    /// Warm-replay variant of [`Self::refine_round`]: the identical state
+    /// transition, but child counts still resolvable from the recounted
+    /// `table` are served without touching the element data — only buckets
+    /// that descend below the table's resolution (the regions where the
+    /// mesh actually changed) pay the count pass + all-reduce. Returns the
+    /// number of child buckets counted live.
+    pub fn refine_round_warm<const D: usize>(
+        &mut self,
+        engine: &mut Engine,
+        dist: &mut DistVec<KeyedCell<D>>,
+        split: &[usize],
+        table: &CountTable,
+    ) -> usize {
+        let nc = 1usize << D;
+        let mut global = vec![0u64; split.len() * nc];
+        let mut live: Vec<usize> = Vec::new();
+        for (si, &bi) in split.iter().enumerate() {
+            match table.child_counts::<D>(&self.buckets[bi]) {
+                Some(counts) => global[si * nc..(si + 1) * nc].copy_from_slice(&counts),
+                None => live.push(si),
+            }
+        }
+        if !live.is_empty() {
+            let idx: Vec<usize> = live.iter().map(|&si| split[si]).collect();
+            let bounds = self.split_bounds::<D>(&idx);
+            let elem_bytes = std::mem::size_of::<KeyedCell<D>>() as f64;
+            let local_counts: Vec<Vec<u64>> = engine.compute_map(dist, |_r, buf| {
+                (
+                    buf.len() as f64 * elem_bytes,
+                    count_children::<D, _>(buf, &bounds, &|_| 1u64),
+                )
+            });
+            let counted = engine.allreduce_sum_vec_u64(&local_counts);
+            for (li, &si) in live.iter().enumerate() {
+                global[si * nc..(si + 1) * nc].copy_from_slice(&counted[li * nc..(li + 1) * nc]);
+            }
+        }
+        self.apply_split::<D>(split, &global);
+        live.len() * nc
     }
 
     /// Key-path boundaries `(lo, hi, level)` of the buckets about to split.

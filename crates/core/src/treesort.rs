@@ -148,31 +148,35 @@ fn scatter<const D: usize>(src: &[KeyedCell<D>], dst: &mut [KeyedCell<D>], l1: u
 }
 
 /// Carves matching child-bucket sub-slice pairs out of `x` and `y` (both
-/// bucketed by the same `offsets`), skipping the parked-ancestor bucket 0
-/// and empty buckets.
+/// bucketed by the same `offsets`) into a caller-provided stack array —
+/// no heap allocation on the parallel fan-out path. Skips the
+/// parked-ancestor bucket 0 and empty buckets; returns the pair count
+/// (≤ 2^D ≤ 8).
 #[allow(clippy::type_complexity)]
-fn child_pairs<'s, K>(
+fn child_pairs_into<'s, K>(
     x: &'s mut [K],
     y: &'s mut [K],
     offsets: &[usize; 10],
     nb: usize,
-) -> Vec<(&'s mut [K], &'s mut [K])> {
-    let mut pairs = Vec::with_capacity(nb - 1);
+    out: &mut [Option<(&'s mut [K], &'s mut [K])>; 8],
+) -> usize {
     let (_, mut rest_x) = x.split_at_mut(offsets[1]);
     let (_, mut rest_y) = y.split_at_mut(offsets[1]);
     let mut base = offsets[1];
+    let mut n = 0usize;
     for i in 1..nb {
         let w = offsets[i + 1] - base;
         let (hx, tx) = rest_x.split_at_mut(w);
         let (hy, ty) = rest_y.split_at_mut(w);
         if w > 0 {
-            pairs.push((hx, hy));
+            out[n] = Some((hx, hy));
+            n += 1;
         }
         rest_x = tx;
         rest_y = ty;
         base = offsets[i + 1];
     }
-    pairs
+    n
 }
 
 /// Sorts `a` using `scratch` as the scatter target: data is in `a` on entry
@@ -199,8 +203,11 @@ fn sort_in_place<const D: usize>(
     // Child buckets now live in `scratch`; each recursion sorts one back
     // into its `a` slice (line 14 of Algorithm 1, roles swapped per level).
     if threads > 1 && a.len() >= PAR_CUTOFF {
-        let mut pairs = child_pairs(scratch, a, &offsets, nb);
-        par::par_map_mut_n(threads, &mut pairs, |_, (src, dst)| {
+        let mut pairs: [Option<(&mut [KeyedCell<D>], &mut [KeyedCell<D>])>; 8] =
+            [const { None }; 8];
+        let np = child_pairs_into(scratch, a, &offsets, nb, &mut pairs);
+        par::par_map_mut_n(threads, &mut pairs[..np], |_, p| {
+            let (src, dst) = p.as_mut().expect("non-empty pair");
             sort_out_of_place(src, dst, l1 + 1, l2, 1);
         });
     } else {
@@ -236,8 +243,11 @@ fn sort_out_of_place<const D: usize>(
     let offsets = scatter(src, dst, l1);
     dst[offsets[0]..offsets[1]].sort_unstable();
     if threads > 1 && dst.len() >= PAR_CUTOFF {
-        let mut pairs = child_pairs(dst, src, &offsets, nb);
-        par::par_map_mut_n(threads, &mut pairs, |_, (a, scratch)| {
+        let mut pairs: [Option<(&mut [KeyedCell<D>], &mut [KeyedCell<D>])>; 8] =
+            [const { None }; 8];
+        let np = child_pairs_into(dst, src, &offsets, nb, &mut pairs);
+        par::par_map_mut_n(threads, &mut pairs[..np], |_, p| {
+            let (a, scratch) = p.as_mut().expect("non-empty pair");
             sort_in_place(a, scratch, l1 + 1, l2, 1);
         });
     } else {
@@ -367,6 +377,54 @@ impl LevelOffsets {
     pub fn at(&self, level: u8) -> &[usize] {
         &self.per_level[level as usize]
     }
+}
+
+/// Per-leaf element populations of `buf` over an octree-aligned leaf
+/// tiling — `(path, level)` pairs sorted by path, spanning the whole key
+/// domain (the final bucket tiling a splitter search leaves behind).
+///
+/// When `buf` is already SFC-sorted — the steady state of an AMR loop —
+/// the counts come from binary searches over the [`LevelOffsets`] jump
+/// tables: one `build` pass plus `O(log)` lookups per leaf, never a
+/// per-element re-scan. Unsorted input falls back to placing each element
+/// by binary search over the leaf starts. This is the population diff
+/// OptiPart's warm-start replay uses to find the buckets the refinement
+/// front actually moved.
+pub fn bucket_populations<const D: usize>(buf: &[KeyedCell<D>], leaves: &[(u128, u8)]) -> Vec<u64> {
+    let mut counts = vec![0u64; leaves.len()];
+    if buf.is_empty() || leaves.is_empty() {
+        return counts;
+    }
+    debug_assert_eq!(leaves[0].0, 0, "leaf tiling must start at path 0");
+    if buf.windows(2).any(|w| w[0].key.path() > w[1].key.path()) {
+        for kc in buf {
+            let i = leaves.partition_point(|&(p, _)| p <= kc.key.path());
+            counts[i - 1] += 1;
+        }
+        return counts;
+    }
+    let max_level = leaves.iter().map(|&(_, l)| l).max().unwrap_or(0);
+    let table = LevelOffsets::build(buf, max_level);
+    // Element index of the first key with path ≥ `path` (aligned at
+    // `level`), via the level-`level` jump table: a level-`level` prefix
+    // can only change at a bucket start, so searching the table is
+    // searching the array.
+    let start_of = |path: u128, level: u8| -> usize {
+        let offs = table.at(level);
+        let k = offs.partition_point(|&i| buf[i].key.prefix::<D>(level).path() < path);
+        offs.get(k).copied().unwrap_or(buf.len())
+    };
+    for (ci, &(path, level)) in leaves.iter().enumerate() {
+        let span = 1u128 << ((MAX_DEPTH - level) as u32 * D as u32);
+        let lo = start_of(path, level);
+        let hi = if ci + 1 < leaves.len() {
+            start_of(path + span, level)
+        } else {
+            buf.len()
+        };
+        counts[ci] = (hi - lo) as u64;
+    }
+    counts
 }
 
 #[cfg(test)]

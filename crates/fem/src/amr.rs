@@ -15,7 +15,9 @@
 //! supposed to minimise.
 
 use crate::mesh::DistMesh;
-use optipart_core::optipart::{optipart, OptiPartOptions};
+use optipart_core::optipart::{
+    optipart, optipart_with_state, OptiPartOptions, PartitionState, WarmStats,
+};
 use optipart_core::partition::{owner_of, treesort_partition, PartitionOptions, PartitionOutcome};
 use optipart_mpisim::{DistVec, Engine};
 use optipart_octree::{balance::balance21, LinearTree};
@@ -59,6 +61,10 @@ pub struct AmrConfig {
     pub strategy: Strategy,
     /// Curve.
     pub curve: Curve,
+    /// Carry a [`PartitionState`] across steps so the OptiPart strategies
+    /// warm-start each repartition (bit-identical to cold; see
+    /// [`optipart_with_state`]). Ignored by the TreeSort strategies.
+    pub warm_start: bool,
 }
 
 impl Default for AmrConfig {
@@ -69,6 +75,7 @@ impl Default for AmrConfig {
             matvecs_per_step: 10,
             strategy: Strategy::OptiPart,
             curve: Curve::Hilbert,
+            warm_start: true,
         }
     }
 }
@@ -99,6 +106,9 @@ pub struct AmrReport {
     pub total_energy_j: f64,
     /// Total ghost elements moved by matvecs.
     pub total_ghosts: u64,
+    /// Warm-start decisions taken by the partitioner over the run (all
+    /// zeros when `warm_start` is off or the strategy is not OptiPart).
+    pub warm: WarmStats,
 }
 
 /// The refinement front at step `t`: a sphere orbiting the cube centre.
@@ -132,6 +142,7 @@ pub fn amr_simulation(engine: &mut Engine, cfg: &AmrConfig) -> AmrReport {
     engine.reset();
     let mut steps = Vec::with_capacity(cfg.steps);
     let mut prev_splitters: Option<Vec<SfcKey>> = None;
+    let mut warm = cfg.warm_start.then(PartitionState::new);
     let mut total_ghosts = 0u64;
     let mut energy_j = 0.0;
 
@@ -154,8 +165,9 @@ pub fn amr_simulation(engine: &mut Engine, cfg: &AmrConfig) -> AmrReport {
         };
 
         // Repartition; migration = elements that change rank.
-        let out: PartitionOutcome<3> =
-            engine.phase("amr.partition", |e| partition_step(e, input, cfg));
+        let out: PartitionOutcome<3> = engine.phase("amr.partition", |e| {
+            partition_step(e, input, cfg, warm.as_mut())
+        });
         // Count migrations: compare each element's final owner with where
         // the block/previous distribution had put it. (Sequential check over
         // the global view — measurement, not simulation.)
@@ -209,31 +221,38 @@ pub fn amr_simulation(engine: &mut Engine, cfg: &AmrConfig) -> AmrReport {
         total_seconds: engine.makespan(),
         total_energy_j: energy_j,
         total_ghosts,
+        warm: warm.map(|s| s.stats).unwrap_or_default(),
     }
 }
 
 /// One step's repartition under `cfg.strategy` — shared between
 /// [`amr_simulation`] and the fail-stop recovery driver
-/// ([`crate::recovery::amr_simulation_ft`]).
+/// ([`crate::recovery::amr_simulation_ft`]). With `state`, the OptiPart
+/// strategies resume from the previous step's ladder (the TreeSort
+/// strategies have no ladder and ignore it).
 pub(crate) fn partition_step(
     e: &mut Engine,
     input: DistVec<KeyedCell<3>>,
     cfg: &AmrConfig,
+    state: Option<&mut PartitionState>,
 ) -> PartitionOutcome<3> {
+    let opti = |latency_aware| OptiPartOptions {
+        latency_aware,
+        ..OptiPartOptions::for_curve(cfg.curve)
+    };
     match cfg.strategy {
         Strategy::EqualWork => treesort_partition(e, input, PartitionOptions::exact()),
         Strategy::Tolerance(tol) => {
             treesort_partition(e, input, PartitionOptions::with_tolerance(tol))
         }
-        Strategy::OptiPart => optipart(e, input, OptiPartOptions::for_curve(cfg.curve)),
-        Strategy::OptiPartLatencyAware => optipart(
-            e,
-            input,
-            OptiPartOptions {
-                latency_aware: true,
-                ..OptiPartOptions::for_curve(cfg.curve)
-            },
-        ),
+        Strategy::OptiPart => match state {
+            Some(st) => optipart_with_state(e, input, opti(false), st),
+            None => optipart(e, input, opti(false)),
+        },
+        Strategy::OptiPartLatencyAware => match state {
+            Some(st) => optipart_with_state(e, input, opti(true), st),
+            None => optipart(e, input, opti(true)),
+        },
     }
 }
 
@@ -299,6 +318,39 @@ mod tests {
         );
         // Meshes stay modest but non-trivial.
         assert!(rep.steps.iter().all(|s| s.elements > 100));
+    }
+
+    #[test]
+    fn warm_amr_run_matches_cold_bit_for_bit() {
+        let cold_cfg = AmrConfig {
+            steps: 4,
+            max_level: 4,
+            matvecs_per_step: 2,
+            warm_start: false,
+            ..Default::default()
+        };
+        let warm_cfg = AmrConfig {
+            warm_start: true,
+            ..cold_cfg
+        };
+        let mut ec = engine(8);
+        let cold = amr_simulation(&mut ec, &cold_cfg);
+        let mut ew = engine(8);
+        let warm = amr_simulation(&mut ew, &warm_cfg);
+
+        assert_eq!(cold.warm, WarmStats::default());
+        // Step 0 seeds the state cold; every later step replays it on the
+        // moved front's mesh.
+        assert_eq!(warm.warm.colds, 1);
+        assert_eq!(warm.warm.replays as usize, warm_cfg.steps - 1);
+        assert_eq!(warm.warm.rejected, 0);
+        // Identical partitions ⇒ identical migration counts and imbalance.
+        for (c, w) in cold.steps.iter().zip(&warm.steps) {
+            assert_eq!(c.elements, w.elements);
+            assert_eq!(c.migrated, w.migrated, "step {}", c.step);
+            assert_eq!(c.lambda.to_bits(), w.lambda.to_bits(), "step {}", c.step);
+        }
+        assert_eq!(cold.total_ghosts, warm.total_ghosts);
     }
 
     #[test]

@@ -3,8 +3,12 @@
 
 use crate::matvec::laplacian_matvec;
 use crate::mesh::DistMesh;
+use optipart_core::optipart::{optipart, optipart_with_state, OptiPartOptions, PartitionState};
+use optipart_core::partition::{owner_of, PartitionOutcome};
 use optipart_machine::EnergyReport;
 use optipart_mpisim::{DistVec, Engine};
+use optipart_octree::LinearTree;
+use optipart_sfc::{KeyedCell, SfcKey};
 
 /// Results of one matvec experiment.
 #[derive(Clone, Debug)]
@@ -49,6 +53,46 @@ pub fn initial_vector<const D: usize>(mesh: &DistMesh<D>) -> DistVec<f64> {
             })
             .collect(),
     )
+}
+
+/// Repartitions a sequence of meshes (successive AMR fronts) with OptiPart:
+/// each step's elements start where the previous step's splitters put their
+/// region (first step: block distribution), exactly as
+/// [`crate::amr::amr_simulation`] redistributes — but without the solve, so
+/// this is the pure repeated-partitioning cost an AMR run pays.
+///
+/// With `state`, the ladder warm-starts from the previous step (bit-identical
+/// outcomes; see [`optipart_with_state`]); with `None` every step runs the
+/// full cold tolerance ladder. The two modes produce identical splitters —
+/// the amortized-cost benchmark compares only their partitioning cost.
+pub fn repartition_sequence<const D: usize>(
+    engine: &mut Engine,
+    steps: &[LinearTree<D>],
+    opts: OptiPartOptions,
+    mut state: Option<&mut PartitionState>,
+) -> Vec<PartitionOutcome<D>> {
+    let p = engine.p();
+    let mut prev: Option<Vec<SfcKey>> = None;
+    let mut outs = Vec::with_capacity(steps.len());
+    for tree in steps {
+        let input: DistVec<KeyedCell<D>> = match &prev {
+            None => DistVec::from_global(tree.leaves(), p),
+            Some(sp) => {
+                let mut parts: Vec<Vec<KeyedCell<D>>> = (0..p).map(|_| Vec::new()).collect();
+                for kc in tree.leaves() {
+                    parts[owner_of(sp, &kc.key)].push(*kc);
+                }
+                DistVec::from_parts(parts)
+            }
+        };
+        let out = engine.phase("amr.partition", |e| match state.as_deref_mut() {
+            Some(st) => optipart_with_state(e, input, opts, st),
+            None => optipart(e, input, opts),
+        });
+        prev = Some(out.splitters.clone());
+        outs.push(out);
+    }
+    outs
 }
 
 /// Runs `iterations` Laplacian matvecs (`y ← A x; x ← y/‖y‖∞`-ish chain,

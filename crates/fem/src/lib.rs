@@ -38,7 +38,7 @@ pub mod recovery;
 pub mod solver;
 
 pub use amr::{amr_simulation, AmrConfig, AmrReport, Strategy};
-pub use driver::{initial_vector, run_matvec_experiment, MatvecExperiment};
+pub use driver::{initial_vector, repartition_sequence, run_matvec_experiment, MatvecExperiment};
 pub use matvec::{laplacian_matvec, MatvecStats};
 pub use mesh::{DistMesh, LocalMesh, Slot};
 pub use recovery::{amr_simulation_ft, run_matvec_ft, DeathRecord, FtAmrReport, FtReport};

@@ -26,15 +26,27 @@ use crate::amr::{partition_step, step_mesh, AmrConfig, AmrStep};
 use crate::driver::initial_vector;
 use crate::matvec::laplacian_matvec;
 use crate::mesh::DistMesh;
-use optipart_core::optipart::{optipart_survivors, OptiPartOptions};
+use optipart_core::optipart::{
+    optipart_survivors, optipart_survivors_with_state, OptiPartOptions, PartitionState, WarmStats,
+};
 use optipart_core::partition::owner_of;
 use optipart_mpisim::{
     catch_rank_death, CheckpointPolicy, CheckpointStats, CheckpointStore, DistVec, Engine,
+    Replicated,
 };
 use optipart_sfc::{Curve, KeyedCell, SfcKey};
 
 /// Checkpointed state: the partitioned octant buffer plus the solver vector.
 type SolveState<const D: usize> = (DistVec<KeyedCell<D>>, DistVec<f64>);
+
+/// The AMR driver's checkpointed state: octants + solver vector + the
+/// partitioner's warm-start cache (rank-replicated), so a rollback restores
+/// the ladder memory alongside the data it was derived from.
+type AmrSolveState = (
+    DistVec<KeyedCell<3>>,
+    DistVec<f64>,
+    Replicated<PartitionState>,
+);
 
 /// One recovered rank death.
 #[derive(Clone, Debug)]
@@ -88,6 +100,9 @@ pub struct FtReport {
     /// The final solver vector as globally key-sorted `(octant, value)`
     /// pairs — partition-independent, for comparing faulted vs. fault-free.
     pub solution: Vec<(SfcKey, f64)>,
+    /// Warm-start decisions taken by recovery repartitions (a shrink always
+    /// invalidates the cache, so the first recovery after a death is cold).
+    pub warm: WarmStats,
 }
 
 /// Report of a fault-tolerant AMR run ([`amr_simulation_ft`]).
@@ -114,6 +129,9 @@ pub struct FtAmrReport {
     /// Final step's solution as globally key-sorted `(octant, value)` pairs;
     /// its keys are the final mesh's global octant multiset.
     pub solution: Vec<(SfcKey, f64)>,
+    /// Warm-start decisions over the whole run (per-step repartitions and
+    /// recovery repartitions; all zeros with `warm_start` off).
+    pub warm: WarmStats,
 }
 
 /// `‖x‖∞` rescale as in [`crate::driver::run_matvec_experiment`] — an
@@ -159,22 +177,22 @@ fn global_solution<const D: usize>(mesh: &DistMesh<D>, x: &DistVec<f64>) -> Vec<
     out
 }
 
-/// Post-shrink recovery: restore the latest snapshot (charged), re-run
-/// OptiPart over the survivor set, rebuild the mesh, and re-scatter the
-/// solver vector onto the new partition by octant key. Returns
-/// `(label, mesh, x, lambda, recovery_seconds)`.
-fn recover<const D: usize>(
+/// The shared tail of a recovery: re-run OptiPart over the survivor set
+/// (warm-started when a [`PartitionState`] is threaded through — the rank
+/// count changed, so its entries are invalidated and the repartition runs
+/// cold, re-seeding the cache for the shrunk machine), rebuild the mesh,
+/// and re-scatter the solver vector onto the new partition by octant key.
+fn repartition_survivors<const D: usize>(
     engine: &mut Engine,
-    store: &mut CheckpointStore<SolveState<D>>,
+    cells: &[KeyedCell<D>],
+    vals: &[f64],
     curve: Curve,
-) -> (u64, DistMesh<D>, DistVec<f64>, f64, f64) {
-    let t0 = engine.makespan();
-    let (label, cells, vals) = {
-        let snap = store.restore(engine);
-        (snap.label, snap.state.0.concat(), snap.state.1.concat())
-    };
-    let out = engine.phase("ft.partition", |e| {
-        optipart_survivors(e, &cells, OptiPartOptions::for_curve(curve))
+    warm: Option<&mut PartitionState>,
+) -> (DistMesh<D>, DistVec<f64>, f64) {
+    let opts = OptiPartOptions::for_curve(curve);
+    let out = engine.phase("ft.partition", |e| match warm {
+        Some(st) => optipart_survivors_with_state(e, cells, opts, st),
+        None => optipart_survivors(e, cells, opts),
     });
     let lambda = out.report.lambda;
     let mesh = engine.phase("ft.mesh", |e| DistMesh::build(e, out.dist, curve));
@@ -195,6 +213,53 @@ fn recover<const D: usize>(
             })
             .collect(),
     );
+    (mesh, x, lambda)
+}
+
+/// Post-shrink recovery for the matvec driver: restore the latest snapshot
+/// (charged) and repartition the survivors. Returns
+/// `(label, mesh, x, lambda, recovery_seconds)`.
+fn recover<const D: usize>(
+    engine: &mut Engine,
+    store: &mut CheckpointStore<SolveState<D>>,
+    curve: Curve,
+    warm: &mut PartitionState,
+) -> (u64, DistMesh<D>, DistVec<f64>, f64, f64) {
+    let t0 = engine.makespan();
+    let (label, cells, vals) = {
+        let snap = store.restore(engine);
+        (snap.label, snap.state.0.concat(), snap.state.1.concat())
+    };
+    let (mesh, x, lambda) = repartition_survivors(engine, &cells, &vals, curve, Some(warm));
+    (label, mesh, x, lambda, engine.makespan() - t0)
+}
+
+/// Post-shrink recovery for the AMR driver: like [`recover`], but the
+/// snapshot also carries the partitioner's warm-start cache — the payload
+/// rolls back with the data it was derived from, while the decision
+/// counters (run-scoped accounting) keep going.
+fn recover_amr(
+    engine: &mut Engine,
+    store: &mut CheckpointStore<AmrSolveState>,
+    curve: Curve,
+    mut warm: Option<&mut PartitionState>,
+) -> (u64, DistMesh<3>, DistVec<f64>, f64, f64) {
+    let t0 = engine.makespan();
+    let (label, cells, vals, saved) = {
+        let snap = store.restore(engine);
+        (
+            snap.label,
+            snap.state.0.concat(),
+            snap.state.1.concat(),
+            snap.state.2.value.clone(),
+        )
+    };
+    if let Some(w) = warm.as_deref_mut() {
+        let stats = w.stats;
+        *w = saved;
+        w.stats = stats;
+    }
+    let (mesh, x, lambda) = repartition_survivors(engine, &cells, &vals, curve, warm);
     (label, mesh, x, lambda, engine.makespan() - t0)
 }
 
@@ -222,6 +287,7 @@ pub fn run_matvec_ft<const D: usize>(
     engine.reset();
     let curve = mesh.curve;
     let mut store: CheckpointStore<SolveState<D>> = CheckpointStore::new(policy);
+    let mut warm = PartitionState::new();
     let mut deaths: Vec<DeathRecord> = Vec::new();
     let mut owned_mesh: Option<DistMesh<D>> = None;
     let mut x = initial_vector(mesh);
@@ -235,7 +301,7 @@ pub fn run_matvec_ft<const D: usize>(
     let mut needs_recovery = false;
     loop {
         if needs_recovery {
-            match catch_rank_death(|| recover(engine, &mut store, curve)) {
+            match catch_rank_death(|| recover(engine, &mut store, curve, &mut warm)) {
                 Ok((label, new_mesh, new_x, _lambda, recovery_s)) => {
                     let d = deaths.last_mut().expect("recovery follows a death");
                     d.resumed_from = label;
@@ -294,6 +360,7 @@ pub fn run_matvec_ft<const D: usize>(
         final_p: engine.p(),
         ghost_elements: ghosts,
         solution,
+        warm: warm.stats,
     }
 }
 
@@ -314,9 +381,10 @@ pub fn amr_simulation_ft(
     policy: CheckpointPolicy,
 ) -> FtAmrReport {
     engine.reset();
-    let mut store: CheckpointStore<SolveState<3>> = CheckpointStore::new(policy);
+    let mut store: CheckpointStore<AmrSolveState> = CheckpointStore::new(policy);
     let mut steps: Vec<AmrStep> = Vec::new();
     let mut deaths: Vec<DeathRecord> = Vec::new();
+    let mut warm = cfg.warm_start.then(PartitionState::new);
     let mut prev_splitters: Option<Vec<SfcKey>> = None;
     // A restored step: mesh + solver vector + recovery partition's lambda.
     let mut recovered: Option<(DistMesh<3>, DistVec<f64>, f64)> = None;
@@ -329,7 +397,7 @@ pub fn amr_simulation_ft(
     let mut rollback_from: Option<u64> = None;
     while t < cfg.steps {
         if let Some(before) = rollback_from {
-            match catch_rank_death(|| recover(engine, &mut store, cfg.curve)) {
+            match catch_rank_death(|| recover_amr(engine, &mut store, cfg.curve, warm.as_mut())) {
                 Ok((label, mesh, x, lambda, recovery_s)) => {
                     let d = deaths.last_mut().expect("recovery follows a death");
                     d.resumed_from = label;
@@ -370,7 +438,9 @@ pub fn amr_simulation_ft(
                                 DistVec::from_parts(parts)
                             }
                         };
-                        let out = engine.phase("amr.partition", |e| partition_step(e, input, cfg));
+                        let out = engine.phase("amr.partition", |e| {
+                            partition_step(e, input, cfg, warm.as_mut())
+                        });
                         let mut migrated = 0u64;
                         let mut idx = 0usize;
                         for (r, buf) in out.dist.parts().iter().enumerate() {
@@ -394,7 +464,16 @@ pub fn amr_simulation_ft(
                     }
                 };
                 if store.due(engine) {
-                    let state = (mesh.cells.clone(), x0.clone());
+                    // The warm-start cache snapshots alongside the data it
+                    // was derived from (zero wire bytes when warm-start is
+                    // off — the wrapper still keeps the state type uniform).
+                    let cache = warm.clone().unwrap_or_default();
+                    let bytes = warm.as_ref().map_or(0, |w| w.footprint_bytes());
+                    let state = (
+                        mesh.cells.clone(),
+                        x0.clone(),
+                        Replicated::new(cache, bytes, p),
+                    );
                     engine.phase("ft.checkpoint", |e| store.save(e, t as u64, &state));
                 }
                 let (x, ghosts) = engine.phase("amr.solve", |e| {
@@ -460,6 +539,7 @@ pub fn amr_simulation_ft(
         lost_steps,
         final_p: engine.p(),
         solution,
+        warm: warm.map(|s| s.stats).unwrap_or_default(),
     }
 }
 

@@ -33,6 +33,38 @@ pub trait Checkpoint {
     fn snapshot(&self) -> Self;
 }
 
+/// Rank-replicated state: every live rank holds an identical copy (e.g. a
+/// partitioner's warm-start cache), so a save mirrors the declared byte
+/// footprint from *each* rank and any survivor can reseed the value after a
+/// shrink. The footprint is captured at construction; refresh it by
+/// rebuilding the wrapper when the value's size changes materially.
+#[derive(Clone, Debug)]
+pub struct Replicated<T: Clone> {
+    /// The replicated value.
+    pub value: T,
+    footprint: Vec<u64>,
+}
+
+impl<T: Clone> Replicated<T> {
+    /// Wraps `value`, declaring `bytes` of state on each of `p` ranks.
+    pub fn new(value: T, bytes: u64, p: usize) -> Self {
+        Replicated {
+            value,
+            footprint: vec![bytes; p],
+        }
+    }
+}
+
+impl<T: Clone> Checkpoint for Replicated<T> {
+    fn bytes_per_rank(&self) -> Vec<u64> {
+        self.footprint.clone()
+    }
+
+    fn snapshot(&self) -> Self {
+        self.clone()
+    }
+}
+
 impl<T: Clone> Checkpoint for DistVec<T> {
     fn bytes_per_rank(&self) -> Vec<u64> {
         let elem = std::mem::size_of::<T>() as u64;
@@ -301,6 +333,18 @@ mod tests {
         let snap = pair.snapshot();
         assert_eq!(snap.0, pair.0);
         assert_eq!(snap.1, pair.1);
+    }
+
+    #[test]
+    fn replicated_footprint_composes_in_tuples() {
+        let a = DistVec::from_parts(vec![vec![0u64; 3], vec![0u64; 5]]);
+        let b = DistVec::from_parts(vec![vec![0u8; 10], vec![0u8; 2]]);
+        let r = Replicated::new(vec![1u32, 2, 3], 100, 2);
+        assert_eq!(r.bytes_per_rank(), vec![100, 100]);
+        let triple = (a, b, r);
+        assert_eq!(triple.bytes_per_rank(), vec![134, 142]);
+        let snap = triple.snapshot();
+        assert_eq!(snap.2.value, vec![1, 2, 3]);
     }
 
     #[test]

@@ -79,7 +79,9 @@ pub mod rng;
 pub mod stats;
 pub mod threaded;
 
-pub use checkpoint::{Checkpoint, CheckpointPolicy, CheckpointStats, CheckpointStore, Snapshot};
+pub use checkpoint::{
+    Checkpoint, CheckpointPolicy, CheckpointStats, CheckpointStore, Replicated, Snapshot,
+};
 pub use collectives::AllToAllAlgo;
 pub use dist::DistVec;
 pub use engine::{Engine, TimeMode};

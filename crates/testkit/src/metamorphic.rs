@@ -24,11 +24,18 @@
 //!   engine produce bit-identical output at 1 and 4 threads (the CI
 //!   determinism matrix additionally runs the whole suite under both
 //!   `RAYON_NUM_THREADS` values).
+//! * [`warm_state_fallback`] — a corrupted or stale [`PartitionState`] is
+//!   *detected* (payload self-check, rank-count fingerprint) and the run
+//!   falls back to a cold ladder whose output is bit-identical to a run
+//!   that never saw the state.
 
 use crate::scenario::{MeshShape, NamedCheck, Scenario};
 use crate::{tk_assert, tk_assert_eq};
 use optipart_core::metrics::{assignment, communication_matrix};
-use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart_core::optipart::{optipart_with_state, PartitionState};
+use optipart_core::partition::{
+    distribute_shuffled, distribute_tree, treesort_partition, PartitionOptions, PartitionOutcome,
+};
 use optipart_core::quality::partition_quality;
 use optipart_core::treesort::treesort_threaded;
 use optipart_core::{optipart, OptiPartOptions};
@@ -44,6 +51,7 @@ pub const PROPERTIES: &[NamedCheck] = &[
     ("tolerance-monotonicity", tolerance_monotonicity),
     ("scale-invariance", scale_invariance),
     ("thread-count-invariance", thread_count_invariance),
+    ("warm-state-fallback", warm_state_fallback),
 ];
 
 /// Shuffles `leaves` and cuts them into `p` ragged (possibly empty) rank
@@ -279,6 +287,101 @@ pub fn thread_count_invariance(scn: &Scenario) {
             b == expected_buffers,
             "par_map_mut_n mutations changed at {threads} threads"
         );
+    }
+}
+
+/// A warm-start cache must be safe by construction: tamper with it or
+/// offer it to the wrong machine and the partitioner *detects* the problem
+/// and produces output bit-identical to a run that never saw the state.
+///
+/// Three metamorphic legs on the scenario's own mesh:
+/// 1. *Corrupted*: prime a state, flip a bit in its payload behind the
+///    signature's back — the self-check rejects it (`stats.rejected`) and
+///    the cold fallback matches the reference.
+/// 2. *Re-seeded*: the rejection re-seeds the cache; an immediate rerun is
+///    an exact hit and still matches.
+/// 3. *Stale rank count*: the cache offered to a `p − 1` engine is
+///    invalidated (`stats.invalidated`, the shrink-recovery path) and the
+///    cold fallback matches a fresh `p − 1` reference.
+pub fn warm_state_fallback(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let p = scn.p;
+    let opts = OptiPartOptions {
+        curve: scn.curve,
+        max_split_per_round: scn.split_budget,
+        ..Default::default()
+    };
+    let assert_identical = |what: &str, got: &PartitionOutcome<3>, want: &PartitionOutcome<3>| {
+        tk_assert!(
+            scn,
+            got.splitters == want.splitters,
+            "{what}: splitters diverge from the state-free reference"
+        );
+        tk_assert!(
+            scn,
+            got.dist.concat() == want.dist.concat(),
+            "{what}: partitioned data diverges from the state-free reference"
+        );
+        tk_assert!(
+            scn,
+            got.report.counts == want.report.counts
+                && got.report.predicted_tp.to_bits() == want.report.predicted_tp.to_bits(),
+            "{what}: report diverges from the state-free reference"
+        );
+    };
+
+    let input = distribute_shuffled(&tree, p, scn.shuffle_seed(16));
+    let mut ec = scn.engine();
+    let want = optipart(&mut ec, input.clone(), opts);
+
+    // Leg 1: corrupted payload → detected → cold fallback identical.
+    let mut state = PartitionState::new();
+    let mut e1 = scn.engine();
+    let _ = optipart_with_state(&mut e1, input.clone(), opts, &mut state);
+    tk_assert!(
+        scn,
+        state.corrupt_for_test(),
+        "the priming run must seed a cache entry"
+    );
+    let mut e2 = scn.engine();
+    let got = optipart_with_state(&mut e2, input.clone(), opts, &mut state);
+    tk_assert_eq!(
+        scn,
+        state.stats.rejected,
+        1,
+        "the payload self-check must fire exactly once"
+    );
+    assert_identical("corrupted state", &got, &want);
+
+    // Leg 2: the rejection re-seeded the cache cold — a rerun is an exact
+    // hit and still identical.
+    let hits_before = state.stats.hits;
+    let mut e3 = scn.engine();
+    let got = optipart_with_state(&mut e3, input.clone(), opts, &mut state);
+    tk_assert_eq!(
+        scn,
+        state.stats.hits,
+        hits_before + 1,
+        "the re-seeded entry must serve an exact hit"
+    );
+    assert_identical("re-seeded state", &got, &want);
+
+    // Leg 3: the same cache offered to a shrunk machine (p − 1 ranks, the
+    // post-recovery configuration) is invalidated and falls back cold.
+    if p > 2 {
+        let q = p - 1;
+        let input_q = distribute_shuffled(&tree, q, scn.shuffle_seed(17));
+        let mut eq_cold = Engine::new(q, scn.perf());
+        let want_q = optipart(&mut eq_cold, input_q.clone(), opts);
+        let invalidated_before = state.stats.invalidated;
+        let mut eq_warm = Engine::new(q, scn.perf());
+        let got_q = optipart_with_state(&mut eq_warm, input_q, opts, &mut state);
+        tk_assert!(
+            scn,
+            state.stats.invalidated > invalidated_before,
+            "a rank-count change must invalidate the cache"
+        );
+        assert_identical("stale rank count", &got_q, &want_q);
     }
 }
 

@@ -8,12 +8,14 @@
 //! | [`samplesort_equivalence`] | SampleSort ≡ TreeSort as a sorting network (§5.2) | multiset/order equality of outputs |
 //! | [`fault_recovery`] | faults never corrupt data; fail-stop recovery is exact | fault-free runs of the same scenario |
 //! | [`treesort_optimized`] | the ping-pong/parallel TreeSort is a pure optimisation | bit-identity vs the retained `treesort_reference` |
+//! | [`warm_vs_cold`] | the warm-started tolerance ladder is a pure optimisation | a cold ladder run on every step of the same AMR loop |
 //!
 //! All failures panic through [`tk_assert!`], so the message always carries
 //! the scenario and its one-line replay command.
 
 use crate::scenario::{NamedCheck, Scenario};
 use crate::{tk_assert, tk_assert_eq};
+use optipart_core::optipart::{optipart_with_state, PartitionState};
 use optipart_core::partition::{
     audit_splitters, distribute_shuffled, distribute_tree, owner_of, treesort_partition,
 };
@@ -25,9 +27,10 @@ use optipart_core::treesort::{
     treesort_with_scratch, PAR_CUTOFF,
 };
 use optipart_core::{optipart, OptiPartOptions};
+use optipart_fem::amr::{step_mesh, AmrConfig};
 use optipart_fem::{run_matvec_ft, DistMesh};
 use optipart_mpisim::rng::SplitMix64;
-use optipart_mpisim::{threaded, CheckpointPolicy, Engine, FaultPlan};
+use optipart_mpisim::{threaded, CheckpointPolicy, DistVec, Engine, FaultPlan};
 use optipart_octree::LinearTree;
 use optipart_sfc::{KeyedCell, SfcKey};
 
@@ -38,6 +41,7 @@ pub const ORACLES: &[NamedCheck] = &[
     ("samplesort-equivalence", samplesort_equivalence),
     ("fault-recovery", fault_recovery),
     ("treesort-optimized", treesort_optimized),
+    ("warm-vs-cold", warm_vs_cold),
 ];
 
 /// **Oracle 5 — optimised TreeSort vs retained reference.** The hot-path
@@ -95,6 +99,124 @@ pub fn treesort_optimized(scn: &Scenario) {
             );
         }
     }
+}
+
+/// Steps of the moving-front loop the warm-vs-cold oracle replays. Each
+/// step runs a full cold ladder *and* a warm one, so this is deliberately
+/// shorter than the bench kernel's 10-step loop to keep 100 scenarios
+/// inside the tier-1 budget — the decision paths (cold seed, table replay,
+/// exact hit) are all exercised from step 2 onwards.
+const WARM_STEPS: usize = 4;
+
+/// **Oracle 6 — warm vs cold.** The warm-started tolerance ladder
+/// ([`optipart_with_state`]) must be a *pure* optimisation: over a
+/// moving-front AMR loop, every step's warm outcome — splitters, per-rank
+/// slices, counts and all report fields down to float bits — must be
+/// identical to an independent cold ladder on the same input, for both the
+/// table-accelerated replay path (pass 1: the mesh changes every step) and
+/// the exact fingerprint-hit path (pass 2: the same meshes resubmitted).
+pub fn warm_vs_cold(scn: &Scenario) {
+    let p = scn.p;
+    let cfg = AmrConfig {
+        steps: WARM_STEPS,
+        max_level: 3 + (scn.seed & 1) as u8,
+        curve: scn.curve,
+        ..Default::default()
+    };
+    let opts = OptiPartOptions {
+        curve: scn.curve,
+        max_split_per_round: scn.split_budget,
+        ..Default::default()
+    };
+    let trees: Vec<LinearTree<3>> = (0..cfg.steps).map(|t| step_mesh(t, &cfg)).collect();
+
+    // Elements start where the previous step's splitters put their region —
+    // the same redistribution policy as `fem::amr_simulation`.
+    let input_for = |prev: &Option<Vec<SfcKey>>, tree: &LinearTree<3>| -> DistVec<KeyedCell<3>> {
+        match prev {
+            None => DistVec::from_global(tree.leaves(), p),
+            Some(sp) => {
+                let mut parts: Vec<Vec<KeyedCell<3>>> = (0..p).map(|_| Vec::new()).collect();
+                for kc in tree.leaves() {
+                    parts[owner_of(sp, &kc.key)].push(*kc);
+                }
+                DistVec::from_parts(parts)
+            }
+        }
+    };
+
+    let assert_identical =
+        |what: &str,
+         warm: &optipart_core::partition::PartitionOutcome<3>,
+         cold: &optipart_core::partition::PartitionOutcome<3>| {
+            tk_assert!(
+                scn,
+                warm.splitters == cold.splitters,
+                "{what}: warm splitters diverge from cold"
+            );
+            for r in 0..p {
+                tk_assert!(
+                    scn,
+                    warm.dist.rank(r) == cold.dist.rank(r),
+                    "{what}: warm rank {r} slice diverges from cold"
+                );
+            }
+            let (w, c) = (&warm.report, &cold.report);
+            tk_assert!(
+                scn,
+                w.counts == c.counts
+                    && w.rounds == c.rounds
+                    && w.splitter_level == c.splitter_level
+                    && w.wmax == c.wmax
+                    && w.cmax == c.cmax
+                    && w.achieved_tolerance.to_bits() == c.achieved_tolerance.to_bits()
+                    && w.lambda.to_bits() == c.lambda.to_bits()
+                    && w.predicted_tp.to_bits() == c.predicted_tp.to_bits(),
+                "{what}: warm report diverges from cold ({w:?} vs {c:?})"
+            );
+        };
+
+    // Pass 1: the front moves every step — step 1 seeds the cache cold,
+    // every later step takes the table-accelerated replay path.
+    let mut state = PartitionState::new();
+    let mut prev: Option<Vec<SfcKey>> = None;
+    let mut pass1 = Vec::with_capacity(cfg.steps);
+    for (t, tree) in trees.iter().enumerate() {
+        let input = input_for(&prev, tree);
+        let mut ec = scn.engine();
+        let cold = optipart(&mut ec, input.clone(), opts);
+        let mut ew = scn.engine();
+        let warm = optipart_with_state(&mut ew, input, opts, &mut state);
+        assert_identical(&format!("step {t}"), &warm, &cold);
+        prev = Some(cold.splitters);
+        pass1.push(warm);
+    }
+    tk_assert_eq!(scn, state.stats.colds, 1, "only the first step runs cold");
+    tk_assert_eq!(
+        scn,
+        state.stats.replays,
+        (cfg.steps - 1) as u64,
+        "every later step must take the replay path"
+    );
+    tk_assert_eq!(scn, state.stats.rejected, 0, "no self-check rejections");
+    tk_assert_eq!(scn, state.stats.invalidated, 0, "no rank-count churn");
+
+    // Pass 2: the same meshes resubmitted — every step must be an exact
+    // fingerprint hit (the ladder skipped entirely) and still identical.
+    let mut prev: Option<Vec<SfcKey>> = None;
+    for (t, (tree, first)) in trees.iter().zip(&pass1).enumerate() {
+        let input = input_for(&prev, tree);
+        let mut ew = scn.engine();
+        let warm = optipart_with_state(&mut ew, input, opts, &mut state);
+        assert_identical(&format!("pass 2 step {t}"), &warm, first);
+        prev = Some(warm.splitters);
+    }
+    tk_assert_eq!(
+        scn,
+        state.stats.hits,
+        cfg.steps as u64,
+        "pass 2 must be exact fingerprint hits throughout"
+    );
 }
 
 /// The globally SFC-sorted leaf multiset — the ground-truth output of every

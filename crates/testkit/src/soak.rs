@@ -20,9 +20,8 @@ use optipart_mpisim::{CheckpointPolicy, Engine, FaultPlan};
 use optipart_trace::fnv1a;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Every check the soak driver runs, in order: the four differential
-/// oracles, the four metamorphic properties, plus the two whole-stack
-/// checks below.
+/// Every check the soak driver runs, in order: the differential oracles,
+/// the metamorphic properties, plus the two whole-stack checks below.
 pub const CHECKS: &[NamedCheck] = &[
     (
         "treesort-differential",
@@ -34,6 +33,7 @@ pub const CHECKS: &[NamedCheck] = &[
         crate::oracles::samplesort_equivalence,
     ),
     ("fault-recovery", crate::oracles::fault_recovery),
+    ("warm-vs-cold", crate::oracles::warm_vs_cold),
     (
         "permutation-invariance",
         crate::metamorphic::permutation_invariance,
@@ -47,6 +47,10 @@ pub const CHECKS: &[NamedCheck] = &[
         crate::metamorphic::tolerance_monotonicity,
     ),
     ("scale-invariance", crate::metamorphic::scale_invariance),
+    (
+        "warm-state-fallback",
+        crate::metamorphic::warm_state_fallback,
+    ),
     ("stack", stack_check),
     ("trace-identity", trace_identity),
 ];

@@ -8,6 +8,7 @@
 //! optipart-cli partition --mesh mesh.txt -p 64 --tolerance 0.3
 //! optipart-cli partition --mesh mesh.txt -p 64 --optipart \
 //!     --faults seed=7,straggler=0.2x3,trans=0.01,kill=3@40
+//! optipart-cli partition --mesh mesh.txt -p 64 --optipart --steps 10
 //! optipart-cli analyze --mesh mesh.txt --parts parts.txt
 //! ```
 //!
@@ -18,7 +19,7 @@
 use optipart::core::metrics::{
     boundary_counts, comm_imbalance, communication_matrix, load_imbalance, partition_counts,
 };
-use optipart::core::optipart::{optipart, OptiPartOptions};
+use optipart::core::optipart::{optipart, optipart_with_state, OptiPartOptions, PartitionState};
 use optipart::core::partition::{distribute_tree, treesort_partition, PartitionOptions};
 use optipart::machine::{AppModel, MachineModel, PerfModel};
 use optipart::mpisim::{catch_rank_death, Engine, FaultPlan};
@@ -137,16 +138,29 @@ fn cmd_partition(f: &Flags) {
     }
     let input = distribute_tree(&tree, p);
 
+    // `--steps N` re-partitions the same mesh N times through a warm
+    // `PartitionState`, the way an AMR or service loop would — step 1
+    // pays the full tolerance ladder, every later step is an exact
+    // fingerprint hit (bit-identical output, no search).
+    let steps: usize = f.parse("steps", 1);
+    let mut warm_stats = None;
     let run = catch_rank_death(|| {
         if f.has("optipart") {
-            optipart(
-                &mut engine,
-                input,
-                OptiPartOptions {
-                    latency_aware: f.has("latency-aware"),
-                    ..OptiPartOptions::for_curve(curve_of(f))
-                },
-            )
+            let opts = OptiPartOptions {
+                latency_aware: f.has("latency-aware"),
+                ..OptiPartOptions::for_curve(curve_of(f))
+            };
+            if steps > 1 {
+                let mut state = PartitionState::new();
+                let mut out = optipart_with_state(&mut engine, input.clone(), opts, &mut state);
+                for _ in 1..steps {
+                    out = optipart_with_state(&mut engine, input.clone(), opts, &mut state);
+                }
+                warm_stats = Some(state.stats);
+                out
+            } else {
+                optipart(&mut engine, input, opts)
+            }
         } else {
             let tol: f64 = f.parse("tolerance", 0.0);
             treesort_partition(&mut engine, input, PartitionOptions::with_tolerance(tol))
@@ -172,6 +186,13 @@ fn cmd_partition(f: &Flags) {
         outcome.report.rounds,
         engine.makespan() * 1e3,
     );
+    if let Some(s) = warm_stats {
+        eprintln!(
+            "warm-start over {steps} steps: {} exact hits, {} replays, {} cold, \
+             {} rejected",
+            s.hits, s.replays, s.colds, s.rejected,
+        );
+    }
     if f.has("faults") {
         eprintln!(
             "fault plan: {} transient retries charged, {} rank deaths",
@@ -286,8 +307,8 @@ fn usage(err: &str) -> ! {
         "usage:\n  optipart-cli gen --points N [--dist uniform|normal|lognormal] \
          [--seed S] [--curve hilbert|morton] [--out FILE]\n  \
          optipart-cli partition --mesh FILE -p RANKS [--machine NAME] \
-         [--tolerance T | --optipart [--latency-aware]] [--curve C] [--out FILE] \
-         [--trace FILE] [--faults SPEC]\n  \
+         [--tolerance T | --optipart [--latency-aware] [--steps N]] [--curve C] \
+         [--out FILE] [--trace FILE] [--faults SPEC]\n  \
          optipart-cli analyze --mesh FILE --parts FILE [--curve C]\n\n\
          --faults SPEC is a comma-separated fault plan, e.g.\n  \
          seed=7,straggler=0.2x3,jitter=0.1,trans=0.01,retry=4@1e-4,fail=0.12@20,kill=3@40,detect=1e-3"

@@ -6,6 +6,7 @@
 //! counts. The critical path must tile `[0, makespan]` exactly *through*
 //! the detection, restore and repartition events.
 
+use optipart::core::optipart::WarmStats;
 use optipart::core::partition::{distribute_tree, treesort_partition, PartitionOptions};
 use optipart::fem::{amr_simulation_ft, run_matvec_ft, AmrConfig, DistMesh};
 use optipart::machine::{AppModel, MachineModel, PerfModel};
@@ -76,6 +77,54 @@ fn killed_amr_run_completes_on_survivors() {
     assert_eq!(got.steps.last().unwrap().step, cfg.steps - 1);
     assert!(got.total_seconds > want.total_seconds);
     assert_solutions_match(&want.solution, &got.solution);
+}
+
+#[test]
+fn shrink_invalidates_warm_state_and_stays_bit_identical() {
+    // A mid-run kill shrinks the communicator, so every cached
+    // `PartitionState` entry is fingerprinted for a rank count that no
+    // longer exists: the recovery repartition must invalidate them all,
+    // run cold, and re-seed for the survivor machine — and the whole
+    // warm-started faulted run must stay bit-identical to the same run
+    // with warm-start disabled.
+    let cfg = AmrConfig {
+        steps: 4,
+        max_level: 4,
+        matvecs_per_step: 3,
+        ..Default::default()
+    };
+    let mut clean = engine(8);
+    let want = amr_simulation_ft(&mut clean, &cfg, CheckpointPolicy::EveryStep);
+    let mid = clean.sync_points() / 2;
+
+    let run = |cfg: &AmrConfig| {
+        let mut e = engine(8).with_faults(FaultPlan::new(43).kill_rank(3, mid));
+        let rep = amr_simulation_ft(&mut e, cfg, CheckpointPolicy::EveryStep);
+        assert_eq!(rep.deaths.len(), 1, "the scheduled kill must fire");
+        assert_eq!(rep.final_p, 7);
+        rep
+    };
+    let warm = run(&cfg);
+    let cold = run(&AmrConfig {
+        warm_start: false,
+        ..cfg
+    });
+
+    // The shrink dropped the pre-death entries and forced a cold re-seed;
+    // nothing was ever rejected as corrupt.
+    assert!(
+        warm.warm.invalidated >= 1,
+        "shrink must invalidate stale state: {:?}",
+        warm.warm
+    );
+    assert!(warm.warm.colds >= 2, "post-shrink ladder must run cold");
+    assert_eq!(warm.warm.rejected, 0);
+    assert_eq!(cold.warm, WarmStats::default(), "cold run must not warm");
+
+    // Bit-identical faulted trajectories (virtual clocks differ — the warm
+    // path charges for fingerprinting), round-off-identical to clean.
+    assert_eq!(warm.solution, cold.solution);
+    assert_solutions_match(&want.solution, &warm.solution);
 }
 
 #[test]

@@ -55,6 +55,14 @@ fn oracle_treesort_optimized() {
     sweep(oracles::treesort_optimized, 0x0175_0005, 100);
 }
 
+/// Oracle 6: a warm-started AMR partition sequence is bit-identical to
+/// cold per-step ladders — replayed decisions, exact-hit reuse, report
+/// floats compared by bits — across 100 generated scenarios.
+#[test]
+fn oracle_warm_vs_cold() {
+    sweep(oracles::warm_vs_cold, 0x0175_0006, 100);
+}
+
 /// Metamorphic: splitters ignore the input's distribution across ranks.
 #[test]
 fn property_permutation_invariance() {
@@ -87,6 +95,14 @@ fn property_scale_invariance() {
 #[test]
 fn property_thread_count_invariance() {
     sweep(metamorphic::thread_count_invariance, 0x0175_0015, 50);
+}
+
+/// Metamorphic: a corrupted or stale `PartitionState` is detected and
+/// falls back to a cold ladder with identical output, including the
+/// shrink case where the surviving rank count no longer matches.
+#[test]
+fn property_warm_state_fallback() {
+    sweep(metamorphic::warm_state_fallback, 0x0175_0016, 50);
 }
 
 /// Whole stack: faulted + checkpointed + traced AMR, deterministic twice
