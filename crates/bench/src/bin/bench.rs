@@ -76,8 +76,11 @@ fn cmd_run(args: &[String]) -> i32 {
     }
     let host = hostname();
     let threads = par::num_threads();
+    let cores = cores();
     let mode = if tiny { "tiny" } else { "full" };
-    eprintln!("bench run: host={host} mode={mode} samples={samples} threads={threads}");
+    eprintln!(
+        "bench run: host={host} mode={mode} samples={samples} threads={threads} cores={cores}"
+    );
 
     let mut results = Vec::new();
     for k in kernels::registry() {
@@ -117,6 +120,18 @@ fn cmd_run(args: &[String]) -> i32 {
             derived.insert("optipart_warm_amortized_speedup".to_string(), cold / warm);
         }
     }
+    if let Some(ns_per_req) = ns_of("serve_requests_per_sec") {
+        if ns_per_req > 0.0 {
+            derived.insert("serve_requests_per_sec".to_string(), 1e9 / ns_per_req);
+        }
+    }
+    // Real-time figures the serve kernels publish out-of-band (p99 wall
+    // latency, warm-request rate) — see `kernels::SERVE_STATS`.
+    for (k, v) in kernels::SERVE_STATS.lock().unwrap().iter() {
+        if v.is_finite() {
+            derived.insert(k.clone(), *v);
+        }
+    }
 
     let report = Report {
         schema: Report::SCHEMA.into(),
@@ -124,6 +139,7 @@ fn cmd_run(args: &[String]) -> i32 {
         mode: mode.into(),
         samples: samples as u64,
         threads: threads as u64,
+        cores,
         kernels: results,
         derived,
     };
@@ -215,6 +231,28 @@ fn cmd_compare(args: &[String]) -> i32 {
             return 2;
         }
     };
+    // Host-capability sanity: parallel-speedup figures (e.g.
+    // treesort_parallel_speedup) recorded on hosts with different core
+    // counts are not comparable — warn, don't gate (times are already
+    // covered by --allocs-only for cross-machine compares).
+    if base.cores != 0 && cur.cores != 0 && base.cores != cur.cores {
+        println!(
+            "warning: baseline was recorded on a {}-core host, current on {}-core — \
+             parallel-speedup figures (treesort_parallel_speedup, serve throughput) \
+             are not comparable across core counts",
+            base.cores, cur.cores
+        );
+    } else if base.cores == 0 || cur.cores == 0 {
+        println!(
+            "warning: {} report(s) predate the host-capability stanza (cores unknown) — \
+             re-record with `bench run` to enable core-count comparison",
+            if base.cores == 0 && cur.cores == 0 {
+                "both"
+            } else {
+                "one"
+            }
+        );
+    }
     let violations = compare_reports(&base, &cur, max_regression, allocs_only);
     println!(
         "compared {} kernels of {} against {} (threshold {max_regression}%{})",
@@ -263,6 +301,13 @@ fn hostname() -> String {
     } else {
         clean
     }
+}
+
+/// CPU cores visible to this process — the host-capability stanza.
+fn cores() -> u64 {
+    std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1)
 }
 
 /// The workspace root, two levels above this crate's manifest.

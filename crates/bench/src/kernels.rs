@@ -25,7 +25,11 @@ use optipart_machine::{AppModel, MachineModel, PerfModel};
 use optipart_mpisim::rng::SplitMix64;
 use optipart_mpisim::{par, AllToAllAlgo, DistVec, Engine};
 use optipart_octree::{sample_points, tree_from_points, Distribution, MeshParams};
+use optipart_serve::soak::mixed_stream;
+use optipart_serve::{ServeConfig, Server};
 use optipart_sfc::{Cell3, Curve, KeyedCell, SfcKey};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// A kernel instantiated at a concrete problem size, ready to run.
 pub struct Prepared {
@@ -328,6 +332,20 @@ pub fn registry() -> Vec<Kernel> {
             },
         },
         Kernel {
+            name: "serve_requests_per_sec",
+            group: "serve",
+            full_n: 1000,
+            tiny_n: 120,
+            build: |n| serve_kernel(n, 4),
+        },
+        Kernel {
+            name: "serve_p99_latency",
+            group: "serve",
+            full_n: 400,
+            tiny_n: 80,
+            build: |n| serve_kernel(n, 1),
+        },
+        Kernel {
             name: "matvec_laplacian",
             group: "matvec",
             full_n: 50_000,
@@ -461,6 +479,80 @@ fn amr_warm_kernel(n: usize) -> Prepared {
                     acc = mix(acc, (s.path() >> 64) as u64);
                 }
             }
+            acc
+        }),
+    }
+}
+
+/// Latency/warm-rate side channel of the serve kernels: `wall_us` and the
+/// server's warm-request rate are real-time figures the deterministic
+/// checksum cannot carry, so the kernels publish them here and `bench run`
+/// copies them into the report's `derived` block.
+pub static SERVE_STATS: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+
+/// SplitMix64 finalizer for the order-independent serve checksum.
+fn finalize(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The partition-as-a-service kernel: a persistent `optipart-serve` server
+/// (workers, warm states and engine caches live across iterations) serving
+/// a deterministic paused-burst stream of `n` requests over `n/10` distinct
+/// scenarios. The warmup iteration seeds the caches cold; every measured
+/// iteration then rides the warm exact-hit path, so `ns/elem` is
+/// ns-per-request at steady state. The checksum folds each response's
+/// payload signature commutatively (arrival order is scheduling-dependent;
+/// the payloads are not). Per-request wall latency (p99) and the cumulative
+/// warm-request rate go to [`SERVE_STATS`].
+fn serve_kernel(n: usize, workers: usize) -> Prepared {
+    let distinct = (n / 10).clamp(1, 48);
+    let reqs = mixed_stream(0x5E11 + workers as u64, n, distinct, 0, 0);
+    // queue_cap = n: a paused burst may land entirely on one worker's
+    // bounded queue, and a bench iteration must never shed.
+    let server = Server::start(ServeConfig {
+        workers,
+        queue_cap: n.max(1),
+        state_cap: 64,
+        engine_cache: 8,
+        batching: true,
+    });
+    let stat_key = if workers == 1 {
+        "serve_p99_latency_us"
+    } else {
+        "serve_burst_p99_latency_us"
+    };
+    Prepared {
+        elements: n as u64,
+        run: Box::new(move || {
+            server.pause();
+            for r in &reqs {
+                server.submit(r.clone());
+            }
+            server.release();
+            let resps = server.drain(reqs.len());
+            let mut acc = 0u64;
+            let mut lat: Vec<u64> = Vec::with_capacity(resps.len());
+            for r in &resps {
+                let p = r.payload.as_ref().expect("bench stream never sheds");
+                acc = acc.wrapping_add(finalize(r.id ^ p.sig.rotate_left(17)));
+                lat.push(r.wall_us);
+            }
+            lat.sort_unstable();
+            let p99 = lat[(lat.len() * 99)
+                .div_ceil(100)
+                .saturating_sub(1)
+                .min(lat.len() - 1)];
+            let warm = server.stats().warm_request_rate();
+            let mut g = SERVE_STATS.lock().unwrap();
+            let e = g.entry(stat_key.to_string()).or_insert(f64::INFINITY);
+            *e = e.min(p99 as f64);
+            let w = g
+                .entry("serve_warm_request_rate".to_string())
+                .or_insert(f64::INFINITY);
+            *w = w.min(warm);
             acc
         }),
     }

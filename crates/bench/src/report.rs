@@ -8,6 +8,7 @@
 //! {
 //!   "schema": "optipart-bench/1",
 //!   "host": "mybox", "mode": "full", "samples": 10, "threads": 8,
+//!   "cores": 8,
 //!   "kernels": [
 //!     { "name": "treesort_seq", "group": "treesort", "n": 100000,
 //!       "elements": 99873, "min_iter_ns": 1234567,
@@ -65,6 +66,11 @@ pub struct Report {
     pub samples: u64,
     /// Worker-thread budget of parallel kernels.
     pub threads: u64,
+    /// Host capability stanza: CPU cores visible to the run (0 when the
+    /// report predates this field). Parallel-speedup figures recorded on
+    /// hosts with different core counts are not comparable — `bench
+    /// compare` warns on a mismatch rather than gating.
+    pub cores: u64,
     /// Per-kernel results, registry order.
     pub kernels: Vec<KernelResult>,
     /// Derived cross-kernel figures (e.g. speedup ratios).
@@ -84,6 +90,7 @@ impl Report {
         let _ = writeln!(s, "  \"mode\": {},", quote(&self.mode));
         let _ = writeln!(s, "  \"samples\": {},", self.samples);
         let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"cores\": {},", self.cores);
         s.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
             let _ = write!(
@@ -161,6 +168,12 @@ impl Report {
             mode: obj.str_field("mode")?,
             samples: obj.num_field("samples")? as u64,
             threads: obj.num_field("threads")? as u64,
+            // Tolerant: reports written before the host-capability stanza
+            // existed parse as cores = 0 ("unknown").
+            cores: obj
+                .get("cores")
+                .and_then(|v| v.as_num("cores").ok())
+                .unwrap_or(0.0) as u64,
             kernels,
             derived,
         })
@@ -494,6 +507,7 @@ mod tests {
             mode: "tiny".into(),
             samples: 3,
             threads: 4,
+            cores: 4,
             kernels: vec![
                 KernelResult {
                     name: "treesort_seq".into(),
@@ -529,9 +543,19 @@ mod tests {
         let r = sample_report();
         let parsed = Report::from_json(&r.to_json()).expect("round trip");
         assert_eq!(parsed.host, r.host);
+        assert_eq!(parsed.cores, 4);
         assert_eq!(parsed.kernels.len(), 2);
         assert_eq!(parsed.kernels[0], r.kernels[0]);
         assert_eq!(parsed.derived, r.derived);
+    }
+
+    #[test]
+    fn reports_without_a_cores_stanza_still_parse() {
+        let r = sample_report();
+        let legacy = r.to_json().replace("  \"cores\": 4,\n", "");
+        let parsed = Report::from_json(&legacy).expect("legacy report parses");
+        assert_eq!(parsed.cores, 0, "missing stanza must read as unknown");
+        assert_eq!(parsed.kernels.len(), 2);
     }
 
     #[test]

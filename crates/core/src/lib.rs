@@ -34,7 +34,7 @@ pub mod treesort;
 pub use histogramsort::histogramsort_partition;
 pub use optipart::{
     optipart, optipart_survivors, optipart_survivors_with_state, optipart_with_state,
-    OptiPartOptions, PartitionState, WarmStats,
+    OptiPartOptions, PartitionState, WarmStats, DEFAULT_STATE_CAP,
 };
 pub use partition::{
     distribute_shuffled, distribute_tree, treesort_partition, treesort_partition_weighted,

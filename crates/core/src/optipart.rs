@@ -475,25 +475,51 @@ pub struct WarmStats {
     pub invalidated: u64,
 }
 
-/// Most recent entries kept per state; old meshes fall off the end. Sized
-/// to comfortably cover the repeating scenario sets of a soak or service
-/// loop (the bench kernel cycles 10 meshes).
-const STATE_CAP: usize = 16;
+/// Default number of most recent entries kept per state; old meshes fall
+/// off the end. Sized to comfortably cover the repeating scenario sets of
+/// a soak or service loop (the bench kernel cycles 10 meshes). Tunable per
+/// state via [`PartitionState::with_cap`] (exposed through
+/// `AmrConfig::state_cap` and the CLI/server `--state-cap` flag).
+pub const DEFAULT_STATE_CAP: usize = 16;
 
 /// Reusable warm-start state for [`optipart_with_state`]: a small FIFO of
 /// fingerprinted past partitions. Cheap to clone, checkpointable (see the
 /// `Replicated` wrapper in `optipart-mpisim`), and safe by construction —
 /// a stale, foreign or corrupted state can cost at most one cold run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct PartitionState {
     entries: Vec<StateEntry>,
+    /// LRU bound on `entries` (≥ 1).
+    cap: usize,
     /// Decision counters (monotone; survive [`PartitionState::clear`]).
     pub stats: WarmStats,
+}
+
+impl Default for PartitionState {
+    fn default() -> Self {
+        Self::with_cap(DEFAULT_STATE_CAP)
+    }
 }
 
 impl PartitionState {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A state bounded to `cap` cached partitions (clamped to ≥ 1). Sizing
+    /// is per worker/loop: a service worker whose shard cycles through `k`
+    /// distinct scenarios wants `cap ≥ k` to stay on the exact-hit path.
+    pub fn with_cap(cap: usize) -> Self {
+        Self {
+            entries: Vec::new(),
+            cap: cap.max(1),
+            stats: WarmStats::default(),
+        }
+    }
+
+    /// The LRU bound this state was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
     }
 
     /// Drops every cached entry (the counters are kept).
@@ -553,8 +579,8 @@ impl PartitionState {
     fn store(&mut self, entry: StateEntry) {
         self.entries.retain(|e| e.fp != entry.fp);
         self.entries.push(entry);
-        if self.entries.len() > STATE_CAP {
-            let excess = self.entries.len() - STATE_CAP;
+        if self.entries.len() > self.cap {
+            let excess = self.entries.len() - self.cap;
             self.entries.drain(..excess);
         }
     }
@@ -1016,7 +1042,7 @@ mod tests {
             let _ = optipart_with_state(&mut e, distribute_tree(&tree, 4), opts, &mut state);
         }
         assert!(
-            state.len() <= 16,
+            state.len() <= DEFAULT_STATE_CAP,
             "cache must stay bounded: {}",
             state.len()
         );
@@ -1025,6 +1051,35 @@ mod tests {
         let mut e = engine_on(MachineModel::titan(), 4);
         let _ = optipart_with_state(&mut e, distribute_tree(&tree, 4), opts, &mut state);
         assert_eq!(state.stats.hits, 1);
+    }
+
+    #[test]
+    fn configurable_cap_bounds_and_evicts_fifo() {
+        // A cap-2 state over 3 distinct meshes keeps only the newest two:
+        // mesh 0 was evicted (cold again), meshes 1 and 2 still hit.
+        let opts = OptiPartOptions::default();
+        let mut state = PartitionState::with_cap(2);
+        assert_eq!(state.cap(), 2);
+        let mesh =
+            |i: usize| MeshParams::normal(400 + i * 31, 211 + i as u64).build::<3>(Curve::Hilbert);
+        for i in 0..3 {
+            let mut e = engine_on(MachineModel::titan(), 4);
+            let _ = optipart_with_state(&mut e, distribute_tree(&mesh(i), 4), opts, &mut state);
+        }
+        assert_eq!(state.len(), 2);
+        for (i, want_hit) in [(1usize, true), (2, true), (0, false)] {
+            let before = state.stats.hits;
+            let mut e = engine_on(MachineModel::titan(), 4);
+            let _ = optipart_with_state(&mut e, distribute_tree(&mesh(i), 4), opts, &mut state);
+            assert_eq!(
+                state.stats.hits > before,
+                want_hit,
+                "mesh {i}: {:?}",
+                state.stats
+            );
+        }
+        // Degenerate caps clamp to 1 instead of disabling the cache.
+        assert_eq!(PartitionState::with_cap(0).cap(), 1);
     }
 
     #[test]

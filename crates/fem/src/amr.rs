@@ -65,6 +65,10 @@ pub struct AmrConfig {
     /// warm-start each repartition (bit-identical to cold; see
     /// [`optipart_with_state`]). Ignored by the TreeSort strategies.
     pub warm_start: bool,
+    /// LRU bound of the carried [`PartitionState`] (entries, not bytes);
+    /// a loop cycling through `k` distinct meshes wants `state_cap ≥ k` to
+    /// stay on the exact-hit path. Ignored with `warm_start` off.
+    pub state_cap: usize,
 }
 
 impl Default for AmrConfig {
@@ -76,6 +80,7 @@ impl Default for AmrConfig {
             strategy: Strategy::OptiPart,
             curve: Curve::Hilbert,
             warm_start: true,
+            state_cap: optipart_core::optipart::DEFAULT_STATE_CAP,
         }
     }
 }
@@ -142,7 +147,9 @@ pub fn amr_simulation(engine: &mut Engine, cfg: &AmrConfig) -> AmrReport {
     engine.reset();
     let mut steps = Vec::with_capacity(cfg.steps);
     let mut prev_splitters: Option<Vec<SfcKey>> = None;
-    let mut warm = cfg.warm_start.then(PartitionState::new);
+    let mut warm = cfg
+        .warm_start
+        .then(|| PartitionState::with_cap(cfg.state_cap));
     let mut total_ghosts = 0u64;
     let mut energy_j = 0.0;
 

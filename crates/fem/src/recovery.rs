@@ -384,7 +384,9 @@ pub fn amr_simulation_ft(
     let mut store: CheckpointStore<AmrSolveState> = CheckpointStore::new(policy);
     let mut steps: Vec<AmrStep> = Vec::new();
     let mut deaths: Vec<DeathRecord> = Vec::new();
-    let mut warm = cfg.warm_start.then(PartitionState::new);
+    let mut warm = cfg
+        .warm_start
+        .then(|| PartitionState::with_cap(cfg.state_cap));
     let mut prev_splitters: Option<Vec<SfcKey>> = None;
     // A restored step: mesh + solver vector + recovery partition's lambda.
     let mut recovered: Option<(DistMesh<3>, DistVec<f64>, f64)> = None;

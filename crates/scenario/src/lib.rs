@@ -5,6 +5,13 @@
 //! (b) a shrinker can override individual fields while the rest stay
 //! pinned. [`Scenario::replay_cmd`] encodes exactly the overridden fields,
 //! which keeps the one-line replay command short and canonical.
+//!
+//! This crate sits below both `optipart-testkit` (which re-exports it as
+//! `optipart_testkit::scenario` and builds its check registries on
+//! [`NamedCheck`]) and `optipart-serve` (whose wire protocol encodes one
+//! scenario per request). Keeping it separate is what lets the testkit
+//! host a server-vs-library differential oracle without a dependency
+//! cycle: scenario ← serve ← testkit.
 
 use optipart_machine::{AppModel, MachineModel, PerfModel};
 use optipart_mpisim::rng::SplitMix64;
@@ -105,8 +112,8 @@ const STREAM_FIELDS: u64 = 0xF1E1;
 const STREAM_POINTS: u64 = 0x90AB;
 const STREAM_SHUFFLE: u64 = 0x5F0E;
 
-/// A named check in one of the registries ([`crate::soak::CHECKS`],
-/// [`crate::oracles::ORACLES`], [`crate::metamorphic::PROPERTIES`]).
+/// A named check in one of the testkit registries (`soak::CHECKS`,
+/// `oracles::ORACLES`, `metamorphic::PROPERTIES`).
 pub type NamedCheck = (&'static str, fn(&Scenario));
 
 /// One generated workload: mesh + machine + partitioner knobs + faults.

@@ -1,0 +1,576 @@
+//! Line-delimited request/response protocol.
+//!
+//! One request per line, as a **flat** JSON object that mirrors the testkit
+//! [`Scenario`] one-seed encoding: `seed` is the only required scenario
+//! field, every other field is an *override* of that seed's derivation —
+//! exactly the semantics of `testkit replay`. A request that names only
+//! `{"id":7,"seed":42}` therefore reproduces scenario 42 verbatim, and any
+//! request can be turned back into a one-line replay command
+//! ([`Scenario::replay_cmd`]) when it is shed or fails verification.
+//!
+//! The parser is hand-rolled (flat objects only, no nesting) because the
+//! workspace's offline policy forbids pulling in a JSON crate; the bench
+//! harness's report reader made the same choice.
+
+use crate::Payload;
+use optipart_machine::MachineModel;
+use optipart_mpisim::FaultPlan;
+use optipart_scenario::{curve_name, parse_curve, AppKind, MeshShape, Scenario};
+use std::fmt::Write as _;
+
+/// One partition request: a replayable scenario plus service metadata.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// The workload: mesh + machine model + α (application) + tolerance
+    /// budget, all derived from `seed` modulo explicit overrides.
+    pub scn: Scenario,
+    /// Deadline budget in *virtual* seconds, evaluated against the engine
+    /// pass that served the request (warm hits finish sooner and can meet
+    /// budgets a cold ladder cannot). `None` = no deadline.
+    pub deadline_s: Option<f64>,
+}
+
+impl Request {
+    /// Canonical scenario key: every field that determines the engine pass
+    /// (and nothing else — not `id`, not the deadline). Requests with equal
+    /// keys are batchable and always land on the same worker.
+    pub fn key(&self) -> String {
+        self.scn.to_string()
+    }
+
+    /// Shard (worker index) for this request: a stable hash of [`key`]
+    /// (FNV-1a), so repeats of a scenario always hit the same worker's
+    /// warm `PartitionState`.
+    ///
+    /// [`key`]: Request::key
+    pub fn shard(&self, workers: usize) -> usize {
+        (fnv1a(self.key().as_bytes()) % workers.max(1) as u64) as usize
+    }
+
+    /// Canonical wire form (all scenario fields spelled out).
+    pub fn to_json(&self) -> String {
+        let s = &self.scn;
+        let mut out = String::with_capacity(192);
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"seed\":{},\"shape\":\"{}\",\"n\":{},\"p\":{},\"curve\":\"{}\",\"tol\":{},",
+            self.id,
+            s.seed,
+            s.shape.name(),
+            s.n,
+            s.p,
+            curve_name(s.curve),
+            s.tolerance,
+        );
+        match s.split_budget {
+            Some(k) => {
+                let _ = write!(out, "\"budget\":{k},");
+            }
+            None => out.push_str("\"budget\":null,"),
+        }
+        let _ = write!(
+            out,
+            "\"machine\":\"{}\",\"app\":\"{}\",\"faults\":",
+            s.machine.name,
+            s.app.name()
+        );
+        match &s.faults {
+            Some(plan) => {
+                let _ = write!(out, "{}", json_string(&plan.to_string()));
+            }
+            None => out.push_str("null"),
+        }
+        if let Some(d) = self.deadline_s {
+            let _ = write!(out, ",\"deadline_s\":{d}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parses one request line. `id` and `seed` are required; every other
+    /// scenario field defaults to its seed derivation (replay semantics).
+    pub fn from_json(line: &str) -> Result<Request, String> {
+        let f = Fields::parse(line)?;
+        let id = f
+            .num::<u64>("id")?
+            .ok_or_else(|| "missing required field 'id'".to_string())?;
+        let seed = f
+            .num::<u64>("seed")?
+            .ok_or_else(|| "missing required field 'seed'".to_string())?;
+        let mut scn = Scenario::from_seed(seed);
+        if let Some(name) = f.str("shape")? {
+            scn.shape = MeshShape::parse(name).ok_or_else(|| format!("unknown shape '{name}'"))?;
+        }
+        if let Some(n) = f.num::<usize>("n")? {
+            scn.n = n;
+        }
+        if let Some(p) = f.num::<usize>("p")? {
+            scn.p = p.max(1);
+        }
+        if let Some(name) = f.str("curve")? {
+            scn.curve = parse_curve(name).ok_or_else(|| format!("unknown curve '{name}'"))?;
+        }
+        if let Some(t) = f.num::<f64>("tol")? {
+            scn.tolerance = t;
+        }
+        match f.get("budget") {
+            None | Some(JsonVal::Null) => {
+                if f.get("budget").is_some() {
+                    scn.split_budget = None;
+                }
+            }
+            Some(JsonVal::Num(raw)) => {
+                scn.split_budget = Some(raw.parse().map_err(|_| format!("bad budget '{raw}'"))?);
+            }
+            Some(JsonVal::Str(s)) if s == "none" => scn.split_budget = None,
+            Some(v) => return Err(format!("bad budget {v:?}")),
+        }
+        if let Some(name) = f.str("machine")? {
+            scn.machine =
+                MachineModel::by_name(name).ok_or_else(|| format!("unknown machine '{name}'"))?;
+        }
+        if let Some(name) = f.str("app")? {
+            scn.app = AppKind::parse(name).ok_or_else(|| format!("unknown app '{name}'"))?;
+        }
+        match f.get("faults") {
+            None => {}
+            Some(JsonVal::Null) => scn.faults = None,
+            Some(JsonVal::Str(spec)) if spec == "none" => scn.faults = None,
+            Some(JsonVal::Str(spec)) => {
+                let plan: FaultPlan = spec.parse().map_err(|e| format!("bad faults: {e}"))?;
+                scn.faults = Some(plan);
+            }
+            Some(v) => return Err(format!("bad faults {v:?}")),
+        }
+        let deadline_s = f.num::<f64>("deadline_s")?;
+        Ok(Request {
+            id,
+            scn,
+            deadline_s,
+        })
+    }
+}
+
+/// Terminal state of a request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Status {
+    /// Served; payload attached.
+    Ok,
+    /// Served, but the engine pass's virtual time exceeded the request's
+    /// deadline budget. The payload is still attached.
+    Deadline,
+    /// Rejected at submit time by bounded-queue backpressure; carries the
+    /// replay command instead of a payload.
+    Shed,
+}
+
+impl Status {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Deadline => "deadline",
+            Status::Shed => "shed",
+        }
+    }
+}
+
+/// Which warm-start path the serving engine pass took (service metadata —
+/// never part of the payload identity).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WarmPath {
+    /// Exact fingerprint hit — the ladder was skipped.
+    Hit,
+    /// Table-accelerated replay on a changed mesh.
+    Replay,
+    /// Cold ladder (first sight, faulted request, or invalidated state).
+    Cold,
+    /// No engine pass ran (shed).
+    None,
+}
+
+impl WarmPath {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WarmPath::Hit => "hit",
+            WarmPath::Replay => "replay",
+            WarmPath::Cold => "cold",
+            WarmPath::None => "none",
+        }
+    }
+}
+
+/// One response line. The [`Payload`] is the bit-identity surface (equal to
+/// a direct library call); everything else is service metadata that may
+/// legitimately differ between serving conditions (worker, warm path, batch
+/// size, latencies).
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Echoed request id.
+    pub id: u64,
+    /// Terminal status.
+    pub status: Status,
+    /// Partition result; `None` only for [`Status::Shed`].
+    pub payload: Option<Payload>,
+    /// Replay command for shed requests (`None` otherwise).
+    pub replay: Option<String>,
+    /// Worker that served the request.
+    pub worker: usize,
+    /// Warm-start path of the serving pass.
+    pub warm: WarmPath,
+    /// Requests served by the same engine pass (≥ 1; shed → 0).
+    pub batched: u32,
+    /// Virtual seconds of the serving engine pass (deadlines are judged
+    /// against this; 0 for shed).
+    pub virtual_s: f64,
+    /// Wall-clock service latency, enqueue → response, microseconds.
+    pub wall_us: u64,
+}
+
+impl Response {
+    /// Wire form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"status\":\"{}\",\"worker\":{},\"warm\":\"{}\",\"batched\":{},\"virtual_s\":{},\"wall_us\":{}",
+            self.id,
+            self.status.name(),
+            self.worker,
+            self.warm.name(),
+            self.batched,
+            self.virtual_s,
+            self.wall_us,
+        );
+        if let Some(p) = &self.payload {
+            let _ = write!(
+                out,
+                ",\"sig\":\"{:#018x}\",\"elements\":{},\"final_p\":{},\"deaths\":{},\"lambda\":{},\"tol_achieved\":{},\"rounds\":{},\"splitter_level\":{},\"cmax\":{},\"wmax\":{},\"predicted_tp\":{}",
+                p.sig,
+                p.elements,
+                p.final_p,
+                p.deaths,
+                p.lambda,
+                p.achieved_tolerance,
+                p.rounds,
+                p.splitter_level,
+                p.cmax,
+                p.wmax,
+                p.predicted_tp,
+            );
+        }
+        if let Some(r) = &self.replay {
+            let _ = write!(out, ",\"replay\":{}", json_string(r));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// FNV-1a over bytes — the sharding hash. Stable across platforms and
+/// processes (unlike `std`'s `DefaultHasher`), which keeps shard placement
+/// and therefore batching behaviour reproducible.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// JSON string literal with escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed flat-JSON value. Numbers keep their raw text so `u64` seeds
+/// round-trip exactly (an f64 detour would corrupt seeds above 2⁵³).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonVal {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, unparsed.
+    Num(String),
+    /// A string literal, unescaped.
+    Str(String),
+}
+
+/// The fields of one flat JSON object, in document order.
+#[derive(Clone, Debug, Default)]
+pub struct Fields(Vec<(String, JsonVal)>);
+
+impl Fields {
+    /// Parses a single flat JSON object (no nested objects or arrays).
+    pub fn parse(line: &str) -> Result<Fields, String> {
+        let mut p = Parser {
+            s: line.as_bytes(),
+            i: 0,
+        };
+        p.ws();
+        p.eat(b'{')?;
+        let mut fields = Vec::new();
+        p.ws();
+        if p.peek() == Some(b'}') {
+            p.i += 1;
+        } else {
+            loop {
+                p.ws();
+                let key = p.string()?;
+                p.ws();
+                p.eat(b':')?;
+                p.ws();
+                let val = p.value()?;
+                fields.push((key, val));
+                p.ws();
+                match p.next() {
+                    Some(b',') => continue,
+                    Some(b'}') => break,
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        p.ws();
+        if p.i != p.s.len() {
+            return Err(format!("trailing content at byte {}", p.i));
+        }
+        Ok(Fields(fields))
+    }
+
+    /// Last value for `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&JsonVal> {
+        self.0.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Numeric field parsed as `T` (exact text → `FromStr`, no f64 detour).
+    pub fn num<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None | Some(JsonVal::Null) => Ok(None),
+            Some(JsonVal::Num(raw)) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("bad number for '{key}': {raw}")),
+            Some(v) => Err(format!("field '{key}' is not a number: {v:?}")),
+        }
+    }
+
+    /// String field.
+    pub fn str(&self, key: &str) -> Result<Option<&str>, String> {
+        match self.get(key) {
+            None | Some(JsonVal::Null) => Ok(None),
+            Some(JsonVal::Str(s)) => Ok(Some(s)),
+            Some(v) => Err(format!("field '{key}' is not a string: {v:?}")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.i += 1;
+        }
+        b
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == c => Ok(()),
+            other => Err(format!("expected '{}', got {other:?}", c as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit '{}'", d as char))?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at this byte.
+                    let start = self.i - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.s.len());
+                    let chunk = std::str::from_utf8(&self.s[start..end])
+                        .map_err(|_| "bad UTF-8 in string".to_string())?;
+                    out.push_str(chunk);
+                    self.i = end;
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonVal, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonVal::Str(self.string()?)),
+            Some(b'n') => self.lit("null", JsonVal::Null),
+            Some(b't') => self.lit("true", JsonVal::Bool(true)),
+            Some(b'f') => self.lit("false", JsonVal::Bool(false)),
+            Some(b'{' | b'[') => Err("nested objects/arrays are not part of the protocol".into()),
+            Some(_) => {
+                let start = self.i;
+                while matches!(
+                    self.peek(),
+                    Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                ) {
+                    self.i += 1;
+                }
+                if self.i == start {
+                    return Err(format!("bad value at byte {start}"));
+                }
+                Ok(JsonVal::Num(
+                    std::str::from_utf8(&self.s[start..self.i])
+                        .unwrap()
+                        .to_string(),
+                ))
+            }
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn lit(&mut self, word: &str, val: JsonVal) -> Result<JsonVal, String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(val)
+        } else {
+            Err(format!("bad literal at byte {}", self.i))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_through_wire_form() {
+        for seed in [1u64, 42, 0xDEAD_BEEF_CAFE_F00D, u64::MAX - 3] {
+            let req = Request {
+                id: seed ^ 7,
+                scn: Scenario::from_seed(seed),
+                deadline_s: if seed % 2 == 0 { Some(0.25) } else { None },
+            };
+            let back = Request::from_json(&req.to_json()).expect("roundtrip");
+            assert_eq!(back.id, req.id);
+            assert_eq!(back.key(), req.key(), "seed {seed}");
+            assert_eq!(back.deadline_s, req.deadline_s);
+        }
+    }
+
+    #[test]
+    fn seed_only_request_replays_the_scenario() {
+        let req = Request::from_json("{\"id\":1,\"seed\":9001}").unwrap();
+        assert_eq!(req.scn.to_string(), Scenario::from_seed(9001).to_string());
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_the_seed() {
+        let req = Request::from_json(
+            "{\"id\":2,\"seed\":5,\"p\":9,\"tol\":0.3,\"budget\":null,\"faults\":null}",
+        )
+        .unwrap();
+        assert_eq!(req.scn.p, 9);
+        assert_eq!(req.scn.tolerance, 0.3);
+        assert_eq!(req.scn.split_budget, None);
+        assert!(req.scn.faults.is_none());
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_reason() {
+        for bad in [
+            "",
+            "{",
+            "{\"id\":1}",
+            "{\"seed\":1}",
+            "{\"id\":1,\"seed\":2,\"shape\":\"donut\"}",
+            "{\"id\":1,\"seed\":2,\"nested\":{}}",
+            "{\"id\":1,\"seed\":2} trailing",
+        ] {
+            assert!(Request::from_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn sharding_is_stable_and_key_ignores_service_fields() {
+        let scn = Scenario::from_seed(77);
+        let a = Request {
+            id: 1,
+            scn: scn.clone(),
+            deadline_s: None,
+        };
+        let b = Request {
+            id: 999,
+            scn,
+            deadline_s: Some(1e-9),
+        };
+        assert_eq!(a.key(), b.key());
+        for w in 1..8 {
+            assert_eq!(a.shard(w), b.shard(w));
+            assert!(a.shard(w) < w);
+        }
+    }
+}

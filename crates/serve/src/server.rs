@@ -1,0 +1,649 @@
+//! The concurrent front end: sharded workers over bounded queues.
+//!
+//! One OS thread per worker (`mpisim::par` handles intra-pass parallelism;
+//! no async runtime — the tier-1 build stays std-only and offline). Each
+//! worker owns:
+//!
+//! * a bounded `Mutex<VecDeque>` + `Condvar` request queue (backpressure:
+//!   a full queue sheds at *submit* time, before any worker involvement, so
+//!   shedding is deterministic given queue contents and can never block);
+//! * one persistent warm [`PartitionState`] **per rank count** `p` (states
+//!   are fingerprint-invalidated on `p` mismatch, so a shared state would
+//!   thrash between requests of different widths);
+//! * a small LRU of long-lived engines keyed `(p, machine, app)` —
+//!   **fault-free requests only**. A request carrying a fault plan gets a
+//!   fresh engine and a throwaway state: `Engine::reset` re-arms kill
+//!   schedules but a shrink is permanent, so an engine that lost a rank
+//!   must never serve another request.
+//!
+//! Batching: the worker pops the queue head, then (with
+//! [`ServeConfig::batching`]) drains every queued request with the same
+//! scenario key and answers them all from one engine pass. Under
+//! [`Server::pause`]/[`Server::release`] the queue contents at release time
+//! are exactly the submitted burst, which makes batch composition — and
+//! therefore pass counts, warm stats and allocation counts — fully
+//! deterministic; the bench kernels and tests rely on this.
+
+use crate::protocol::{Request, Response, Status, WarmPath};
+use crate::run_request;
+use optipart_core::optipart::{PartitionState, WarmStats, DEFAULT_STATE_CAP};
+use optipart_mpisim::Engine;
+use optipart_scenario::{AppKind, Scenario};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Server tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (shards). Default: one per core.
+    pub workers: usize,
+    /// Bounded queue depth per worker; submissions past this are shed.
+    pub queue_cap: usize,
+    /// Warm [`PartitionState`] LRU bound per (worker, rank count) — the
+    /// configurable `STATE_CAP` of DESIGN.md §14.
+    pub state_cap: usize,
+    /// Long-lived engines kept per worker (fault-free configs only).
+    pub engine_cache: usize,
+    /// Serve same-key queued requests with one engine pass.
+    pub batching: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_cap: 64,
+            state_cap: DEFAULT_STATE_CAP,
+            engine_cache: 4,
+            batching: true,
+        }
+    }
+}
+
+/// Aggregate service counters (monotone over the server's lifetime).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServerStats {
+    /// Requests offered to [`Server::submit`].
+    pub submitted: u64,
+    /// Requests answered with a payload (ok or deadline).
+    pub completed: u64,
+    /// Requests rejected by backpressure.
+    pub shed: u64,
+    /// Engine passes run (≤ completed when batching merges requests).
+    pub engine_passes: u64,
+    /// Passes served from an exact warm hit.
+    pub hit_passes: u64,
+    /// Passes served from a table-accelerated replay.
+    pub replay_passes: u64,
+    /// Passes that paid the cold ladder.
+    pub cold_passes: u64,
+    /// Requests that joined an existing pass (batch followers).
+    pub batched_extra: u64,
+    /// Fail-stop deaths absorbed while serving.
+    pub deaths: u64,
+}
+
+impl ServerStats {
+    /// Fraction of completed requests served *without* paying a cold
+    /// ladder — exact hits, warm replays, or batch followers. This is the
+    /// "warm-hit rate" the service is gated on: it lower-bounds to
+    /// `1 − distinct_scenarios / requests` regardless of timing, because a
+    /// scenario can only go cold once per worker state.
+    pub fn warm_request_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        1.0 - self.cold_passes as f64 / self.completed as f64
+    }
+
+    /// Exact-hit fraction of engine passes.
+    pub fn hit_rate(&self) -> f64 {
+        if self.engine_passes == 0 {
+            return 0.0;
+        }
+        self.hit_passes as f64 / self.engine_passes as f64
+    }
+}
+
+struct Job {
+    req: Request,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    q: VecDeque<Job>,
+    paused: bool,
+    shutdown: bool,
+}
+
+#[derive(Default)]
+struct WorkerQueue {
+    m: Mutex<QueueState>,
+    cv: Condvar,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queues: Vec<WorkerQueue>,
+    stats: Mutex<ServerStats>,
+}
+
+/// A running server. Submit requests, receive [`Response`]s (exactly one
+/// per submitted request, shed included), then [`Server::shutdown`].
+/// Dropping the server shuts it down implicitly.
+pub struct Server {
+    shared: Arc<Shared>,
+    resp_tx: Option<Sender<Response>>,
+    resp_rx: Receiver<Response>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts `cfg.workers` worker threads and returns the handle.
+    pub fn start(cfg: ServeConfig) -> Server {
+        let cfg = ServeConfig {
+            workers: cfg.workers.max(1),
+            queue_cap: cfg.queue_cap.max(1),
+            ..cfg
+        };
+        let shared = Arc::new(Shared {
+            cfg,
+            queues: (0..cfg.workers.max(1))
+                .map(|_| WorkerQueue::default())
+                .collect(),
+            stats: Mutex::new(ServerStats::default()),
+        });
+        let (resp_tx, resp_rx) = channel();
+        let handles = (0..shared.cfg.workers)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                let tx = resp_tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("optipart-serve-{idx}"))
+                    .spawn(move || worker_loop(shared, idx, tx))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            shared,
+            resp_tx: Some(resp_tx),
+            resp_rx,
+            handles,
+        }
+    }
+
+    /// Offers a request. Returns `false` when the target worker's queue is
+    /// full — the request is *shed*: never executed, answered immediately
+    /// on the response channel with [`Status::Shed`] and its one-line
+    /// replay command. Exactly one response per submit either way.
+    pub fn submit(&self, req: Request) -> bool {
+        let w = req.shard(self.shared.cfg.workers);
+        let queued = {
+            let mut st = self.shared.queues[w].m.lock().unwrap();
+            if st.q.len() >= self.shared.cfg.queue_cap {
+                false
+            } else {
+                st.q.push_back(Job {
+                    req: req.clone(),
+                    enqueued: Instant::now(),
+                });
+                true
+            }
+        };
+        {
+            let mut s = self.shared.stats.lock().unwrap();
+            s.submitted += 1;
+            if !queued {
+                s.shed += 1;
+            }
+        }
+        if queued {
+            self.shared.queues[w].cv.notify_one();
+        } else {
+            let resp = Response {
+                id: req.id,
+                status: Status::Shed,
+                payload: None,
+                replay: Some(req.scn.replay_cmd()),
+                worker: w,
+                warm: WarmPath::None,
+                batched: 0,
+                virtual_s: 0.0,
+                wall_us: 0,
+            };
+            self.resp_tx
+                .as_ref()
+                .expect("server running")
+                .send(resp)
+                .ok();
+        }
+        queued
+    }
+
+    /// Holds all workers: queued and newly submitted requests accumulate
+    /// without being popped. With batching on, the queue contents at
+    /// [`Server::release`] determine batch composition deterministically.
+    pub fn pause(&self) {
+        for q in &self.shared.queues {
+            q.m.lock().unwrap().paused = true;
+        }
+    }
+
+    /// Releases paused workers.
+    pub fn release(&self) {
+        for q in &self.shared.queues {
+            q.m.lock().unwrap().paused = false;
+            q.cv.notify_all();
+        }
+    }
+
+    /// Blocking receive of the next response.
+    pub fn recv(&self) -> Response {
+        self.resp_rx.recv().expect("server running")
+    }
+
+    /// Non-blocking receive: the next response if one is ready.
+    pub fn try_recv(&self) -> Option<Response> {
+        self.resp_rx.try_recv().ok()
+    }
+
+    /// Blocking receive of exactly `n` responses (arrival order).
+    pub fn drain(&self, n: usize) -> Vec<Response> {
+        (0..n).map(|_| self.recv()).collect()
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServerStats {
+        *self.shared.stats.lock().unwrap()
+    }
+
+    /// Stops accepting work, lets workers finish queued requests, joins
+    /// them, and returns the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        for q in &self.shared.queues {
+            let mut st = q.m.lock().unwrap();
+            st.shutdown = true;
+            q.cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            h.join().expect("worker exits cleanly");
+        }
+        self.resp_tx = None;
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.handles.is_empty() {
+            self.stop();
+        }
+    }
+}
+
+type EngineKey = (usize, String, AppKind);
+
+fn worker_loop(shared: Arc<Shared>, idx: usize, tx: Sender<Response>) {
+    // Warm state per rank count: entries are fingerprinted by `p`, so one
+    // map slot per width keeps every request on its own warm path.
+    let mut states: BTreeMap<usize, PartitionState> = BTreeMap::new();
+    let mut engines: Vec<(EngineKey, Engine)> = Vec::new();
+    while let Some(batch) = next_batch(&shared, idx) {
+        serve_batch(&shared, idx, &tx, &mut states, &mut engines, batch);
+    }
+}
+
+/// Pops the next batch: the queue head plus (with batching) every queued
+/// same-key request. Returns `None` on shutdown with an empty queue.
+fn next_batch(shared: &Shared, idx: usize) -> Option<Vec<Job>> {
+    let wq = &shared.queues[idx];
+    let mut st = wq.m.lock().unwrap();
+    loop {
+        if st.q.is_empty() {
+            if st.shutdown {
+                return None;
+            }
+        } else if !st.paused || st.shutdown {
+            break;
+        }
+        st = wq.cv.wait(st).unwrap();
+    }
+    let head = st.q.pop_front().expect("queue non-empty");
+    let mut batch = vec![head];
+    if shared.cfg.batching {
+        let key = batch[0].req.key();
+        let mut rest = VecDeque::with_capacity(st.q.len());
+        while let Some(job) = st.q.pop_front() {
+            if job.req.key() == key {
+                batch.push(job);
+            } else {
+                rest.push_back(job);
+            }
+        }
+        st.q = rest;
+    }
+    Some(batch)
+}
+
+fn warm_label(before: WarmStats, after: WarmStats) -> WarmPath {
+    if after.hits > before.hits {
+        WarmPath::Hit
+    } else if after.replays > before.replays {
+        WarmPath::Replay
+    } else {
+        WarmPath::Cold
+    }
+}
+
+fn serve_batch(
+    shared: &Shared,
+    idx: usize,
+    tx: &Sender<Response>,
+    states: &mut BTreeMap<usize, PartitionState>,
+    engines: &mut Vec<(EngineKey, Engine)>,
+    batch: Vec<Job>,
+) {
+    let scn: Scenario = batch[0].req.scn.clone();
+    let (payload, virtual_s, warm) = if scn.faults.is_some() {
+        // Fault plans make engines single-use (a shrink is permanent) and
+        // their deaths would poison a shared warm state's statistics, so
+        // faulted requests run isolated: fresh engine, throwaway state.
+        let mut engine = scn.engine_faulted();
+        let mut state = PartitionState::with_cap(1);
+        let (p, t) = run_request(&mut engine, &mut state, &scn);
+        (p, t, warm_label(WarmStats::default(), state.stats))
+    } else {
+        let engine = cached_engine(engines, shared.cfg.engine_cache, &scn);
+        let state = states
+            .entry(scn.p)
+            .or_insert_with(|| PartitionState::with_cap(shared.cfg.state_cap));
+        let before = state.stats;
+        let (p, t) = run_request(engine, state, &scn);
+        (p, t, warm_label(before, state.stats))
+    };
+    {
+        let mut s = shared.stats.lock().unwrap();
+        s.engine_passes += 1;
+        match warm {
+            WarmPath::Hit => s.hit_passes += 1,
+            WarmPath::Replay => s.replay_passes += 1,
+            _ => s.cold_passes += 1,
+        }
+        s.completed += batch.len() as u64;
+        s.batched_extra += batch.len() as u64 - 1;
+        s.deaths += payload.deaths as u64;
+    }
+    let size = batch.len() as u32;
+    for job in batch {
+        let status = match job.req.deadline_s {
+            Some(d) if virtual_s > d => Status::Deadline,
+            _ => Status::Ok,
+        };
+        let resp = Response {
+            id: job.req.id,
+            status,
+            payload: Some(payload.clone()),
+            replay: None,
+            worker: idx,
+            warm,
+            batched: size,
+            virtual_s,
+            wall_us: job.enqueued.elapsed().as_micros() as u64,
+        };
+        // A dropped receiver just means the client went away mid-drain.
+        tx.send(resp).ok();
+    }
+}
+
+/// Looks up (or creates) the worker's long-lived engine for this scenario's
+/// `(p, machine, app)` — LRU by recency, fault-free configs only.
+fn cached_engine<'a>(
+    engines: &'a mut Vec<(EngineKey, Engine)>,
+    cap: usize,
+    scn: &Scenario,
+) -> &'a mut Engine {
+    let key: EngineKey = (scn.p, scn.machine.name.clone(), scn.app);
+    if let Some(pos) = engines.iter().position(|(k, _)| *k == key) {
+        let slot = engines.remove(pos);
+        engines.push(slot);
+    } else {
+        engines.push((key, scn.engine()));
+        if engines.len() > cap.max(1) {
+            engines.remove(0);
+        }
+    }
+    &mut engines.last_mut().expect("just pushed").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct;
+
+    fn cfg(workers: usize, queue_cap: usize, batching: bool) -> ServeConfig {
+        ServeConfig {
+            workers,
+            queue_cap,
+            state_cap: 8,
+            engine_cache: 2,
+            batching,
+        }
+    }
+
+    fn req(id: u64, seed: u64) -> Request {
+        Request {
+            id,
+            scn: Scenario::from_seed(seed),
+            deadline_s: None,
+        }
+    }
+
+    #[test]
+    fn saturated_queue_sheds_deterministically_and_never_deadlocks() {
+        // One worker, cap 4, paused: of 10 same-scenario submissions the
+        // first 4 queue and the last 6 shed — deterministically, because
+        // shedding happens at submit time under the queue lock.
+        let server = Server::start(cfg(1, 4, true));
+        server.pause();
+        let outcomes: Vec<bool> = (0..10).map(|i| server.submit(req(i, 500))).collect();
+        assert_eq!(
+            outcomes,
+            [true, true, true, true, false, false, false, false, false, false]
+        );
+        // Shed responses arrive immediately, even while workers are paused.
+        let shed: Vec<Response> = server.drain(6);
+        let want_replay = Scenario::from_seed(500).replay_cmd();
+        for r in &shed {
+            assert_eq!(r.status, Status::Shed);
+            assert!(r.payload.is_none());
+            assert_eq!(
+                r.replay.as_deref(),
+                Some(want_replay.as_str()),
+                "every shed request reports its replay seed"
+            );
+            assert!(r.id >= 4, "only the tail submissions shed");
+        }
+        server.release();
+        let served = server.drain(4);
+        assert!(served.iter().all(|r| r.status == Status::Ok));
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.shed, 6);
+        assert_eq!(stats.completed, 4);
+    }
+
+    #[test]
+    fn shed_set_is_deterministic_across_multiple_workers() {
+        // Sharding is a pure function of the scenario key, so with the
+        // submission order fixed, which requests shed is reproducible even
+        // with several workers.
+        let run = || {
+            let server = Server::start(cfg(3, 2, true));
+            server.pause();
+            let shed_ids: Vec<u64> = (0..24)
+                .filter(|&i| !server.submit(req(i, 9000 + (i % 8))))
+                .collect();
+            server.release();
+            server.drain(24);
+            server.shutdown();
+            shed_ids
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(
+            !a.is_empty(),
+            "cap 2 × 3 workers cannot hold 8 distinct scenarios × 3"
+        );
+    }
+
+    #[test]
+    fn paused_burst_batches_same_key_requests_into_one_pass() {
+        let server = Server::start(cfg(1, 64, true));
+        server.pause();
+        for i in 0..5 {
+            assert!(server.submit(req(i, 1234)));
+        }
+        server.release();
+        let resps = server.drain(5);
+        let stats = server.stats();
+        assert_eq!(stats.engine_passes, 1, "one pass serves the whole batch");
+        assert_eq!(stats.batched_extra, 4);
+        let want = direct(&Scenario::from_seed(1234));
+        for r in &resps {
+            assert_eq!(r.batched, 5);
+            assert_eq!(r.payload.as_ref(), Some(&want));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn batching_off_serves_each_request_with_its_own_pass() {
+        let server = Server::start(cfg(1, 64, false));
+        server.pause();
+        for i in 0..5 {
+            assert!(server.submit(req(i, 1234)));
+        }
+        server.release();
+        let resps = server.drain(5);
+        let stats = server.shutdown();
+        assert_eq!(stats.engine_passes, 5);
+        assert_eq!(stats.hit_passes, 4, "passes 2..5 are exact warm hits");
+        let want = direct(&Scenario::from_seed(1234));
+        assert!(resps.iter().all(|r| r.payload.as_ref() == Some(&want)));
+    }
+
+    #[test]
+    fn deadline_budget_is_judged_on_the_serving_pass() {
+        let mut tight = req(0, 4321);
+        tight.deadline_s = Some(1e-12);
+        let mut loose = req(1, 4321);
+        loose.deadline_s = Some(1e9);
+        let server = Server::start(cfg(1, 8, false));
+        server.submit(tight);
+        server.submit(loose);
+        let resps = server.drain(2);
+        server.shutdown();
+        let by_id = |id: u64| resps.iter().find(|r| r.id == id).unwrap();
+        assert_eq!(by_id(0).status, Status::Deadline);
+        assert!(
+            by_id(0).payload.is_some(),
+            "deadline responses still carry the result"
+        );
+        assert_eq!(by_id(1).status, Status::Ok);
+        // Both payloads are the same partition regardless of status.
+        assert_eq!(by_id(0).payload, by_id(1).payload);
+    }
+
+    #[test]
+    fn per_p_states_and_engine_cache_keep_mixed_widths_warm() {
+        // Alternating two scenarios with different p must not thrash: after
+        // the first round both stay on the exact-hit path.
+        let mut seeds = (0..).map(Scenario::from_seed);
+        let a = seeds.by_ref().find(|s| s.faults.is_none()).unwrap();
+        let b = seeds
+            .by_ref()
+            .find(|s| s.faults.is_none() && s.p != a.p)
+            .unwrap();
+        let server = Server::start(cfg(1, 64, false));
+        let mut id = 0;
+        for _ in 0..3 {
+            for scn in [&a, &b] {
+                server.submit(Request {
+                    id,
+                    scn: scn.clone(),
+                    deadline_s: None,
+                });
+                id += 1;
+            }
+        }
+        server.drain(id as usize);
+        let stats = server.shutdown();
+        assert_eq!(stats.engine_passes, 6);
+        assert_eq!(stats.cold_passes, 2, "one cold per scenario, ever");
+        assert_eq!(stats.hit_passes, 4, "{stats:?}");
+    }
+
+    #[test]
+    fn faulted_requests_run_isolated_and_stay_bit_identical() {
+        use optipart_mpisim::FaultPlan;
+        let mut scn = (0..)
+            .map(|s| Scenario::from_seed(7100 + s))
+            .find(|s| s.p >= 3 && s.n >= 80)
+            .unwrap();
+        scn.faults = Some(FaultPlan::new(scn.seed).kill_rank(0, 5));
+        let clean = Scenario {
+            faults: None,
+            ..scn.clone()
+        };
+        let server = Server::start(cfg(1, 16, true));
+        server.submit(Request {
+            id: 0,
+            scn: clean.clone(),
+            deadline_s: None,
+        });
+        server.submit(Request {
+            id: 1,
+            scn: scn.clone(),
+            deadline_s: None,
+        });
+        server.submit(Request {
+            id: 2,
+            scn: clean.clone(),
+            deadline_s: None,
+        });
+        let resps = server.drain(3);
+        let stats = server.shutdown();
+        assert!(stats.deaths >= 1, "the kill must actually fire: {stats:?}");
+        let by_id = |id: u64| resps.iter().find(|r| r.id == id).unwrap();
+        assert_eq!(by_id(1).payload.as_ref(), Some(&direct(&scn)));
+        assert_eq!(by_id(0).payload.as_ref(), Some(&direct(&clean)));
+        assert_eq!(
+            by_id(2).payload,
+            by_id(0).payload,
+            "a death on the faulted request must not leak into clean serving"
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work_before_exiting() {
+        let server = Server::start(cfg(2, 64, true));
+        server.pause();
+        for i in 0..8 {
+            server.submit(req(i, 33000 + i));
+        }
+        server.release();
+        let stats = server.shutdown();
+        assert_eq!(stats.completed + stats.shed, 8);
+    }
+}

@@ -42,11 +42,16 @@ pub use optipart_octree as octree;
 pub use optipart_sfc as sfc;
 pub use optipart_trace as trace;
 
+/// Re-export of [`optipart_scenario`]: the seeded scenario generator lives
+/// in its own crate so `optipart-serve` can share the one-seed request
+/// encoding without a dependency cycle (scenario ← serve ← testkit). All
+/// historical `optipart_testkit::scenario::…` paths keep working.
+pub use optipart_scenario as scenario;
+
 pub mod corpus;
 pub mod gen;
 pub mod metamorphic;
 pub mod oracles;
-pub mod scenario;
 pub mod soak;
 
 #[cfg(feature = "proptest")]

@@ -9,6 +9,7 @@
 //! | [`fault_recovery`] | faults never corrupt data; fail-stop recovery is exact | fault-free runs of the same scenario |
 //! | [`treesort_optimized`] | the ping-pong/parallel TreeSort is a pure optimisation | bit-identity vs the retained `treesort_reference` |
 //! | [`warm_vs_cold`] | the warm-started tolerance ladder is a pure optimisation | a cold ladder run on every step of the same AMR loop |
+//! | [`serve_vs_library`] | optipart-serve responses are bit-identical to direct calls | [`optipart_serve::direct`] on a fresh engine and state |
 //!
 //! All failures panic through [`tk_assert!`], so the message always carries
 //! the scenario and its one-line replay command.
@@ -42,6 +43,7 @@ pub const ORACLES: &[NamedCheck] = &[
     ("fault-recovery", fault_recovery),
     ("treesort-optimized", treesort_optimized),
     ("warm-vs-cold", warm_vs_cold),
+    ("serve-vs-library", serve_vs_library),
 ];
 
 /// **Oracle 5 — optimised TreeSort vs retained reference.** The hot-path
@@ -571,4 +573,144 @@ pub fn fault_recovery(scn: &Scenario) {
         &want_ft.solution,
         &got_ft.solution,
     );
+}
+
+/// **Oracle 7 — serve-vs-library.** Every response a live optipart-serve
+/// server produces must carry a [`optipart_serve::Payload`] bit-identical
+/// to a *direct* library call on a fresh engine and default state
+/// ([`optipart_serve::direct`]) — regardless of worker count, batching,
+/// warm-cache history, deadlines, or fail-stop kills absorbed mid-serve.
+///
+/// Per scenario the oracle builds a small adversarial request set — the
+/// scenario itself three times (same-key batching + warm exact-hit), a
+/// sibling scenario (cross-key sharding), a deadline-carrying repeat, and
+/// (when the communicator can survive a shrink) a killed variant — and
+/// streams it through three server shapes: a paused single-worker burst
+/// with batching (must actually merge same-key requests into one engine
+/// pass), a three-worker pool with batching off, and a two-worker pool
+/// with batching on. All three exchanges verify against one shared
+/// [`optipart_serve::soak::DirectCache`], and every request must survive
+/// a wire round-trip through the flat-JSON protocol unchanged.
+pub fn serve_vs_library(scn: &Scenario) {
+    use optipart_serve::soak::{verify_responses_with, DirectCache};
+    use optipart_serve::{Request, ServeConfig, Server};
+
+    let mut killed = scn.clone();
+    let mut reqs = vec![
+        Request {
+            id: 0,
+            scn: scn.clone(),
+            deadline_s: None,
+        },
+        Request {
+            id: 1,
+            scn: scn.clone(),
+            deadline_s: None,
+        },
+        Request {
+            id: 2,
+            scn: Scenario::from_seed(scn.shuffle_seed(21)),
+            deadline_s: None,
+        },
+        Request {
+            id: 3,
+            scn: scn.clone(),
+            deadline_s: Some(if scn.seed.is_multiple_of(2) {
+                1e-9
+            } else {
+                1e9
+            }),
+        },
+    ];
+    if scn.p >= 3 {
+        // A shrink must leave a working communicator, so only arm the kill
+        // when at least two ranks survive it.
+        let victim = (scn.seed % scn.p as u64) as usize;
+        let plan = killed
+            .faults
+            .take()
+            .unwrap_or_else(|| FaultPlan::new(scn.seed));
+        killed.faults = Some(plan.kill_rank(victim, 4));
+        reqs.push(Request {
+            id: 4,
+            scn: killed,
+            deadline_s: None,
+        });
+    }
+
+    for req in &reqs {
+        let wire = Request::from_json(&req.to_json());
+        match wire {
+            Err(e) => tk_assert!(scn, false, "request does not round-trip the wire: {e}"),
+            Ok(back) => {
+                tk_assert_eq!(scn, back.id, req.id, "wire round-trip changed the id");
+                tk_assert_eq!(
+                    scn,
+                    back.key(),
+                    req.key(),
+                    "wire round-trip changed the scenario key"
+                );
+                tk_assert!(
+                    scn,
+                    back.deadline_s == req.deadline_s,
+                    "wire round-trip changed the deadline"
+                );
+            }
+        }
+    }
+
+    let mut cache = DirectCache::new();
+    let shapes: [(&str, usize, bool, bool); 3] = [
+        ("1 worker, batching, paused burst", 1, true, true),
+        ("3 workers, no batching", 3, false, false),
+        ("2 workers, batching", 2, true, false),
+    ];
+    for (label, workers, batching, burst) in shapes {
+        let server = Server::start(ServeConfig {
+            workers,
+            queue_cap: 64,
+            state_cap: 8,
+            engine_cache: 4,
+            batching,
+        });
+        if burst {
+            server.pause();
+        }
+        for r in &reqs {
+            tk_assert!(
+                scn,
+                server.submit(r.clone()),
+                "{label}: queue_cap 64 must not shed {} requests",
+                reqs.len()
+            );
+        }
+        if burst {
+            server.release();
+        }
+        let resps = server.drain(reqs.len());
+        let stats = server.shutdown();
+        if let Err(e) = verify_responses_with(&reqs, &resps, &mut cache) {
+            tk_assert!(scn, false, "{label}: {e}");
+        }
+        tk_assert_eq!(
+            scn,
+            stats.completed,
+            reqs.len() as u64,
+            "{label}: all requests must complete"
+        );
+        if burst && batching {
+            // The paused burst queues three same-key requests before the
+            // worker wakes: batching must fold them into fewer passes.
+            tk_assert!(
+                scn,
+                stats.engine_passes < reqs.len() as u64,
+                "{label}: batching never merged a same-key burst ({stats:?})"
+            );
+            tk_assert!(
+                scn,
+                stats.batched_extra >= 2,
+                "{label}: expected >= 2 batched riders ({stats:?})"
+            );
+        }
+    }
 }

@@ -34,6 +34,7 @@ pub const CHECKS: &[NamedCheck] = &[
     ),
     ("fault-recovery", crate::oracles::fault_recovery),
     ("warm-vs-cold", crate::oracles::warm_vs_cold),
+    ("serve-vs-library", crate::oracles::serve_vs_library),
     (
         "permutation-invariance",
         crate::metamorphic::permutation_invariance,

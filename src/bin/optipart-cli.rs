@@ -151,7 +151,8 @@ fn cmd_partition(f: &Flags) {
                 ..OptiPartOptions::for_curve(curve_of(f))
             };
             if steps > 1 {
-                let mut state = PartitionState::new();
+                let cap: usize = f.parse("state-cap", optipart::core::optipart::DEFAULT_STATE_CAP);
+                let mut state = PartitionState::with_cap(cap);
                 let mut out = optipart_with_state(&mut engine, input.clone(), opts, &mut state);
                 for _ in 1..steps {
                     out = optipart_with_state(&mut engine, input.clone(), opts, &mut state);
@@ -307,7 +308,7 @@ fn usage(err: &str) -> ! {
         "usage:\n  optipart-cli gen --points N [--dist uniform|normal|lognormal] \
          [--seed S] [--curve hilbert|morton] [--out FILE]\n  \
          optipart-cli partition --mesh FILE -p RANKS [--machine NAME] \
-         [--tolerance T | --optipart [--latency-aware] [--steps N]] [--curve C] \
+         [--tolerance T | --optipart [--latency-aware] [--steps N] [--state-cap K]] [--curve C] \
          [--out FILE] [--trace FILE] [--faults SPEC]\n  \
          optipart-cli analyze --mesh FILE --parts FILE [--curve C]\n\n\
          --faults SPEC is a comma-separated fault plan, e.g.\n  \

@@ -1,0 +1,330 @@
+//! `optipart-serve` — the partition-as-a-service front end as a process.
+//!
+//! ```text
+//! # Serve newline-delimited JSON requests from stdin, responses to stdout:
+//! optipart-serve gen --requests 200 --seed 7 | optipart-serve serve --workers 4
+//!
+//! # Same, but cross-check every response against a direct library call:
+//! optipart-serve gen --requests 200 | optipart-serve serve --verify
+//!
+//! # Serve over a Unix socket (one client at a time, same line protocol):
+//! optipart-serve serve --socket /tmp/optipart.sock &
+//! optipart-serve gen --requests 50 | nc -U /tmp/optipart.sock
+//!
+//! # Fault-soak mode: a generated stream laced with fail-stop kills and
+//! # deadlines, every response verified bit-identical to the library:
+//! optipart-serve soak --requests 500 --workers 4
+//! ```
+//!
+//! A request line is flat JSON with a required `seed`; every other field
+//! overrides the scenario that seed expands to (replay semantics — see
+//! DESIGN.md §15):
+//!
+//! ```text
+//! {"id":12,"seed":914776577726420758,"p":6,"tolerance":0.25,"deadline_s":0.5}
+//! ```
+//!
+//! Responses mirror the request id and add the partition payload plus
+//! service metadata (worker, warm path, batch size, virtual/wall latency).
+//! Malformed request lines get an `{"error":...}` line and do not kill the
+//! stream. Exit status is non-zero if any request was shed, any line was
+//! malformed, or `--verify` found a payload mismatch.
+
+use optipart::serve::soak::{fault_soak, mixed_stream, verify_responses};
+use optipart::serve::{Request, ServeConfig, Server};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage("missing subcommand");
+    };
+    let f = parse_flags(rest);
+    match cmd.as_str() {
+        "serve" => cmd_serve(&f),
+        "gen" => cmd_gen(&f),
+        "soak" => cmd_soak(&f),
+        "-h" | "--help" => usage(""),
+        other => usage(&format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn config(f: &Flags) -> ServeConfig {
+    let d = ServeConfig::default();
+    ServeConfig {
+        workers: f.parse("workers", d.workers),
+        queue_cap: f.parse("queue-cap", d.queue_cap),
+        state_cap: f.parse("state-cap", d.state_cap),
+        engine_cache: f.parse("engine-cache", d.engine_cache),
+        batching: !f.has("no-batching"),
+    }
+}
+
+/// Streams one connection: requests in from `input`, responses out to
+/// `output` as they become ready (arrival order, not submit order).
+/// Returns `(requests, responses, malformed_lines)`.
+fn pump(
+    server: &Server,
+    input: impl BufRead,
+    mut output: impl Write,
+    collect: bool,
+) -> (Vec<Request>, Vec<Response>, usize) {
+    let mut reqs = Vec::new();
+    let mut resps = Vec::new();
+    let mut submitted = 0usize;
+    let mut received = 0usize;
+    let mut malformed = 0usize;
+    let put = |r: Response, out: &mut dyn Write, resps: &mut Vec<Response>| {
+        let _ = writeln!(out, "{}", r.to_json());
+        if collect {
+            resps.push(r);
+        }
+    };
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Request::from_json(&line) {
+            Ok(req) => {
+                if collect {
+                    reqs.push(req.clone());
+                }
+                server.submit(req);
+                submitted += 1;
+            }
+            Err(e) => {
+                malformed += 1;
+                let _ = writeln!(output, "{{\"error\":{}}}", json_err(&e));
+            }
+        }
+        // Forward whatever is already done so the stream stays live.
+        while let Some(r) = server.try_recv() {
+            received += 1;
+            put(r, &mut output, &mut resps);
+        }
+        let _ = output.flush();
+    }
+    while received < submitted {
+        let r = server.recv();
+        received += 1;
+        put(r, &mut output, &mut resps);
+    }
+    let _ = output.flush();
+    (reqs, resps, malformed)
+}
+
+type Response = optipart::serve::Response;
+
+fn json_err(e: &str) -> String {
+    let mut s = String::with_capacity(e.len() + 2);
+    s.push('"');
+    for c in e.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+fn cmd_serve(f: &Flags) {
+    let cfg = config(f);
+    let verify = f.has("verify");
+    let server = Server::start(cfg);
+
+    let (reqs, resps, malformed) = match f.get("socket") {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            pump(&server, stdin.lock(), BufWriter::new(stdout.lock()), verify)
+        }
+        Some(path) => serve_socket(&server, path, verify),
+    };
+
+    let stats = server.shutdown();
+    eprintln!(
+        "served {} requests: {} shed, {} engine passes ({} hits, {} replays, \
+         {} cold), {} batched riders, {} rank deaths absorbed, warm-request \
+         rate {:.2}",
+        stats.completed + stats.shed,
+        stats.shed,
+        stats.engine_passes,
+        stats.hit_passes,
+        stats.replay_passes,
+        stats.cold_passes,
+        stats.batched_extra,
+        stats.deaths,
+        stats.warm_request_rate(),
+    );
+    if malformed > 0 {
+        eprintln!("error: {malformed} malformed request line(s)");
+    }
+    let mut failed = malformed > 0 || stats.shed > 0;
+    if verify {
+        match verify_responses(&reqs, &resps) {
+            Ok(sum) => eprintln!(
+                "verify: {} responses bit-identical to direct library calls \
+                 ({} distinct scenarios, {} past deadline)",
+                sum.served, sum.distinct, sum.deadline,
+            ),
+            Err(e) => {
+                eprintln!("verify FAILED: {e}");
+                failed = true;
+            }
+        }
+    }
+    exit(if failed { 1 } else { 0 });
+}
+
+/// Accepts clients one at a time on a Unix socket, each speaking the same
+/// line protocol as stdin mode. Stops after `--accept N` clients
+/// (default 1, so tests and scripts terminate deterministically).
+fn serve_socket(
+    server: &Server,
+    path: &str,
+    collect: bool,
+) -> (Vec<Request>, Vec<Response>, usize) {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener =
+        UnixListener::bind(path).unwrap_or_else(|e| usage(&format!("--socket {path}: {e}")));
+    eprintln!("listening on {path}");
+    let accept: usize = std::env::args()
+        .skip_while(|a| a != "--accept")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let mut all = (Vec::new(), Vec::new(), 0usize);
+    for _ in 0..accept {
+        let Ok((stream, _)) = listener.accept() else {
+            break;
+        };
+        let reader = BufReader::new(stream.try_clone().expect("clone socket stream"));
+        let (mut rq, mut rs, m) = pump(server, reader, BufWriter::new(stream), collect);
+        all.0.append(&mut rq);
+        all.1.append(&mut rs);
+        all.2 += m;
+    }
+    let _ = std::fs::remove_file(path);
+    all
+}
+
+fn cmd_gen(f: &Flags) {
+    let requests: usize = f.parse("requests", 100);
+    let seed: u64 = f.parse("seed", 42);
+    let distinct: usize = f.parse("distinct", (requests / 8).clamp(1, 48));
+    let kill_every: usize = f.parse("kill-every", 0);
+    let deadline_every: usize = f.parse("deadline-every", 0);
+    let reqs = mixed_stream(seed, requests, distinct, kill_every, deadline_every);
+    let mut out: Box<dyn Write> = match f.get("out") {
+        None => Box::new(BufWriter::new(std::io::stdout())),
+        Some(p) => Box::new(BufWriter::new(
+            std::fs::File::create(p).unwrap_or_else(|e| usage(&format!("{p}: {e}"))),
+        )),
+    };
+    for r in &reqs {
+        writeln!(out, "{}", r.to_json()).expect("writable output");
+    }
+    out.flush().expect("writable output");
+    eprintln!(
+        "generated {requests} requests over {distinct} distinct scenarios \
+         (seed {seed}, kill-every {kill_every}, deadline-every {deadline_every})"
+    );
+}
+
+fn cmd_soak(f: &Flags) {
+    let requests: usize = f.parse("requests", 200);
+    let seed: u64 = f.parse("seed", 20260808);
+    let cfg = config(f);
+    eprintln!(
+        "fault-soak: {requests} requests, {} workers, batching {}",
+        cfg.workers,
+        if cfg.batching { "on" } else { "off" },
+    );
+    match fault_soak(seed, requests, cfg) {
+        Ok((sum, stats)) => {
+            eprintln!(
+                "soak OK: {} served + {} shed, all bit-identical to the \
+                 library ({} distinct scenarios, {} past deadline, {} rank \
+                 deaths absorbed, warm-request rate {:.2})",
+                sum.served,
+                sum.shed,
+                sum.distinct,
+                sum.deadline,
+                stats.deaths,
+                stats.warm_request_rate(),
+            );
+        }
+        Err(e) => {
+            eprintln!("soak FAILED: {e}");
+            exit(1);
+        }
+    }
+}
+
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+    fn parse<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad value for --{key}"))),
+        }
+    }
+    fn has(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+}
+
+fn parse_flags(args: &[String]) -> Flags {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let key = match a.as_str() {
+            s if s.starts_with("--") => s[2..].to_string(),
+            other => usage(&format!("unexpected argument '{other}'")),
+        };
+        if matches!(key.as_str(), "no-batching" | "verify") {
+            out.push((key, "true".into()));
+        } else {
+            let v = it
+                .next()
+                .unwrap_or_else(|| usage(&format!("--{key} needs a value")));
+            out.push((key, v.clone()));
+        }
+    }
+    Flags(out)
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!(
+        "usage:\n  optipart-serve serve [--workers N] [--queue-cap N] [--state-cap K] \
+         [--engine-cache N] [--no-batching] [--socket PATH [--accept N]] [--verify]\n  \
+         optipart-serve gen --requests N [--seed S] [--distinct D] \
+         [--kill-every K] [--deadline-every K] [--out FILE]\n  \
+         optipart-serve soak [--requests N] [--seed S] [--workers N] \
+         [--queue-cap N] [--state-cap K] [--no-batching]\n\n\
+         requests are one flat-JSON object per line; `seed` is required and \
+         every other field overrides the scenario it expands to:\n  \
+         {{\"id\":1,\"seed\":7,\"p\":8,\"tolerance\":0.3,\"deadline_s\":0.5}}"
+    );
+    exit(if err.is_empty() { 0 } else { 2 });
+}

@@ -76,6 +76,7 @@ fn compare_gate_trips_on_injected_regression() {
         mode: "tiny".into(),
         samples: 3,
         threads: 4,
+        cores: 4,
         kernels,
         derived: Default::default(),
     };

@@ -1,0 +1,127 @@
+//! Tier-1 acceptance of the optipart-serve front end: a 1000-request mixed
+//! stream — repeats over 60 distinct scenarios, fail-stop kills and
+//! deadline budgets laced in — served by a 4-worker pool, then verified
+//! response-by-response against direct library calls (bit-identical
+//! payloads, exact replay commands on sheds, self-consistent deadline
+//! flags). This is the end-to-end contract DESIGN.md §15 promises.
+
+use optipart::serve::soak::{mixed_stream, verify_responses};
+use optipart::serve::{Request, ServeConfig, Server, Status};
+
+/// The headline run: 1000 mixed requests at 4 workers — nothing sheds,
+/// every payload is bit-identical to the library, rank deaths injected
+/// mid-stream are absorbed, and the warm caches serve at least half the
+/// requests without a cold ladder.
+#[test]
+fn thousand_request_stream_is_bit_identical_at_four_workers() {
+    let reqs = mixed_stream(0x075E_127E, 1000, 60, 97, 41);
+    assert_eq!(reqs.len(), 1000);
+    let server = Server::start(ServeConfig {
+        workers: 4,
+        queue_cap: 1000,
+        state_cap: 64,
+        engine_cache: 8,
+        batching: true,
+    });
+    for r in &reqs {
+        assert!(server.submit(r.clone()), "queue_cap 1000 must not shed");
+    }
+    let resps = server.drain(reqs.len());
+    let stats = server.shutdown();
+
+    let sum = verify_responses(&reqs, &resps).expect("stream verifies against the library");
+    assert_eq!(sum.checked, 1000);
+    assert_eq!(sum.shed, 0);
+    assert_eq!(sum.served, 1000);
+    assert!(
+        stats.deaths > 0,
+        "kill plans must exercise mid-stream recovery: {stats:?}"
+    );
+    assert!(
+        stats.warm_request_rate() >= 0.5,
+        "warm caches must absorb at least half the stream: rate {:.2} ({stats:?})",
+        stats.warm_request_rate()
+    );
+}
+
+/// The same stream through a deliberately starved server (1 worker, queue
+/// capacity 8, paused so the burst hits full queues): sheds are reported —
+/// never dropped — and everything that was accepted still verifies.
+#[test]
+fn overloaded_server_sheds_loudly_and_serves_the_rest_correctly() {
+    let reqs = mixed_stream(0xBAC4_44E5, 120, 10, 0, 13);
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        state_cap: 16,
+        engine_cache: 4,
+        batching: true,
+    });
+    server.pause();
+    let accepted: usize = reqs.iter().filter(|r| server.submit((*r).clone())).count();
+    server.release();
+    let resps = server.drain(reqs.len());
+    let stats = server.shutdown();
+
+    assert_eq!(accepted, 8, "exactly queue_cap requests fit a paused queue");
+    assert_eq!(stats.shed, (reqs.len() - accepted) as u64);
+    let sum = verify_responses(&reqs, &resps).expect("sheds and serves both verify");
+    assert_eq!(sum.shed, reqs.len() - accepted);
+    assert_eq!(sum.served, accepted);
+    for resp in resps.iter().filter(|r| r.status == Status::Shed) {
+        let replay = resp.replay.as_deref().expect("shed carries replay");
+        assert!(
+            replay.contains("replay") && replay.contains("--seed"),
+            "replay command must be runnable: {replay}"
+        );
+    }
+}
+
+/// Batching is an optimisation, never an observable: the same stream with
+/// batching on and off produces bit-identical payload sets.
+#[test]
+fn batching_is_payload_invisible() {
+    let reqs = mixed_stream(0xFA57_F00D, 80, 6, 0, 0);
+    let run = |batching: bool| -> Vec<(u64, u64)> {
+        let server = Server::start(ServeConfig {
+            workers: 2,
+            queue_cap: 128,
+            state_cap: 16,
+            engine_cache: 4,
+            batching,
+        });
+        server.pause();
+        for r in &reqs {
+            server.submit(r.clone());
+        }
+        server.release();
+        let resps = server.drain(reqs.len());
+        server.shutdown();
+        let mut sigs: Vec<(u64, u64)> = resps
+            .iter()
+            .map(|r| (r.id, r.payload.as_ref().expect("served").sig))
+            .collect();
+        sigs.sort_unstable();
+        sigs
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// Wire-level spot check: a request rebuilt from its own JSON serves to
+/// the same payload as the original (the protocol carries everything the
+/// engine needs).
+#[test]
+fn wire_round_trip_preserves_served_payloads() {
+    let reqs = mixed_stream(0x1234_5678, 12, 4, 6, 5);
+    let rebuilt: Vec<Request> = reqs
+        .iter()
+        .map(|r| Request::from_json(&r.to_json()).expect("round trip"))
+        .collect();
+    for (a, b) in reqs.iter().zip(&rebuilt) {
+        assert_eq!(a.key(), b.key());
+        assert_eq!(
+            optipart::serve::direct(&a.scn),
+            optipart::serve::direct(&b.scn)
+        );
+    }
+}

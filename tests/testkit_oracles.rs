@@ -63,6 +63,15 @@ fn oracle_warm_vs_cold() {
     sweep(oracles::warm_vs_cold, 0x0175_0006, 100);
 }
 
+/// Oracle 7: a live optipart-serve server — across worker counts,
+/// batching on/off, paused bursts, deadlines and armed fail-stop kills —
+/// returns payloads bit-identical to direct library calls, and every
+/// request survives a flat-JSON wire round-trip.
+#[test]
+fn oracle_serve_vs_library() {
+    sweep(oracles::serve_vs_library, 0x0175_0007, 100);
+}
+
 /// Metamorphic: splitters ignore the input's distribution across ranks.
 #[test]
 fn property_permutation_invariance() {
