@@ -518,6 +518,7 @@ fn serve_kernel(n: usize, workers: usize) -> Prepared {
         state_cap: 64,
         engine_cache: 8,
         batching: true,
+        admission: Default::default(),
     });
     let stat_key = if workers == 1 {
         "serve_p99_latency_us"

@@ -42,12 +42,13 @@
 
 pub use optipart_scenario as scenario;
 
+pub mod chaos;
 pub mod protocol;
 pub mod server;
 pub mod soak;
 
 pub use protocol::{Request, Response, Status, WarmPath};
-pub use server::{ServeConfig, Server, ServerStats};
+pub use server::{Admission, Admit, ConnStats, Ingress, ServeConfig, Server, ServerStats};
 
 use optipart_core::optipart::{
     optipart_survivors_with_state, optipart_with_state, OptiPartOptions, PartitionState,
@@ -192,6 +193,22 @@ pub fn run_request(
     let o = out.expect("partition completed");
     let payload = payload_of(&o, deaths, engine.p());
     (payload, engine.makespan())
+}
+
+/// Coarse virtual-time estimate of serving `scn` cold: `⌈log₂ p⌉` exchange
+/// rounds of (latency + per-rank payload) plus the local scan, in the
+/// scenario's machine model — the Eq. (1)/(3) cost shape with fixed
+/// constants. This is *not* a prediction the payload depends on; it exists
+/// so deadline-aware admission and `retry_after` hints are pure functions
+/// of queue contents (every job's estimate is fixed at submit, and backlog
+/// is a sum over queued jobs in order — no clocks, no drift).
+pub fn estimate_virtual_s(scn: &Scenario) -> f64 {
+    let n = scn.n as f64;
+    let p = scn.p.max(1) as f64;
+    let m = &scn.machine;
+    let per_rank_bytes = (n / p) * 16.0;
+    let rounds = p.log2().ceil().max(1.0);
+    rounds * (m.ts + per_rank_bytes * m.tw) + (n / p) * 24.0 * m.tc
 }
 
 /// The direct library call a served response must be bit-identical to:

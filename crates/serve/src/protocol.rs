@@ -164,6 +164,17 @@ pub enum Status {
     /// Rejected at submit time by bounded-queue backpressure; carries the
     /// replay command instead of a payload.
     Shed,
+    /// Rejected at submit time by deadline-aware admission: the target
+    /// queue's virtual-time backlog already exceeded the request's deadline
+    /// budget, so running it could only produce a [`Status::Deadline`]
+    /// miss. Carries the replay command and a `retry_after_s` hint.
+    Rejected,
+    /// The worker serving this request panicked mid-pass. The request was
+    /// never answered with a payload; the response carries the panic
+    /// summary (`error`) and the exact replay command so the crash is
+    /// reproducible offline. The warm caches implicated in the pass were
+    /// quarantined — a later resubmit serves fresh and bit-identically.
+    Failed,
 }
 
 impl Status {
@@ -173,6 +184,8 @@ impl Status {
             Status::Ok => "ok",
             Status::Deadline => "deadline",
             Status::Shed => "shed",
+            Status::Rejected => "rejected",
+            Status::Failed => "failed",
         }
     }
 }
@@ -213,9 +226,11 @@ pub struct Response {
     pub id: u64,
     /// Terminal status.
     pub status: Status,
-    /// Partition result; `None` only for [`Status::Shed`].
+    /// Partition result; `None` for [`Status::Shed`], [`Status::Rejected`]
+    /// and [`Status::Failed`].
     pub payload: Option<Payload>,
-    /// Replay command for shed requests (`None` otherwise).
+    /// Replay command for shed/rejected/failed requests (`None` when a
+    /// payload is attached).
     pub replay: Option<String>,
     /// Worker that served the request.
     pub worker: usize,
@@ -228,6 +243,12 @@ pub struct Response {
     pub virtual_s: f64,
     /// Wall-clock service latency, enqueue → response, microseconds.
     pub wall_us: u64,
+    /// Backoff hint on [`Status::Shed`]/[`Status::Rejected`]: the virtual
+    /// seconds after which resubmitting could plausibly succeed, computed
+    /// deterministically from the target queue's backlog at submit time.
+    pub retry_after_s: Option<f64>,
+    /// Panic summary on [`Status::Failed`] (`None` otherwise).
+    pub error: Option<String>,
 }
 
 impl Response {
@@ -265,6 +286,12 @@ impl Response {
         if let Some(r) = &self.replay {
             let _ = write!(out, ",\"replay\":{}", json_string(r));
         }
+        if let Some(t) = self.retry_after_s {
+            let _ = write!(out, ",\"retry_after_s\":{t}");
+        }
+        if let Some(e) = &self.error {
+            let _ = write!(out, ",\"error\":{}", json_string(e));
+        }
         out.push('}');
         out
     }
@@ -283,7 +310,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 /// JSON string literal with escaping.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -23,17 +23,67 @@
 //! are exactly the submitted burst, which makes batch composition — and
 //! therefore pass counts, warm stats and allocation counts — fully
 //! deterministic; the bench kernels and tests rely on this.
+//!
+//! # Crash isolation and request conservation
+//!
+//! The invariant everything below defends: **every submitted request id is
+//! answered exactly once** — served, shed, rejected, or failed
+//! ([`ServerStats::conservation`] checks the counter form of this, and
+//! `soak::verify_responses_with` the id-by-id form).
+//!
+//! Two layers keep a panicking engine pass from breaking it:
+//!
+//! 1. Every batch is moved from the queue into the worker's `in_flight`
+//!    list *under the queue lock* before the pass runs, and each pass runs
+//!    inside `catch_unwind`. On a panic the worker quarantines the warm
+//!    state for the batch's rank count and the engine-cache entry for its
+//!    `(p, machine, app)` key (both may have been mid-mutation), answers
+//!    every in-flight request with [`Status::Failed`] — panic summary plus
+//!    exact replay command attached — and keeps serving.
+//! 2. If a panic ever escapes the per-pass layer (a bug in the worker loop
+//!    itself), an outer `catch_unwind` fails whatever is still in flight
+//!    and respawns the loop with fresh caches — the whole-worker
+//!    quarantine.
+//!
+//! Locks use a poison-tolerant helper: a panic while holding the stats or
+//! queue mutex must not cascade into every other thread.
 
+use crate::chaos::{panic_summary, PanicPoint, PanicSchedule};
 use crate::protocol::{Request, Response, Status, WarmPath};
 use crate::run_request;
 use optipart_core::optipart::{PartitionState, WarmStats, DEFAULT_STATE_CAP};
 use optipart_mpisim::Engine;
 use optipart_scenario::{AppKind, Scenario};
 use std::collections::{BTreeMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
+
+/// Locks `m`, recovering the guard if a previous holder panicked: the data
+/// under every mutex here (queues, counters) stays structurally valid across
+/// a panic, and crash isolation must not turn one panic into a poison
+/// cascade.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Submit-time admission policy.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Admission {
+    /// Backpressure only: the sole submit-time rejection is a full queue
+    /// (shed). Deadline budgets are judged after serving.
+    #[default]
+    ShedOnly,
+    /// Additionally reject a deadline-carrying request when its target
+    /// queue's virtual-time backlog (sum of [`crate::estimate_virtual_s`]
+    /// over queued jobs) already exceeds the deadline budget — the pass
+    /// could only come back flagged late, so the cycles are better spent on
+    /// requests that can still win. Deterministic given queue contents.
+    DeadlineAware,
+}
 
 /// Server tuning knobs.
 #[derive(Clone, Copy, Debug)]
@@ -49,6 +99,8 @@ pub struct ServeConfig {
     pub engine_cache: usize,
     /// Serve same-key queued requests with one engine pass.
     pub batching: bool,
+    /// Submit-time admission policy.
+    pub admission: Admission,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +113,7 @@ impl Default for ServeConfig {
             state_cap: DEFAULT_STATE_CAP,
             engine_cache: 4,
             batching: true,
+            admission: Admission::ShedOnly,
         }
     }
 }
@@ -68,13 +121,20 @@ impl Default for ServeConfig {
 /// Aggregate service counters (monotone over the server's lifetime).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ServerStats {
-    /// Requests offered to [`Server::submit`].
+    /// Requests offered to [`Server::submit`]/[`Ingress::submit_with`].
     pub submitted: u64,
     /// Requests answered with a payload (ok or deadline).
     pub completed: u64,
     /// Requests rejected by backpressure.
     pub shed: u64,
-    /// Engine passes run (≤ completed when batching merges requests).
+    /// Requests rejected by deadline-aware admission.
+    pub rejected: u64,
+    /// Requests answered [`Status::Failed`] after a worker panic.
+    pub failed: u64,
+    /// Worker panics caught (per-pass or whole-loop).
+    pub panics: u64,
+    /// Engine passes run to completion (≤ completed when batching merges
+    /// requests; panicked passes count under `panics`, not here).
     pub engine_passes: u64,
     /// Passes served from an exact warm hit.
     pub hit_passes: u64,
@@ -86,6 +146,17 @@ pub struct ServerStats {
     pub batched_extra: u64,
     /// Fail-stop deaths absorbed while serving.
     pub deaths: u64,
+    /// Connections a front end folded in ([`Ingress::fold_connection`]).
+    pub connections: u64,
+    /// Connections that ended in a mid-line EOF (client vanished).
+    pub disconnects: u64,
+    /// Malformed request lines answered with an error line.
+    pub malformed_lines: u64,
+    /// Request lines past the byte cap, swallowed and answered with an
+    /// error line.
+    pub oversized_lines: u64,
+    /// Connection-level I/O failures (failed clone, broken pipe, …).
+    pub io_errors: u64,
 }
 
 impl ServerStats {
@@ -108,16 +179,74 @@ impl ServerStats {
         }
         self.hit_passes as f64 / self.engine_passes as f64
     }
+
+    /// The request-conservation invariant in counter form: every submitted
+    /// request reached exactly one terminal state. Checked at
+    /// [`Server::shutdown`] and by every soak/chaos driver.
+    pub fn conservation(&self) -> Result<(), String> {
+        let answered = self.completed + self.shed + self.rejected + self.failed;
+        if answered == self.submitted {
+            Ok(())
+        } else {
+            Err(format!(
+                "conservation violated: {} submitted but {} answered \
+                 ({} completed + {} shed + {} rejected + {} failed)",
+                self.submitted, answered, self.completed, self.shed, self.rejected, self.failed
+            ))
+        }
+    }
+}
+
+/// Per-connection counters collected by a front end (one stdin stream or
+/// one accepted socket client), folded into the server-wide [`ServerStats`]
+/// with [`Ingress::fold_connection`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ConnStats {
+    /// Non-blank request lines read (including bad ones).
+    pub lines: u64,
+    /// Requests successfully parsed and submitted.
+    pub submitted: u64,
+    /// Responses delivered back (or drained after the client vanished).
+    pub responses: u64,
+    /// Lines rejected by the parser.
+    pub malformed: u64,
+    /// Lines past the byte cap.
+    pub oversized: u64,
+    /// The stream ended mid-line (client disconnected without a newline).
+    pub mid_line_eof: bool,
+    /// Write/clone failures on this connection.
+    pub io_errors: u64,
+}
+
+/// Outcome of [`Ingress::submit_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// Queued on its shard; the pass's response will arrive on the reply
+    /// channel.
+    Queued,
+    /// Shed by backpressure; the shed response was already sent.
+    Shed,
+    /// Rejected by deadline-aware admission; the rejection response was
+    /// already sent.
+    Rejected,
 }
 
 struct Job {
     req: Request,
+    /// Coarse virtual-time estimate ([`crate::estimate_virtual_s`]), fixed
+    /// at submit so backlog sums are a pure function of queue contents.
+    est: f64,
     enqueued: Instant,
+    reply: Sender<Response>,
 }
 
 #[derive(Default)]
 struct QueueState {
     q: VecDeque<Job>,
+    /// The batch currently being served: moved here (under the lock) before
+    /// the pass runs, so a panicking worker can still answer every job it
+    /// had claimed.
+    in_flight: Vec<Job>,
     paused: bool,
     shutdown: bool,
 }
@@ -132,11 +261,130 @@ struct Shared {
     cfg: ServeConfig,
     queues: Vec<WorkerQueue>,
     stats: Mutex<ServerStats>,
+    /// Armed chaos panics (worker, pass) — `None` outside chaos runs.
+    chaos: Option<PanicSchedule>,
+    /// Monotone engine-pass counter per worker (panicked passes included),
+    /// the clock chaos schedules fire against.
+    pass_counts: Vec<AtomicU64>,
+}
+
+/// A cloneable, thread-safe submission handle onto a running [`Server`]:
+/// what each connection thread holds. Responses go to the per-connection
+/// reply channel passed to [`Ingress::submit_with`], so one slow or dead
+/// client never blocks another's responses.
+#[derive(Clone)]
+pub struct Ingress {
+    shared: Arc<Shared>,
+}
+
+enum Decision {
+    Queued,
+    Shed(Request, f64),
+    Rejected(Request, f64),
+}
+
+impl Ingress {
+    /// Offers a request, directing its response to `reply`. Shed and
+    /// rejected requests are answered immediately on `reply` (with a
+    /// replay command and a deterministic `retry_after_s` hint); queued
+    /// requests are answered by their serving worker. Exactly one response
+    /// per call either way.
+    pub fn submit_with(&self, req: Request, reply: &Sender<Response>) -> Admit {
+        let shared = &self.shared;
+        let w = req.shard(shared.cfg.workers);
+        let est = crate::estimate_virtual_s(&req.scn);
+        let decision = {
+            let mut st = lock(&shared.queues[w].m);
+            if st.q.len() >= shared.cfg.queue_cap {
+                // Hint: the head job's pass is what frees the next slot.
+                let head_est = st.q.front().map_or(est, |j| j.est);
+                Decision::Shed(req, head_est)
+            } else {
+                let over_budget = match (shared.cfg.admission, req.deadline_s) {
+                    (Admission::DeadlineAware, Some(d)) => {
+                        let backlog: f64 = st.q.iter().map(|j| j.est).sum();
+                        (backlog > d).then_some((backlog - d).max(0.0))
+                    }
+                    _ => None,
+                };
+                match over_budget {
+                    Some(over) => Decision::Rejected(req, over),
+                    None => {
+                        st.q.push_back(Job {
+                            req,
+                            est,
+                            enqueued: Instant::now(),
+                            reply: reply.clone(),
+                        });
+                        Decision::Queued
+                    }
+                }
+            }
+        };
+        {
+            let mut s = lock(&shared.stats);
+            s.submitted += 1;
+            match decision {
+                Decision::Queued => {}
+                Decision::Shed(..) => s.shed += 1,
+                Decision::Rejected(..) => s.rejected += 1,
+            }
+        }
+        match decision {
+            Decision::Queued => {
+                shared.queues[w].cv.notify_one();
+                Admit::Queued
+            }
+            Decision::Shed(req, retry) => {
+                reply.send(turned_away(req, Status::Shed, w, retry)).ok();
+                Admit::Shed
+            }
+            Decision::Rejected(req, retry) => {
+                reply
+                    .send(turned_away(req, Status::Rejected, w, retry))
+                    .ok();
+                Admit::Rejected
+            }
+        }
+    }
+
+    /// Folds one finished connection's counters into the server-wide stats.
+    pub fn fold_connection(&self, c: &ConnStats) {
+        let mut s = lock(&self.shared.stats);
+        s.connections += 1;
+        s.malformed_lines += c.malformed;
+        s.oversized_lines += c.oversized;
+        s.io_errors += c.io_errors;
+        if c.mid_line_eof {
+            s.disconnects += 1;
+        }
+    }
+
+    /// Snapshot of the aggregate counters.
+    pub fn stats(&self) -> ServerStats {
+        *lock(&self.shared.stats)
+    }
+}
+
+fn turned_away(req: Request, status: Status, worker: usize, retry_after_s: f64) -> Response {
+    Response {
+        id: req.id,
+        status,
+        payload: None,
+        replay: Some(req.scn.replay_cmd()),
+        worker,
+        warm: WarmPath::None,
+        batched: 0,
+        virtual_s: 0.0,
+        wall_us: 0,
+        retry_after_s: Some(retry_after_s),
+        error: None,
+    }
 }
 
 /// A running server. Submit requests, receive [`Response`]s (exactly one
-/// per submitted request, shed included), then [`Server::shutdown`].
-/// Dropping the server shuts it down implicitly.
+/// per submitted request — shed, rejected and failed included), then
+/// [`Server::shutdown`]. Dropping the server shuts it down implicitly.
 pub struct Server {
     shared: Arc<Shared>,
     resp_tx: Option<Sender<Response>>,
@@ -147,6 +395,17 @@ pub struct Server {
 impl Server {
     /// Starts `cfg.workers` worker threads and returns the handle.
     pub fn start(cfg: ServeConfig) -> Server {
+        Server::start_inner(cfg, None)
+    }
+
+    /// [`Server::start`] with an armed chaos schedule: the named engine
+    /// passes panic on purpose, exercising the crash-isolation path
+    /// deterministically (see `serve::chaos`).
+    pub fn start_chaos(cfg: ServeConfig, schedule: PanicSchedule) -> Server {
+        Server::start_inner(cfg, Some(schedule))
+    }
+
+    fn start_inner(cfg: ServeConfig, chaos: Option<PanicSchedule>) -> Server {
         let cfg = ServeConfig {
             workers: cfg.workers.max(1),
             queue_cap: cfg.queue_cap.max(1),
@@ -154,19 +413,18 @@ impl Server {
         };
         let shared = Arc::new(Shared {
             cfg,
-            queues: (0..cfg.workers.max(1))
-                .map(|_| WorkerQueue::default())
-                .collect(),
+            queues: (0..cfg.workers).map(|_| WorkerQueue::default()).collect(),
             stats: Mutex::new(ServerStats::default()),
+            chaos,
+            pass_counts: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
         });
         let (resp_tx, resp_rx) = channel();
         let handles = (0..shared.cfg.workers)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
-                let tx = resp_tx.clone();
                 std::thread::Builder::new()
                     .name(format!("optipart-serve-{idx}"))
-                    .spawn(move || worker_loop(shared, idx, tx))
+                    .spawn(move || worker_thread(shared, idx))
                     .expect("spawn worker")
             })
             .collect();
@@ -178,52 +436,19 @@ impl Server {
         }
     }
 
-    /// Offers a request. Returns `false` when the target worker's queue is
-    /// full — the request is *shed*: never executed, answered immediately
-    /// on the response channel with [`Status::Shed`] and its one-line
-    /// replay command. Exactly one response per submit either way.
+    /// A cloneable, thread-safe submission handle for connection threads.
+    pub fn ingress(&self) -> Ingress {
+        Ingress {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Offers a request with the server's own response channel as the
+    /// reply target (the single-stream front). Returns `true` iff queued;
+    /// shed/rejected requests are answered immediately on the channel.
     pub fn submit(&self, req: Request) -> bool {
-        let w = req.shard(self.shared.cfg.workers);
-        let queued = {
-            let mut st = self.shared.queues[w].m.lock().unwrap();
-            if st.q.len() >= self.shared.cfg.queue_cap {
-                false
-            } else {
-                st.q.push_back(Job {
-                    req: req.clone(),
-                    enqueued: Instant::now(),
-                });
-                true
-            }
-        };
-        {
-            let mut s = self.shared.stats.lock().unwrap();
-            s.submitted += 1;
-            if !queued {
-                s.shed += 1;
-            }
-        }
-        if queued {
-            self.shared.queues[w].cv.notify_one();
-        } else {
-            let resp = Response {
-                id: req.id,
-                status: Status::Shed,
-                payload: None,
-                replay: Some(req.scn.replay_cmd()),
-                worker: w,
-                warm: WarmPath::None,
-                batched: 0,
-                virtual_s: 0.0,
-                wall_us: 0,
-            };
-            self.resp_tx
-                .as_ref()
-                .expect("server running")
-                .send(resp)
-                .ok();
-        }
-        queued
+        let reply = self.resp_tx.as_ref().expect("server running");
+        self.ingress().submit_with(req, reply) == Admit::Queued
     }
 
     /// Holds all workers: queued and newly submitted requests accumulate
@@ -231,14 +456,14 @@ impl Server {
     /// [`Server::release`] determine batch composition deterministically.
     pub fn pause(&self) {
         for q in &self.shared.queues {
-            q.m.lock().unwrap().paused = true;
+            lock(&q.m).paused = true;
         }
     }
 
     /// Releases paused workers.
     pub fn release(&self) {
         for q in &self.shared.queues {
-            q.m.lock().unwrap().paused = false;
+            lock(&q.m).paused = false;
             q.cv.notify_all();
         }
     }
@@ -260,19 +485,24 @@ impl Server {
 
     /// Snapshot of the aggregate counters.
     pub fn stats(&self) -> ServerStats {
-        *self.shared.stats.lock().unwrap()
+        *lock(&self.shared.stats)
     }
 
     /// Stops accepting work, lets workers finish queued requests, joins
-    /// them, and returns the final counters.
+    /// them, and returns the final counters. Panics if the conservation
+    /// invariant broke — a response was lost or duplicated somewhere.
     pub fn shutdown(mut self) -> ServerStats {
         self.stop();
-        self.stats()
+        let stats = self.stats();
+        if let Err(e) = stats.conservation() {
+            panic!("shutdown: {e}");
+        }
+        stats
     }
 
     fn stop(&mut self) {
         for q in &self.shared.queues {
-            let mut st = q.m.lock().unwrap();
+            let mut st = lock(&q.m);
             st.shutdown = true;
             q.cv.notify_all();
         }
@@ -293,21 +523,46 @@ impl Drop for Server {
 
 type EngineKey = (usize, String, AppKind);
 
-fn worker_loop(shared: Arc<Shared>, idx: usize, tx: Sender<Response>) {
+/// The outer crash-isolation layer: if a panic ever escapes the per-pass
+/// `catch_unwind` in [`serve_batch`] (a bug in the loop itself, not the
+/// engine), fail whatever was in flight and respawn the loop with fresh
+/// caches — the whole-worker quarantine.
+fn worker_thread(shared: Arc<Shared>, idx: usize) {
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, idx))) {
+            Ok(()) => return,
+            Err(payload) => {
+                let summary = panic_summary(payload.as_ref());
+                {
+                    let mut s = lock(&shared.stats);
+                    s.panics += 1;
+                }
+                fail_in_flight(&shared, idx, &summary);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, idx: usize) {
     // Warm state per rank count: entries are fingerprinted by `p`, so one
     // map slot per width keeps every request on its own warm path.
     let mut states: BTreeMap<usize, PartitionState> = BTreeMap::new();
     let mut engines: Vec<(EngineKey, Engine)> = Vec::new();
-    while let Some(batch) = next_batch(&shared, idx) {
-        serve_batch(&shared, idx, &tx, &mut states, &mut engines, batch);
+    // Reused across batches: `in_flight` is swapped into this after each
+    // pass, so the steady state allocates nothing per batch.
+    let mut spare: Vec<Job> = Vec::new();
+    while let Some(scn) = next_batch(shared, idx) {
+        serve_batch(shared, idx, &mut states, &mut engines, &mut spare, scn);
     }
 }
 
-/// Pops the next batch: the queue head plus (with batching) every queued
-/// same-key request. Returns `None` on shutdown with an empty queue.
-fn next_batch(shared: &Shared, idx: usize) -> Option<Vec<Job>> {
+/// Claims the next batch: the queue head plus (with batching) every queued
+/// same-key request, moved into the worker's `in_flight` list under the
+/// lock — from this instant a crash anywhere still answers them. Returns
+/// the batch's scenario, or `None` on shutdown with an empty queue.
+fn next_batch(shared: &Shared, idx: usize) -> Option<Scenario> {
     let wq = &shared.queues[idx];
-    let mut st = wq.m.lock().unwrap();
+    let mut st = lock(&wq.m);
     loop {
         if st.q.is_empty() {
             if st.shutdown {
@@ -316,23 +571,27 @@ fn next_batch(shared: &Shared, idx: usize) -> Option<Vec<Job>> {
         } else if !st.paused || st.shutdown {
             break;
         }
-        st = wq.cv.wait(st).unwrap();
+        st = wq
+            .cv
+            .wait(st)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
     }
     let head = st.q.pop_front().expect("queue non-empty");
-    let mut batch = vec![head];
+    let scn = head.req.scn.clone();
+    let key = head.req.key();
+    st.in_flight.push(head);
     if shared.cfg.batching {
-        let key = batch[0].req.key();
         let mut rest = VecDeque::with_capacity(st.q.len());
         while let Some(job) = st.q.pop_front() {
             if job.req.key() == key {
-                batch.push(job);
+                st.in_flight.push(job);
             } else {
                 rest.push_back(job);
             }
         }
         st.q = rest;
     }
-    Some(batch)
+    Some(scn)
 }
 
 fn warm_label(before: WarmStats, after: WarmStats) -> WarmPath {
@@ -348,60 +607,147 @@ fn warm_label(before: WarmStats, after: WarmStats) -> WarmPath {
 fn serve_batch(
     shared: &Shared,
     idx: usize,
-    tx: &Sender<Response>,
     states: &mut BTreeMap<usize, PartitionState>,
     engines: &mut Vec<(EngineKey, Engine)>,
-    batch: Vec<Job>,
+    spare: &mut Vec<Job>,
+    scn: Scenario,
 ) {
-    let scn: Scenario = batch[0].req.scn.clone();
-    let (payload, virtual_s, warm) = if scn.faults.is_some() {
-        // Fault plans make engines single-use (a shrink is permanent) and
-        // their deaths would poison a shared warm state's statistics, so
-        // faulted requests run isolated: fresh engine, throwaway state.
-        let mut engine = scn.engine_faulted();
-        let mut state = PartitionState::with_cap(1);
-        let (p, t) = run_request(&mut engine, &mut state, &scn);
-        (p, t, warm_label(WarmStats::default(), state.stats))
-    } else {
-        let engine = cached_engine(engines, shared.cfg.engine_cache, &scn);
-        let state = states
-            .entry(scn.p)
-            .or_insert_with(|| PartitionState::with_cap(shared.cfg.state_cap));
-        let before = state.stats;
-        let (p, t) = run_request(engine, state, &scn);
-        (p, t, warm_label(before, state.stats))
-    };
-    {
-        let mut s = shared.stats.lock().unwrap();
-        s.engine_passes += 1;
-        match warm {
-            WarmPath::Hit => s.hit_passes += 1,
-            WarmPath::Replay => s.replay_passes += 1,
-            _ => s.cold_passes += 1,
+    let pass_no = shared.pass_counts[idx].fetch_add(1, Ordering::Relaxed);
+    let key: EngineKey = (scn.p, scn.machine.name.clone(), scn.app);
+    // The per-pass crash-isolation layer. `AssertUnwindSafe` is justified
+    // by what the Err arm does: any value the closure may have left
+    // half-mutated (the warm state for this `p`, the cached engine for
+    // this key) is quarantined before the worker touches it again.
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(ch) = &shared.chaos {
+            ch.check(idx, pass_no, PanicPoint::Before);
         }
-        s.completed += batch.len() as u64;
-        s.batched_extra += batch.len() as u64 - 1;
-        s.deaths += payload.deaths as u64;
+        let out = if scn.faults.is_some() {
+            // Fault plans make engines single-use (a shrink is permanent)
+            // and their deaths would poison a shared warm state's
+            // statistics, so faulted requests run isolated: fresh engine,
+            // throwaway state.
+            let mut engine = scn.engine_faulted();
+            let mut state = PartitionState::with_cap(1);
+            let (p, t) = run_request(&mut engine, &mut state, &scn);
+            (p, t, warm_label(WarmStats::default(), state.stats))
+        } else {
+            let engine = cached_engine(engines, shared.cfg.engine_cache, &scn);
+            let state = states
+                .entry(scn.p)
+                .or_insert_with(|| PartitionState::with_cap(shared.cfg.state_cap));
+            let before = state.stats;
+            let (p, t) = run_request(engine, state, &scn);
+            (p, t, warm_label(before, state.stats))
+        };
+        if let Some(ch) = &shared.chaos {
+            // The harshest point to die: the caches are already mutated but
+            // no response has been sent.
+            ch.check(idx, pass_no, PanicPoint::After);
+        }
+        out
+    }));
+    // Reclaim the claimed batch — present whether the pass completed or
+    // panicked — into the reusable spare vec.
+    {
+        let mut st = lock(&shared.queues[idx].m);
+        std::mem::swap(&mut st.in_flight, spare);
     }
-    let size = batch.len() as u32;
-    for job in batch {
-        let status = match job.req.deadline_s {
-            Some(d) if virtual_s > d => Status::Deadline,
-            _ => Status::Ok,
-        };
-        let resp = Response {
-            id: job.req.id,
-            status,
-            payload: Some(payload.clone()),
-            replay: None,
-            worker: idx,
-            warm,
-            batched: size,
-            virtual_s,
-            wall_us: job.enqueued.elapsed().as_micros() as u64,
-        };
-        // A dropped receiver just means the client went away mid-drain.
-        tx.send(resp).ok();
+    let size = spare.len() as u32;
+    match result {
+        Ok((payload, virtual_s, warm)) => {
+            {
+                let mut s = lock(&shared.stats);
+                s.engine_passes += 1;
+                match warm {
+                    WarmPath::Hit => s.hit_passes += 1,
+                    WarmPath::Replay => s.replay_passes += 1,
+                    _ => s.cold_passes += 1,
+                }
+                s.completed += size as u64;
+                s.batched_extra += size as u64 - 1;
+                s.deaths += payload.deaths as u64;
+            }
+            for job in spare.drain(..) {
+                let status = match job.req.deadline_s {
+                    Some(d) if virtual_s > d => Status::Deadline,
+                    _ => Status::Ok,
+                };
+                let resp = Response {
+                    id: job.req.id,
+                    status,
+                    payload: Some(payload.clone()),
+                    replay: None,
+                    worker: idx,
+                    warm,
+                    batched: size,
+                    virtual_s,
+                    wall_us: job.enqueued.elapsed().as_micros() as u64,
+                    retry_after_s: None,
+                    error: None,
+                };
+                // A dropped receiver just means the client went away
+                // mid-drain.
+                job.reply.send(resp).ok();
+            }
+        }
+        Err(payload) => {
+            // Quarantine first: both caches this pass touched may hold
+            // half-mutated values.
+            states.remove(&scn.p);
+            if let Some(pos) = engines.iter().position(|(k, _)| *k == key) {
+                engines.remove(pos);
+            }
+            let summary = panic_summary(payload.as_ref());
+            {
+                let mut s = lock(&shared.stats);
+                s.panics += 1;
+                s.failed += size as u64;
+            }
+            for job in spare.drain(..) {
+                job.reply
+                    .send(failed_response(&job, idx, size, &summary))
+                    .ok();
+            }
+        }
+    }
+}
+
+fn failed_response(job: &Job, worker: usize, batched: u32, summary: &str) -> Response {
+    Response {
+        id: job.req.id,
+        status: Status::Failed,
+        payload: None,
+        replay: Some(job.req.scn.replay_cmd()),
+        worker,
+        warm: WarmPath::None,
+        batched,
+        virtual_s: 0.0,
+        wall_us: job.enqueued.elapsed().as_micros() as u64,
+        retry_after_s: None,
+        error: Some(summary.to_string()),
+    }
+}
+
+/// Answers every job the worker had claimed when a panic escaped the
+/// per-pass layer (outer quarantine).
+fn fail_in_flight(shared: &Shared, idx: usize, summary: &str) {
+    let jobs: Vec<Job> = {
+        let mut st = lock(&shared.queues[idx].m);
+        std::mem::take(&mut st.in_flight)
+    };
+    if jobs.is_empty() {
+        return;
+    }
+    {
+        let mut s = lock(&shared.stats);
+        s.failed += jobs.len() as u64;
+    }
+    let size = jobs.len() as u32;
+    for job in &jobs {
+        job.reply
+            .send(failed_response(job, idx, size, summary))
+            .ok();
     }
 }
 
@@ -437,6 +783,7 @@ mod tests {
             state_cap: 8,
             engine_cache: 2,
             batching,
+            admission: Admission::ShedOnly,
         }
     }
 
@@ -471,6 +818,8 @@ mod tests {
                 Some(want_replay.as_str()),
                 "every shed request reports its replay seed"
             );
+            let retry = r.retry_after_s.expect("shed carries a retry hint");
+            assert!(retry.is_finite() && retry > 0.0, "retry_after {retry}");
             assert!(r.id >= 4, "only the tail submissions shed");
         }
         server.release();
@@ -645,5 +994,109 @@ mod tests {
         server.release();
         let stats = server.shutdown();
         assert_eq!(stats.completed + stats.shed, 8);
+        stats.conservation().expect("drained shutdown conserves");
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_quarantined_and_conserved() {
+        use crate::chaos::{PanicPoint, PanicSchedule};
+        // Arm the first engine pass of worker 0 to die *after* mutating
+        // its caches — the harshest quarantine test. One worker, paused
+        // burst: pass 0 is the seed-500 batch (3 requests, all must come
+        // back Failed), pass 1 the seed-501 batch (served), and the
+        // post-panic resubmit of seed 500 must serve cold, bit-identically.
+        let schedule = PanicSchedule::default().arm(0, 0, PanicPoint::After);
+        let server = Server::start_chaos(cfg(1, 64, true), schedule);
+        server.pause();
+        for i in 0..3 {
+            assert!(server.submit(req(i, 500)));
+        }
+        assert!(server.submit(req(3, 501)));
+        server.release();
+        let first = server.drain(4);
+        assert!(server.submit(req(4, 500)), "the worker must have respawned");
+        let retry = server.recv();
+        let stats = server.shutdown();
+
+        let by_id = |id: u64| first.iter().find(|r| r.id == id).unwrap();
+        let want_replay = Scenario::from_seed(500).replay_cmd();
+        for id in 0..3 {
+            let r = by_id(id);
+            assert_eq!(r.status, Status::Failed, "{r:?}");
+            assert!(r.payload.is_none());
+            assert_eq!(r.replay.as_deref(), Some(want_replay.as_str()));
+            let err = r.error.as_deref().expect("failed carries the summary");
+            assert!(err.contains("chaos"), "panic summary: {err}");
+        }
+        assert_eq!(by_id(3).status, Status::Ok);
+        assert_eq!(
+            by_id(3).payload.as_ref(),
+            Some(&direct(&Scenario::from_seed(501))),
+            "the pass after the panic serves bit-identically"
+        );
+        assert_eq!(retry.status, Status::Ok);
+        assert_eq!(
+            retry.payload.as_ref(),
+            Some(&direct(&Scenario::from_seed(500))),
+            "quarantined caches must re-serve the crashed scenario fresh"
+        );
+        assert_eq!(retry.warm, WarmPath::Cold, "quarantine forces a cold pass");
+        assert_eq!(stats.failed, 3);
+        assert_eq!(stats.panics, 1);
+        assert_eq!(stats.completed, 2);
+        stats.conservation().expect("panics conserve responses");
+    }
+
+    #[test]
+    fn deadline_admission_rejects_deterministically_with_retry_hint() {
+        let run = || {
+            let cfg = ServeConfig {
+                admission: Admission::DeadlineAware,
+                ..cfg(1, 8, true)
+            };
+            let server = Server::start(cfg);
+            server.pause();
+            // Queue one request to create backlog, then a hopeless
+            // deadline: its budget is below the backlog, so admission
+            // rejects it before any worker involvement.
+            assert!(server.submit(req(0, 600)));
+            let mut hopeless = req(1, 601);
+            hopeless.deadline_s = Some(1e-12);
+            assert_eq!(
+                server
+                    .ingress()
+                    .submit_with(hopeless, server.resp_tx.as_ref().expect("server running")),
+                Admit::Rejected
+            );
+            // A generous budget clears the same backlog and is admitted.
+            let mut generous = req(2, 601);
+            generous.deadline_s = Some(1e9);
+            assert!(server.submit(generous));
+            let rejected = server.recv();
+            server.release();
+            let served = server.drain(2);
+            let stats = server.shutdown();
+            assert_eq!(rejected.status, Status::Rejected);
+            assert!(rejected.payload.is_none());
+            assert_eq!(
+                rejected.replay.as_deref(),
+                Some(Scenario::from_seed(601).replay_cmd().as_str())
+            );
+            assert_eq!(stats.rejected, 1);
+            assert_eq!(stats.completed, 2);
+            stats.conservation().expect("rejection conserves");
+            assert!(served.iter().all(|r| r.payload.is_some()));
+            rejected
+                .retry_after_s
+                .expect("rejection carries retry hint")
+        };
+        let a = run();
+        let b = run();
+        assert!(a > 0.0 && a.is_finite());
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "retry hints are bit-deterministic given queue contents"
+        );
     }
 }

@@ -108,6 +108,12 @@ pub struct VerifySummary {
     pub served: usize,
     /// Shed responses (replay command validated instead).
     pub shed: usize,
+    /// Responses rejected by deadline-aware admission (replay command and
+    /// retry hint validated).
+    pub rejected: usize,
+    /// Responses failed by a worker panic (replay command and panic
+    /// summary validated).
+    pub failed: usize,
     /// Served responses flagged past their deadline budget.
     pub deadline: usize,
     /// Distinct scenarios the direct reference actually ran.
@@ -163,13 +169,33 @@ pub fn verify_responses_with(
             ))
         };
         match resp.status {
-            Status::Shed => {
-                sum.shed += 1;
+            Status::Shed | Status::Rejected => {
+                if resp.status == Status::Shed {
+                    sum.shed += 1;
+                } else {
+                    sum.rejected += 1;
+                }
                 if resp.payload.is_some() {
-                    return fail("shed response carries a payload");
+                    return fail("turned-away response carries a payload");
                 }
                 if resp.replay.as_deref() != Some(req.scn.replay_cmd().as_str()) {
-                    return fail("shed response missing/incorrect replay command");
+                    return fail("turned-away response missing/incorrect replay command");
+                }
+                match resp.retry_after_s {
+                    Some(t) if t.is_finite() && t >= 0.0 => {}
+                    _ => return fail("turned-away response missing retry_after hint"),
+                }
+            }
+            Status::Failed => {
+                sum.failed += 1;
+                if resp.payload.is_some() {
+                    return fail("failed response carries a payload");
+                }
+                if resp.replay.as_deref() != Some(req.scn.replay_cmd().as_str()) {
+                    return fail("failed response missing/incorrect replay command");
+                }
+                if resp.error.as_deref().is_none_or(str::is_empty) {
+                    return fail("failed response missing its panic summary");
                 }
             }
             Status::Ok | Status::Deadline => {
@@ -220,6 +246,7 @@ pub fn fault_soak(
     }
     let resps = server.drain(reqs.len());
     let stats = server.shutdown();
+    stats.conservation()?;
     let sum = verify_responses(&reqs, &resps)?;
     Ok((sum, stats))
 }
@@ -263,6 +290,7 @@ mod tests {
             state_cap: 16,
             engine_cache: 4,
             batching: true,
+            admission: Default::default(),
         };
         let (sum, stats) = fault_soak(20260808, 48, cfg).expect("soak verifies");
         assert_eq!(sum.checked, 48);
@@ -283,6 +311,7 @@ mod tests {
             state_cap: 8,
             engine_cache: 2,
             batching: false,
+            admission: Default::default(),
         });
         for r in &reqs {
             server.submit(r.clone());

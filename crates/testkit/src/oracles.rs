@@ -672,6 +672,7 @@ pub fn serve_vs_library(scn: &Scenario) {
             state_cap: 8,
             engine_cache: 4,
             batching,
+            admission: Default::default(),
         });
         if burst {
             server.pause();
@@ -711,6 +712,75 @@ pub fn serve_vs_library(scn: &Scenario) {
                 stats.batched_extra >= 2,
                 "{label}: expected >= 2 batched riders ({stats:?})"
             );
+        }
+    }
+
+    // Shape 4 — chaos-panicked: the single worker's first pass is armed to
+    // panic *after* it completes (caches already mutated, the harshest
+    // quarantine point). The first wave fails loudly with replay + panic
+    // summary; a repeat wave on the respawned worker must then serve every
+    // request bit-identically, and the whole exchange must conserve.
+    {
+        use optipart_serve::chaos::{PanicPoint, PanicSchedule};
+        use optipart_serve::Status;
+        let label = "1 worker, chaos panic at pass 0";
+        let server = Server::start_chaos(
+            ServeConfig {
+                workers: 1,
+                queue_cap: 64,
+                state_cap: 8,
+                engine_cache: 4,
+                batching: false,
+                admission: Default::default(),
+            },
+            PanicSchedule::default().arm(0, 0, PanicPoint::After),
+        );
+        for r in &reqs {
+            server.submit(r.clone());
+        }
+        let first = server.drain(reqs.len());
+        let failed: Vec<_> = first
+            .iter()
+            .filter(|r| r.status == Status::Failed)
+            .collect();
+        tk_assert_eq!(scn, failed.len(), 1, "{label}: exactly pass 0 panics");
+        for f in &failed {
+            tk_assert!(
+                scn,
+                f.replay.as_deref().is_some_and(|c| c.contains("--seed")),
+                "{label}: failed response must carry a replay command"
+            );
+            tk_assert!(
+                scn,
+                f.error.as_deref().is_some_and(|e| e.contains("chaos")),
+                "{label}: failed response must name its panic ({:?})",
+                f.error
+            );
+        }
+        let repeat: Vec<Request> = reqs
+            .iter()
+            .map(|r| Request {
+                id: r.id + 100,
+                scn: r.scn.clone(),
+                deadline_s: r.deadline_s,
+            })
+            .collect();
+        for r in &repeat {
+            server.submit(r.clone());
+        }
+        let second = server.drain(repeat.len());
+        if let Err(e) = verify_responses_with(&repeat, &second, &mut cache) {
+            tk_assert!(scn, false, "{label}: respawned worker diverges: {e}");
+        }
+        let stats = server.shutdown();
+        tk_assert_eq!(scn, stats.panics, 1, "{label}: one armed panic fires");
+        tk_assert!(
+            scn,
+            stats.failed >= 1,
+            "{label}: the panicked pass must fail its request ({stats:?})"
+        );
+        if let Err(e) = stats.conservation() {
+            tk_assert!(scn, false, "{label}: conservation broken: {e}");
         }
     }
 }

@@ -5,8 +5,9 @@
 //! payloads, exact replay commands on sheds, self-consistent deadline
 //! flags). This is the end-to-end contract DESIGN.md §15 promises.
 
-use optipart::serve::soak::{mixed_stream, verify_responses};
-use optipart::serve::{Request, ServeConfig, Server, Status};
+use optipart::serve::chaos::{chaos_soak, ChaosKnobs};
+use optipart::serve::soak::{mixed_stream, verify_responses, DirectCache};
+use optipart::serve::{Admission, Request, ServeConfig, Server, Status};
 
 /// The headline run: 1000 mixed requests at 4 workers — nothing sheds,
 /// every payload is bit-identical to the library, rank deaths injected
@@ -22,6 +23,7 @@ fn thousand_request_stream_is_bit_identical_at_four_workers() {
         state_cap: 64,
         engine_cache: 8,
         batching: true,
+        admission: Default::default(),
     });
     for r in &reqs {
         assert!(server.submit(r.clone()), "queue_cap 1000 must not shed");
@@ -56,6 +58,7 @@ fn overloaded_server_sheds_loudly_and_serves_the_rest_correctly() {
         state_cap: 16,
         engine_cache: 4,
         batching: true,
+        admission: Default::default(),
     });
     server.pause();
     let accepted: usize = reqs.iter().filter(|r| server.submit((*r).clone())).count();
@@ -74,6 +77,11 @@ fn overloaded_server_sheds_loudly_and_serves_the_rest_correctly() {
             replay.contains("replay") && replay.contains("--seed"),
             "replay command must be runnable: {replay}"
         );
+        let retry = resp.retry_after_s.expect("shed carries a retry hint");
+        assert!(
+            retry.is_finite() && retry > 0.0,
+            "retry hint must be a usable backoff: {retry}"
+        );
     }
 }
 
@@ -89,6 +97,7 @@ fn batching_is_payload_invisible() {
             state_cap: 16,
             engine_cache: 4,
             batching,
+            admission: Default::default(),
         });
         server.pause();
         for r in &reqs {
@@ -105,6 +114,82 @@ fn batching_is_payload_invisible() {
         sigs
     };
     assert_eq!(run(true), run(false));
+}
+
+/// The headline chaos soak (ISSUE acceptance): a 1000-request stream at 4
+/// workers under a seeded storm — ≥10 worker panics armed, 5 clients
+/// disconnecting mid-stream, 16 corrupted lines — and still: every
+/// submitted request answered exactly once, every served payload
+/// bit-identical to a direct library call, byte-identical transcripts
+/// across two identically-seeded runs, and served payloads that agree
+/// bit-for-bit with a 1-worker run of the same plan.
+#[test]
+fn thousand_request_chaos_soak_conserves_and_stays_deterministic() {
+    let knobs = ChaosKnobs {
+        panics: 14,
+        max_pass: 3,
+        disconnects: 5,
+        clients: 8,
+        corrupt: 16,
+        stall_every: 0,
+    };
+    let cfg = ServeConfig {
+        workers: 4,
+        queue_cap: 1000,
+        state_cap: 64,
+        engine_cache: 8,
+        batching: true,
+        admission: Admission::DeadlineAware,
+    };
+    let seed = 0x0C4A_0508;
+    let mut cache = DirectCache::new();
+    let a = chaos_soak(seed, 1000, cfg, knobs, &mut cache).expect("chaos soak verifies");
+    let b = chaos_soak(seed, 1000, cfg, knobs, &mut cache).expect("repeat verifies");
+    assert_eq!(
+        a.transcript, b.transcript,
+        "same seed must reproduce the run byte-for-byte"
+    );
+
+    let s = &a.summary;
+    assert!(s.panics >= 10, "must absorb ≥10 worker panics: {s:?}");
+    assert!(s.failed > 0, "panicked passes must fail loudly: {s:?}");
+    assert!(
+        s.lost_to_disconnect >= 5,
+        "disconnects must cost lines: {s:?}"
+    );
+    assert!(
+        s.parse_errors > 0,
+        "corruption must claim casualties: {s:?}"
+    );
+    assert!(s.served > 400, "the bulk of the stream still serves: {s:?}");
+    assert_eq!(
+        s.submitted,
+        s.served + s.failed + s.shed + s.rejected,
+        "conservation: every submitted request answered exactly once: {s:?}"
+    );
+    assert!(a.stats.conservation().is_ok());
+
+    // Same plan at 1 worker: the client-side chaos is identical by
+    // construction, so shared served ids must carry identical payloads.
+    let solo = chaos_soak(
+        seed,
+        1000,
+        ServeConfig { workers: 1, ..cfg },
+        knobs,
+        &mut cache,
+    )
+    .expect("1-worker run verifies");
+    let mut common = 0usize;
+    for (id, p) in &solo.served_payloads {
+        if let Some(q) = a.served_payloads.get(id) {
+            assert_eq!(p, q, "payload for id {id} must not depend on worker count");
+            common += 1;
+        }
+    }
+    assert!(
+        common > 300,
+        "the cross-width check must actually compare payloads: {common}"
+    );
 }
 
 /// Wire-level spot check: a request rebuilt from its own JSON serves to
