@@ -132,6 +132,20 @@ fn cmd_run(args: &[String]) -> i32 {
             derived.insert(k.clone(), *v);
         }
     }
+    // Full runs append the paper-scale strong-scaling curves (Fig. 4
+    // rank counts, 4,096 → 262,144): per-p virtual makespan and real
+    // steady-state allocation counts. Tiny (CI) runs skip the sweep; the
+    // CI `scale` job runs `figures scaling` at a reduced top p instead.
+    if !tiny && filter.is_none() {
+        eprintln!("  scaling sweep: p = 4096 .. 262144 (hypercube, warm arena)");
+        for pt in optipart_bench::figs::scaling::sweep(262_144) {
+            derived.insert(format!("scaling_p{}_makespan_s", pt.p), pt.makespan_s);
+            derived.insert(
+                format!("scaling_p{}_steady_allocs", pt.p),
+                pt.steady_allocs as f64,
+            );
+        }
+    }
 
     let report = Report {
         schema: Report::SCHEMA.into(),

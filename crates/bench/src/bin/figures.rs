@@ -7,8 +7,10 @@
 //! ```
 //!
 //! Figure ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 (or `all`),
-//! plus `ablations` (design-choice studies) and `recovery` (fail-stop
-//! checkpoint/recovery ablation); neither is part of `all`.
+//! plus `ablations` (design-choice studies), `recovery` (fail-stop
+//! checkpoint/recovery ablation) and `scaling` (paper-scale collectives
+//! strong-scaling sweep, 4,096 → `--max-p` virtual ranks, default
+//! 262,144); none of the three is part of `all`.
 //! `--scale` multiplies the scaled default problem sizes (1.0 = defaults
 //! documented in DESIGN.md §6; the paper's full sizes need a cluster-class
 //! machine). `--seed` changes the mesh RNG seed; `--out DIR` also writes
@@ -20,6 +22,7 @@
 //! to `FILE` and `FILE`'s sibling `*-faults.json`, and printing each run's
 //! critical path and Eq. (3) model attribution.
 
+use optipart_bench::alloc_count::CountingAllocator;
 use optipart_bench::common::{write_summary, RunConfig};
 use optipart_bench::figs;
 use optipart_fem::amr::{amr_simulation, AmrConfig, Strategy};
@@ -27,6 +30,11 @@ use optipart_machine::{AppModel, MachineModel, PerfModel};
 use optipart_mpisim::{Engine, FaultPlan};
 use std::process::exit;
 use std::time::Instant;
+
+// The `scaling` sweep reports real allocation counts per exchange round —
+// count every allocation this process makes.
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,6 +61,10 @@ fn main() {
             "--trace" => {
                 let v = it.next().unwrap_or_else(|| usage("--trace needs a path"));
                 trace_path = Some(v);
+            }
+            "--max-p" => {
+                let v = it.next().unwrap_or_else(|| usage("--max-p needs a value"));
+                cfg.max_p = v.parse().unwrap_or_else(|_| usage("bad --max-p value"));
             }
             "all" => ids.extend(figs::ALL.iter().map(|s| s.to_string())),
             "-h" | "--help" => {
@@ -141,7 +153,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: figures <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|all>... \
-         [ablations] [recovery] [--scale X] [--seed N] [--out DIR] [--trace FILE]"
+         [ablations] [recovery] [scaling] [--scale X] [--seed N] [--max-p P] \
+         [--out DIR] [--trace FILE]"
     );
     exit(if err.is_empty() { 0 } else { 2 });
 }

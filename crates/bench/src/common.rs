@@ -28,6 +28,9 @@ pub struct RunConfig {
     pub out_dir: Option<PathBuf>,
     /// Mesh seed, fixed for reproducibility.
     pub seed: u64,
+    /// Top virtual rank count of the `scaling` strong-scaling sweep
+    /// (default = the paper's full Titan count).
+    pub max_p: usize,
 }
 
 impl Default for RunConfig {
@@ -36,6 +39,7 @@ impl Default for RunConfig {
             scale: 1.0,
             out_dir: None,
             seed: 0x0511_2017,
+            max_p: 262_144,
         }
     }
 }

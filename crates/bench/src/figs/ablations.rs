@@ -62,7 +62,11 @@ pub fn run_alltoall(cfg: &RunConfig) {
     eprintln!("ablation: all-to-all schedule, grain = {grain}");
     for p in [16usize, 128, 1024] {
         let tree = mesh(grain * p, cfg.seed, Curve::Hilbert);
-        for algo in [AllToAllAlgo::Direct, AllToAllAlgo::Staged] {
+        for algo in [
+            AllToAllAlgo::Direct,
+            AllToAllAlgo::Staged,
+            AllToAllAlgo::Hypercube,
+        ] {
             let mut e = engine(MachineModel::titan(), p);
             let _ = treesort_partition(
                 &mut e,

@@ -1,0 +1,172 @@
+//! `figures scaling` — Fig. 4-style strong-scaling sweep of the sparse
+//! hypercube collectives stack, executed on one box at the paper's full
+//! Titan rank counts (4,096 → 262,144 virtual ranks, doubling).
+//!
+//! The total exchanged volume is held fixed across the sweep (strong
+//! scaling): as p doubles, per-link payloads halve while the hypercube
+//! adds one stage, so the virtual makespan curve exposes the
+//! O(active neighbours + log p) staging cost directly. Each point also
+//! records the *real* allocation count of one steady-state exchange —
+//! flat on a warm arena, and the quantity the `bench compare` alloc-ratio
+//! gate locks down against the dense reference.
+
+use crate::alloc_count::counters;
+use crate::common::{fmt, RunConfig, Table};
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_mpisim::{AllToAllAlgo, AlltoallvArena, Engine};
+
+/// One measured point of the sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalePoint {
+    /// Virtual rank count.
+    pub p: usize,
+    /// Hypercube stage count, ceil(log2 p).
+    pub stages: u32,
+    /// Payload elements per neighbour link (fixed-volume split).
+    pub per_link: usize,
+    /// Virtual makespan of one warm exchange round, seconds.
+    pub makespan_s: f64,
+    /// Real allocator calls during one steady-state round (staging +
+    /// exchange + delivery on warm pools) — ~0 by design.
+    pub steady_allocs: u64,
+    /// Modelled bytes moved per round.
+    pub bytes_per_round: u64,
+    /// Modelled point-to-point messages per round.
+    pub msgs_per_round: u64,
+}
+
+/// Total exchanged u64 volume per round, fixed across the sweep: 12
+/// elements per rank at the paper's top count (2 per link at p = 262,144).
+const TOTAL_VOLUME: usize = 12 * 262_144;
+
+/// 3D face-neighbour pattern of a balanced octree partition (§5.5).
+const NEIGHBOURS: [isize; 6] = [-3, -2, -1, 1, 2, 3];
+
+fn engine(p: usize) -> Engine {
+    Engine::new(
+        p,
+        PerfModel::new(
+            MachineModel::cloudlab_wisconsin(),
+            AppModel::laplacian_matvec(),
+        ),
+    )
+}
+
+fn stage_round(arena: &mut AlltoallvArena<u64>, p: usize, per_link: usize, round: u64) {
+    for src in 0..p {
+        for d in NEIGHBOURS {
+            let dst = (src as isize + d).rem_euclid(p as isize) as usize;
+            let tag = round ^ ((src as u64) << 24) ^ ((dst as u64) << 4);
+            arena.send(src, dst, (0..per_link as u64).map(move |i| tag ^ i));
+        }
+    }
+}
+
+/// Runs the sweep up to `max_p` ranks and returns one point per doubling.
+///
+/// Allocation counts are only meaningful when the calling binary installs
+/// [`crate::alloc_count::CountingAllocator`] (both `bench` and `figures`
+/// do); otherwise they read 0.
+pub fn sweep(max_p: usize) -> Vec<ScalePoint> {
+    let max_p = max_p.max(2);
+    let mut points = Vec::new();
+    let mut p = 4_096.min(max_p);
+    loop {
+        let per_link = (TOTAL_VOLUME / (6 * p)).max(1);
+        let mut e = engine(p);
+        let mut arena: AlltoallvArena<u64> = AlltoallvArena::new();
+
+        // Warm round grows every pool once; its makespan is the per-round
+        // virtual cost (warm rounds charge identically).
+        stage_round(&mut arena, p, per_link, 0);
+        e.alltoallv_flat(&mut arena, AllToAllAlgo::Hypercube);
+        let m0 = e.makespan();
+        let bytes0 = e.stats().bytes_total;
+        let msgs0 = e.stats().msgs_total;
+
+        let (a0, _) = counters();
+        stage_round(&mut arena, p, per_link, 1);
+        e.alltoallv_flat(&mut arena, AllToAllAlgo::Hypercube);
+        let (a1, _) = counters();
+        assert_eq!(
+            e.makespan(),
+            2.0 * m0,
+            "p = {p}: warm rounds must charge identically"
+        );
+
+        points.push(ScalePoint {
+            p,
+            stages: if p <= 1 {
+                0
+            } else {
+                usize::BITS - (p - 1).leading_zeros()
+            },
+            per_link,
+            makespan_s: m0,
+            steady_allocs: a1 - a0,
+            bytes_per_round: bytes0,
+            msgs_per_round: msgs0,
+        });
+        if p >= max_p {
+            break;
+        }
+        p = (p * 2).min(max_p);
+    }
+    points
+}
+
+/// Emits the sweep as a table (CSV with `--out`).
+pub fn run(cfg: &RunConfig) {
+    let mut t = Table::new(
+        "scaling",
+        &[
+            "p",
+            "stages",
+            "elems_per_link",
+            "makespan_ms",
+            "steady_allocs",
+            "msgs_per_round",
+            "bytes_per_round",
+        ],
+    );
+    for pt in sweep(cfg.max_p) {
+        t.row(vec![
+            pt.p.to_string(),
+            pt.stages.to_string(),
+            pt.per_link.to_string(),
+            fmt(pt.makespan_s * 1e3),
+            pt.steady_allocs.to_string(),
+            pt.msgs_per_round.to_string(),
+            pt.bytes_per_round.to_string(),
+        ]);
+    }
+    t.emit(cfg);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_points_double_up_to_max_p() {
+        let pts = sweep(16_384);
+        let ps: Vec<usize> = pts.iter().map(|pt| pt.p).collect();
+        assert_eq!(ps, vec![4_096, 8_192, 16_384]);
+        assert_eq!(pts[0].stages, 12);
+        assert_eq!(pts[2].stages, 14);
+        // Fixed total volume: per-link halves as p doubles.
+        assert_eq!(pts[0].per_link, 2 * pts[1].per_link);
+        for pt in &pts {
+            assert!(pt.makespan_s > 0.0 && pt.makespan_s.is_finite());
+            assert!(pt.msgs_per_round >= 6 * pt.p as u64);
+        }
+    }
+
+    #[test]
+    fn small_max_p_clamps_to_a_single_point() {
+        let pts = sweep(64);
+        assert_eq!(pts.len(), 1);
+        assert_eq!(pts[0].p, 64);
+        assert_eq!(pts[0].stages, 6);
+    }
+}

@@ -493,6 +493,39 @@ pub fn compare_reports(
             });
         }
     }
+    out.extend(arena_ratio_gate(current));
+    out
+}
+
+/// The flat-arena all-to-all must stay ≥ 100× leaner in allocations than
+/// the dense p × p reference at the same `n`. Checked on `current` alone
+/// (not a baseline join): tiny CI runs and full local runs use different
+/// `n`, and the invariant must hold at whichever scale actually ran.
+fn arena_ratio_gate(current: &Report) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for cur in &current.kernels {
+        if cur.name != "alltoallv_by_hash" {
+            continue;
+        }
+        let Some(dense) = current
+            .kernels
+            .iter()
+            .find(|k| k.name == "alltoallv_by_hash_dense_reference" && k.n == cur.n)
+        else {
+            continue;
+        };
+        let arena_allocs = cur.allocs_per_iter.max(1);
+        if dense.allocs_per_iter < 100 * arena_allocs {
+            out.push(Violation {
+                kernel: cur.name.clone(),
+                what: format!(
+                    "arena alloc ratio collapsed: dense reference {} allocs/iter is \
+                     < 100× the arena path's {} at n = {}",
+                    dense.allocs_per_iter, cur.allocs_per_iter, cur.n
+                ),
+            });
+        }
+    }
     out
 }
 
@@ -596,6 +629,73 @@ mod tests {
         cur.kernels[0].ns_per_elem *= 10.0;
         cur.kernels[1].name = "brand_new_kernel".into();
         assert!(compare_reports(&base, &cur, 10.0, false).is_empty());
+    }
+
+    /// Appends the by-hash arena/dense kernel pair to a report.
+    fn with_hash_pair(mut r: Report, arena_allocs: u64, dense_allocs: u64, n: u64) -> Report {
+        for (name, allocs) in [
+            ("alltoallv_by_hash", arena_allocs),
+            ("alltoallv_by_hash_dense_reference", dense_allocs),
+        ] {
+            r.kernels.push(KernelResult {
+                name: name.into(),
+                group: "collectives".into(),
+                n,
+                elements: n * 256,
+                min_iter_ns: 1_000_000,
+                ns_per_elem: 10.0,
+                melem_per_s: 100.0,
+                allocs_per_iter: allocs,
+                alloc_bytes_per_iter: allocs * 64,
+                checksum: "0x2".into(),
+            });
+        }
+        r
+    }
+
+    #[test]
+    fn arena_ratio_gate_passes_at_100x_and_fails_below() {
+        let ok = with_hash_pair(sample_report(), 3, 300, 512);
+        assert!(compare_reports(&ok, &ok, 10.0, true).is_empty());
+
+        let thin = with_hash_pair(sample_report(), 3, 299, 512);
+        let v = compare_reports(&thin, &thin, 10.0, true);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].what.contains("arena alloc ratio collapsed"), "{v:?}");
+
+        // A zero-alloc arena path still needs a ≥ 100-alloc dense side:
+        // the ratio denominator clamps at 1.
+        let zero = with_hash_pair(sample_report(), 0, 99, 512);
+        let v = compare_reports(&zero, &zero, 10.0, true);
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn arena_ratio_gate_checks_current_even_without_baseline_join() {
+        // Baseline predates the kernel pair (or ran at a different n):
+        // the ratio invariant must still gate on the current report.
+        let base = sample_report();
+        let cur = with_hash_pair(sample_report(), 50, 200, 512);
+        let v = compare_reports(&base, &cur, 10.0, true);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].what.contains("arena alloc ratio"), "{v:?}");
+
+        // Dense reference filtered out of the run entirely → nothing to
+        // compare against, no violation.
+        let mut lone = sample_report();
+        lone.kernels.push(KernelResult {
+            name: "alltoallv_by_hash".into(),
+            group: "collectives".into(),
+            n: 512,
+            elements: 512 * 256,
+            min_iter_ns: 1_000_000,
+            ns_per_elem: 10.0,
+            melem_per_s: 100.0,
+            allocs_per_iter: 1_000_000,
+            alloc_bytes_per_iter: 0,
+            checksum: "0x2".into(),
+        });
+        assert!(compare_reports(&base, &lone, 10.0, true).is_empty());
     }
 
     #[test]

@@ -87,7 +87,7 @@ impl Default for OptiPartOptions {
         OptiPartOptions {
             curve: Curve::Hilbert,
             max_split_per_round: None,
-            alltoall: AllToAllAlgo::Staged,
+            alltoall: AllToAllAlgo::Hypercube,
             max_level: MAX_DEPTH,
             max_tolerance: 0.7,
             latency_aware: false,

@@ -47,7 +47,7 @@ impl Default for PartitionOptions {
         PartitionOptions {
             tolerance: 0.0,
             max_split_per_round: None,
-            alltoall: AllToAllAlgo::Staged,
+            alltoall: AllToAllAlgo::Hypercube,
             max_level: MAX_DEPTH,
         }
     }
@@ -975,7 +975,17 @@ mod tests {
     fn phases_are_recorded() {
         let tree = mesh(1000, 2, Curve::Hilbert);
         let mut e = engine(4);
-        let _ = treesort_partition(&mut e, distribute_tree(&tree, 4), PartitionOptions::exact());
+        // Rotate the even distribution so the exchange actually moves
+        // every element — a no-op exchange is free under the sparse
+        // hypercube default (no active links ⇒ no charge), so an
+        // in-place input would legitimately record zero all2all time.
+        let mut parts = distribute_tree(&tree, 4).into_parts();
+        parts.rotate_left(1);
+        let _ = treesort_partition(
+            &mut e,
+            DistVec::from_parts(parts),
+            PartitionOptions::exact(),
+        );
         assert!(e.phase_time(PHASE_SPLITTER) > 0.0);
         assert!(e.phase_time(PHASE_ALL2ALL) > 0.0);
         assert!(e.phase_time(PHASE_LOCAL_SORT) > 0.0);

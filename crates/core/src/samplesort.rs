@@ -32,7 +32,7 @@ impl Default for SampleSortOptions {
     fn default() -> Self {
         SampleSortOptions {
             samples_per_rank: None,
-            alltoall: AllToAllAlgo::Staged,
+            alltoall: AllToAllAlgo::Hypercube,
         }
     }
 }

@@ -20,8 +20,9 @@ pub struct MatvecStats {
 /// Applies the FV Laplacian: `y = A x` with
 /// `(Ax)_i = diag_i·x_i − Σ_f κ_f·x_{nbr(f)}`.
 ///
-/// One halo exchange ([`AllToAllAlgo::Direct`] point-to-point, as real halo
-/// exchanges are) followed by the stencil pass, which is charged `α ≈ 2D+2`
+/// One halo exchange ([`AllToAllAlgo::Hypercube`]-staged, so the ghost
+/// traffic rides the same sparse neighbourhood schedule as the partitioner
+/// exchanges) followed by the stencil pass, which is charged `α ≈ 2D+2`
 /// memory accesses per element — the paper's "7-point stencil ⇒ α ∼ 8".
 pub fn laplacian_matvec<const D: usize>(
     engine: &mut Engine,
@@ -56,7 +57,7 @@ pub fn laplacian_matvec<const D: usize>(
         .flat_map(|rows| rows.iter().map(|(_, v)| v.len() as u64))
         .sum();
     let recv = engine.phase(PHASE_GHOST, |e| {
-        e.alltoallv_sparse(send_rows, AllToAllAlgo::Direct)
+        e.alltoallv_sparse(send_rows, AllToAllAlgo::Hypercube)
     });
 
     // Assemble ghost arrays per rank: both `recv[r]` and `recv_from` are

@@ -212,7 +212,7 @@ impl<const D: usize> DistMesh<D> {
         }
 
         // ---- Phase 2: ship probes, resolve, reply ------------------------
-        let mut recv_probes = engine.alltoallv_sparse(probe_rows, AllToAllAlgo::Staged);
+        let mut recv_probes = engine.alltoallv_sparse(probe_rows, AllToAllAlgo::Hypercube);
         // recv_probes[owner] : (src, probes) pairs for `owner` to resolve.
         let reply_rows: Vec<Vec<(usize, Vec<Resolved<D>>)>> = {
             // Resolve in parallel per owner (read-only on cells).
@@ -248,7 +248,7 @@ impl<const D: usize> DistMesh<D> {
                     .collect()
             })
         };
-        let replies = engine.alltoallv_sparse(reply_rows, AllToAllAlgo::Staged);
+        let replies = engine.alltoallv_sparse(reply_rows, AllToAllAlgo::Hypercube);
         // replies[requester] : (owner, resolved ghosts) pairs, sorted by owner.
 
         // ---- Phase 3: assemble ghost lists and remote couplings ----------
@@ -321,7 +321,7 @@ impl<const D: usize> DistMesh<D> {
         // ---- Phase 4: exchange request lists to build send lists ---------
         let req_rows: Vec<Vec<(usize, Vec<u32>)>> =
             locals.iter().map(|local| local.recv_from.clone()).collect();
-        let recv_reqs = engine.alltoallv_sparse(req_rows, AllToAllAlgo::Staged);
+        let recv_reqs = engine.alltoallv_sparse(req_rows, AllToAllAlgo::Hypercube);
         for (owner, rows) in recv_reqs.into_iter().enumerate() {
             // Already sorted by requester rank; self/empty never occur.
             locals[owner].send_to = rows

@@ -6,8 +6,19 @@
 //! rank's traffic). The cost formulas follow §3.1 of the paper: tree-based
 //! collectives cost `log p · (ts + tw · bytes)`; the all-to-all exchange is
 //! the `tw · N/p` term plus per-message latencies.
+//!
+//! The all-to-all family is sparse-by-default: callers describe only the
+//! `(src, dst, payload)` traffic that exists, either as per-rank pair lists
+//! ([`Engine::alltoallv_sparse`], [`Engine::alltoallv_by`]) or as flat
+//! segments in a reusable [`AlltoallvArena`] ([`Engine::alltoallv_flat`]).
+//! All staging state lives in a per-engine `CollectiveScratch` pool, so a
+//! steady-state exchange allocates nothing proportional to `p`. The dense
+//! `p × p` entry point (`Engine::alltoallv`) is retained behind
+//! `#[cfg(any(test, feature = "reference"))]` as the differential reference,
+//! with an independently implemented hypercube staging simulation.
 
 use crate::engine::Engine;
+use crate::faults::FaultPlan;
 
 /// All-to-all scheduling algorithm.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -19,49 +30,382 @@ pub enum AllToAllAlgo {
     /// exchange is also performed in a staged manner similar to [4, 34],
     /// avoiding potential network congestion"): `log p` rounds, each payload
     /// forwarded through intermediate ranks — fewer messages, slightly more
-    /// volume.
+    /// volume. Modeled with a flat volume-overhead factor.
     Staged,
+    /// Hypercube-staged exchange (the HykSort lineage behind the paper's
+    /// TreeSort): `ceil(log2 p)` stages, stage `k` pairing every rank `r`
+    /// with `(r + 2^k) mod p`. A payload headed `off = (dst - src) mod p`
+    /// ranks away moves exactly at the stages where bit `k` of `off` is
+    /// set, so each rank holds O(active routes + log p) staging state and
+    /// the charged volume is the *actual* per-stage forwarded traffic, not
+    /// a modeled overhead factor. Ranks with no traffic at a stage pay
+    /// nothing.
+    Hypercube,
 }
 
 /// Bandwidth overhead of staged forwarding (payloads traverse ~1.25 hops on
-/// average under radix-2 staging of typical AMR traffic).
+/// average under radix-2 staging of typical AMR traffic). Applies to
+/// [`AllToAllAlgo::Staged`] only — [`AllToAllAlgo::Hypercube`] charges the
+/// exact forwarded volume instead.
 const STAGED_VOLUME_OVERHEAD: f64 = 1.25;
 
+/// Number of hypercube stages for `p` ranks: `ceil(log2 p)`, 0 when `p ≤ 1`
+/// (a lone rank has nobody to exchange with).
+#[inline]
+fn hypercube_stages(p: usize) -> usize {
+    if p <= 1 {
+        0
+    } else {
+        (usize::BITS - (p - 1).leading_zeros()) as usize
+    }
+}
+
+/// One route of an all-to-all: `bytes` of off-rank traffic `src → dst`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RouteVol {
+    pub src: u32,
+    pub dst: u32,
+    pub bytes: u64,
+}
+
+/// Pooled per-engine staging for the collectives, mirroring the TreeSort
+/// ping-pong scratch: dense per-rank accounting arrays plus the sparse
+/// route list, reused across calls so a steady-state exchange performs no
+/// per-rank allocation.
+///
+/// Invariant: every dense array is all-zero (and `routes`/`touched` empty)
+/// between calls — each charge zeroes exactly the entries it wrote. A
+/// `RankDeath` unwind mid-collective drops the taken scratch and leaves a
+/// fresh `Default` behind, which trivially satisfies the invariant (only
+/// capacity is lost).
+#[derive(Default)]
+pub(crate) struct CollectiveScratch {
+    /// Non-empty off-rank `(src, dst, bytes)` links of the current exchange
+    /// (filled only for [`AllToAllAlgo::Hypercube`]).
+    routes: Vec<RouteVol>,
+    send_bytes: Vec<u64>,
+    recv_bytes: Vec<u64>,
+    out_msgs: Vec<u64>,
+    in_msgs: Vec<u64>,
+    /// Per-stage holder/partner volumes of the hypercube walk.
+    stage_sent: Vec<u64>,
+    stage_recv: Vec<u64>,
+    /// Per-rank accumulated base cost of the exchange.
+    cost: Vec<f64>,
+    /// Ranks with a non-zero entry in the stage (or row) arrays, so resets
+    /// touch O(active) entries instead of O(p).
+    touched: Vec<u32>,
+    /// `alltoallv_by` routing cache: destination of every element, flat.
+    by_dests: Vec<u32>,
+    /// `alltoallv_by` per-row element counts per destination.
+    by_counts: Vec<u64>,
+    /// `alltoallv_by` delivered-element totals per destination.
+    out_totals: Vec<u64>,
+}
+
+impl CollectiveScratch {
+    /// Grows every dense array to at least `p` entries (new entries zero)
+    /// and clears the route list. Shrinks never happen: after a fail-stop
+    /// shrink the trailing entries are simply unused zeroes.
+    fn ensure(&mut self, p: usize) {
+        if self.send_bytes.len() < p {
+            self.send_bytes.resize(p, 0);
+            self.recv_bytes.resize(p, 0);
+            self.out_msgs.resize(p, 0);
+            self.in_msgs.resize(p, 0);
+            self.stage_sent.resize(p, 0);
+            self.stage_recv.resize(p, 0);
+            self.cost.resize(p, 0.0);
+            self.by_counts.resize(p, 0);
+            self.out_totals.resize(p, 0);
+        }
+        self.routes.clear();
+        self.touched.clear();
+    }
+}
+
+/// One flat segment of an [`AlltoallvArena`]: `len` elements at `begin`
+/// headed `src → dst`.
+#[derive(Clone, Copy, Debug)]
+struct Seg {
+    src: u32,
+    dst: u32,
+    begin: u32,
+    len: u32,
+}
+
+/// A reusable flat staging arena for [`Engine::alltoallv_flat`]: callers
+/// append `(src, dst, payload)` segments into one flat send buffer; the
+/// exchange delivers them into an equally flat receive buffer grouped by
+/// destination, then source, then submission order. Self-addressed segments
+/// are delivered too (at zero network cost). Reusing the arena across
+/// exchanges performs no steady-state allocation — the send side is
+/// consumed by the exchange and ready for refilling while [`recv`] iterates
+/// the results.
+///
+/// [`recv`]: AlltoallvArena::recv
+pub struct AlltoallvArena<T: Copy> {
+    data: Vec<T>,
+    segs: Vec<Seg>,
+    out: Vec<T>,
+    out_segs: Vec<Seg>,
+}
+
+impl<T: Copy> Default for AlltoallvArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy> AlltoallvArena<T> {
+    /// An empty arena. Capacity grows on first use and is retained.
+    pub fn new() -> Self {
+        AlltoallvArena {
+            data: Vec::new(),
+            segs: Vec::new(),
+            out: Vec::new(),
+            out_segs: Vec::new(),
+        }
+    }
+
+    /// Appends one `src → dst` message. Empty payloads are dropped (they
+    /// carry no traffic and would inflate message counts). Under
+    /// [`AllToAllAlgo::Direct`] every segment is charged as one message, so
+    /// callers batching per-neighbour traffic should push one segment per
+    /// neighbour.
+    pub fn send(&mut self, src: usize, dst: usize, items: impl IntoIterator<Item = T>) {
+        let begin = self.data.len();
+        self.data.extend(items);
+        let len = self.data.len() - begin;
+        if len == 0 {
+            return;
+        }
+        assert!(
+            self.data.len() <= u32::MAX as usize,
+            "arena overflow: more than u32::MAX staged elements"
+        );
+        self.segs.push(Seg {
+            src: src as u32,
+            dst: dst as u32,
+            begin: begin as u32,
+            len: len as u32,
+        });
+    }
+
+    /// Number of staged (unsent) segments.
+    pub fn pending_segs(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Delivered segments of the last exchange as `(src, dst, payload)`,
+    /// grouped by destination, then source, then submission order.
+    pub fn recv(&self) -> impl Iterator<Item = (usize, usize, &[T])> {
+        self.out_segs.iter().map(move |seg| {
+            (
+                seg.src as usize,
+                seg.dst as usize,
+                &self.out[seg.begin as usize..(seg.begin + seg.len) as usize],
+            )
+        })
+    }
+
+    /// Drops both staged and delivered data, retaining capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.segs.clear();
+        self.out.clear();
+        self.out_segs.clear();
+    }
+}
+
 impl Engine {
-    /// Per-rank clock charges of an all-to-all exchange: latency + volume
-    /// cost under the chosen schedule (with the rank's effective `tw`), plus
-    /// deterministic retry-with-backoff when the fault plan makes this
-    /// exchange fail transiently on a rank. Every retry pays the rank's
-    /// transfer cost again after an exponentially growing backoff wait.
-    fn charge_alltoall(
-        &mut self,
-        algo: AllToAllAlgo,
-        send_bytes: &[u64],
-        recv_bytes: &[u64],
-        out_msgs: &[u64],
-        in_msgs: &[u64],
-    ) {
+    /// Messages charged to [`crate::RunStats::msgs_total`] for an exchange
+    /// with `total_msgs` non-empty off-rank links. Hypercube contributes 0
+    /// here: its count — distinct sending ranks per stage — is accumulated
+    /// during the staging walk itself.
+    fn alltoall_msg_count(&self, algo: AllToAllAlgo, total_msgs: u64) -> u64 {
+        match algo {
+            AllToAllAlgo::Direct => total_msgs,
+            AllToAllAlgo::Staged => self.p as u64 * self.log_p() as u64,
+            AllToAllAlgo::Hypercube => 0,
+        }
+    }
+
+    /// Per-rank clock charges of an all-to-all exchange described by the
+    /// filled accounting arrays of `s`: latency + volume cost under the
+    /// chosen schedule (with the rank's effective `tw`), plus deterministic
+    /// retry-with-backoff when the fault plan makes this exchange fail
+    /// transiently on a rank. Leaves `s` zeroed again (the scratch-pool
+    /// invariant).
+    fn charge_alltoall(&mut self, algo: AllToAllAlgo, s: &mut CollectiveScratch) {
         let t0 = self.sync_start("alltoallv");
         let ts = self.perf.machine.ts;
-        let logp = self.log_p();
         let seq = self.collective_seq;
         self.collective_seq += 1;
         let plan = self.faults.as_ref().map(|(plan, _)| plan.clone());
+        match algo {
+            AllToAllAlgo::Hypercube => self.stage_costs_hypercube(ts, s),
+            _ => self.flat_costs(algo, ts, s),
+        }
+        self.finish_alltoall(t0, seq, &plan, s);
+    }
+
+    /// Reference twin of [`Engine::charge_alltoall`] used by the retained
+    /// dense path: identical Direct/Staged costing, but Hypercube staging
+    /// runs the independently implemented holder walk so the two paths form
+    /// a genuine differential pair.
+    #[cfg(any(test, feature = "reference"))]
+    fn charge_alltoall_reference(&mut self, algo: AllToAllAlgo, s: &mut CollectiveScratch) {
+        let t0 = self.sync_start("alltoallv");
+        let ts = self.perf.machine.ts;
+        let seq = self.collective_seq;
+        self.collective_seq += 1;
+        let plan = self.faults.as_ref().map(|(plan, _)| plan.clone());
+        match algo {
+            AllToAllAlgo::Hypercube => self.stage_costs_hypercube_reference(ts, s),
+            _ => self.flat_costs(algo, ts, s),
+        }
+        self.finish_alltoall(t0, seq, &plan, s);
+    }
+
+    /// Direct/Staged per-rank base costs into `s.cost`.
+    fn flat_costs(&mut self, algo: AllToAllAlgo, ts: f64, s: &mut CollectiveScratch) {
+        let logp = self.log_p();
         for r in 0..self.p {
-            let vol = send_bytes[r].max(recv_bytes[r]) as f64;
-            let base = match algo {
+            let vol = s.send_bytes[r].max(s.recv_bytes[r]) as f64;
+            s.cost[r] = match algo {
                 AllToAllAlgo::Direct => {
-                    ts * (out_msgs[r] + in_msgs[r]) as f64 + self.effective_tw(r) * vol
+                    ts * (s.out_msgs[r] + s.in_msgs[r]) as f64 + self.effective_tw(r) * vol
                 }
                 AllToAllAlgo::Staged => {
                     ts * logp + self.effective_tw(r) * vol * STAGED_VOLUME_OVERHEAD
                 }
+                AllToAllAlgo::Hypercube => unreachable!("hypercube costs are staged"),
             };
+        }
+    }
+
+    /// Hypercube per-rank base costs into `s.cost` — the production path.
+    ///
+    /// The holder of route `(src, dst)` before stage `k` is the closed form
+    /// `(src + (off & (2^k − 1))) mod p` with `off = (dst − src) mod p`:
+    /// the partial sum of the hops already taken. The route moves at stage
+    /// `k` iff bit `k` of `off` is set; after the last stage the holder is
+    /// `src + off = dst`. Per stage, a touched rank pays one latency plus
+    /// its effective `tw` times the larger of its forwarded send/recv
+    /// volume; untouched ranks pay nothing. `msgs_total` counts distinct
+    /// sending ranks per stage.
+    fn stage_costs_hypercube(&mut self, ts: f64, s: &mut CollectiveScratch) {
+        let p = self.p;
+        for k in 0..hypercube_stages(p) {
+            let hop = 1usize << k;
+            let mut stage_msgs = 0u64;
+            for route in &s.routes {
+                let (src, dst) = (route.src as usize, route.dst as usize);
+                let off = (dst + p - src) % p;
+                if off & hop == 0 {
+                    continue;
+                }
+                let holder = (src + (off & (hop - 1))) % p;
+                // hop < p at every stage, so holder ≠ partner always.
+                let partner = (holder + hop) % p;
+                if s.stage_sent[holder] + s.stage_recv[holder] == 0 {
+                    s.touched.push(holder as u32);
+                }
+                if s.stage_sent[holder] == 0 {
+                    stage_msgs += 1;
+                }
+                s.stage_sent[holder] += route.bytes;
+                if s.stage_sent[partner] + s.stage_recv[partner] == 0 {
+                    s.touched.push(partner as u32);
+                }
+                s.stage_recv[partner] += route.bytes;
+            }
+            self.stats.msgs_total += stage_msgs;
+            self.fold_stage(ts, s);
+        }
+        s.routes.clear();
+    }
+
+    /// Reference twin of [`Engine::stage_costs_hypercube`]: walks every
+    /// route's holder forward hop by hop (`h ← (h + 2^k) mod p` at each
+    /// stage whose bit is set in the offset) instead of using the closed
+    /// form, so the optimised path has a genuinely separate implementation
+    /// to differ against. Per-stage volumes are exact `u64` sums and the
+    /// per-rank fold runs in the same ascending stage order, so agreeing
+    /// implementations produce bit-identical charges.
+    #[cfg(any(test, feature = "reference"))]
+    fn stage_costs_hypercube_reference(&mut self, ts: f64, s: &mut CollectiveScratch) {
+        let p = self.p;
+        let mut holder: Vec<usize> = s.routes.iter().map(|r| r.src as usize).collect();
+        for k in 0..hypercube_stages(p) {
+            let hop = 1usize << k;
+            let mut stage_msgs = 0u64;
+            for (i, route) in s.routes.iter().enumerate() {
+                let off = (route.dst as usize + p - route.src as usize) % p;
+                if off & hop == 0 {
+                    continue;
+                }
+                let h = holder[i];
+                let partner = (h + hop) % p;
+                if s.stage_sent[h] + s.stage_recv[h] == 0 {
+                    s.touched.push(h as u32);
+                }
+                if s.stage_sent[h] == 0 {
+                    stage_msgs += 1;
+                }
+                s.stage_sent[h] += route.bytes;
+                if s.stage_sent[partner] + s.stage_recv[partner] == 0 {
+                    s.touched.push(partner as u32);
+                }
+                s.stage_recv[partner] += route.bytes;
+                holder[i] = partner;
+            }
+            self.stats.msgs_total += stage_msgs;
+            self.fold_stage(ts, s);
+        }
+        debug_assert!(
+            holder
+                .iter()
+                .zip(&s.routes)
+                .all(|(&h, r)| h == r.dst as usize),
+            "hypercube walk must end every route at its destination"
+        );
+        s.routes.clear();
+    }
+
+    /// Folds one hypercube stage into the per-rank base costs and re-zeroes
+    /// the stage arrays (touched entries only).
+    fn fold_stage(&mut self, ts: f64, s: &mut CollectiveScratch) {
+        for &r in &s.touched {
+            let r = r as usize;
+            let vol = s.stage_sent[r].max(s.stage_recv[r]) as f64;
+            s.cost[r] += ts + self.effective_tw(r) * vol;
+            s.stage_sent[r] = 0;
+            s.stage_recv[r] = 0;
+        }
+        s.touched.clear();
+    }
+
+    /// Retry-with-backoff epilogue and final clock charge, shared by every
+    /// schedule: each rank that moved bytes may retry its whole base cost
+    /// after exponentially growing backoffs, then all ranks are charged in
+    /// ascending order. Zeroes the per-rank accounting arrays on the way
+    /// out.
+    fn finish_alltoall(
+        &mut self,
+        t0: f64,
+        seq: u64,
+        plan: &Option<FaultPlan>,
+        s: &mut CollectiveScratch,
+    ) {
+        for r in 0..self.p {
+            let base = s.cost[r];
             let mut cost = base;
-            if let Some(plan) = &plan {
+            if let Some(plan) = plan {
                 // Ranks that moved no bytes sent no messages that could
                 // fail.
-                if send_bytes[r] + recv_bytes[r] > 0 {
+                if s.send_bytes[r] + s.recv_bytes[r] > 0 {
                     let retries = plan.retries_for(seq, self.tracks[r]);
                     for k in 0..retries {
                         cost += plan.backoff_s(k) + base;
@@ -74,9 +418,15 @@ impl Engine {
                     }
                 }
             }
-            self.charge_comm(r, t0, cost, send_bytes[r] + recv_bytes[r]);
+            self.charge_comm(r, t0, cost, s.send_bytes[r] + s.recv_bytes[r]);
+            s.cost[r] = 0.0;
+            s.send_bytes[r] = 0;
+            s.recv_bytes[r] = 0;
+            s.out_msgs[r] = 0;
+            s.in_msgs[r] = 0;
         }
     }
+
     /// Synchronises all ranks to the maximum clock and returns that time,
     /// recording the sync point (and the blocking rank — the last arrival,
     /// lowest rank on ties) on the structured trace. Every sync point
@@ -242,9 +592,15 @@ impl Engine {
     /// `MPI_Alltoallv`: `send[src][dst]` buffers are delivered as
     /// `recv[dst][src]`.
     ///
-    /// Per-rank cost: latency per message (Direct) or per stage (Staged),
-    /// plus slowness × the larger of the rank's send and receive volumes.
-    /// Records the communication matrix when enabled.
+    /// Per-rank cost: latency per message (Direct), per stage (Staged /
+    /// Hypercube), plus slowness × the rank's traffic volumes. Records the
+    /// communication matrix when enabled.
+    ///
+    /// This dense `p × p` entry point is the *differential reference* for
+    /// the sparse production paths and is compiled only for tests and under
+    /// the `reference` feature — production code stages O(active routes),
+    /// never O(p²).
+    #[cfg(any(test, feature = "reference"))]
     pub fn alltoallv<T: Send>(
         &mut self,
         send: Vec<Vec<Vec<T>>>,
@@ -256,36 +612,39 @@ impl Engine {
         let elem = std::mem::size_of::<T>() as u64;
 
         // Traffic accounting.
-        let mut send_bytes = vec![0u64; p];
-        let mut recv_bytes = vec![0u64; p];
-        let mut out_msgs = vec![0u64; p];
-        let mut in_msgs = vec![0u64; p];
+        let mut s = std::mem::take(&mut self.coll_scratch);
+        s.ensure(p);
         for (src, row) in send.iter().enumerate() {
             for (dst, buf) in row.iter().enumerate() {
                 if buf.is_empty() || src == dst {
                     continue;
                 }
                 let b = buf.len() as u64 * elem;
-                send_bytes[src] += b;
-                recv_bytes[dst] += b;
-                out_msgs[src] += 1;
-                in_msgs[dst] += 1;
+                s.send_bytes[src] += b;
+                s.recv_bytes[dst] += b;
+                s.out_msgs[src] += 1;
+                s.in_msgs[dst] += 1;
+                if algo == AllToAllAlgo::Hypercube {
+                    s.routes.push(RouteVol {
+                        src: src as u32,
+                        dst: dst as u32,
+                        bytes: b,
+                    });
+                }
                 if let Some(mat) = &mut self.comm_matrix {
                     mat.add(self.tracks[src], self.tracks[dst], b);
                 }
             }
         }
-        let total_bytes: u64 = send_bytes.iter().sum();
-        let total_msgs: u64 = out_msgs.iter().sum();
+        let total_bytes: u64 = s.send_bytes[..p].iter().sum();
+        let total_msgs: u64 = s.out_msgs[..p].iter().sum();
         self.stats.collectives += 1;
         self.stats.bytes_total += total_bytes;
-        self.stats.msgs_total += match algo {
-            AllToAllAlgo::Direct => total_msgs,
-            AllToAllAlgo::Staged => p as u64 * self.log_p() as u64,
-        };
+        self.stats.msgs_total += self.alltoall_msg_count(algo, total_msgs);
 
-        // Clock charges (+ fault retries).
-        self.charge_alltoall(algo, &send_bytes, &recv_bytes, &out_msgs, &in_msgs);
+        // Clock charges (+ fault retries), via the reference staging.
+        self.charge_alltoall_reference(algo, &mut s);
+        self.coll_scratch = s;
 
         // Audit bookkeeping: element counts per (src, dst) before the move.
         let expected: Option<Vec<Vec<usize>>> = self.audit.then(|| {
@@ -314,6 +673,9 @@ impl Engine {
     /// arrived with exactly the element count it was sent with (nothing
     /// lost, nothing duplicated), and the byte total charged to [`RunStats`]
     /// equals the off-rank bytes actually moved.
+    ///
+    /// [`RunStats`]: crate::RunStats
+    #[cfg(any(test, feature = "reference"))]
     fn audit_alltoallv<T>(
         &mut self,
         expected: &[Vec<usize>],
@@ -351,7 +713,7 @@ impl Engine {
     /// `(destination, buffer)` pairs; each rank receives its `(source,
     /// buffer)` pairs sorted by source.
     ///
-    /// Identical cost model and recording as [`Engine::alltoallv`], without
+    /// Identical cost model and recording as the dense reference, without
     /// materialising `p²` buffers — essential for large virtual rank counts
     /// where each rank talks to a handful of neighbours (exactly the sparse
     /// communication matrix the paper is about).
@@ -364,10 +726,8 @@ impl Engine {
         assert_eq!(send.len(), p, "send must have one row per rank");
         let elem = std::mem::size_of::<T>() as u64;
 
-        let mut send_bytes = vec![0u64; p];
-        let mut recv_bytes = vec![0u64; p];
-        let mut out_msgs = vec![0u64; p];
-        let mut in_msgs = vec![0u64; p];
+        let mut s = std::mem::take(&mut self.coll_scratch);
+        s.ensure(p);
         for (src, row) in send.iter().enumerate() {
             for (dst, buf) in row {
                 debug_assert!(*dst < p, "destination {dst} out of range");
@@ -375,25 +735,30 @@ impl Engine {
                     continue;
                 }
                 let b = buf.len() as u64 * elem;
-                send_bytes[src] += b;
-                recv_bytes[*dst] += b;
-                out_msgs[src] += 1;
-                in_msgs[*dst] += 1;
+                s.send_bytes[src] += b;
+                s.recv_bytes[*dst] += b;
+                s.out_msgs[src] += 1;
+                s.in_msgs[*dst] += 1;
+                if algo == AllToAllAlgo::Hypercube {
+                    s.routes.push(RouteVol {
+                        src: src as u32,
+                        dst: *dst as u32,
+                        bytes: b,
+                    });
+                }
                 if let Some(mat) = &mut self.comm_matrix {
                     mat.add(self.tracks[src], self.tracks[*dst], b);
                 }
             }
         }
-        let total_bytes: u64 = send_bytes.iter().sum();
-        let total_msgs: u64 = out_msgs.iter().sum();
+        let total_bytes: u64 = s.send_bytes[..p].iter().sum();
+        let total_msgs: u64 = s.out_msgs[..p].iter().sum();
         self.stats.collectives += 1;
         self.stats.bytes_total += total_bytes;
-        self.stats.msgs_total += match algo {
-            AllToAllAlgo::Direct => total_msgs,
-            AllToAllAlgo::Staged => p as u64 * self.log_p() as u64,
-        };
+        self.stats.msgs_total += self.alltoall_msg_count(algo, total_msgs);
 
-        self.charge_alltoall(algo, &send_bytes, &recv_bytes, &out_msgs, &in_msgs);
+        self.charge_alltoall(algo, &mut s);
+        self.coll_scratch = s;
 
         // Audit bookkeeping: sent element count per (src, dst) pair.
         let expected: Option<std::collections::HashMap<(usize, usize), usize>> =
@@ -445,8 +810,103 @@ impl Engine {
         recv
     }
 
+    /// Flat-arena `MPI_Alltoallv` over an [`AlltoallvArena`]: exchanges the
+    /// arena's staged segments in place, leaving delivered segments grouped
+    /// by destination (then source, then submission order) on the arena's
+    /// receive side. The send side is consumed and ready for refilling.
+    ///
+    /// Cost model, fault retries, comm-matrix recording and stats match the
+    /// other all-to-all entry points; in the steady state the exchange
+    /// itself allocates nothing (all staging lives in the arena and the
+    /// engine's pooled scratch).
+    pub fn alltoallv_flat<T: Copy + Send>(
+        &mut self,
+        arena: &mut AlltoallvArena<T>,
+        algo: AllToAllAlgo,
+    ) {
+        let p = self.p;
+        let elem = std::mem::size_of::<T>() as u64;
+        let mut s = std::mem::take(&mut self.coll_scratch);
+        s.ensure(p);
+        for seg in &arena.segs {
+            let (src, dst) = (seg.src as usize, seg.dst as usize);
+            assert!(src < p && dst < p, "segment {src}->{dst} out of range");
+            if src == dst {
+                continue;
+            }
+            let b = seg.len as u64 * elem;
+            s.send_bytes[src] += b;
+            s.recv_bytes[dst] += b;
+            s.out_msgs[src] += 1;
+            s.in_msgs[dst] += 1;
+            if algo == AllToAllAlgo::Hypercube {
+                s.routes.push(RouteVol {
+                    src: seg.src,
+                    dst: seg.dst,
+                    bytes: b,
+                });
+            }
+            if let Some(mat) = &mut self.comm_matrix {
+                mat.add(self.tracks[src], self.tracks[dst], b);
+            }
+        }
+        let total_bytes: u64 = s.send_bytes[..p].iter().sum();
+        let total_msgs: u64 = s.out_msgs[..p].iter().sum();
+        self.stats.collectives += 1;
+        self.stats.bytes_total += total_bytes;
+        self.stats.msgs_total += self.alltoall_msg_count(algo, total_msgs);
+
+        self.charge_alltoall(algo, &mut s);
+        self.coll_scratch = s;
+
+        // Delivery: sort a copy of the segment table by (dst, src,
+        // submission order) and gather payloads into the flat receive
+        // buffer. `begin` values are unique across segments, so the
+        // unstable sort is deterministic.
+        arena.out_segs.clear();
+        arena.out_segs.extend_from_slice(&arena.segs);
+        arena
+            .out_segs
+            .sort_unstable_by_key(|g| (g.dst, g.src, g.begin));
+        arena.out.clear();
+        arena.out.reserve(arena.data.len());
+        let mut moved = 0u64;
+        for seg in &mut arena.out_segs {
+            let b = seg.begin as usize;
+            let l = seg.len as usize;
+            seg.begin = arena.out.len() as u32;
+            arena.out.extend_from_slice(&arena.data[b..b + l]);
+            if seg.src != seg.dst {
+                moved += l as u64 * elem;
+            }
+        }
+        // Structural O(segs) audit: every staged element was delivered
+        // exactly once and the charged byte total matches the off-rank
+        // bytes moved.
+        if self.audit {
+            assert!(
+                arena.out.len() == arena.data.len(),
+                "audit: alltoallv_flat #{} lost elements: staged {}, delivered {}",
+                self.collective_seq - 1,
+                arena.data.len(),
+                arena.out.len(),
+            );
+            assert!(
+                moved == total_bytes,
+                "audit: alltoallv_flat #{} byte accounting mismatch: charged \
+                 {total_bytes} B, moved {moved} B",
+                self.collective_seq - 1,
+            );
+            self.stats.audited_collectives += 1;
+        }
+        arena.data.clear();
+        arena.segs.clear();
+    }
+
     /// Convenience: all-to-all where rank `r` sends `send[r]` elements
-    /// routed by a destination function.
+    /// routed by a destination function. Returns one delivered buffer per
+    /// rank: elements from source ranks in ascending order, each source's
+    /// elements in their original order.
     pub fn alltoallv_by<T: Send, F: Fn(usize, &T) -> usize>(
         &mut self,
         send: Vec<Vec<T>>,
@@ -454,52 +914,92 @@ impl Engine {
         algo: AllToAllAlgo,
     ) -> Vec<Vec<T>> {
         let p = self.p;
-        // Two-pass staging: count per destination first, then scatter into
-        // exact-capacity buffers. The routing scratch (`dests`, the sparse
-        // `slot`/`counts` maps) is reused across rows and reset only at the
-        // destinations a row touched, so per-round allocation is one
-        // right-sized Vec per non-empty (src, dst) pair — no binary-search
-        // inserts, no growth reallocations.
-        let mut dests: Vec<usize> = Vec::new();
-        let mut touched: Vec<usize> = Vec::new();
-        let mut counts = vec![0usize; p];
-        let mut slot = vec![usize::MAX; p];
-        let sparse: Vec<Vec<(usize, Vec<T>)>> = send
-            .into_iter()
-            .enumerate()
-            .map(|(src, local)| {
-                dests.clear();
-                dests.reserve(local.len());
-                for item in &local {
-                    let d = dest(src, item);
-                    debug_assert!(d < p, "destination {d} out of range");
-                    if counts[d] == 0 {
-                        touched.push(d);
+        assert_eq!(send.len(), p, "send must have one row per rank");
+        let elem = std::mem::size_of::<T>() as u64;
+        let mut s = std::mem::take(&mut self.coll_scratch);
+        s.ensure(p);
+        s.by_dests.clear();
+        s.by_dests.reserve(send.iter().map(Vec::len).sum());
+
+        // Pass 1: route every element once, caching its destination and
+        // flushing per-(src, dst) traffic row by row — the per-row scratch
+        // is reset only at the destinations the row touched.
+        for (src, local) in send.iter().enumerate() {
+            for item in local {
+                let d = dest(src, item);
+                debug_assert!(d < p, "destination {d} out of range");
+                if s.by_counts[d] == 0 {
+                    s.touched.push(d as u32);
+                }
+                s.by_counts[d] += 1;
+                s.by_dests.push(d as u32);
+            }
+            for &du in &s.touched {
+                let d = du as usize;
+                let cnt = s.by_counts[d];
+                s.out_totals[d] += cnt;
+                if d != src {
+                    let b = cnt * elem;
+                    s.send_bytes[src] += b;
+                    s.recv_bytes[d] += b;
+                    s.out_msgs[src] += 1;
+                    s.in_msgs[d] += 1;
+                    if algo == AllToAllAlgo::Hypercube {
+                        s.routes.push(RouteVol {
+                            src: src as u32,
+                            dst: d as u32,
+                            bytes: b,
+                        });
                     }
-                    counts[d] += 1;
-                    dests.push(d);
+                    if let Some(mat) = &mut self.comm_matrix {
+                        mat.add(self.tracks[src], self.tracks[d], b);
+                    }
                 }
-                touched.sort_unstable();
-                let mut row: Vec<(usize, Vec<T>)> = Vec::with_capacity(touched.len());
-                for (i, &d) in touched.iter().enumerate() {
-                    slot[d] = i;
-                    row.push((d, Vec::with_capacity(counts[d])));
-                }
-                for (item, &d) in local.into_iter().zip(&dests) {
-                    row[slot[d]].1.push(item);
-                }
-                for &d in &touched {
-                    counts[d] = 0;
-                    slot[d] = usize::MAX;
-                }
-                touched.clear();
-                row
-            })
+                s.by_counts[d] = 0;
+            }
+            s.touched.clear();
+        }
+        let total_bytes: u64 = s.send_bytes[..p].iter().sum();
+        let total_msgs: u64 = s.out_msgs[..p].iter().sum();
+        self.stats.collectives += 1;
+        self.stats.bytes_total += total_bytes;
+        self.stats.msgs_total += self.alltoall_msg_count(algo, total_msgs);
+
+        self.charge_alltoall(algo, &mut s);
+
+        // Pass 2: scatter into exact-capacity delivery buffers using the
+        // cached destinations — the only allocations are the p output rows.
+        let mut out: Vec<Vec<T>> = (0..p)
+            .map(|d| Vec::with_capacity(s.out_totals[d] as usize))
             .collect();
-        let recv = self.alltoallv_sparse(sparse, algo);
-        recv.into_iter()
-            .map(|row| row.into_iter().flat_map(|(_, buf)| buf).collect())
-            .collect()
+        let mut di = s.by_dests.iter();
+        for local in send {
+            for item in local {
+                let d = *di.next().expect("pass 1 routed every element") as usize;
+                out[d].push(item);
+            }
+        }
+        // Structural audit: pass 2 delivered exactly the elements pass 1
+        // counted, per destination.
+        if self.audit {
+            for (d, row) in out.iter().enumerate() {
+                assert!(
+                    row.len() as u64 == s.out_totals[d],
+                    "audit: alltoallv_by #{} rank {d} received {} elements, \
+                     routed {}",
+                    self.collective_seq - 1,
+                    row.len(),
+                    s.out_totals[d],
+                );
+            }
+            self.stats.audited_collectives += 1;
+        }
+        for d in 0..p {
+            s.out_totals[d] = 0;
+        }
+        s.by_dests.clear();
+        self.coll_scratch = s;
+        out
     }
 }
 
@@ -508,6 +1008,12 @@ mod tests {
     use super::*;
     use crate::dist::DistVec;
     use optipart_machine::{AppModel, MachineModel, PerfModel};
+
+    const ALL_ALGOS: [AllToAllAlgo; 3] = [
+        AllToAllAlgo::Direct,
+        AllToAllAlgo::Staged,
+        AllToAllAlgo::Hypercube,
+    ];
 
     fn engine(p: usize) -> Engine {
         Engine::new(
@@ -590,6 +1096,23 @@ mod tests {
     }
 
     #[test]
+    fn hypercube_beats_direct_for_many_small_messages() {
+        // Same latency argument as Staged: 6 stage latencies per rank
+        // instead of 126 per-message latencies.
+        let p = 64;
+        let make_send = || -> Vec<Vec<Vec<u64>>> {
+            (0..p)
+                .map(|_| (0..p).map(|_| vec![1u64]).collect())
+                .collect()
+        };
+        let mut e1 = engine(p);
+        let _ = e1.alltoallv(make_send(), AllToAllAlgo::Direct);
+        let mut e2 = engine(p);
+        let _ = e2.alltoallv(make_send(), AllToAllAlgo::Hypercube);
+        assert!(e2.makespan() < e1.makespan());
+    }
+
+    #[test]
     fn direct_beats_staged_for_bulk_pairs() {
         // Two ranks exchanging big buffers: staging only adds volume.
         let p = 2;
@@ -608,13 +1131,15 @@ mod tests {
 
     #[test]
     fn alltoallv_by_routes_elements() {
-        let mut e = engine(4);
-        // Every rank holds values 0..8; route value v to rank v % 4.
-        let send: Vec<Vec<u32>> = (0..4).map(|_| (0..8).collect()).collect();
-        let recv = e.alltoallv_by(send, |_src, &v| (v % 4) as usize, AllToAllAlgo::Direct);
-        for (r, buf) in recv.iter().enumerate() {
-            assert_eq!(buf.len(), 8);
-            assert!(buf.iter().all(|&v| v % 4 == r as u32));
+        for algo in ALL_ALGOS {
+            let mut e = engine(4);
+            // Every rank holds values 0..8; route value v to rank v % 4.
+            let send: Vec<Vec<u32>> = (0..4).map(|_| (0..8).collect()).collect();
+            let recv = e.alltoallv_by(send, |_src, &v| (v % 4) as usize, algo);
+            for (r, buf) in recv.iter().enumerate() {
+                assert_eq!(buf.len(), 8);
+                assert!(buf.iter().all(|&v| v % 4 == r as u32));
+            }
         }
     }
 
@@ -642,19 +1167,28 @@ mod tests {
 
     #[test]
     fn empty_alltoallv_is_cheap() {
-        let mut e = engine(4);
-        let send: Vec<Vec<Vec<u8>>> = (0..4).map(|_| (0..4).map(|_| vec![]).collect()).collect();
-        let _ = e.alltoallv(send, AllToAllAlgo::Direct);
-        assert_eq!(e.stats().bytes_total, 0);
-        assert_eq!(e.makespan(), 0.0); // no messages, no latency
+        for algo in ALL_ALGOS {
+            let mut e = engine(4);
+            let send: Vec<Vec<Vec<u8>>> =
+                (0..4).map(|_| (0..4).map(|_| vec![]).collect()).collect();
+            let _ = e.alltoallv(send, algo);
+            assert_eq!(e.stats().bytes_total, 0);
+            if algo != AllToAllAlgo::Staged {
+                // No messages, no latency (Staged charges its stage
+                // latencies even to idle ranks — modeled, not staged).
+                assert_eq!(e.makespan(), 0.0, "{algo:?}");
+            }
+        }
     }
 
     #[test]
     fn single_rank_engine_works() {
         let mut e = engine(1);
         assert_eq!(e.allreduce_sum_u64(&[42]), 42);
-        let recv = e.alltoallv(vec![vec![vec![7u8]]], AllToAllAlgo::Direct);
+        let before = e.stats().bytes_total;
+        let recv = e.alltoallv(vec![vec![vec![7u8]]], AllToAllAlgo::Hypercube);
         assert_eq!(recv[0][0], vec![7]);
+        assert_eq!(e.stats().bytes_total, before); // self-delivery is free
     }
 
     /// Seeded per-rank payloads for conservation tests: rank `src` sends
@@ -676,8 +1210,8 @@ mod tests {
     #[test]
     fn alltoallv_conserves_every_element() {
         // Conservation pinned at the element level, not just counts: the
-        // multiset of values out equals the multiset in, for both schedules.
-        for algo in [AllToAllAlgo::Direct, AllToAllAlgo::Staged] {
+        // multiset of values out equals the multiset in, for all schedules.
+        for algo in ALL_ALGOS {
             let p = 7;
             let send = tagged_send(p);
             let mut sent: Vec<u64> = send.iter().flatten().flatten().copied().collect();
@@ -705,44 +1239,173 @@ mod tests {
     }
 
     #[test]
-    fn sparse_alltoallv_conserves_and_sorts_by_source() {
-        let p = 6;
-        let send: Vec<Vec<(usize, Vec<u32>)>> = (0..p)
-            .map(|src| {
-                // Each rank sends to (src+1)%p and (src+3)%p, plus an empty
-                // bucket that must not confuse the audit.
-                vec![
-                    ((src + 1) % p, vec![src as u32; 3]),
-                    ((src + 3) % p, vec![src as u32 + 100]),
-                    ((src + 2) % p, vec![]),
-                ]
-            })
-            .collect();
-        let mut e = engine(p);
-        let recv = e.alltoallv_sparse(send, AllToAllAlgo::Staged);
-        for (dst, row) in recv.iter().enumerate() {
-            assert!(
-                row.windows(2).all(|w| w[0].0 < w[1].0),
-                "row {dst} unsorted"
+    fn hypercube_stage_boundary_rank_counts() {
+        // p = 2^k - 1, 2^k and 2^k + 1 exercise the wrap-around holders:
+        // conservation and the sparse-vs-dense charge identity must hold at
+        // every stage-count boundary.
+        for p in [7usize, 8, 9, 15, 16, 17] {
+            let send = tagged_send(p);
+            let mut sent: Vec<u64> = send.iter().flatten().flatten().copied().collect();
+            let mut dense = engine(p);
+            let recv = dense.alltoallv(send, AllToAllAlgo::Hypercube);
+            let mut got: Vec<u64> = recv.iter().flatten().flatten().copied().collect();
+            sent.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(sent, got, "p={p} lost or duplicated elements");
+
+            // The sparse production path (closed-form holders) must charge
+            // bit-identical clocks to the dense reference (walked holders).
+            let sparse_send: Vec<Vec<(usize, Vec<u64>)>> = tagged_send(p)
+                .into_iter()
+                .enumerate()
+                .map(|(src, row)| {
+                    row.into_iter()
+                        .enumerate()
+                        .filter(|(dst, buf)| *dst != src && !buf.is_empty())
+                        .collect()
+                })
+                .collect();
+            let mut sparse = engine(p);
+            let _ = sparse.alltoallv_sparse(sparse_send, AllToAllAlgo::Hypercube);
+            assert_eq!(
+                dense.clocks(),
+                sparse.clocks(),
+                "p={p} sparse/dense hypercube charges diverged"
             );
-            let total: usize = row.iter().map(|(_, b)| b.len()).sum();
-            assert_eq!(total, 4, "rank {dst} should receive 3 + 1 elements");
+            assert_eq!(dense.stats().msgs_total, sparse.stats().msgs_total);
+            assert_eq!(dense.stats().bytes_total, sparse.stats().bytes_total);
         }
-        assert_eq!(e.stats().audited_collectives, 1);
+    }
+
+    #[test]
+    fn hypercube_idle_ranks_pay_nothing() {
+        // One neighbour pair in a big machine: only the ranks a stage
+        // touches pay for it.
+        let p = 32;
+        let mut send: Vec<Vec<(usize, Vec<u64>)>> = (0..p).map(|_| Vec::new()).collect();
+        send[3] = vec![(4, vec![7u64; 10])];
+        let mut e = engine(p);
+        let _ = e.alltoallv_sparse(send, AllToAllAlgo::Hypercube);
+        let clocks = e.clocks();
+        // offset 1: the route moves only at stage 0, touching ranks 3 and 4.
+        assert!(clocks[3] > 0.0 && clocks[4] > 0.0);
+        for (r, &c) in clocks.iter().enumerate() {
+            if r != 3 && r != 4 {
+                assert_eq!(c, 0.0, "idle rank {r} was charged");
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_alltoallv_conserves_and_sorts_by_source() {
+        for algo in ALL_ALGOS {
+            let p = 6;
+            let send: Vec<Vec<(usize, Vec<u32>)>> = (0..p)
+                .map(|src| {
+                    // Each rank sends to (src+1)%p and (src+3)%p, plus an
+                    // empty bucket that must not confuse the audit.
+                    vec![
+                        ((src + 1) % p, vec![src as u32; 3]),
+                        ((src + 3) % p, vec![src as u32 + 100]),
+                        ((src + 2) % p, vec![]),
+                    ]
+                })
+                .collect();
+            let mut e = engine(p);
+            let recv = e.alltoallv_sparse(send, algo);
+            for (dst, row) in recv.iter().enumerate() {
+                assert!(
+                    row.windows(2).all(|w| w[0].0 < w[1].0),
+                    "row {dst} unsorted"
+                );
+                let total: usize = row.iter().map(|(_, b)| b.len()).sum();
+                assert_eq!(total, 4, "rank {dst} should receive 3 + 1 elements");
+            }
+            assert_eq!(e.stats().audited_collectives, 1);
+        }
     }
 
     #[test]
     fn empty_buckets_and_p1_edge_cases() {
         // Empty rows everywhere.
         let mut e = engine(3);
-        let recv = e.alltoallv_sparse::<u8>(vec![vec![], vec![], vec![]], AllToAllAlgo::Direct);
+        let recv = e.alltoallv_sparse::<u8>(vec![vec![], vec![], vec![]], AllToAllAlgo::Hypercube);
         assert!(recv.iter().all(Vec::is_empty));
         assert_eq!(e.makespan(), 0.0);
-        // p = 1: self-delivery only, zero network bytes.
-        let mut e1 = engine(1);
-        let recv = e1.alltoallv_sparse(vec![vec![(0, vec![1u8, 2, 3])]], AllToAllAlgo::Staged);
-        assert_eq!(recv[0], vec![(0, vec![1u8, 2, 3])]);
-        assert_eq!(e1.stats().bytes_total, 0);
+        // p = 1: self-delivery only, zero network bytes, zero stages.
+        for algo in ALL_ALGOS {
+            let mut e1 = engine(1);
+            let recv = e1.alltoallv_sparse(vec![vec![(0, vec![1u8, 2, 3])]], algo);
+            assert_eq!(recv[0], vec![(0, vec![1u8, 2, 3])]);
+            assert_eq!(e1.stats().bytes_total, 0);
+        }
+    }
+
+    #[test]
+    fn flat_arena_delivers_grouped_and_reuses_cleanly() {
+        let p = 5;
+        let mut e = engine(p);
+        let mut arena = AlltoallvArena::new();
+        // Two rounds through the same arena: contents must not leak across.
+        for round in 0..2u64 {
+            for src in 0..p {
+                // Every rank messages its two ring neighbours and itself.
+                arena.send(src, (src + 1) % p, [round * 100 + src as u64]);
+                arena.send(src, (src + 4) % p, [round * 100 + src as u64 + 50, 7]);
+                arena.send(src, src, [round * 1000 + src as u64]);
+                arena.send(src, (src + 2) % p, std::iter::empty()); // dropped
+            }
+            e.alltoallv_flat(&mut arena, AllToAllAlgo::Hypercube);
+            let delivered: Vec<(usize, usize, Vec<u64>)> = arena
+                .recv()
+                .map(|(s, d, buf)| (s, d, buf.to_vec()))
+                .collect();
+            assert_eq!(delivered.len(), 3 * p, "round {round}");
+            // Grouped by destination then source.
+            assert!(delivered
+                .windows(2)
+                .all(|w| (w[0].1, w[0].0) <= (w[1].1, w[1].0)));
+            for (src, dst, buf) in &delivered {
+                if *src == *dst {
+                    assert_eq!(buf, &vec![round * 1000 + *src as u64]);
+                } else if (*src + 1) % p == *dst {
+                    assert_eq!(buf, &vec![round * 100 + *src as u64]);
+                } else {
+                    assert_eq!(buf, &vec![round * 100 + *src as u64 + 50, 7]);
+                }
+            }
+        }
+        assert_eq!(e.stats().audited_collectives, 2);
+        assert_eq!(e.stats().collectives, 2);
+    }
+
+    #[test]
+    fn flat_arena_matches_sparse_charges() {
+        // The flat arena path and the pair-list path describe the same
+        // traffic, so their clocks and stats must be bit-identical.
+        for algo in ALL_ALGOS {
+            let p = 9;
+            let mut e1 = engine(p).record_comm_matrix();
+            let mut arena = AlltoallvArena::new();
+            for src in 0..p {
+                arena.send(src, (src + 2) % p, (0..src as u64 + 1).collect::<Vec<_>>());
+            }
+            e1.alltoallv_flat(&mut arena, algo);
+
+            let mut e2 = engine(p).record_comm_matrix();
+            let send: Vec<Vec<(usize, Vec<u64>)>> = (0..p)
+                .map(|src| vec![((src + 2) % p, (0..src as u64 + 1).collect())])
+                .collect();
+            let _ = e2.alltoallv_sparse(send, algo);
+
+            assert_eq!(e1.clocks(), e2.clocks(), "{algo:?}");
+            assert_eq!(e1.stats().bytes_total, e2.stats().bytes_total);
+            assert_eq!(e1.stats().msgs_total, e2.stats().msgs_total);
+            assert_eq!(
+                e1.comm_matrix().unwrap().nnz(),
+                e2.comm_matrix().unwrap().nnz()
+            );
+        }
     }
 
     #[test]
@@ -770,29 +1433,62 @@ mod tests {
     #[test]
     fn transient_failures_cost_time_and_count_retries() {
         use crate::faults::FaultPlan;
-        let p = 8;
-        let run = |plan: Option<FaultPlan>| {
-            let mut e = Engine::new(
-                p,
-                PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
+        for algo in [AllToAllAlgo::Staged, AllToAllAlgo::Hypercube] {
+            let p = 8;
+            let run = |plan: Option<FaultPlan>| {
+                let mut e = Engine::new(
+                    p,
+                    PerfModel::new(MachineModel::titan(), AppModel::laplacian_matvec()),
+                );
+                if let Some(plan) = plan {
+                    e = e.with_faults(plan);
+                }
+                let r = e.alltoallv(tagged_send(p), algo);
+                (e.makespan(), e.stats().retries_total, r)
+            };
+            let (t_clean, retries_clean, data_clean) = run(None);
+            let plan = FaultPlan::new(5)
+                .with_transient_failures(0.6)
+                .with_retry_policy(3, 1e-3);
+            let (t_faulty, retries_faulty, data_faulty) = run(Some(plan));
+            assert_eq!(retries_clean, 0);
+            assert!(
+                retries_faulty > 0,
+                "p_fail 0.6 over 8 ranks must retry somewhere ({algo:?})"
             );
-            if let Some(plan) = plan {
-                e = e.with_faults(plan);
-            }
-            let r = e.alltoallv(tagged_send(p), AllToAllAlgo::Staged);
-            (e.makespan(), e.stats().retries_total, r)
+            assert!(t_faulty > t_clean, "retries must cost virtual time");
+            assert_eq!(data_clean, data_faulty);
+        }
+    }
+
+    #[test]
+    fn scratch_pool_invariant_survives_mixed_calls() {
+        // Interleave every entry point on one engine: the pooled scratch
+        // must come back zeroed each time or later calls would see phantom
+        // traffic.
+        let p = 6;
+        let mut e = engine(p);
+        let m0 = {
+            let _ = e.alltoallv_by(
+                (0..p).map(|_| (0..12u32).collect()).collect(),
+                |_s, &v| (v as usize) % 6,
+                AllToAllAlgo::Hypercube,
+            );
+            e.makespan()
         };
-        let (t_clean, retries_clean, data_clean) = run(None);
-        let plan = FaultPlan::new(5)
-            .with_transient_failures(0.6)
-            .with_retry_policy(3, 1e-3);
-        let (t_faulty, retries_faulty, data_faulty) = run(Some(plan));
-        assert_eq!(retries_clean, 0);
-        assert!(
-            retries_faulty > 0,
-            "p_fail 0.6 over 8 ranks must retry somewhere"
+        let bytes_after_first = e.stats().bytes_total;
+        // An empty exchange right after must move nothing and cost nothing
+        // extra.
+        let recv = e.alltoallv_sparse::<u8>(vec![vec![]; p], AllToAllAlgo::Hypercube);
+        assert!(recv.iter().all(Vec::is_empty));
+        assert_eq!(e.stats().bytes_total, bytes_after_first);
+        assert_eq!(e.makespan(), m0, "empty exchange charged phantom traffic");
+        // And a repeat of the same exchange costs exactly the same again.
+        let _ = e.alltoallv_by(
+            (0..p).map(|_| (0..12u32).collect()).collect(),
+            |_s, &v| (v as usize) % 6,
+            AllToAllAlgo::Hypercube,
         );
-        assert!(t_faulty > t_clean, "retries must cost virtual time");
-        assert_eq!(data_clean, data_faulty);
+        assert!((e.makespan() - 2.0 * m0).abs() < 1e-12);
     }
 }

@@ -87,6 +87,12 @@ pub struct Engine {
     /// are always live; span/sync/mark recording is opt-in via
     /// [`Engine::with_tracing`].
     pub(crate) tracer: Tracer,
+    /// Pooled staging for the all-to-all family (see
+    /// `collectives::CollectiveScratch`): dense accounting arrays and the
+    /// sparse route list, reused across collectives so steady-state
+    /// exchanges allocate nothing. All-zero between calls by invariant;
+    /// survives [`Engine::reset`] untouched (zeroed is zeroed).
+    pub(crate) coll_scratch: crate::collectives::CollectiveScratch,
 }
 
 impl Engine {
@@ -113,6 +119,7 @@ impl Engine {
             kills: Vec::new(),
             pending_death: None,
             tracer: Tracer::new(p),
+            coll_scratch: Default::default(),
         }
     }
 

@@ -28,6 +28,10 @@
 //!   *detected* (payload self-check, rank-count fingerprint) and the run
 //!   falls back to a cold ladder whose output is bit-identical to a run
 //!   that never saw the state.
+//! * [`rank_count_scale_invariance`] — padding the communicator with idle
+//!   ranks (power-of-two boundaries, doubling, `2^k ± 1`) never perturbs a
+//!   hypercube-staged exchange's deliveries, comm-matrix entries or
+//!   conservation — the stage count changes, the data does not.
 
 use crate::scenario::{MeshShape, NamedCheck, Scenario};
 use crate::{tk_assert, tk_assert_eq};
@@ -52,7 +56,107 @@ pub const PROPERTIES: &[NamedCheck] = &[
     ("scale-invariance", scale_invariance),
     ("thread-count-invariance", thread_count_invariance),
     ("warm-state-fallback", warm_state_fallback),
+    ("rank-count-scale-invariance", rank_count_scale_invariance),
 ];
+
+/// Hypercube stage count for a `p`-rank exchange — an independent
+/// re-statement of the engine's staging schedule (`⌈log₂ p⌉`).
+fn hypercube_stages(p: usize) -> u32 {
+    if p <= 1 {
+        0
+    } else {
+        usize::BITS - (p - 1).leading_zeros()
+    }
+}
+
+/// Metamorphic relation: a hypercube-staged exchange is a function of the
+/// *routes*, not of the communicator size. Padding the same logical
+/// traffic (among ranks `0..p`) out to a larger communicator — the next
+/// power of two, one past it, one short of the double, and the double —
+/// changes the stage schedule and the forwarding paths, but must leave
+/// every delivered payload, every comm-matrix entry and the conservation
+/// totals bit-identical, with all pad ranks silent. The per-element
+/// routing itself is re-derived analytically: walking a route's holder
+/// through all `⌈log₂ p⌉` stages lands on its destination at every padded
+/// rank count.
+pub fn rank_count_scale_invariance(scn: &Scenario) {
+    let p0 = scn.p;
+    let traffic = crate::oracles::collective_traffic(scn);
+    let sent_elems: usize = traffic.iter().flatten().map(|(_, b)| b.len()).sum();
+
+    // Analytic leg: the stage walk `holder += 2^k (mod p)` for every set
+    // bit of `(dst − src) mod p` reaches `dst` at every padded count.
+    let pow2 = p0.next_power_of_two();
+    let mut pads = vec![pow2, pow2 + 1, 2 * pow2 - 1, 2 * pow2];
+    pads.dedup();
+    for &p in &pads {
+        for (src, row) in traffic.iter().enumerate() {
+            for (dst, _) in row {
+                let off = (dst + p - src) % p;
+                let mut holder = src;
+                for k in 0..hypercube_stages(p) {
+                    let hop = 1usize << k;
+                    if off & hop != 0 {
+                        holder = (holder + hop) % p;
+                    }
+                }
+                tk_assert_eq!(
+                    scn,
+                    holder,
+                    *dst,
+                    "p = {p}: stage walk for route {src}->{dst} strands at {holder}"
+                );
+            }
+        }
+    }
+
+    // Engine leg: the same routes through the real hypercube staging at
+    // every padded count, compared field by field against the base run.
+    let run = |p: usize| {
+        let mut e = Engine::new(p, scn.perf()).record_comm_matrix();
+        let mut send = traffic.clone();
+        send.resize_with(p, Vec::new);
+        let recv = e.alltoallv_sparse(send, optipart_mpisim::AllToAllAlgo::Hypercube);
+        let mut entries: Vec<(usize, usize, u64)> =
+            e.comm_matrix().expect("recording on").entries().collect();
+        entries.sort_unstable();
+        let bytes = e.stats().bytes_total;
+        (recv, entries, bytes)
+    };
+    let (base_recv, base_entries, base_bytes) = run(p0);
+    let got_elems: usize = base_recv.iter().flatten().map(|(_, b)| b.len()).sum();
+    tk_assert_eq!(
+        scn,
+        got_elems,
+        sent_elems,
+        "base run lost or duplicated elements"
+    );
+    for &p in &pads {
+        let (recv, entries, bytes) = run(p);
+        for (dst, want) in base_recv.iter().enumerate() {
+            tk_assert!(
+                scn,
+                &recv[dst] == want,
+                "p = {p}: delivery to rank {dst} diverges from the {p0}-rank run"
+            );
+        }
+        for row in &recv[p0..] {
+            tk_assert!(scn, row.is_empty(), "p = {p}: a pad rank received data");
+        }
+        tk_assert_eq!(
+            scn,
+            entries,
+            base_entries,
+            "p = {p}: comm-matrix entries diverge from the {p0}-rank run"
+        );
+        tk_assert_eq!(
+            scn,
+            bytes,
+            base_bytes,
+            "p = {p}: byte conservation diverges from the {p0}-rank run"
+        );
+    }
+}
 
 /// Shuffles `leaves` and cuts them into `p` ragged (possibly empty) rank
 /// buffers — the adversarial initial distribution.

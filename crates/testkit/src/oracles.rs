@@ -10,6 +10,7 @@
 //! | [`treesort_optimized`] | the ping-pong/parallel TreeSort is a pure optimisation | bit-identity vs the retained `treesort_reference` |
 //! | [`warm_vs_cold`] | the warm-started tolerance ladder is a pure optimisation | a cold ladder run on every step of the same AMR loop |
 //! | [`serve_vs_library`] | optipart-serve responses are bit-identical to direct calls | [`optipart_serve::direct`] on a fresh engine and state |
+//! | [`sparse_vs_dense_collectives`] | the sparse/flat-arena all-to-alls are pure optimisations | the dense p×p `Engine::alltoallv` (the `reference` feature) |
 //!
 //! All failures panic through [`tk_assert!`], so the message always carries
 //! the scenario and its one-line replay command.
@@ -31,7 +32,9 @@ use optipart_core::{optipart, OptiPartOptions};
 use optipart_fem::amr::{step_mesh, AmrConfig};
 use optipart_fem::{run_matvec_ft, DistMesh};
 use optipart_mpisim::rng::SplitMix64;
-use optipart_mpisim::{threaded, CheckpointPolicy, DistVec, Engine, FaultPlan};
+use optipart_mpisim::{
+    threaded, AllToAllAlgo, AlltoallvArena, CheckpointPolicy, DistVec, Engine, FaultPlan,
+};
 use optipart_octree::LinearTree;
 use optipart_sfc::{KeyedCell, SfcKey};
 
@@ -44,7 +47,178 @@ pub const ORACLES: &[NamedCheck] = &[
     ("treesort-optimized", treesort_optimized),
     ("warm-vs-cold", warm_vs_cold),
     ("serve-vs-library", serve_vs_library),
+    ("sparse-vs-dense-collectives", sparse_vs_dense_collectives),
 ];
+
+/// The scenario's sparse traffic pattern for the collectives oracle: ring
+/// neighbours, a seeded long-range route, a self-message and ragged
+/// payload lengths including empty buffers — at most one buffer per
+/// `(src, dst)` link, so the dense, sparse and flat-arena views of the
+/// same exchange stay directly comparable.
+pub(crate) fn collective_traffic(scn: &Scenario) -> Vec<Vec<(usize, Vec<u64>)>> {
+    let p = scn.p;
+    let mut rng = SplitMix64::new(scn.shuffle_seed(30));
+    let mut rows: Vec<Vec<(usize, Vec<u64>)>> = (0..p).map(|_| Vec::new()).collect();
+    for (src, row) in rows.iter_mut().enumerate() {
+        let mut dsts = vec![
+            (src + 1) % p,
+            (src + p - 1) % p,
+            src,
+            rng.next_below(p as u64) as usize,
+        ];
+        dsts.sort_unstable();
+        dsts.dedup();
+        for dst in dsts {
+            let len = rng.next_below(5) as usize;
+            let buf: Vec<u64> = (0..len as u64)
+                .map(|i| ((src as u64) << 32) | ((dst as u64) << 16) | i)
+                .collect();
+            row.push((dst, buf));
+        }
+    }
+    rows
+}
+
+/// **Oracle 8 — sparse vs dense collectives.** The production all-to-all
+/// entry points ([`Engine::alltoallv_sparse`] and the flat-arena
+/// [`Engine::alltoallv_flat`]) must be *pure* optimisations of the dense
+/// `p × p` reference [`Engine::alltoallv`] retained behind the
+/// `reference` feature: on the same scenario-derived neighbourhood
+/// traffic, all three must deliver bit-identical payloads, record equal
+/// communication matrices and run statistics, and charge bit-identical
+/// per-rank virtual clocks — for every staging algorithm (Direct, Staged,
+/// Hypercube) and both on a clean machine and under the scenario's benign
+/// fault plan (stragglers, `tw` jitter, transient retries).
+pub fn sparse_vs_dense_collectives(scn: &Scenario) {
+    let p = scn.p;
+    let traffic = collective_traffic(scn);
+    // Expected delivery, straight from the pattern: per destination, the
+    // non-empty (src, buf) pairs in ascending source order.
+    let mut expected: Vec<Vec<(usize, Vec<u64>)>> = (0..p).map(|_| Vec::new()).collect();
+    for (src, row) in traffic.iter().enumerate() {
+        for (dst, buf) in row {
+            if !buf.is_empty() {
+                expected[*dst].push((src, buf.clone()));
+            }
+        }
+    }
+
+    for faulted in [false, true] {
+        let engine = || {
+            let e = if faulted {
+                scn.engine_faulted()
+            } else {
+                scn.engine()
+            };
+            e.record_comm_matrix()
+        };
+        for algo in [
+            AllToAllAlgo::Direct,
+            AllToAllAlgo::Staged,
+            AllToAllAlgo::Hypercube,
+        ] {
+            let what = format!("algo {algo:?}, faulted {faulted}");
+
+            // Dense reference: one p × p buffer grid.
+            let mut ed = engine();
+            let mut dense: Vec<Vec<Vec<u64>>> = (0..p).map(|_| vec![Vec::new(); p]).collect();
+            for (src, row) in traffic.iter().enumerate() {
+                for (dst, buf) in row {
+                    dense[src][*dst] = buf.clone();
+                }
+            }
+            let got_d = ed.alltoallv(dense, algo);
+
+            // Sparse production path.
+            let mut es = engine();
+            let got_s = es.alltoallv_sparse(traffic.clone(), algo);
+
+            // Flat-arena production path, staged in the same order.
+            let mut ef = engine();
+            let mut arena: AlltoallvArena<u64> = AlltoallvArena::new();
+            for (src, row) in traffic.iter().enumerate() {
+                for (dst, buf) in row {
+                    arena.send(src, *dst, buf.iter().copied());
+                }
+            }
+            ef.alltoallv_flat(&mut arena, algo);
+
+            // Payload bit-identity against the independently built
+            // expectation (empty buffers normalised away — the arena drops
+            // them at staging time, the other two deliver them).
+            for (dst, want) in expected.iter().enumerate() {
+                let d: Vec<(usize, Vec<u64>)> = got_d[dst]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| !b.is_empty())
+                    .map(|(src, b)| (src, b.clone()))
+                    .collect();
+                tk_assert!(
+                    scn,
+                    &d == want,
+                    "{what}: dense delivery to rank {dst} diverges"
+                );
+                let sp: Vec<(usize, Vec<u64>)> = got_s[dst]
+                    .iter()
+                    .filter(|(_, b)| !b.is_empty())
+                    .cloned()
+                    .collect();
+                tk_assert!(
+                    scn,
+                    &sp == want,
+                    "{what}: sparse delivery to rank {dst} diverges"
+                );
+            }
+            let flat: Vec<(usize, usize, Vec<u64>)> = arena
+                .recv()
+                .map(|(src, dst, items)| (src, dst, items.to_vec()))
+                .collect();
+            let want_flat: Vec<(usize, usize, Vec<u64>)> = expected
+                .iter()
+                .enumerate()
+                .flat_map(|(dst, row)| row.iter().map(move |(src, buf)| (*src, dst, buf.clone())))
+                .collect();
+            tk_assert!(
+                scn,
+                flat == want_flat,
+                "{what}: flat-arena delivery diverges from the pattern"
+            );
+
+            // Identical virtual-time charges, down to float bits.
+            for (label, e) in [("sparse", &es), ("flat", &ef)] {
+                tk_assert!(
+                    scn,
+                    e.clocks() == ed.clocks(),
+                    "{what}: {label} clocks diverge from the dense reference"
+                );
+                let (a, b) = (e.stats(), ed.stats());
+                tk_assert!(
+                    scn,
+                    a.bytes_total == b.bytes_total
+                        && a.msgs_total == b.msgs_total
+                        && a.collectives == b.collectives
+                        && a.retries_total == b.retries_total,
+                    "{what}: {label} run stats diverge from the dense reference \
+                     ({a:?} vs {b:?})"
+                );
+                // Entry iteration order is insertion order, which
+                // legitimately differs between entry points — the *matrix*
+                // must be equal, so compare the sorted entry sets.
+                let sorted = |e: &Engine| {
+                    let mut v: Vec<_> = e.comm_matrix().expect("recording on").entries().collect();
+                    v.sort_unstable();
+                    v
+                };
+                tk_assert_eq!(
+                    scn,
+                    sorted(e),
+                    sorted(&ed),
+                    "{what}: {label} comm matrix diverges from the dense reference"
+                );
+            }
+        }
+    }
+}
 
 /// **Oracle 5 — optimised TreeSort vs retained reference.** The hot-path
 /// rework (single ping-pong scratch, parallel child-bucket recursion,

@@ -36,6 +36,10 @@ pub const CHECKS: &[NamedCheck] = &[
     ("warm-vs-cold", crate::oracles::warm_vs_cold),
     ("serve-vs-library", crate::oracles::serve_vs_library),
     (
+        "sparse-vs-dense-collectives",
+        crate::oracles::sparse_vs_dense_collectives,
+    ),
+    (
         "permutation-invariance",
         crate::metamorphic::permutation_invariance,
     ),
@@ -51,6 +55,10 @@ pub const CHECKS: &[NamedCheck] = &[
     (
         "warm-state-fallback",
         crate::metamorphic::warm_state_fallback,
+    ),
+    (
+        "rank-count-scale-invariance",
+        crate::metamorphic::rank_count_scale_invariance,
     ),
     ("stack", stack_check),
     ("trace-identity", trace_identity),

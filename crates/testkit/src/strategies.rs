@@ -26,9 +26,13 @@ pub fn distribution() -> impl Strategy<Value = Distribution> {
     ]
 }
 
-/// Either all-to-all schedule.
+/// Any all-to-all schedule.
 pub fn alltoall() -> impl Strategy<Value = AllToAllAlgo> {
-    prop_oneof![Just(AllToAllAlgo::Direct), Just(AllToAllAlgo::Staged)]
+    prop_oneof![
+        Just(AllToAllAlgo::Direct),
+        Just(AllToAllAlgo::Staged),
+        Just(AllToAllAlgo::Hypercube)
+    ]
 }
 
 /// A lattice coordinate in the domain.

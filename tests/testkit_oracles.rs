@@ -72,6 +72,14 @@ fn oracle_serve_vs_library() {
     sweep(oracles::serve_vs_library, 0x0175_0007, 100);
 }
 
+/// Oracle 8: the sparse and flat-arena all-to-alls deliver bit-identical
+/// payloads, comm matrices and virtual-clock charges to the dense p×p
+/// reference, for every staging algorithm, clean and faulted.
+#[test]
+fn oracle_sparse_vs_dense_collectives() {
+    sweep(oracles::sparse_vs_dense_collectives, 0x0175_0008, 100);
+}
+
 /// Metamorphic: splitters ignore the input's distribution across ranks.
 #[test]
 fn property_permutation_invariance() {
@@ -112,6 +120,14 @@ fn property_thread_count_invariance() {
 #[test]
 fn property_warm_state_fallback() {
     sweep(metamorphic::warm_state_fallback, 0x0175_0016, 50);
+}
+
+/// Metamorphic: padding a hypercube-staged exchange's communicator with
+/// idle ranks (2^k, 2^k ± 1, doubling) changes the stage schedule but
+/// never the deliveries, comm-matrix entries or conservation totals.
+#[test]
+fn property_rank_count_scale_invariance() {
+    sweep(metamorphic::rank_count_scale_invariance, 0x0175_0017, 50);
 }
 
 /// Whole stack: faulted + checkpointed + traced AMR, deterministic twice
