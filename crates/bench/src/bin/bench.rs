@@ -125,6 +125,19 @@ fn cmd_run(args: &[String]) -> i32 {
             derived.insert("serve_requests_per_sec".to_string(), 1e9 / ns_per_req);
         }
     }
+    // The machine-awareness headline (EXPERIMENTS.md §hierarchy): on the
+    // pinned skewed mesh, OptiPart under the two-level machine chooses a
+    // partition whose node-crossing ghost traffic is over 20% lower than
+    // the flat model's choice.
+    if filter.is_none() {
+        let pt = optipart_bench::figs::hier::demo();
+        derived.insert("hier_inter_bytes_reduction".to_string(), pt.reduction);
+        derived.insert("hier_inter_bytes_flat".to_string(), pt.inter_flat as f64);
+        derived.insert(
+            "hier_inter_bytes_two_level".to_string(),
+            pt.inter_hier as f64,
+        );
+    }
     // Real-time figures the serve kernels publish out-of-band (p99 wall
     // latency, warm-request rate) — see `kernels::SERVE_STATS`.
     for (k, v) in kernels::SERVE_STATS.lock().unwrap().iter() {

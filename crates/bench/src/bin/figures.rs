@@ -8,9 +8,10 @@
 //!
 //! Figure ids: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 (or `all`),
 //! plus `ablations` (design-choice studies), `recovery` (fail-stop
-//! checkpoint/recovery ablation) and `scaling` (paper-scale collectives
-//! strong-scaling sweep, 4,096 → `--max-p` virtual ranks, default
-//! 262,144); none of the three is part of `all`.
+//! checkpoint/recovery ablation), `hier` (flat vs two-level machine model
+//! inter-node ghost-traffic comparison) and `scaling` (paper-scale
+//! collectives strong-scaling sweep, 4,096 → `--max-p` virtual ranks,
+//! default 262,144); none of the four is part of `all`.
 //! `--scale` multiplies the scaled default problem sizes (1.0 = defaults
 //! documented in DESIGN.md §6; the paper's full sizes need a cluster-class
 //! machine). `--seed` changes the mesh RNG seed; `--out DIR` also writes
@@ -153,7 +154,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: figures <fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|all>... \
-         [ablations] [recovery] [scaling] [--scale X] [--seed N] [--max-p P] \
+         [ablations] [recovery] [hier] [scaling] [--scale X] [--seed N] [--max-p P] \
          [--out DIR] [--trace FILE]"
     );
     exit(if err.is_empty() { 0 } else { 2 });

@@ -14,6 +14,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7_8;
 pub mod fig9;
+pub mod hier;
 pub mod recovery;
 pub mod scaling;
 
@@ -37,6 +38,7 @@ pub fn run(id: &str, cfg: &RunConfig) -> Result<(), String> {
         "fig11" => fig11::run(cfg),
         "fig12" => fig12::run(cfg),
         "ablations" => ablations::run(cfg),
+        "hier" => hier::run(cfg),
         "recovery" => recovery::run(cfg),
         "scaling" => scaling::run(cfg),
         other => return Err(format!("unknown figure id '{other}'; known: {ALL:?}")),

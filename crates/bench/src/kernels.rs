@@ -15,6 +15,7 @@
 
 use optipart_core::optipart::{optipart, OptiPartOptions, PartitionState};
 use optipart_core::partition::{distribute_tree, treesort_partition, PartitionOptions};
+use optipart_core::quality::partition_quality;
 use optipart_core::samplesort::{samplesort_partition, SampleSortOptions};
 use optipart_core::treesort::{
     treesort, treesort_reference, treesort_threaded_with_scratch, LevelOffsets,
@@ -210,6 +211,20 @@ pub fn registry() -> Vec<Kernel> {
             full_n: 100_000,
             tiny_n: 2_000,
             build: |n| partition_kernel(n, PartitionKind::SampleSort),
+        },
+        Kernel {
+            name: "partition_quality_flat",
+            group: "partition",
+            full_n: 100_000,
+            tiny_n: 2_000,
+            build: |n| quality_kernel(n, false),
+        },
+        Kernel {
+            name: "partition_quality_hier",
+            group: "partition",
+            full_n: 100_000,
+            tiny_n: 2_000,
+            build: |n| quality_kernel(n, true),
         },
         Kernel {
             name: "alltoallv_dense_6nbr",
@@ -620,6 +635,47 @@ enum PartitionKind {
     Tolerant,
     OptiPart,
     SampleSort,
+}
+
+/// Algorithm 2 evaluation under a flat vs a two-level machine. The two
+/// kernels are byte-for-byte identical except for the [`MachineModel`],
+/// so comparing their `allocs_per_iter` (the `hier alloc parity` gate in
+/// `report::compare_reports`) proves the hierarchical cost path — intra
+/// counting, weighted `Cmax` selection, the `predict_hier` discount —
+/// allocates nothing beyond the flat path.
+fn quality_kernel(n: usize, hier: bool) -> Prepared {
+    let p = if n >= 10_000 { 64 } else { 8 };
+    let tree = MeshParams::normal(n, 5).build::<3>(Curve::Hilbert);
+    let elements = tree.len() as u64;
+    let splitters = {
+        let mut e = engine(p);
+        treesort_partition(&mut e, distribute_tree(&tree, p), PartitionOptions::exact()).splitters
+    };
+    let machine = {
+        let w = MachineModel::cloudlab_wisconsin();
+        let m = MachineModel::custom("bench-hier", w.tc, w.ts, w.tw, (p / 2).max(1));
+        if hier {
+            m.hierarchical_smp()
+        } else {
+            m
+        }
+    };
+    Prepared {
+        elements,
+        run: Box::new(move || {
+            let mut e = Engine::new(
+                p,
+                PerfModel::new(machine.clone(), AppModel::laplacian_matvec()),
+            );
+            let mut dist = distribute_tree(&tree, p);
+            let q = partition_quality(&mut e, &mut dist, &splitters, Curve::Hilbert);
+            let mut acc = mix(q.wmax, q.cmax);
+            acc = mix(acc, q.cmax_intra);
+            acc = mix(acc, q.c_total);
+            acc = mix(acc, q.c_intra_total);
+            mix(acc, q.tp.to_bits())
+        }),
+    }
 }
 
 fn partition_kernel(n: usize, kind: PartitionKind) -> Prepared {

@@ -494,6 +494,39 @@ pub fn compare_reports(
         }
     }
     out.extend(arena_ratio_gate(current));
+    out.extend(hier_alloc_parity_gate(current));
+    out
+}
+
+/// Evaluating Algorithm 2 under a two-level machine must allocate exactly
+/// as much as under the flat model — the hierarchical terms (intra
+/// counting, weighted `Cmax` selection, the `predict_hier` discount) are
+/// pure arithmetic over counters the flat path already reduces. Checked on
+/// `current` alone with zero slack, like [`arena_ratio_gate`].
+fn hier_alloc_parity_gate(current: &Report) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for cur in &current.kernels {
+        if cur.name != "partition_quality_hier" {
+            continue;
+        }
+        let Some(flat) = current
+            .kernels
+            .iter()
+            .find(|k| k.name == "partition_quality_flat" && k.n == cur.n)
+        else {
+            continue;
+        };
+        if cur.allocs_per_iter > flat.allocs_per_iter {
+            out.push(Violation {
+                kernel: cur.name.clone(),
+                what: format!(
+                    "hier alloc parity broken: two-level quality evaluation makes {} \
+                     allocs/iter vs the flat path's {} at n = {}",
+                    cur.allocs_per_iter, flat.allocs_per_iter, cur.n
+                ),
+            });
+        }
+    }
     out
 }
 

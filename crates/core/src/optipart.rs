@@ -143,6 +143,9 @@ fn optipart_run<const D: usize>(
             let q = Quality {
                 wmax: search.n,
                 cmax: 0,
+                cmax_intra: 0,
+                c_total: 0,
+                c_intra_total: 0,
                 mmax: 0,
                 tp: engine.perf().predict(search.n, 0),
             };
@@ -376,6 +379,24 @@ fn fingerprint(engine: &Engine, mesh_sig: u64, n: u64, opts: &OptiPartOptions) -
         perf.app.elem_bytes.to_bits(),
     ] {
         model = mix64(model ^ bits);
+    }
+    // A hierarchy changes the quality scores (and thus possibly the ladder
+    // trajectory), so it must invalidate cached entries. A degenerate
+    // hierarchy fingerprints differently from None by construction (the
+    // presence marker) even though its results are bit-identical — cheaper
+    // one cold run than a correctness argument in the cache key.
+    match &perf.machine.hierarchy {
+        Some(h) => {
+            for bits in [
+                1u64,
+                h.ts_intra.to_bits(),
+                h.tw_intra.to_bits(),
+                h.nic_intra_j_per_byte.to_bits(),
+            ] {
+                model = mix64(model ^ bits);
+            }
+        }
+        None => model = mix64(model),
     }
     let mut o = 0u64;
     for v in [

@@ -20,13 +20,31 @@ use optipart_sfc::{Curve, KeyedCell, SfcKey};
 pub struct Quality {
     /// Maximum elements owned by any partition.
     pub wmax: u64,
-    /// Maximum boundary octants of any partition (the `Cmax` proxy).
+    /// Boundary octants of the *critical* partition (the `Cmax` proxy).
+    /// On a flat (or degenerate-hierarchy) machine the critical partition
+    /// is simply the one with the most boundary octants; on a two-level
+    /// machine it is the one with the largest `tw`-weighted exchange
+    /// `tw·inter + tw_intra·intra`, which is what Eq. (3) actually charges.
     pub cmax: u64,
+    /// Of the `Cmax` partition's boundary octants, those whose every
+    /// foreign neighbour partition lives on the same node — exchanged over
+    /// the cheap intra-node fabric under a hierarchical machine. Always
+    /// `<= cmax`; ties in the `Cmax` argmax break toward the lowest
+    /// partition index.
+    pub cmax_intra: u64,
+    /// Global boundary octants summed over all partitions.
+    pub c_total: u64,
+    /// Of [`Quality::c_total`], the octants whose every foreign neighbour
+    /// is on-node. `c_total − c_intra_total` is the inter-node surface the
+    /// two-level model penalises.
+    pub c_intra_total: u64,
     /// Maximum number of distinct neighbouring partitions any partition
     /// talks to (message-count proxy; locally estimated, see
     /// [`partition_quality`]).
     pub mmax: u64,
-    /// Predicted runtime `Tp = α·tc·Wmax + tw·Cmax` (Eq. 3).
+    /// Predicted runtime `Tp = α·tc·Wmax + tw·Cmax` (Eq. 3), with the
+    /// intra-node discount `(tw_intra − tw)·Cmax_intra` applied when the
+    /// machine carries a hierarchy.
     pub tp: f64,
 }
 
@@ -55,11 +73,17 @@ pub fn partition_quality<const D: usize>(
     let p = engine.p();
     assert_eq!(splitters.len(), p - 1, "need p-1 splitters");
     let elem_bytes = std::mem::size_of::<KeyedCell<D>>() as f64;
+    // Partition → node placement mirrors the engine's rank placement. The
+    // intra split is computed unconditionally (and reduced in the same
+    // concatenated collective) so a flat machine and a degenerate hierarchy
+    // see bit-identical clocks.
+    let rpn = engine.perf().machine.ranks_per_node.max(1);
 
-    // Line 1–2: one linear pass computing local boundary-octant and size
-    // contributions per future partition.
+    // Line 1–2: one linear pass computing local boundary-octant (total and
+    // all-neighbours-on-node) and size contributions per future partition.
     let local: Vec<(Vec<u64>, Vec<u64>, Vec<u64>)> = engine.compute_map(dist, |_r, buf| {
-        let mut bdy = vec![0u64; p];
+        // bdy packs [bdy_total ++ bdy_intra], length 2p.
+        let mut bdy = vec![0u64; 2 * p];
         let mut sz = vec![0u64; p];
         // Locally observed neighbour-partition sets, as flat bitsets only
         // for the partitions this rank holds elements of (cheap: a rank's
@@ -70,6 +94,7 @@ pub fn partition_quality<const D: usize>(
             let own = owner_of(splitters, &kc.key);
             sz[own] += 1;
             let mut is_bdy = false;
+            let mut off_node = false;
             for axis in 0..D {
                 for dir in [-1i8, 1] {
                     if let Some(nb) = kc.cell.face_neighbor(axis, dir) {
@@ -77,6 +102,9 @@ pub fn partition_quality<const D: usize>(
                         let other = owner_of(splitters, &nk);
                         if other != own {
                             is_bdy = true;
+                            if other / rpn != own / rpn {
+                                off_node = true;
+                            }
                             nbr_sets.entry(own).or_default().insert(other);
                         }
                     }
@@ -84,6 +112,9 @@ pub fn partition_quality<const D: usize>(
             }
             if is_bdy {
                 bdy[own] += 1;
+                if !off_node {
+                    bdy[p + own] += 1;
+                }
             }
         }
         let mut nbrs = vec![0u64; p];
@@ -108,15 +139,47 @@ pub fn partition_quality<const D: usize>(
     // (undercounts for scattered inputs) is exact; the max is the less
     // biased choice for the near-sorted inputs the refinement loop sees.
     let nbrs = engine.allreduce_max_vec_u64(&nbr_contrib);
-    let cmax = bdy.into_iter().max().unwrap_or(0);
+    // Split the concatenated reduce back into [total | intra]; the Cmax
+    // argmax (strict >, lowest index on ties) carries its intra count along.
+    // On a two-level machine the critical partition is the one whose
+    // *weighted* exchange `tw·inter + tw_intra·intra` is largest — an
+    // interior partition with a big but all-on-node surface is not the
+    // bottleneck when on-node bytes are nearly free. The weight ratio is
+    // exactly 1.0 for a degenerate hierarchy (and for no hierarchy), where
+    // `(total − intra) + 1.0·intra` reproduces the unweighted total bit for
+    // bit, so the flattening contract is preserved.
+    let tw = engine.perf().machine.tw;
+    let ratio = match &engine.perf().machine.hierarchy {
+        Some(h) if tw > 0.0 => h.tw_intra / tw,
+        _ => 1.0,
+    };
+    let mut cmax = 0u64;
+    let mut cmax_intra = 0u64;
+    let mut cmax_weighted = f64::NEG_INFINITY;
+    let mut c_total = 0u64;
+    let mut c_intra_total = 0u64;
+    for i in 0..p {
+        let weighted = (bdy[i] - bdy[p + i]) as f64 + ratio * bdy[p + i] as f64;
+        if weighted > cmax_weighted {
+            cmax_weighted = weighted;
+            cmax = bdy[i];
+            cmax_intra = bdy[p + i];
+        }
+        c_total += bdy[i];
+        c_intra_total += bdy[p + i];
+    }
     let wmax = sz.into_iter().max().unwrap_or(0);
     let mmax = nbrs.into_iter().max().unwrap_or(0);
 
-    // Line 5: the performance model.
-    let tp = engine.perf().predict(wmax, cmax);
+    // Line 5: the performance model (hierarchy-aware; degenerates to
+    // Eq. (3) exactly on a flat machine).
+    let tp = engine.perf().predict_hier(wmax, cmax, cmax_intra);
     Quality {
         wmax,
         cmax,
+        cmax_intra,
+        c_total,
+        c_intra_total,
         mmax,
         tp,
     }

@@ -13,6 +13,13 @@
 //! compute energy depends on total work (which partitioning does not change),
 //! and the communication energy is proportional to the data moved — which
 //! OptiPart minimises.
+//!
+//! When the machine carries a two-level [`Hierarchy`], bytes that stayed
+//! on-node are charged at the (cheaper) intra-node NIC rate. The discount is
+//! additive — `flat + (nic_intra − nic) · bytes_intra` — so a degenerate
+//! hierarchy (intra == inter) is bit-identical to the flat model.
+
+use crate::model::Hierarchy;
 
 /// Power envelope of one node.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -55,6 +62,9 @@ pub struct Interval {
     pub kind: ActivityKind,
     /// Bytes moved (communication intervals only).
     pub bytes: u64,
+    /// Of `bytes`, how many never left the node (both endpoints on the same
+    /// node). Always `<= bytes`; only the hierarchical energy model reads it.
+    pub bytes_intra: u64,
 }
 
 /// Full activity trace of a simulated job: every rank's busy intervals.
@@ -85,6 +95,19 @@ impl PowerTrace {
     /// mostly stalled in the network stack) plus their NIC energy amortised
     /// over the interval.
     pub fn power_at(&self, node: usize, t: f64, power: &NodePower, ranks_per_node: usize) -> f64 {
+        self.power_at_hier(node, t, power, None, ranks_per_node)
+    }
+
+    /// [`PowerTrace::power_at`] under an optional two-level machine
+    /// hierarchy: on-node bytes amortise at the intra-node NIC rate.
+    pub fn power_at_hier(
+        &self,
+        node: usize,
+        t: f64,
+        power: &NodePower,
+        hierarchy: Option<&Hierarchy>,
+        ranks_per_node: usize,
+    ) -> f64 {
         if t > self.makespan {
             return 0.0; // job finished; node handed back
         }
@@ -99,7 +122,7 @@ impl PowerTrace {
                 ActivityKind::Communication => {
                     w += COMM_CORE_FRACTION * dyn_w;
                     let dur = (iv.t1 - iv.t0).max(f64::EPSILON);
-                    w += iv.bytes as f64 * power.nic_j_per_byte / dur;
+                    w += nic_j(power, hierarchy, iv.bytes, iv.bytes_intra) / dur;
                 }
             }
         }
@@ -115,6 +138,20 @@ impl PowerTrace {
         ranks_per_node: usize,
         num_nodes: usize,
     ) -> EnergyReport {
+        self.exact_energy_hier(power, None, ranks_per_node, num_nodes)
+    }
+
+    /// [`PowerTrace::exact_energy`] under an optional two-level machine
+    /// hierarchy: the NIC Joules of each communication interval's on-node
+    /// bytes are charged at the intra-node rate, matching
+    /// [`crate::MachineModel::nic_j`] bit-for-bit.
+    pub fn exact_energy_hier(
+        &self,
+        power: &NodePower,
+        hierarchy: Option<&Hierarchy>,
+        ranks_per_node: usize,
+        num_nodes: usize,
+    ) -> EnergyReport {
         let dyn_w = power.dynamic_per_rank_w(ranks_per_node);
         let mut per_node = vec![power.idle_w * self.makespan; num_nodes];
         let mut comm_j = 0.0;
@@ -124,8 +161,8 @@ impl PowerTrace {
             let j = match iv.kind {
                 ActivityKind::Compute => dyn_w * dur,
                 ActivityKind::Communication => {
-                    let j =
-                        COMM_CORE_FRACTION * dyn_w * dur + iv.bytes as f64 * power.nic_j_per_byte;
+                    let j = COMM_CORE_FRACTION * dyn_w * dur
+                        + nic_j(power, hierarchy, iv.bytes, iv.bytes_intra);
                     comm_j += j;
                     j
                 }
@@ -139,6 +176,18 @@ impl PowerTrace {
             comm_j,
             makespan_s: self.makespan,
         }
+    }
+}
+
+/// NIC Joules for `bytes` moved of which `bytes_intra` stayed on-node, in the
+/// additive-discount form shared with [`crate::MachineModel::nic_j`]: a
+/// missing or degenerate hierarchy adds exactly `+0.0`.
+#[inline]
+fn nic_j(power: &NodePower, hierarchy: Option<&Hierarchy>, bytes: u64, bytes_intra: u64) -> f64 {
+    let flat = bytes as f64 * power.nic_j_per_byte;
+    match hierarchy {
+        Some(h) => flat + (h.nic_intra_j_per_byte - power.nic_j_per_byte) * bytes_intra as f64,
+        None => flat,
     }
 }
 
@@ -176,19 +225,32 @@ impl IpmiSampler {
         ranks_per_node: usize,
         num_nodes: usize,
     ) -> EnergyReport {
+        self.measure_hier(trace, power, None, ranks_per_node, num_nodes)
+    }
+
+    /// [`IpmiSampler::measure`] under an optional two-level machine
+    /// hierarchy, consistent with [`PowerTrace::exact_energy_hier`].
+    pub fn measure_hier(
+        &self,
+        trace: &PowerTrace,
+        power: &NodePower,
+        hierarchy: Option<&Hierarchy>,
+        ranks_per_node: usize,
+        num_nodes: usize,
+    ) -> EnergyReport {
         let mut per_node = vec![0.0; num_nodes];
         let mut t = 0.0;
         while t < trace.makespan {
             let dt = self.period_s.min(trace.makespan - t);
             for (node, e) in per_node.iter_mut().enumerate() {
-                *e += trace.power_at(node, t, power, ranks_per_node) * dt;
+                *e += trace.power_at_hier(node, t, power, hierarchy, ranks_per_node) * dt;
             }
             t += self.period_s;
         }
         // The sampler cannot attribute Joules to phases; reuse the exact
         // split for the comm share (the paper post-processes job phase
         // timestamps the same way).
-        let exact = trace.exact_energy(power, ranks_per_node, num_nodes);
+        let exact = trace.exact_energy_hier(power, hierarchy, ranks_per_node, num_nodes);
         let total: f64 = per_node.iter().sum();
         EnergyReport {
             per_node_j: per_node,
@@ -236,6 +298,7 @@ mod tests {
             t1: 10.0,
             kind: ActivityKind::Compute,
             bytes: 0,
+            bytes_intra: 0,
         });
         t.push(Interval {
             rank: 1,
@@ -243,6 +306,7 @@ mod tests {
             t1: 4.0,
             kind: ActivityKind::Compute,
             bytes: 0,
+            bytes_intra: 0,
         });
         t
     }
@@ -267,6 +331,7 @@ mod tests {
             t1: 7.0,
             kind: ActivityKind::Compute,
             bytes: 0,
+            bytes_intra: 0,
         });
         balanced.push(Interval {
             rank: 1,
@@ -274,6 +339,7 @@ mod tests {
             t1: 7.0,
             kind: ActivityKind::Compute,
             bytes: 0,
+            bytes_intra: 0,
         });
         let eb = balanced.exact_energy(&power(), 2, 1).total_j;
         let ei = simple_trace().exact_energy(&power(), 2, 1).total_j;
@@ -291,6 +357,7 @@ mod tests {
                 t1: 1.0,
                 kind: ActivityKind::Communication,
                 bytes,
+                bytes_intra: 0,
             });
             t.exact_energy(&p, 1, 1)
         };
@@ -326,6 +393,7 @@ mod tests {
             t1: 0.7,
             kind: ActivityKind::Compute,
             bytes: 0,
+            bytes_intra: 0,
         });
         let p = power();
         let exact = t.exact_energy(&p, 1, 1).total_j;
@@ -342,6 +410,7 @@ mod tests {
             t1: 5.0,
             kind: ActivityKind::Compute,
             bytes: 0,
+            bytes_intra: 0,
         });
         let p = power();
         // ranks_per_node = 2 → rank 3 is on node 1.

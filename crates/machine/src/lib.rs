@@ -39,7 +39,7 @@ pub mod model;
 pub mod perf;
 
 pub use energy::{ActivityKind, EnergyReport, IpmiSampler, NodePower, PowerTrace};
-pub use model::{AppModel, MachineModel};
+pub use model::{AppModel, Hierarchy, MachineModel};
 pub use perf::PerfModel;
 
 // Property-test suites need the external `proptest` crate, which the

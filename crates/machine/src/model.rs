@@ -2,6 +2,27 @@
 
 use crate::energy::NodePower;
 
+/// Two-level network hierarchy: the cost of a byte that never leaves its
+/// node (shared-memory transport, NUMA link or on-node switch) vs the flat
+/// inter-node figures carried by [`MachineModel`] itself.
+///
+/// The flat `tc`/`ts`/`tw` of the machine remain the *inter-node* values;
+/// a hierarchy only adds the cheaper intra-node figures. Every consumer is
+/// written in additive-discount form — `flat_cost + (intra − inter) ·
+/// intra_bytes` — so a *degenerate* hierarchy (intra == inter, see
+/// [`MachineModel::hierarchical_flat`]) contributes exactly `+0.0` and is
+/// bit-identical to no hierarchy at all. That identity is the
+/// `hierarchy-flattening` differential oracle of `optipart-testkit`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hierarchy {
+    /// Intra-node latency in seconds per message.
+    pub ts_intra: f64,
+    /// Intra-node slowness in seconds per byte.
+    pub tw_intra: f64,
+    /// NIC-bypass energy of an intra-node byte, joules per byte.
+    pub nic_intra_j_per_byte: f64,
+}
+
 /// Architectural parameters of a target machine.
 ///
 /// Units follow Table 1: `tc` and `tw` are *slownesses* in seconds per byte
@@ -23,6 +44,11 @@ pub struct MachineModel {
     pub ranks_per_node: usize,
     /// Node power envelope for the energy model.
     pub power: NodePower,
+    /// Optional two-level network model. `None` is the paper's flat machine;
+    /// `Some` makes Eq. (3) and the energy model topology-aware (heavy edges
+    /// that stay on-node cost `tw_intra`/`nic_intra` instead of the flat
+    /// inter-node figures).
+    pub hierarchy: Option<Hierarchy>,
 }
 
 impl MachineModel {
@@ -44,6 +70,7 @@ impl MachineModel {
                 peak_w: 350.0,
                 nic_j_per_byte: 0.3e-9,
             },
+            hierarchy: None,
         }
     }
 
@@ -64,6 +91,7 @@ impl MachineModel {
                 peak_w: 345.0,
                 nic_j_per_byte: 0.25e-9,
             },
+            hierarchy: None,
         }
     }
 
@@ -87,6 +115,7 @@ impl MachineModel {
                 peak_w: 300.0,
                 nic_j_per_byte: 6.0e-9,
             },
+            hierarchy: None,
         }
     }
 
@@ -104,6 +133,7 @@ impl MachineModel {
                 peak_w: 380.0,
                 nic_j_per_byte: 6.0e-9,
             },
+            hierarchy: None,
         }
     }
 
@@ -136,6 +166,87 @@ impl MachineModel {
                 peak_w: 330.0,
                 nic_j_per_byte: 1.0e-9,
             },
+            hierarchy: None,
+        }
+    }
+
+    /// Attaches a two-level hierarchy (builder style).
+    pub fn with_hierarchy(mut self, h: Hierarchy) -> Self {
+        self.hierarchy = Some(h);
+        self
+    }
+
+    /// The *degenerate* two-level machine: a hierarchy whose intra-node
+    /// figures equal the flat inter-node ones. Every hierarchy-aware cost is
+    /// written so this machine is bit-identical to the flat model — the
+    /// `hierarchy-flattening` oracle's contract.
+    pub fn hierarchical_flat(mut self) -> Self {
+        self.hierarchy = Some(Hierarchy {
+            ts_intra: self.ts,
+            tw_intra: self.tw,
+            nic_intra_j_per_byte: self.power.nic_j_per_byte,
+        });
+        self
+    }
+
+    /// An SMP-style hierarchy: shared-memory transport on-node. Power-of-two
+    /// discounts (`tw/64`, `ts/16`, `nic/16`) so `scaled()` with a
+    /// power-of-two factor stays bit-exact on the intra figures too.
+    pub fn hierarchical_smp(mut self) -> Self {
+        self.hierarchy = Some(Hierarchy {
+            ts_intra: self.ts / 16.0,
+            tw_intra: self.tw / 64.0,
+            nic_intra_j_per_byte: self.power.nic_j_per_byte / 16.0,
+        });
+        self
+    }
+
+    /// A NUMA-style hierarchy: a milder on-node discount (`tw/8`, `ts/4`,
+    /// `nic/4`) for machines whose intra-node fabric is itself a network.
+    pub fn hierarchical_numa(mut self) -> Self {
+        self.hierarchy = Some(Hierarchy {
+            ts_intra: self.ts / 4.0,
+            tw_intra: self.tw / 8.0,
+            nic_intra_j_per_byte: self.power.nic_j_per_byte / 4.0,
+        });
+        self
+    }
+
+    /// Effective intra-node wire slowness: `tw_intra` under a hierarchy,
+    /// the flat `tw` otherwise.
+    #[inline]
+    pub fn tw_intra(&self) -> f64 {
+        match &self.hierarchy {
+            Some(h) => h.tw_intra,
+            None => self.tw,
+        }
+    }
+
+    /// Topology-aware wire cost of `bytes_inter + bytes_intra` bytes in
+    /// seconds: the flat charge plus the intra-node discount. The additive
+    /// form makes a degenerate hierarchy (and no hierarchy) contribute an
+    /// exact `+0.0` discount, so flat and flattened machines charge
+    /// bit-identical costs.
+    #[inline]
+    pub fn comm_cost(&self, bytes_inter: u64, bytes_intra: u64) -> f64 {
+        let flat = self.tw * (bytes_inter + bytes_intra) as f64;
+        match &self.hierarchy {
+            Some(h) => flat + (h.tw_intra - self.tw) * bytes_intra as f64,
+            None => flat,
+        }
+    }
+
+    /// Topology-aware NIC energy of a transfer in joules: `bytes` total, of
+    /// which `bytes_intra` never left the node. Same additive-discount shape
+    /// as [`MachineModel::comm_cost`].
+    #[inline]
+    pub fn nic_j(&self, bytes: u64, bytes_intra: u64) -> f64 {
+        let flat = bytes as f64 * self.power.nic_j_per_byte;
+        match &self.hierarchy {
+            Some(h) => {
+                flat + (h.nic_intra_j_per_byte - self.power.nic_j_per_byte) * bytes_intra as f64
+            }
+            None => flat,
         }
     }
 
@@ -153,6 +264,13 @@ impl MachineModel {
             tw: self.tw * c,
             ranks_per_node: self.ranks_per_node,
             power: self.power,
+            // Intra-node *times* scale with the machine; per-byte energy
+            // stays put, like `power`.
+            hierarchy: self.hierarchy.map(|h| Hierarchy {
+                ts_intra: h.ts_intra * c,
+                tw_intra: h.tw_intra * c,
+                nic_intra_j_per_byte: h.nic_intra_j_per_byte,
+            }),
         }
     }
 
@@ -245,6 +363,50 @@ mod tests {
         assert_eq!(m.node_of(32), 1);
         assert_eq!(m.nodes_for(256), 8);
         assert_eq!(m.nodes_for(257), 9);
+    }
+
+    #[test]
+    fn degenerate_hierarchy_costs_are_bit_identical_to_flat() {
+        for m in MachineModel::presets() {
+            let d = m.clone().hierarchical_flat();
+            for (inter, intra) in [(0u64, 0u64), (1000, 0), (0, 1000), (123_457, 891)] {
+                assert_eq!(
+                    m.comm_cost(inter, intra).to_bits(),
+                    d.comm_cost(inter, intra).to_bits(),
+                    "{}: degenerate hierarchy drifted comm_cost",
+                    m.name
+                );
+                assert_eq!(
+                    m.nic_j(inter + intra, intra).to_bits(),
+                    d.nic_j(inter + intra, intra).to_bits(),
+                    "{}: degenerate hierarchy drifted nic_j",
+                    m.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smp_hierarchy_discounts_intra_traffic() {
+        let m = MachineModel::cloudlab_wisconsin().hierarchical_smp();
+        let all_inter = m.comm_cost(1_000_000, 0);
+        let all_intra = m.comm_cost(0, 1_000_000);
+        assert!(all_intra < all_inter / 32.0, "{all_intra} vs {all_inter}");
+        assert!(m.nic_j(1000, 1000) < m.nic_j(1000, 0));
+    }
+
+    #[test]
+    fn scaled_scales_intra_times_but_not_energy() {
+        let m = MachineModel::titan().hierarchical_numa();
+        let s = m.scaled(4.0);
+        let h = m.hierarchy.unwrap();
+        let hs = s.hierarchy.unwrap();
+        assert_eq!(hs.tw_intra.to_bits(), (h.tw_intra * 4.0).to_bits());
+        assert_eq!(hs.ts_intra.to_bits(), (h.ts_intra * 4.0).to_bits());
+        assert_eq!(
+            hs.nic_intra_j_per_byte.to_bits(),
+            h.nic_intra_j_per_byte.to_bits()
+        );
     }
 
     #[test]

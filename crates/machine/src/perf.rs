@@ -33,6 +33,27 @@ impl PerfModel {
             + self.machine.tw * (cmax as f64 * self.app.elem_bytes)
     }
 
+    /// Hierarchy-aware Eq. (3): the flat prediction plus the intra-node
+    /// discount on the `cmax_intra ≤ cmax` exchanged elements that never
+    /// leave the bottleneck rank's node,
+    /// `Tp = α·tc·Wmax·b + tw·Cmax·b + (tw_intra − tw)·Cmax_intra·b`.
+    ///
+    /// Written in additive-discount form so a machine with no hierarchy, or
+    /// a degenerate one (intra == inter), predicts bit-identically to
+    /// [`PerfModel::predict`] — the flattening contract every differential
+    /// oracle leans on.
+    #[inline]
+    pub fn predict_hier(&self, wmax: u64, cmax: u64, cmax_intra: u64) -> f64 {
+        debug_assert!(cmax_intra <= cmax, "intra exchange exceeds total");
+        let flat = self.predict(wmax, cmax);
+        match &self.machine.hierarchy {
+            Some(h) => {
+                flat + (h.tw_intra - self.machine.tw) * (cmax_intra as f64 * self.app.elem_bytes)
+            }
+            None => flat,
+        }
+    }
+
     /// Compute-only part of Eq. (3) — used by the engine to charge local
     /// work phases.
     #[inline]
@@ -86,6 +107,32 @@ mod tests {
         assert!(m.predict(2000, 100) > base);
         assert!(m.predict(1000, 200) > base);
         assert_eq!(m.predict(0, 0), 0.0);
+    }
+
+    #[test]
+    fn predict_hier_matches_flat_without_or_with_degenerate_hierarchy() {
+        let flat = model();
+        let degen = PerfModel::new(
+            MachineModel::cloudlab_wisconsin().hierarchical_flat(),
+            AppModel::laplacian_matvec(),
+        );
+        for (w, c, ci) in [(1000u64, 300u64, 0u64), (1000, 300, 300), (7, 5, 2)] {
+            let reference = flat.predict(w, c);
+            assert_eq!(flat.predict_hier(w, c, ci).to_bits(), reference.to_bits());
+            assert_eq!(degen.predict_hier(w, c, ci).to_bits(), reference.to_bits());
+        }
+    }
+
+    #[test]
+    fn predict_hier_rewards_on_node_exchange() {
+        let m = PerfModel::new(
+            MachineModel::cloudlab_wisconsin().hierarchical_smp(),
+            AppModel::laplacian_matvec(),
+        );
+        let none_on_node = m.predict_hier(1000, 300, 0);
+        let all_on_node = m.predict_hier(1000, 300, 300);
+        assert!(all_on_node < none_on_node);
+        assert_eq!(none_on_node.to_bits(), m.predict(1000, 300).to_bits());
     }
 
     #[test]

@@ -43,13 +43,13 @@ proptest! {
                                  bytes in 0u64..1_000_000_000) {
         let whole = {
             let mut t = PowerTrace::default();
-            t.push(Interval { rank: 0, t0: 0.0, t1: dur, kind: ActivityKind::Communication, bytes });
+            t.push(Interval { rank: 0, t0: 0.0, t1: dur, kind: ActivityKind::Communication, bytes, bytes_intra: 0 });
             t.exact_energy(&p, 1, 1).total_j
         };
         let halves = {
             let mut t = PowerTrace::default();
-            t.push(Interval { rank: 0, t0: 0.0, t1: dur / 2.0, kind: ActivityKind::Communication, bytes: bytes / 2 });
-            t.push(Interval { rank: 0, t0: dur / 2.0, t1: dur, kind: ActivityKind::Communication, bytes: bytes - bytes / 2 });
+            t.push(Interval { rank: 0, t0: 0.0, t1: dur / 2.0, kind: ActivityKind::Communication, bytes: bytes / 2, bytes_intra: 0 });
+            t.push(Interval { rank: 0, t0: dur / 2.0, t1: dur, kind: ActivityKind::Communication, bytes: bytes - bytes / 2, bytes_intra: 0 });
             t.exact_energy(&p, 1, 1).total_j
         };
         prop_assert!((whole - halves).abs() <= 1e-9 * (1.0 + whole.abs()));
@@ -60,7 +60,7 @@ proptest! {
     #[test]
     fn sampler_error_bounded(dur in 0.05f64..20.0, start in 0.0f64..5.0, p in power()) {
         let mut t = PowerTrace::default();
-        t.push(Interval { rank: 0, t0: start, t1: start + dur, kind: ActivityKind::Compute, bytes: 0 });
+        t.push(Interval { rank: 0, t0: start, t1: start + dur, kind: ActivityKind::Compute, bytes: 0, bytes_intra: 0 });
         let exact = t.exact_energy(&p, 1, 1).total_j;
         let sampled = IpmiSampler { period_s: 1.0 }.measure(&t, &p, 1, 1).total_j;
         let bound = (p.peak_w - p.idle_w) * 1.0 + p.idle_w * 1.0 + 1e-6;

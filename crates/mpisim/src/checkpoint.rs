@@ -282,10 +282,20 @@ impl Engine {
         self.stats.bytes_total += total;
         self.stats.msgs_total += self.p as u64;
         for r in 0..self.p {
+            let succ = (r + 1) % self.p;
+            let pred = (r + self.p - 1) % self.p;
             let sent = bytes[r];
-            let recv = bytes[(r + self.p - 1) % self.p];
+            let recv = bytes[pred];
+            let mut intra = 0;
+            if self.same_node(r, succ) {
+                intra += sent;
+                self.stats.bytes_intra += sent;
+            }
+            if self.same_node(r, pred) {
+                intra += recv;
+            }
             let cost = tc * sent as f64 + ts + self.effective_tw(r) * (sent + recv) as f64;
-            self.charge_comm(r, t0, cost, sent + recv);
+            self.charge_comm(r, t0, cost, sent + recv, intra);
         }
         self.makespan() - t0
     }
@@ -304,8 +314,10 @@ impl Engine {
         self.stats.msgs_total += self.p as u64;
         let share = lost_bytes as f64 / self.p as f64;
         for (r, &local) in local_bytes.iter().enumerate() {
+            // Re-fetched shares come from arbitrary partners; model as
+            // inter-node traffic.
             let cost = tc * local as f64 + ts + self.effective_tw(r) * share;
-            self.charge_comm(r, t0, cost, share as u64);
+            self.charge_comm(r, t0, cost, share as u64, 0);
         }
         self.makespan() - t0
     }

@@ -85,6 +85,10 @@ pub(crate) struct CollectiveScratch {
     routes: Vec<RouteVol>,
     send_bytes: Vec<u64>,
     recv_bytes: Vec<u64>,
+    /// Of `send_bytes`/`recv_bytes`, the share whose peer lives on the same
+    /// node — charged at the intra-node rate under a hierarchical machine.
+    send_intra: Vec<u64>,
+    recv_intra: Vec<u64>,
     out_msgs: Vec<u64>,
     in_msgs: Vec<u64>,
     /// Per-stage holder/partner volumes of the hypercube walk.
@@ -111,6 +115,8 @@ impl CollectiveScratch {
         if self.send_bytes.len() < p {
             self.send_bytes.resize(p, 0);
             self.recv_bytes.resize(p, 0);
+            self.send_intra.resize(p, 0);
+            self.recv_intra.resize(p, 0);
             self.out_msgs.resize(p, 0);
             self.in_msgs.resize(p, 0);
             self.stage_sent.resize(p, 0);
@@ -418,10 +424,18 @@ impl Engine {
                     }
                 }
             }
-            self.charge_comm(r, t0, cost, s.send_bytes[r] + s.recv_bytes[r]);
+            self.charge_comm(
+                r,
+                t0,
+                cost,
+                s.send_bytes[r] + s.recv_bytes[r],
+                s.send_intra[r] + s.recv_intra[r],
+            );
             s.cost[r] = 0.0;
             s.send_bytes[r] = 0;
             s.recv_bytes[r] = 0;
+            s.send_intra[r] = 0;
+            s.recv_intra[r] = 0;
             s.out_msgs[r] = 0;
             s.in_msgs[r] = 0;
         }
@@ -456,7 +470,7 @@ impl Engine {
         self.stats.collectives += 1;
         self.stats.msgs_total += (self.p as u64) * self.log_p() as u64;
         for r in 0..self.p {
-            self.charge_comm(r, t0, cost, 0);
+            self.charge_comm(r, t0, cost, 0, 0);
         }
     }
 
@@ -472,9 +486,11 @@ impl Engine {
         let moved = bytes_per_rank * self.p as u64 * logp as u64;
         self.stats.msgs_total += self.p as u64 * logp as u64;
         self.stats.bytes_total += moved;
+        // Tree collectives span the whole machine; their up/down sweeps are
+        // modeled as inter-node traffic (no intra discount).
         for r in 0..self.p {
             let cost = logp * (ts + self.effective_tw(r) * bytes_per_rank as f64);
-            self.charge_comm(r, t0, cost, bytes_per_rank * logp as u64);
+            self.charge_comm(r, t0, cost, bytes_per_rank * logp as u64, 0);
         }
     }
 
@@ -580,7 +596,7 @@ impl Engine {
         self.stats.bytes_total += total * logp as u64;
         for r in 0..self.p {
             let cost = logp * ts + self.effective_tw(r) * total as f64;
-            self.charge_comm(r, t0, cost, total);
+            self.charge_comm(r, t0, cost, total, 0);
         }
         let mut out = Vec::with_capacity((total / elem.max(1)) as usize);
         for c in contribs {
@@ -622,6 +638,11 @@ impl Engine {
                 let b = buf.len() as u64 * elem;
                 s.send_bytes[src] += b;
                 s.recv_bytes[dst] += b;
+                if self.same_node(src, dst) {
+                    s.send_intra[src] += b;
+                    s.recv_intra[dst] += b;
+                    self.stats.bytes_intra += b;
+                }
                 s.out_msgs[src] += 1;
                 s.in_msgs[dst] += 1;
                 if algo == AllToAllAlgo::Hypercube {
@@ -737,6 +758,11 @@ impl Engine {
                 let b = buf.len() as u64 * elem;
                 s.send_bytes[src] += b;
                 s.recv_bytes[*dst] += b;
+                if self.same_node(src, *dst) {
+                    s.send_intra[src] += b;
+                    s.recv_intra[*dst] += b;
+                    self.stats.bytes_intra += b;
+                }
                 s.out_msgs[src] += 1;
                 s.in_msgs[*dst] += 1;
                 if algo == AllToAllAlgo::Hypercube {
@@ -837,6 +863,11 @@ impl Engine {
             let b = seg.len as u64 * elem;
             s.send_bytes[src] += b;
             s.recv_bytes[dst] += b;
+            if self.same_node(src, dst) {
+                s.send_intra[src] += b;
+                s.recv_intra[dst] += b;
+                self.stats.bytes_intra += b;
+            }
             s.out_msgs[src] += 1;
             s.in_msgs[dst] += 1;
             if algo == AllToAllAlgo::Hypercube {
@@ -942,6 +973,11 @@ impl Engine {
                     let b = cnt * elem;
                     s.send_bytes[src] += b;
                     s.recv_bytes[d] += b;
+                    if self.same_node(src, d) {
+                        s.send_intra[src] += b;
+                        s.recv_intra[d] += b;
+                        self.stats.bytes_intra += b;
+                    }
                     s.out_msgs[src] += 1;
                     s.in_msgs[d] += 1;
                     if algo == AllToAllAlgo::Hypercube {

@@ -217,6 +217,14 @@ impl Engine {
         }
     }
 
+    /// Whether live slots `src` and `dst` are placed on the same node
+    /// (placement is keyed on original rank ids through `tracks`).
+    #[inline]
+    pub(crate) fn same_node(&self, src: usize, dst: usize) -> bool {
+        let m = &self.perf.machine;
+        m.node_of(self.tracks[src]) == m.node_of(self.tracks[dst])
+    }
+
     /// Enables rank×rank communication-matrix recording (§5.5 metrics).
     pub fn record_comm_matrix(mut self) -> Self {
         self.comm_matrix = Some(CommMatrix::new(self.p));
@@ -441,7 +449,7 @@ impl Engine {
         self.stats.deaths += 1;
         for s in 0..self.p {
             if s != slot {
-                self.charge_comm(s, t_sync, timeout, 0);
+                self.charge_comm(s, t_sync, timeout, 0, 0);
             }
         }
         let death = RankDeath {
@@ -592,14 +600,24 @@ impl Engine {
                 t1,
                 kind: ActivityKind::Compute,
                 bytes: 0,
+                bytes_intra: 0,
             });
         }
         self.tracer.record_compute(track, t0, t1, bytes as u64);
     }
 
     /// Charges a communication interval `(t0, t0+secs)` carrying `bytes` to
-    /// `rank`.
-    pub(crate) fn charge_comm(&mut self, rank: usize, t0: f64, secs: f64, bytes: u64) {
+    /// `rank`, of which `bytes_intra ≤ bytes` never left the rank's node
+    /// (charged at the intra-node NIC rate when the machine is hierarchical).
+    pub(crate) fn charge_comm(
+        &mut self,
+        rank: usize,
+        t0: f64,
+        secs: f64,
+        bytes: u64,
+        bytes_intra: u64,
+    ) {
+        debug_assert!(bytes_intra <= bytes, "intra bytes exceed total");
         let t1 = t0 + secs;
         if self.audit {
             assert!(
@@ -617,7 +635,7 @@ impl Engine {
         let machine = &self.perf.machine;
         let node = machine.node_of(track);
         let dyn_w = machine.power.dynamic_per_rank_w(machine.ranks_per_node);
-        let j = COMM_CORE_FRACTION * dyn_w * secs + bytes as f64 * machine.power.nic_j_per_byte;
+        let j = COMM_CORE_FRACTION * dyn_w * secs + machine.nic_j(bytes, bytes_intra);
         self.node_dynamic_j[node] += j;
         self.comm_j += j;
         if let Some(trace) = &mut self.trace {
@@ -627,9 +645,10 @@ impl Engine {
                 t1,
                 kind: ActivityKind::Communication,
                 bytes,
+                bytes_intra,
             });
         }
-        self.tracer.record_comm(track, t0, t1, bytes);
+        self.tracer.record_comm(track, t0, t1, bytes, bytes_intra);
     }
 
     /// `ceil(log2 p)` with the convention `log2 1 = 1` (a lone rank still

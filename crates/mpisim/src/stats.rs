@@ -124,6 +124,10 @@ impl CommMatrix {
 pub struct RunStats {
     /// Total bytes moved over the (virtual) network.
     pub bytes_total: u64,
+    /// Of [`RunStats::bytes_total`], bytes whose source and destination rank
+    /// live on the same node (always tracked; the hierarchical machine model
+    /// charges them at the intra-node rate).
+    pub bytes_intra: u64,
     /// Total point-to-point messages (collectives count their constituent
     /// messages under the chosen algorithm's schedule).
     pub msgs_total: u64,

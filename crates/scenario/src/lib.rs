@@ -20,7 +20,7 @@ use optipart_octree::{
     sample_points, sample_points_shell, sample_points_skewed, tree_from_points, Distribution,
     LinearTree,
 };
-use optipart_sfc::{Curve, Point};
+use optipart_sfc::{Curve, Point, MAX_DEPTH};
 use std::fmt;
 
 /// Mesh shape classes the generator draws from — the paper's §4.2
@@ -105,6 +105,163 @@ impl AppKind {
     }
 }
 
+/// Two-level machine hierarchy presets the generator draws from
+/// (Mohanamuraly & Staffelbach's machine-aware partitioning: intra-node
+/// transport is much cheaper than the NIC).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HierKind {
+    /// Flat machine — no hierarchy (the paper's original model).
+    None,
+    /// Degenerate hierarchy: intra == inter figures. Must be bit-identical
+    /// to [`HierKind::None`] (the `hierarchy-flattening` oracle's contract).
+    Flat,
+    /// SMP-style shared-memory node: `tw/64`, `ts/16`, `nic/16` on-node.
+    Smp,
+    /// NUMA-style node whose internal fabric is itself a network:
+    /// `tw/8`, `ts/4`, `nic/4` on-node.
+    Numa,
+}
+
+impl HierKind {
+    /// All generated hierarchy kinds.
+    pub const ALL: [HierKind; 4] = [
+        HierKind::None,
+        HierKind::Flat,
+        HierKind::Smp,
+        HierKind::Numa,
+    ];
+
+    /// Canonical name, as accepted by `testkit replay --hier`.
+    pub fn name(self) -> &'static str {
+        match self {
+            HierKind::None => "none",
+            HierKind::Flat => "flat",
+            HierKind::Smp => "smp",
+            HierKind::Numa => "numa",
+        }
+    }
+
+    /// Inverse of [`HierKind::name`].
+    pub fn parse(s: &str) -> Option<HierKind> {
+        HierKind::ALL.into_iter().find(|h| h.name() == s)
+    }
+
+    /// Applies the hierarchy preset to a flat machine model.
+    pub fn apply(self, m: MachineModel) -> MachineModel {
+        match self {
+            HierKind::None => m,
+            HierKind::Flat => m.hierarchical_flat(),
+            HierKind::Smp => m.hierarchical_smp(),
+            HierKind::Numa => m.hierarchical_numa(),
+        }
+    }
+}
+
+/// Element families beyond octree hexahedra, modeled by expanding each hex
+/// leaf into family-shaped sub-elements keyed along the same generalized SFC
+/// (the t8code construction: tets and prisms get their own refinement
+/// pattern but share the curve, Holke arXiv 1803.04970).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElemFamily {
+    /// Plain octree hexahedra — the leaves as generated.
+    Hex,
+    /// Six tetrahedra per hex (the standard hex→tet split), modeled as six
+    /// of the eight child octants carrying one tet key each.
+    Tet,
+    /// Two prisms per hex, modeled as the first/last child octant keys.
+    Prism,
+    /// Per-leaf mix of the three families, chosen by a hash of the leaf
+    /// cell — the unstructured-hybrid regime.
+    Hybrid,
+}
+
+impl ElemFamily {
+    /// All generated element families.
+    pub const ALL: [ElemFamily; 4] = [
+        ElemFamily::Hex,
+        ElemFamily::Tet,
+        ElemFamily::Prism,
+        ElemFamily::Hybrid,
+    ];
+
+    /// Canonical name, as accepted by `testkit replay --family`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ElemFamily::Hex => "hex",
+            ElemFamily::Tet => "tet",
+            ElemFamily::Prism => "prism",
+            ElemFamily::Hybrid => "hybrid",
+        }
+    }
+
+    /// Inverse of [`ElemFamily::name`].
+    pub fn parse(s: &str) -> Option<ElemFamily> {
+        ElemFamily::ALL.into_iter().find(|f| f.name() == s)
+    }
+}
+
+/// Time evolution of the workload across AMR steps — the dimension that
+/// stresses the warm-start replay path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workload {
+    /// The mesh never changes: every step is a warm exact hit after the
+    /// first.
+    Static,
+    /// A refinement front advected by exact half-domain lattice
+    /// translations: step `t` translates the point cloud by `(1<<29)`
+    /// along axis `d` iff bit `d` of `t` is set (wrapping mod `1<<30`),
+    /// so the mesh is a cell-exact permutation of the base with period 8.
+    MovingFront {
+        /// Suggested number of AMR steps a driver should run.
+        steps: u32,
+    },
+    /// A boundary layer growing on the `z = 0` face: each step deepens the
+    /// face-layer refinement cap by one level until `steps`, after which
+    /// the mesh freezes.
+    BoundaryLayer {
+        /// Steps over which the layer grows (then the mesh stops changing).
+        steps: u32,
+    },
+}
+
+impl Workload {
+    /// Canonical encoding, as accepted by `testkit replay --workload`:
+    /// `static`, `front<steps>`, `blayer<steps>`.
+    pub fn encode(self) -> String {
+        match self {
+            Workload::Static => "static".into(),
+            Workload::MovingFront { steps } => format!("front{steps}"),
+            Workload::BoundaryLayer { steps } => format!("blayer{steps}"),
+        }
+    }
+
+    /// Inverse of [`Workload::encode`].
+    pub fn parse(s: &str) -> Option<Workload> {
+        if s == "static" {
+            return Some(Workload::Static);
+        }
+        if let Some(n) = s.strip_prefix("front") {
+            return n.parse().ok().map(|steps| Workload::MovingFront { steps });
+        }
+        if let Some(n) = s.strip_prefix("blayer") {
+            return n
+                .parse()
+                .ok()
+                .map(|steps| Workload::BoundaryLayer { steps });
+        }
+        None
+    }
+
+    /// Number of AMR steps a driver should run for this workload (1 for
+    /// static scenarios).
+    pub fn suggested_steps(self) -> usize {
+        match self {
+            Workload::Static => 1,
+            Workload::MovingFront { steps } | Workload::BoundaryLayer { steps } => steps as usize,
+        }
+    }
+}
+
 /// Independent RNG streams forked off the scenario seed. Points and fault
 /// schedules must not share a stream with the field derivation, or a field
 /// override would silently reshuffle everything downstream.
@@ -142,6 +299,12 @@ pub struct Scenario {
     /// Benign fault plan (stragglers / jitter / transient all-to-all
     /// failures — never fail-stop; oracles add kills themselves).
     pub faults: Option<FaultPlan>,
+    /// Machine hierarchy preset applied on top of [`Scenario::machine`].
+    pub hier: HierKind,
+    /// Element family the hex leaves expand into.
+    pub family: ElemFamily,
+    /// Time evolution of the mesh across AMR steps.
+    pub workload: Workload,
 }
 
 impl Scenario {
@@ -185,6 +348,29 @@ impl Scenario {
                     .with_transient_failures(0.1 * r.next_f64()),
             )
         };
+        // New dimensions draw strictly AFTER every pre-existing field, so
+        // old seeds reproduce their old scenarios field-for-field.
+        let hier = match r.next_below(8) {
+            0..=3 => HierKind::None,
+            4 => HierKind::Flat,
+            5 | 6 => HierKind::Smp,
+            _ => HierKind::Numa,
+        };
+        let family = match r.next_below(8) {
+            0..=4 => ElemFamily::Hex,
+            5 => ElemFamily::Tet,
+            6 => ElemFamily::Prism,
+            _ => ElemFamily::Hybrid,
+        };
+        let workload = match r.next_below(8) {
+            0..=5 => Workload::Static,
+            6 => Workload::MovingFront {
+                steps: 4 + r.next_below(5) as u32,
+            },
+            _ => Workload::BoundaryLayer {
+                steps: 3 + r.next_below(4) as u32,
+            },
+        };
         Scenario {
             seed,
             shape,
@@ -196,6 +382,9 @@ impl Scenario {
             machine,
             app,
             faults,
+            hier,
+            family,
+            workload,
         }
     }
 
@@ -214,9 +403,87 @@ impl Scenario {
         }
     }
 
-    /// The scenario's adaptive linear octree.
+    /// The point cloud at AMR step `t`: the base cloud, translated by the
+    /// workload's exact lattice vector for moving-front scenarios. Adding
+    /// `1<<29` mod `1<<30` is a single-bit flip, so the translation is
+    /// exact and the step-`t` octree is a cell permutation of the base.
+    pub fn points_at(&self, t: usize) -> Vec<Point<3>> {
+        let mut pts = self.points();
+        if matches!(self.workload, Workload::MovingFront { .. }) && !t.is_multiple_of(8) {
+            const HALF: u32 = 1 << (MAX_DEPTH - 1);
+            for p in &mut pts {
+                for (d, c) in p.iter_mut().enumerate() {
+                    if (t >> d) & 1 == 1 {
+                        *c ^= HALF;
+                    }
+                }
+            }
+        }
+        pts
+    }
+
+    /// The scenario's adaptive linear mesh (element family applied).
+    /// Equals [`Scenario::mesh_at`]`(0)` by construction.
     pub fn build_tree(&self) -> LinearTree<3> {
-        tree_from_points(&self.points(), 1, 12, self.curve)
+        self.mesh_at(0)
+    }
+
+    /// The mesh at AMR step `t`. `mesh_at(0)` is always the base mesh; for
+    /// [`Workload::Static`] every step returns it unchanged, a moving front
+    /// permutes it by lattice translation (period 8), and a boundary layer
+    /// deepens the `z = 0` face refinement until the workload's step cap.
+    pub fn mesh_at(&self, t: usize) -> LinearTree<3> {
+        let base = match self.workload {
+            Workload::MovingFront { .. } => tree_from_points(&self.points_at(t), 1, 12, self.curve),
+            Workload::BoundaryLayer { steps } if t > 0 => {
+                // One extra face-layer level per step, capped so adversarial
+                // draws cannot blow the leaf count up past test scale.
+                let cap = (1 + t.min(steps as usize)).min(6) as u8;
+                tree_from_points(&self.points(), 1, 12, self.curve)
+                    .refine_where(|c| c.anchor()[2] == 0, cap)
+            }
+            _ => tree_from_points(&self.points(), 1, 12, self.curve),
+        };
+        self.apply_family(base)
+    }
+
+    /// Expands hex leaves into the scenario's element family (identity for
+    /// [`ElemFamily::Hex`]). Sub-elements are keyed along the same curve as
+    /// child octants of the leaf — the generalized-SFC construction.
+    fn apply_family(&self, tree: LinearTree<3>) -> LinearTree<3> {
+        if self.family == ElemFamily::Hex {
+            return tree;
+        }
+        let mut cells = Vec::with_capacity(tree.len() * 2);
+        for kc in tree.leaves() {
+            let kind = match self.family {
+                ElemFamily::Hex => unreachable!(),
+                ElemFamily::Tet => 1,
+                ElemFamily::Prism => 2,
+                ElemFamily::Hybrid => {
+                    // Per-leaf family choice from the leaf identity alone,
+                    // so the mix is stable under re-distribution.
+                    let h = (kc.key.path() as u64)
+                        ^ ((kc.key.path() >> 64) as u64).rotate_left(31)
+                        ^ ((kc.key.level() as u64) << 56);
+                    SplitMix64::new(h).next_below(3)
+                }
+            };
+            let c = kc.cell;
+            if kind == 0 || c.level() >= MAX_DEPTH {
+                cells.push(c);
+            } else if kind == 1 {
+                // Hex → 6 tets: six child octant keys carry one tet each.
+                for i in 1..7 {
+                    cells.push(c.child(i));
+                }
+            } else {
+                // Hex → 2 prisms: the curve-extremal child octant keys.
+                cells.push(c.child(0));
+                cells.push(c.child(7));
+            }
+        }
+        LinearTree::from_cells(cells, self.curve)
     }
 
     /// Seed for shuffled initial distributions (`stream_id` decorrelates
@@ -228,9 +495,14 @@ impl Scenario {
             .next_u64()
     }
 
-    /// The machine+application performance model.
+    /// The machine with the scenario's hierarchy preset applied.
+    pub fn machine_model(&self) -> MachineModel {
+        self.hier.apply(self.machine.clone())
+    }
+
+    /// The machine+application performance model (hierarchy included).
     pub fn perf(&self) -> PerfModel {
-        PerfModel::new(self.machine.clone(), self.app.model())
+        PerfModel::new(self.machine_model(), self.app.model())
     }
 
     /// A fresh fault-free engine.
@@ -300,6 +572,15 @@ impl Scenario {
             }
             _ => {}
         }
+        if self.hier != base.hier {
+            cmd += &format!(" --hier {}", self.hier.name());
+        }
+        if self.family != base.family {
+            cmd += &format!(" --family {}", self.family.name());
+        }
+        if self.workload != base.workload {
+            cmd += &format!(" --workload {}", self.workload.encode());
+        }
         cmd
     }
 }
@@ -325,7 +606,8 @@ impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "seed={} shape={} n={} p={} curve={} tol={} budget={} machine={} app={} faults={}",
+            "seed={} shape={} n={} p={} curve={} tol={} budget={} machine={} app={} faults={} \
+             hier={} family={} workload={}",
             self.seed,
             self.shape.name(),
             self.n,
@@ -342,6 +624,142 @@ impl fmt::Display for Scenario {
                 Some(plan) => plan.to_string(),
                 None => "none".into(),
             },
+            self.hier.name(),
+            self.family.name(),
+            self.workload.encode(),
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every enum dimension's canonical name must survive a parse
+    /// round-trip — these strings are the replay/corpus wire format.
+    #[test]
+    fn dimension_names_round_trip() {
+        for s in MeshShape::ALL {
+            assert_eq!(MeshShape::parse(s.name()), Some(s));
+        }
+        for h in HierKind::ALL {
+            assert_eq!(HierKind::parse(h.name()), Some(h));
+        }
+        for f in ElemFamily::ALL {
+            assert_eq!(ElemFamily::parse(f.name()), Some(f));
+        }
+        for a in [AppKind::Laplacian, AppKind::Wave] {
+            assert_eq!(AppKind::parse(a.name()), Some(a));
+        }
+        for c in [Curve::Morton, Curve::Hilbert] {
+            assert_eq!(parse_curve(curve_name(c)), Some(c));
+        }
+        for w in [
+            Workload::Static,
+            Workload::MovingFront { steps: 7 },
+            Workload::BoundaryLayer { steps: 3 },
+        ] {
+            assert_eq!(Workload::parse(&w.encode()), Some(w));
+        }
+        assert_eq!(Workload::parse("front"), None);
+        assert_eq!(Workload::parse("sideways4"), None);
+    }
+
+    /// The new dimensions draw strictly after every pre-existing field, so
+    /// seeds from before the hierarchy PR must reproduce the same mesh —
+    /// and overriding a new dimension must not reshuffle the point stream.
+    #[test]
+    fn point_stream_is_independent_of_new_dimensions() {
+        for seed in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let base = Scenario::from_seed(seed);
+            let mut overridden = base.clone();
+            overridden.hier = HierKind::Smp;
+            overridden.family = base.family; // family changes the mesh, not the points
+            overridden.workload = Workload::MovingFront { steps: 8 };
+            assert_eq!(base.points(), overridden.points(), "seed {seed}");
+        }
+    }
+
+    /// `build_tree` is `mesh_at(0)`; a static workload never changes the
+    /// mesh; a moving front returns to the base mesh at its period.
+    #[test]
+    fn mesh_evolution_contracts() {
+        let mut scn = Scenario::from_seed(0x175);
+        scn.n = 150;
+        scn.workload = Workload::Static;
+        let base = scn.build_tree();
+        assert_eq!(base.leaves(), scn.mesh_at(0).leaves());
+        assert_eq!(base.leaves(), scn.mesh_at(5).leaves());
+
+        scn.workload = Workload::MovingFront { steps: 9 };
+        let front_base = scn.mesh_at(0);
+        assert_eq!(front_base.leaves(), scn.build_tree().leaves());
+        assert_ne!(front_base.leaves(), scn.mesh_at(1).leaves());
+        assert_eq!(front_base.leaves(), scn.mesh_at(8).leaves());
+        assert_eq!(scn.mesh_at(3).leaves(), scn.mesh_at(11).leaves());
+
+        scn.workload = Workload::BoundaryLayer { steps: 2 };
+        let l0 = scn.mesh_at(0);
+        // By the step cap the face layer must have refined past the base
+        // mesh (early steps can be no-ops when the face is already finer
+        // than the step's level cap), and past the cap the mesh freezes.
+        let capped = scn.mesh_at(2);
+        assert!(capped.len() > l0.len(), "the boundary layer must refine");
+        assert_eq!(capped.leaves(), scn.mesh_at(6).leaves());
+    }
+
+    /// A pristine scenario replays from the seed alone; overridden new
+    /// dimensions (and only those) appear as flags, spelled exactly as the
+    /// testkit CLI accepts them.
+    #[test]
+    fn replay_cmd_encodes_exactly_the_overrides() {
+        let seed = 0xC0FFEE;
+        let base = Scenario::from_seed(seed);
+        assert!(
+            base.replay_cmd().ends_with(&format!("--seed {seed}")),
+            "pristine scenario must replay from the seed alone: {}",
+            base.replay_cmd()
+        );
+
+        let mut scn = base.clone();
+        scn.hier = if base.hier == HierKind::Numa {
+            HierKind::Smp
+        } else {
+            HierKind::Numa
+        };
+        scn.family = if base.family == ElemFamily::Tet {
+            ElemFamily::Prism
+        } else {
+            ElemFamily::Tet
+        };
+        scn.workload = Workload::BoundaryLayer { steps: 5 };
+        let cmd = scn.replay_cmd();
+        assert!(
+            cmd.contains(&format!(" --hier {}", scn.hier.name())),
+            "{cmd}"
+        );
+        assert!(
+            cmd.contains(&format!(" --family {}", scn.family.name())),
+            "{cmd}"
+        );
+        assert!(cmd.contains(" --workload blayer5"), "{cmd}");
+        assert!(
+            !cmd.contains("--shape"),
+            "un-overridden fields must stay out: {cmd}"
+        );
+    }
+
+    /// The hierarchy presets applied by `machine_model` keep the flat
+    /// figures untouched and only attach (or don't) a `Hierarchy`.
+    #[test]
+    fn machine_model_applies_hier_preset() {
+        let mut scn = Scenario::from_seed(9);
+        scn.hier = HierKind::None;
+        assert!(scn.machine_model().hierarchy.is_none());
+        scn.hier = HierKind::Smp;
+        let m = scn.machine_model();
+        let h = m.hierarchy.as_ref().expect("smp attaches a hierarchy");
+        assert_eq!(m.tw, scn.machine.tw);
+        assert!(h.tw_intra < m.tw);
     }
 }

@@ -15,7 +15,9 @@
 use crate::Payload;
 use optipart_machine::MachineModel;
 use optipart_mpisim::FaultPlan;
-use optipart_scenario::{curve_name, parse_curve, AppKind, MeshShape, Scenario};
+use optipart_scenario::{
+    curve_name, parse_curve, AppKind, ElemFamily, HierKind, MeshShape, Scenario, Workload,
+};
 use std::fmt::Write as _;
 
 /// One partition request: a replayable scenario plus service metadata.
@@ -72,9 +74,12 @@ impl Request {
         }
         let _ = write!(
             out,
-            "\"machine\":\"{}\",\"app\":\"{}\",\"faults\":",
+            "\"machine\":\"{}\",\"app\":\"{}\",\"hier\":\"{}\",\"family\":\"{}\",\"workload\":\"{}\",\"faults\":",
             s.machine.name,
-            s.app.name()
+            s.app.name(),
+            s.hier.name(),
+            s.family.name(),
+            s.workload.encode(),
         );
         match &s.faults {
             Some(plan) => {
@@ -133,6 +138,17 @@ impl Request {
         }
         if let Some(name) = f.str("app")? {
             scn.app = AppKind::parse(name).ok_or_else(|| format!("unknown app '{name}'"))?;
+        }
+        if let Some(name) = f.str("hier")? {
+            scn.hier = HierKind::parse(name).ok_or_else(|| format!("unknown hier '{name}'"))?;
+        }
+        if let Some(name) = f.str("family")? {
+            scn.family =
+                ElemFamily::parse(name).ok_or_else(|| format!("unknown family '{name}'"))?;
+        }
+        if let Some(name) = f.str("workload")? {
+            scn.workload =
+                Workload::parse(name).ok_or_else(|| format!("unknown workload '{name}'"))?;
         }
         match f.get("faults") {
             None => {}
@@ -564,6 +580,63 @@ mod tests {
         assert_eq!(req.scn.tolerance, 0.3);
         assert_eq!(req.scn.split_budget, None);
         assert!(req.scn.faults.is_none());
+    }
+
+    #[test]
+    fn hierarchy_and_mesh_family_fields_roundtrip() {
+        // Overridden hier/family/workload must survive the wire in both
+        // directions: encode → parse and parse → encode.
+        let mut scn = Scenario::from_seed(11);
+        scn.hier = HierKind::Smp;
+        scn.family = ElemFamily::Hybrid;
+        scn.workload = Workload::MovingFront { steps: 6 };
+        let req = Request {
+            id: 3,
+            scn,
+            deadline_s: None,
+        };
+        let back = Request::from_json(&req.to_json()).expect("roundtrip");
+        assert_eq!(back.scn.hier, HierKind::Smp);
+        assert_eq!(back.scn.family, ElemFamily::Hybrid);
+        assert_eq!(back.scn.workload, Workload::MovingFront { steps: 6 });
+        assert_eq!(back.key(), req.key());
+
+        let parsed = Request::from_json(
+            "{\"id\":4,\"seed\":11,\"hier\":\"numa\",\"family\":\"tet\",\"workload\":\"blayer3\"}",
+        )
+        .unwrap();
+        assert_eq!(parsed.scn.hier, HierKind::Numa);
+        assert_eq!(parsed.scn.family, ElemFamily::Tet);
+        assert_eq!(parsed.scn.workload, Workload::BoundaryLayer { steps: 3 });
+        let reparsed = Request::from_json(&parsed.to_json()).unwrap();
+        assert_eq!(reparsed.key(), parsed.key());
+
+        for bad in [
+            "{\"id\":1,\"seed\":2,\"hier\":\"torus\"}",
+            "{\"id\":1,\"seed\":2,\"family\":\"pyramid\"}",
+            "{\"id\":1,\"seed\":2,\"workload\":\"front\"}",
+        ] {
+            assert!(Request::from_json(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn old_request_lines_without_new_fields_still_parse() {
+        // Pre-hierarchy clients omit hier/family/workload entirely — the
+        // parse must fall back to the seed derivation, and unknown fields
+        // from *newer* clients must be ignored rather than rejected.
+        let old = Request::from_json(
+            "{\"id\":9,\"seed\":321,\"p\":4,\"machine\":\"titan\",\"faults\":null}",
+        )
+        .unwrap();
+        let derived = Scenario::from_seed(321);
+        assert_eq!(old.scn.hier, derived.hier);
+        assert_eq!(old.scn.family, derived.family);
+        assert_eq!(old.scn.workload, derived.workload);
+
+        let future =
+            Request::from_json("{\"id\":9,\"seed\":321,\"coolant\":\"liquid\",\"zz\":1}").unwrap();
+        assert_eq!(future.scn.to_string(), derived.to_string());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! * one persistent warm [`PartitionState`] **per rank count** `p` (states
 //!   are fingerprint-invalidated on `p` mismatch, so a shared state would
 //!   thrash between requests of different widths);
-//! * a small LRU of long-lived engines keyed `(p, machine, app)` —
+//! * a small LRU of long-lived engines keyed `(p, machine, app, hier)` —
 //!   **fault-free requests only**. A request carrying a fault plan gets a
 //!   fresh engine and a throwaway state: `Engine::reset` re-arms kill
 //!   schedules but a shrink is permanent, so an engine that lost a rank
@@ -37,7 +37,8 @@
 //!    list *under the queue lock* before the pass runs, and each pass runs
 //!    inside `catch_unwind`. On a panic the worker quarantines the warm
 //!    state for the batch's rank count and the engine-cache entry for its
-//!    `(p, machine, app)` key (both may have been mid-mutation), answers
+//!    `(p, machine, app, hier)` key (both may have been mid-mutation),
+//!    answers
 //!    every in-flight request with [`Status::Failed`] — panic summary plus
 //!    exact replay command attached — and keeps serving.
 //! 2. If a panic ever escapes the per-pass layer (a bug in the worker loop
@@ -53,7 +54,7 @@ use crate::protocol::{Request, Response, Status, WarmPath};
 use crate::run_request;
 use optipart_core::optipart::{PartitionState, WarmStats, DEFAULT_STATE_CAP};
 use optipart_mpisim::Engine;
-use optipart_scenario::{AppKind, Scenario};
+use optipart_scenario::{AppKind, HierKind, Scenario};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -521,7 +522,7 @@ impl Drop for Server {
     }
 }
 
-type EngineKey = (usize, String, AppKind);
+type EngineKey = (usize, String, AppKind, HierKind);
 
 /// The outer crash-isolation layer: if a panic ever escapes the per-pass
 /// `catch_unwind` in [`serve_batch`] (a bug in the loop itself, not the
@@ -613,7 +614,7 @@ fn serve_batch(
     scn: Scenario,
 ) {
     let pass_no = shared.pass_counts[idx].fetch_add(1, Ordering::Relaxed);
-    let key: EngineKey = (scn.p, scn.machine.name.clone(), scn.app);
+    let key: EngineKey = (scn.p, scn.machine.name.clone(), scn.app, scn.hier);
     // The per-pass crash-isolation layer. `AssertUnwindSafe` is justified
     // by what the Err arm does: any value the closure may have left
     // half-mutated (the warm state for this `p`, the cached engine for
@@ -752,13 +753,16 @@ fn fail_in_flight(shared: &Shared, idx: usize, summary: &str) {
 }
 
 /// Looks up (or creates) the worker's long-lived engine for this scenario's
-/// `(p, machine, app)` — LRU by recency, fault-free configs only.
+/// `(p, machine, app, hier)` — LRU by recency, fault-free configs only. The
+/// hierarchy is part of the key because an engine's `PerfModel` is fixed at
+/// construction: a `hier=smp` request served on an engine built flat would
+/// report flat quality scores (and a flat `Tp`) for its payload.
 fn cached_engine<'a>(
     engines: &'a mut Vec<(EngineKey, Engine)>,
     cap: usize,
     scn: &Scenario,
 ) -> &'a mut Engine {
-    let key: EngineKey = (scn.p, scn.machine.name.clone(), scn.app);
+    let key: EngineKey = (scn.p, scn.machine.name.clone(), scn.app, scn.hier);
     if let Some(pos) = engines.iter().position(|(k, _)| *k == key) {
         let slot = engines.remove(pos);
         engines.push(slot);

@@ -19,7 +19,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  testkit soak --budget <n> [--seed <s>] [--repro-file <path>]\n  \
          testkit replay --seed <s> [--check <name>] [--shape|--n|--p|--curve|--tol|\
-         --split-budget|--machine|--app|--faults <v>] [--no-faults]\n  \
+         --split-budget|--machine|--app|--faults|--hier|--family|--workload <v>] [--no-faults]\n  \
          testkit corpus <dir-or-file>…\n\nchecks: all {}",
         CHECKS.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
     );
@@ -106,7 +106,7 @@ fn cmd_replay(args: &[String]) {
             "check" => check = it.next().unwrap_or_else(|| usage()).clone(),
             "no-faults" => overrides.push(("no-faults".into(), String::new())),
             "shape" | "n" | "p" | "curve" | "tol" | "split-budget" | "machine" | "app"
-            | "faults" => overrides.push((
+            | "faults" | "hier" | "family" | "workload" => overrides.push((
                 flag.to_string(),
                 it.next().unwrap_or_else(|| usage()).clone(),
             )),

@@ -14,7 +14,7 @@
 //! field, exactly like the `testkit replay` flags. `check` selects one
 //! registered check (default `all`).
 
-use crate::scenario::{parse_curve, AppKind, MeshShape, Scenario};
+use crate::scenario::{parse_curve, AppKind, ElemFamily, HierKind, MeshShape, Scenario, Workload};
 use crate::soak::{check_by_name, run_scenario};
 use optipart_machine::MachineModel;
 use optipart_mpisim::FaultPlan;
@@ -93,6 +93,9 @@ pub fn apply_override(scn: &mut Scenario, key: &str, value: &str) -> Result<(), 
             )
         }
         "no-faults" => scn.faults = None,
+        "hier" => scn.hier = HierKind::parse(value).ok_or("unknown hierarchy kind")?,
+        "family" => scn.family = ElemFamily::parse(value).ok_or("unknown element family")?,
+        "workload" => scn.workload = Workload::parse(value).ok_or("unknown workload")?,
         _ => return Err("unknown key".into()),
     }
     Ok(())

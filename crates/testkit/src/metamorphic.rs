@@ -32,8 +32,12 @@
 //!   ranks (power-of-two boundaries, doubling, `2^k ± 1`) never perturbs a
 //!   hypercube-staged exchange's deliveries, comm-matrix entries or
 //!   conservation — the stage count changes, the data does not.
+//! * [`front_advection`] — advancing the moving-front workload by a
+//!   lattice vector translates the mesh cell-for-cell (mesh generation
+//!   commutes with the translation); over a full period the partition and
+//!   its quality metrics return bit-identically.
 
-use crate::scenario::{MeshShape, NamedCheck, Scenario};
+use crate::scenario::{ElemFamily, MeshShape, NamedCheck, Scenario, Workload};
 use crate::{tk_assert, tk_assert_eq};
 use optipart_core::metrics::{assignment, communication_matrix};
 use optipart_core::optipart::{optipart_with_state, PartitionState};
@@ -46,7 +50,8 @@ use optipart_core::{optipart, OptiPartOptions};
 use optipart_mpisim::par::par_map_mut_n;
 use optipart_mpisim::rng::SplitMix64;
 use optipart_mpisim::{DistVec, Engine};
-use optipart_sfc::{KeyedCell, SfcKey};
+use optipart_octree::LinearTree;
+use optipart_sfc::{Cell, KeyedCell, SfcKey, MAX_DEPTH};
 
 /// The registry the soak driver and the tier-1 harness iterate over.
 pub const PROPERTIES: &[NamedCheck] = &[
@@ -57,7 +62,117 @@ pub const PROPERTIES: &[NamedCheck] = &[
     ("thread-count-invariance", thread_count_invariance),
     ("warm-state-fallback", warm_state_fallback),
     ("rank-count-scale-invariance", rank_count_scale_invariance),
+    ("front-advection", front_advection),
 ];
+
+/// Metamorphic relation for the moving-front workload: advancing the front
+/// by step `t` translates the point cloud by the exact lattice vector
+/// `(1<<29) · (t & 1, (t>>1) & 1, (t>>2) & 1)` (wrapping mod `1<<30`), and
+/// adaptive mesh generation *commutes* with that translation — so the
+/// step-`t` mesh must equal, cell for cell, the base mesh with the same
+/// bit flipped in every anchor (level-0 cells map to themselves). Over a
+/// full period (8 steps) the translation is the identity, so the mesh,
+/// the partition and its quality metrics must all return bit-identically.
+///
+/// Sub-period translations *permute* the level-0 octant blocks, which
+/// legitimately moves splitters and `Cmax` — the invariants there are the
+/// mesh-level bijection and leaf-count conservation, not partition bits.
+/// The Hybrid element family hashes each leaf's key for its per-leaf mix,
+/// which is deliberately not translation-invariant, so the property pins
+/// the Tet family in its place.
+pub fn front_advection(scn: &Scenario) {
+    let mut s = scn.clone();
+    s.workload = Workload::MovingFront { steps: 8 };
+    if s.family == ElemFamily::Hybrid {
+        s.family = ElemFamily::Tet;
+    }
+    const HALF: u32 = 1 << (MAX_DEPTH - 1);
+    let base = s.mesh_at(0);
+    for t in 1..8usize {
+        let translated: Vec<Cell<3>> = base
+            .leaves()
+            .iter()
+            .map(|kc| {
+                let c = kc.cell;
+                if c.level() == 0 {
+                    return c;
+                }
+                let mut a = c.anchor();
+                for (d, coord) in a.iter_mut().enumerate() {
+                    if (t >> d) & 1 == 1 {
+                        *coord ^= HALF;
+                    }
+                }
+                Cell::new(a, c.level())
+            })
+            .collect();
+        let expected = LinearTree::from_cells(translated, s.curve);
+        let got = s.mesh_at(t);
+        tk_assert_eq!(
+            scn,
+            got.len(),
+            base.len(),
+            "step {t}: front advection must conserve the leaf count"
+        );
+        tk_assert!(
+            scn,
+            got.leaves() == expected.leaves(),
+            "step {t}: mesh generation does not commute with the lattice translation"
+        );
+    }
+
+    // Full period: the translation is the identity, so mesh, partition and
+    // quality must all come back bit-identical.
+    let run = |tree: &LinearTree<3>, stream: u64| {
+        let mut e = Engine::new(s.p, s.perf());
+        let out = optipart(
+            &mut e,
+            distribute_shuffled(tree, s.p, s.shuffle_seed(stream)),
+            OptiPartOptions {
+                curve: s.curve,
+                max_split_per_round: s.split_budget,
+                ..Default::default()
+            },
+        );
+        let mut eq = Engine::new(s.p, s.perf());
+        let mut block = distribute_tree(tree, s.p);
+        let q = partition_quality(&mut eq, &mut block, &out.splitters, s.curve);
+        (out, q)
+    };
+    for t in [1usize, 5] {
+        let a = s.mesh_at(t);
+        let b = s.mesh_at(t + 8);
+        tk_assert!(
+            scn,
+            a.leaves() == b.leaves(),
+            "step {t}: the period-8 mesh identity is broken"
+        );
+        let (oa, qa) = run(&a, 41);
+        let (ob, qb) = run(&b, 41);
+        tk_assert!(
+            scn,
+            oa.splitters == ob.splitters,
+            "step {t}: full-period splitters diverge"
+        );
+        tk_assert_eq!(
+            scn,
+            oa.report.counts,
+            ob.report.counts,
+            "step {t}: full-period partition counts diverge"
+        );
+        tk_assert!(
+            scn,
+            qa.wmax == qb.wmax
+                && qa.cmax == qb.cmax
+                && qa.cmax_intra == qb.cmax_intra
+                && qa.c_total == qb.c_total
+                && qa.c_intra_total == qb.c_intra_total
+                && qa.mmax == qb.mmax
+                && qa.tp.to_bits() == qb.tp.to_bits(),
+            "step {t}: full-period quality diverges ({qa:?} vs {qb:?})"
+        );
+    }
+}
 
 /// Hypercube stage count for a `p`-rank exchange — an independent
 /// re-statement of the engine's staging schedule (`⌈log₂ p⌉`).

@@ -11,11 +11,12 @@
 //! | [`warm_vs_cold`] | the warm-started tolerance ladder is a pure optimisation | a cold ladder run on every step of the same AMR loop |
 //! | [`serve_vs_library`] | optipart-serve responses are bit-identical to direct calls | [`optipart_serve::direct`] on a fresh engine and state |
 //! | [`sparse_vs_dense_collectives`] | the sparse/flat-arena all-to-alls are pure optimisations | the dense p×p `Engine::alltoallv` (the `reference` feature) |
+//! | [`hierarchy_flattening`] | a degenerate two-level machine is the flat model | the same scenario with no hierarchy, bit for bit |
 //!
 //! All failures panic through [`tk_assert!`], so the message always carries
 //! the scenario and its one-line replay command.
 
-use crate::scenario::{NamedCheck, Scenario};
+use crate::scenario::{HierKind, NamedCheck, Scenario, Workload};
 use crate::{tk_assert, tk_assert_eq};
 use optipart_core::optipart::{optipart_with_state, PartitionState};
 use optipart_core::partition::{
@@ -48,7 +49,104 @@ pub const ORACLES: &[NamedCheck] = &[
     ("warm-vs-cold", warm_vs_cold),
     ("serve-vs-library", serve_vs_library),
     ("sparse-vs-dense-collectives", sparse_vs_dense_collectives),
+    ("hierarchy-flattening", hierarchy_flattening),
 ];
+
+/// **Oracle 9 — hierarchy flattening.** A two-level machine whose
+/// intra-node figures *equal* the inter-node ones ([`HierKind::Flat`],
+/// i.e. `MachineModel::hierarchical_flat`) must be indistinguishable from
+/// the flat model down to the last bit: every hierarchical term in the
+/// codebase is written in the additive-discount form
+/// `flat + (intra − inter) · intra_quantity`, so the degenerate hierarchy
+/// contributes exactly `+0.0` everywhere. The oracle runs the full
+/// OptiPart ladder plus an Algorithm 2 quality evaluation under both
+/// machines and asserts identical splitters, per-rank slices, report
+/// fields, quality fields (including `Tp` bits), per-rank clocks, makespan
+/// bits and the complete energy report.
+pub fn hierarchy_flattening(scn: &Scenario) {
+    let tree = scn.build_tree();
+    let p = scn.p;
+    let opts = OptiPartOptions {
+        curve: scn.curve,
+        max_split_per_round: scn.split_budget,
+        ..Default::default()
+    };
+    let run = |hier: HierKind| {
+        let mut s = scn.clone();
+        s.hier = hier;
+        let mut e = Engine::new(p, s.perf());
+        let out = optipart(
+            &mut e,
+            distribute_shuffled(&tree, p, scn.shuffle_seed(40)),
+            opts,
+        );
+        let mut eq = Engine::new(p, s.perf());
+        let mut block = distribute_tree(&tree, p);
+        let q = partition_quality(&mut eq, &mut block, &out.splitters, scn.curve);
+        let energy = e.energy_report();
+        (out, e.makespan(), e.clocks().to_vec(), q, energy)
+    };
+    let (a, mk_a, clk_a, qa, en_a) = run(HierKind::None);
+    let (b, mk_b, clk_b, qb, en_b) = run(HierKind::Flat);
+
+    tk_assert!(
+        scn,
+        a.splitters == b.splitters,
+        "degenerate hierarchy changed the splitters"
+    );
+    for r in 0..p {
+        tk_assert!(
+            scn,
+            a.dist.rank(r) == b.dist.rank(r),
+            "degenerate hierarchy changed rank {r}'s partition slice"
+        );
+    }
+    let (ra, rb) = (&a.report, &b.report);
+    tk_assert!(
+        scn,
+        ra.counts == rb.counts
+            && ra.rounds == rb.rounds
+            && ra.splitter_level == rb.splitter_level
+            && ra.wmax == rb.wmax
+            && ra.cmax == rb.cmax
+            && ra.achieved_tolerance.to_bits() == rb.achieved_tolerance.to_bits()
+            && ra.lambda.to_bits() == rb.lambda.to_bits()
+            && ra.predicted_tp.to_bits() == rb.predicted_tp.to_bits(),
+        "degenerate hierarchy changed the partition report ({ra:?} vs {rb:?})"
+    );
+    tk_assert!(
+        scn,
+        qa.wmax == qb.wmax
+            && qa.cmax == qb.cmax
+            && qa.cmax_intra == qb.cmax_intra
+            && qa.c_total == qb.c_total
+            && qa.c_intra_total == qb.c_intra_total
+            && qa.mmax == qb.mmax
+            && qa.tp.to_bits() == qb.tp.to_bits(),
+        "degenerate hierarchy changed the quality metrics ({qa:?} vs {qb:?})"
+    );
+    tk_assert!(
+        scn,
+        mk_a.to_bits() == mk_b.to_bits(),
+        "degenerate hierarchy changed the makespan ({mk_a} vs {mk_b})"
+    );
+    tk_assert!(
+        scn,
+        clk_a == clk_b,
+        "degenerate hierarchy changed the per-rank clocks"
+    );
+    let same_vec = |x: &[f64], y: &[f64]| {
+        x.len() == y.len() && x.iter().zip(y).all(|(a, b)| a.to_bits() == b.to_bits())
+    };
+    tk_assert!(
+        scn,
+        same_vec(&en_a.per_node_j, &en_b.per_node_j)
+            && en_a.total_j.to_bits() == en_b.total_j.to_bits()
+            && en_a.comm_j.to_bits() == en_b.comm_j.to_bits()
+            && en_a.makespan_s.to_bits() == en_b.makespan_s.to_bits(),
+        "degenerate hierarchy changed the energy report ({en_a:?} vs {en_b:?})"
+    );
+}
 
 /// The scenario's sparse traffic pattern for the collectives oracle: ring
 /// neighbours, a seeded long-range route, a self-message and ragged
@@ -285,12 +383,19 @@ pub fn treesort_optimized(scn: &Scenario) {
 const WARM_STEPS: usize = 4;
 
 /// **Oracle 6 — warm vs cold.** The warm-started tolerance ladder
-/// ([`optipart_with_state`]) must be a *pure* optimisation: over a
-/// moving-front AMR loop, every step's warm outcome — splitters, per-rank
-/// slices, counts and all report fields down to float bits — must be
-/// identical to an independent cold ladder on the same input, for both the
+/// ([`optipart_with_state`]) must be a *pure* optimisation: over an AMR
+/// loop, every step's warm outcome — splitters, per-rank slices, counts
+/// and all report fields down to float bits — must be identical to an
+/// independent cold ladder on the same input, for both the
 /// table-accelerated replay path (pass 1: the mesh changes every step) and
 /// the exact fingerprint-hit path (pass 2: the same meshes resubmitted).
+///
+/// Static scenarios replay the canonical `fem::amr` moving-front loop;
+/// time-varying scenarios ([`Workload::MovingFront`] /
+/// [`Workload::BoundaryLayer`]) drive the scenario's own
+/// [`Scenario::mesh_at`] sequence, whose expected cold/replay/hit split is
+/// derived independently from the leaf multisets (a frozen boundary layer
+/// legitimately produces exact hits mid-pass-1).
 pub fn warm_vs_cold(scn: &Scenario) {
     let p = scn.p;
     let cfg = AmrConfig {
@@ -304,7 +409,30 @@ pub fn warm_vs_cold(scn: &Scenario) {
         max_split_per_round: scn.split_budget,
         ..Default::default()
     };
-    let trees: Vec<LinearTree<3>> = (0..cfg.steps).map(|t| step_mesh(t, &cfg)).collect();
+    let trees: Vec<LinearTree<3>> = if matches!(scn.workload, Workload::Static) {
+        (0..cfg.steps).map(|t| step_mesh(t, &cfg)).collect()
+    } else {
+        (0..WARM_STEPS).map(|t| scn.mesh_at(t)).collect()
+    };
+    // Expected warm-path split, derived straight from the meshes: the first
+    // never-seen multiset is cold, later never-seen ones replay, repeats of
+    // any cached multiset are exact fingerprint hits.
+    let (mut want_colds, mut want_replays, mut want_hits) = (0u64, 0u64, 0u64);
+    {
+        let mut seen: Vec<&[KeyedCell<3>]> = Vec::new();
+        for tree in &trees {
+            if seen.iter().any(|s| *s == tree.leaves()) {
+                want_hits += 1;
+            } else {
+                if seen.is_empty() {
+                    want_colds += 1;
+                } else {
+                    want_replays += 1;
+                }
+                seen.push(tree.leaves());
+            }
+        }
+    }
 
     // Elements start where the previous step's splitters put their region —
     // the same redistribution policy as `fem::amr_simulation`.
@@ -352,11 +480,12 @@ pub fn warm_vs_cold(scn: &Scenario) {
             );
         };
 
-    // Pass 1: the front moves every step — step 1 seeds the cache cold,
-    // every later step takes the table-accelerated replay path.
+    // Pass 1: step 1 seeds the cache cold; every later step takes the
+    // table-accelerated replay path (or an exact hit, when the workload
+    // resubmits a mesh it already froze on).
     let mut state = PartitionState::new();
     let mut prev: Option<Vec<SfcKey>> = None;
-    let mut pass1 = Vec::with_capacity(cfg.steps);
+    let mut pass1 = Vec::with_capacity(trees.len());
     for (t, tree) in trees.iter().enumerate() {
         let input = input_for(&prev, tree);
         let mut ec = scn.engine();
@@ -367,18 +496,15 @@ pub fn warm_vs_cold(scn: &Scenario) {
         prev = Some(cold.splitters);
         pass1.push(warm);
     }
-    tk_assert_eq!(scn, state.stats.colds, 1, "only the first step runs cold");
-    tk_assert_eq!(
-        scn,
-        state.stats.replays,
-        (cfg.steps - 1) as u64,
-        "every later step must take the replay path"
-    );
+    tk_assert_eq!(scn, state.stats.colds, want_colds, "cold-seed count");
+    tk_assert_eq!(scn, state.stats.replays, want_replays, "replay-path count");
+    tk_assert_eq!(scn, state.stats.hits, want_hits, "pass-1 exact-hit count");
     tk_assert_eq!(scn, state.stats.rejected, 0, "no self-check rejections");
     tk_assert_eq!(scn, state.stats.invalidated, 0, "no rank-count churn");
 
     // Pass 2: the same meshes resubmitted — every step must be an exact
     // fingerprint hit (the ladder skipped entirely) and still identical.
+    let hits_after_pass1 = state.stats.hits;
     let mut prev: Option<Vec<SfcKey>> = None;
     for (t, (tree, first)) in trees.iter().zip(&pass1).enumerate() {
         let input = input_for(&prev, tree);
@@ -390,7 +516,7 @@ pub fn warm_vs_cold(scn: &Scenario) {
     tk_assert_eq!(
         scn,
         state.stats.hits,
-        cfg.steps as u64,
+        hits_after_pass1 + trees.len() as u64,
         "pass 2 must be exact fingerprint hits throughout"
     );
 }

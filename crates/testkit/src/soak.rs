@@ -11,7 +11,7 @@
 
 use crate::metamorphic::PROPERTIES;
 use crate::oracles::{assert_solutions_match, ORACLES};
-use crate::scenario::{NamedCheck, Scenario};
+use crate::scenario::{ElemFamily, HierKind, NamedCheck, Scenario, Workload};
 use crate::{tk_assert, tk_assert_eq};
 use optipart_core::partition::{distribute_shuffled, treesort_partition};
 use optipart_fem::{amr_simulation_ft, AmrConfig};
@@ -39,6 +39,7 @@ pub const CHECKS: &[NamedCheck] = &[
         "sparse-vs-dense-collectives",
         crate::oracles::sparse_vs_dense_collectives,
     ),
+    ("hierarchy-flattening", crate::oracles::hierarchy_flattening),
     (
         "permutation-invariance",
         crate::metamorphic::permutation_invariance,
@@ -60,6 +61,7 @@ pub const CHECKS: &[NamedCheck] = &[
         "rank-count-scale-invariance",
         crate::metamorphic::rank_count_scale_invariance,
     ),
+    ("front-advection", crate::metamorphic::front_advection),
     ("stack", stack_check),
     ("trace-identity", trace_identity),
 ];
@@ -217,7 +219,8 @@ fn try_check(check: fn(&Scenario), scn: &Scenario) -> Result<(), String> {
 
 /// Greedy shrink: repeatedly apply the first simplification under which
 /// `check` still fails — drop faults, halve the mesh, remove ranks, clear
-/// the split budget — until none helps.
+/// the split budget, flatten the machine hierarchy, fall back to hex
+/// elements and a static workload — until none helps.
 pub fn shrink(check: fn(&Scenario), scn: &Scenario) -> Scenario {
     let mut cur = scn.clone();
     loop {
@@ -240,6 +243,21 @@ pub fn shrink(check: fn(&Scenario), scn: &Scenario) -> Scenario {
         if cur.split_budget.is_some() {
             let mut c = cur.clone();
             c.split_budget = None;
+            candidates.push(c);
+        }
+        if cur.hier != HierKind::None {
+            let mut c = cur.clone();
+            c.hier = HierKind::None;
+            candidates.push(c);
+        }
+        if cur.family != ElemFamily::Hex {
+            let mut c = cur.clone();
+            c.family = ElemFamily::Hex;
+            candidates.push(c);
+        }
+        if cur.workload != Workload::Static {
+            let mut c = cur.clone();
+            c.workload = Workload::Static;
             candidates.push(c);
         }
         match candidates

@@ -34,6 +34,10 @@ pub struct ModelParams {
     pub tw: f64,
     /// Modeled per-message latency, seconds.
     pub ts: f64,
+    /// Modeled seconds per *intra-node* wire byte — `Some` only when the
+    /// machine carries a two-level hierarchy; `None` degenerates every
+    /// hierarchical term to the flat model.
+    pub tw_intra: Option<f64>,
     /// `ceil(log2 p)` with `log2 1 = 1` — the engine's latency multiplier
     /// per tree collective.
     pub log_p: f64,
@@ -48,6 +52,7 @@ impl ModelParams {
             tc: perf.machine.tc,
             tw: perf.machine.tw,
             ts: perf.machine.ts,
+            tw_intra: perf.machine.hierarchy.as_ref().map(|h| h.tw_intra),
             log_p: (p.max(2) as f64).log2().ceil(),
         }
     }
@@ -70,6 +75,15 @@ pub struct PhaseAttribution {
     pub wmax_bytes: u64,
     /// Observed `Cmax`, bytes (max per-rank wire traffic).
     pub cmax_bytes: u64,
+    /// Of the `Cmax` rank's wire traffic, the bytes that stayed on-node
+    /// (ties broken toward the lowest rank, matching the quality metric).
+    pub cmax_intra_bytes: u64,
+    /// Total wire bytes charged across all ranks in the phase.
+    pub comm_bytes_total: u64,
+    /// Of [`PhaseAttribution::comm_bytes_total`], the bytes whose peer was
+    /// on the same node. `comm_intra_bytes + comm_inter_bytes()` always
+    /// equals the total — the split is exact, not modeled.
+    pub comm_intra_bytes: u64,
     /// Collectives (sync points) inside the phase.
     pub collectives: u64,
     /// Predicted `tc·Wmax` — Eq. (3)'s `α·tc·Wmax` with `α·elem_bytes`
@@ -94,6 +108,12 @@ impl PhaseAttribution {
     /// Total predicted phase time under Eq. (3) + latency extension.
     pub fn predicted_s(&self) -> f64 {
         self.predicted_compute_s + self.predicted_comm_s + self.predicted_latency_s
+    }
+
+    /// Wire bytes that crossed node boundaries:
+    /// `comm_bytes_total − comm_intra_bytes`.
+    pub fn comm_inter_bytes(&self) -> u64 {
+        self.comm_bytes_total - self.comm_intra_bytes
     }
 }
 
@@ -161,6 +181,9 @@ pub fn model_attribution(t: &Tracer, params: ModelParams) -> ModelAttribution {
         let mut comm_s = 0.0f64;
         let mut wmax = 0u64;
         let mut cmax = 0u64;
+        let mut cmax_intra = 0u64;
+        let mut comm_total = 0u64;
+        let mut comm_intra = 0u64;
         for &((p_id, _), s) in &stats {
             if p_id != ph {
                 continue;
@@ -168,7 +191,14 @@ pub fn model_attribution(t: &Tracer, params: ModelParams) -> ModelAttribution {
             compute_s = compute_s.max(s.compute_s);
             comm_s = comm_s.max(s.comm_s);
             wmax = wmax.max(s.compute_bytes);
-            cmax = cmax.max(s.comm_bytes);
+            // Strict > keeps the lowest rank on ties (stats are sorted by
+            // (phase, rank)), matching the quality metric's convention.
+            if s.comm_bytes > cmax {
+                cmax = s.comm_bytes;
+                cmax_intra = s.comm_intra_bytes;
+            }
+            comm_total += s.comm_bytes;
+            comm_intra += s.comm_intra_bytes;
         }
         let collectives = t.syncs().iter().filter(|s| s.phase == ph).count() as u64;
         let name = t.name(ph);
@@ -180,7 +210,13 @@ pub fn model_attribution(t: &Tracer, params: ModelParams) -> ModelAttribution {
             t.phase_time(name)
         };
         let predicted_compute_s = params.tc * wmax as f64;
-        let predicted_comm_s = params.tw * cmax as f64;
+        // Hierarchy-aware Eq. (3) comm term in the shared additive-discount
+        // form: a flat machine (tw_intra None) predicts exactly tw·Cmax.
+        let flat_comm = params.tw * cmax as f64;
+        let predicted_comm_s = match params.tw_intra {
+            Some(twi) => flat_comm + (twi - params.tw) * cmax_intra as f64,
+            None => flat_comm,
+        };
         let predicted_latency_s = params.ts * params.log_p * collectives as f64;
         let residual_s = measured_s - predicted_compute_s - predicted_comm_s - predicted_latency_s;
         let tc_suggested = (wmax > 0).then(|| compute_s / wmax as f64);
@@ -197,6 +233,9 @@ pub fn model_attribution(t: &Tracer, params: ModelParams) -> ModelAttribution {
             comm_s,
             wmax_bytes: wmax,
             cmax_bytes: cmax,
+            cmax_intra_bytes: cmax_intra,
+            comm_bytes_total: comm_total,
+            comm_intra_bytes: comm_intra,
             collectives,
             predicted_compute_s,
             predicted_comm_s,
@@ -220,6 +259,7 @@ mod tests {
             tc: 1e-9,
             tw: 1e-8,
             ts: 1e-6,
+            tw_intra: None,
             log_p: 1.0,
         }
     }

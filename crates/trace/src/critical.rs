@@ -253,8 +253,8 @@ mod tests {
         t.record_compute(0, 0.0, 1.0, 0);
         t.record_compute(1, 0.0, 3.0, 0);
         t.begin_collective("allreduce", 3.0, 1);
-        t.record_comm(0, 3.0, 4.0, 8);
-        t.record_comm(1, 3.0, 4.0, 8);
+        t.record_comm(0, 3.0, 4.0, 8, 0);
+        t.record_comm(1, 3.0, 4.0, 8, 0);
         t.record_compute(0, 4.0, 6.0, 0);
         let cp = critical_path(&t, &[6.0, 4.0]);
         assert_tiles(&cp);

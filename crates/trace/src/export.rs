@@ -172,8 +172,8 @@ mod tests {
             t.phase_begin("work");
             t.record_compute(0, 0.0, 1.5, 100);
             t.begin_collective("allreduce", 1.5, 0);
-            t.record_comm(0, 1.5, 1.75, 8);
-            t.record_comm(1, 1.5, 1.75, 8);
+            t.record_comm(0, 1.5, 1.75, 8, 0);
+            t.record_comm(1, 1.5, 1.75, 8, 0);
             t.phase_end(0.0, 1.75, 16);
             t.mark(1, 0.0, "fault.straggler", 4.0);
             t.decision(1.75, "probe", &[("tp", 0.5)]);

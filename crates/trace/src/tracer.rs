@@ -103,6 +103,9 @@ pub struct PhaseRankStats {
     pub compute_bytes: u64,
     /// Communication bytes — the rank's share of `C`.
     pub comm_bytes: u64,
+    /// Of `comm_bytes`, the share whose peer lives on the same node
+    /// (the hierarchical machine model's intra-node traffic).
+    pub comm_intra_bytes: u64,
 }
 
 /// The recorder. Owned by the engine; all mutation happens on the engine
@@ -314,8 +317,9 @@ impl Tracer {
     }
 
     /// Records a communication span on `rank`, named after the collective
-    /// opened by the last [`Tracer::begin_collective`].
-    pub fn record_comm(&mut self, rank: usize, t0: f64, t1: f64, bytes: u64) {
+    /// opened by the last [`Tracer::begin_collective`]. `bytes_intra ≤
+    /// bytes` is the share that never left the rank's node.
+    pub fn record_comm(&mut self, rank: usize, t0: f64, t1: f64, bytes: u64, bytes_intra: u64) {
         if !self.events_on {
             return;
         }
@@ -334,6 +338,7 @@ impl Tracer {
         let s = self.per_phase_rank.entry((phase, rank)).or_default();
         s.comm_s += t1 - t0;
         s.comm_bytes += bytes;
+        s.comm_intra_bytes += bytes_intra;
     }
 
     /// Records the synchronisation point opening a collective: all ranks
@@ -454,7 +459,7 @@ mod tests {
         t.enable_spans();
         t.record_compute(0, 0.0, 1.0, 8);
         t.begin_collective("allreduce", 1.0, 0);
-        t.record_comm(1, 1.0, 1.5, 16);
+        t.record_comm(1, 1.0, 1.5, 16, 0);
         assert_eq!(t.spans()[0].len(), 1);
         assert_eq!(t.name(t.spans()[1][0].name), "allreduce");
         assert_eq!(t.syncs().len(), 1);

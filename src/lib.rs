@@ -23,6 +23,10 @@
 //! * [`trace`] — deterministic structured tracing over the virtual BSP
 //!   clock: Chrome-trace export, critical-path extraction, Eq. (3) model
 //!   attribution.
+//! * [`scenario`] — the seeded scenario model shared by the testkit, the
+//!   server protocol and the benchmarks: mesh shapes, element families
+//!   (hex/tet/prism/hybrid), machine hierarchies and time-varying
+//!   workloads, all derived deterministically from one `u64`.
 //! * [`serve`] — partition-as-a-service front end: fingerprint-sharded
 //!   warm-state worker pool, request batching, bounded-queue backpressure,
 //!   fault-soak verification (the `optipart-serve` binary).
@@ -52,6 +56,7 @@ pub use optipart_fem as fem;
 pub use optipart_machine as machine;
 pub use optipart_mpisim as mpisim;
 pub use optipart_octree as octree;
+pub use optipart_scenario as scenario;
 pub use optipart_serve as serve;
 pub use optipart_sfc as sfc;
 pub use optipart_trace as trace;

@@ -1,0 +1,287 @@
+//! Tier-1 suite for the two-level machine hierarchy.
+//!
+//! Three claims, from model to trace:
+//! 1. *Flattening*: a degenerate hierarchy (intra == inter) is bit-identical
+//!    to the flat machine through the whole OptiPart + quality + energy
+//!    stack — the `hierarchy-flattening` differential oracle, swept over
+//!    100 generated scenarios (plus the `front-advection` metamorphic
+//!    property at the same width, since both ride the same new scenario
+//!    dimensions).
+//! 2. *Preference*: on a skewed 6-neighbour exchange pattern the
+//!    hierarchical cost model strictly prefers the rank placement that
+//!    keeps the heavy edges on-node, while the flat model cannot tell the
+//!    placements apart.
+//! 3. *Attribution*: the trace's Eq. (3) report splits every phase's wire
+//!    bytes into intra- and inter-node parts exactly — the split sums back
+//!    to the engine's own run statistics, byte for byte.
+
+use optipart_core::optipart::optipart;
+use optipart_core::partition::{distribute_shuffled, distribute_tree};
+use optipart_core::quality::partition_quality;
+use optipart_core::OptiPartOptions;
+use optipart_machine::{AppModel, MachineModel, PerfModel};
+use optipart_mpisim::rng::mix;
+use optipart_mpisim::Engine;
+use optipart_octree::MeshParams;
+use optipart_sfc::Curve;
+use optipart_testkit::scenario::Scenario;
+use optipart_testkit::{metamorphic, oracles};
+
+fn sweep(check: fn(&Scenario), stream: u64, count: usize) {
+    for i in 0..count {
+        let scn = Scenario::from_seed(mix(stream.wrapping_add(i as u64)));
+        check(&scn);
+    }
+}
+
+/// Oracle 9 over 100 scenarios: `hier=flat` (degenerate two-level machine)
+/// must be bit-identical to `hier=none` — splitters, slices, report,
+/// quality, clocks, makespan and energy report.
+#[test]
+fn oracle_hierarchy_flattening() {
+    sweep(oracles::hierarchy_flattening, 0x0175_0009, 100);
+}
+
+/// The front-advection metamorphic property over 100 scenarios: mesh
+/// generation commutes with the moving front's lattice translation, and
+/// the full period returns partition + quality bit-identically.
+#[test]
+fn property_front_advection() {
+    sweep(metamorphic::front_advection, 0x0175_0018, 100);
+}
+
+/// The skewed 6-neighbour exchange: every rank sends `heavy` bytes to its
+/// ring neighbours (`r ± 1`) and `light` bytes to the four next-nearest
+/// ranks (`r ± 2`, `r ± 3`) — a 1-D stencil with a fat diagonal, the
+/// pattern SFC partitions of AMR meshes produce.
+fn six_neighbor_traffic(p: usize, heavy: u64, light: u64) -> Vec<(usize, usize, u64)> {
+    let mut edges = Vec::new();
+    for r in 0..p {
+        for (d, bytes) in [(1, heavy), (2, light), (3, light)] {
+            edges.push((r, (r + d) % p, bytes));
+            edges.push((r, (r + p - d) % p, bytes));
+        }
+    }
+    edges
+}
+
+/// Splits an edge list into (inter, intra) byte totals under a rank →
+/// physical-slot placement; node of a slot is `slot / ranks_per_node`.
+fn split_bytes(edges: &[(usize, usize, u64)], place: &[usize], m: &MachineModel) -> (u64, u64) {
+    let (mut inter, mut intra) = (0u64, 0u64);
+    for &(src, dst, bytes) in edges {
+        if m.node_of(place[src]) == m.node_of(place[dst]) {
+            intra += bytes;
+        } else {
+            inter += bytes;
+        }
+    }
+    (inter, intra)
+}
+
+/// Claim 2: under the two-level model the node-aligned placement of a
+/// skewed 6-neighbour pattern is strictly cheaper than a node-strided one
+/// (its heavy `r ± 1` edges stay on-node), while the flat model charges
+/// both placements bit-identically — the cost surface OptiPart descends
+/// only becomes placement-aware when the hierarchy is present.
+#[test]
+fn hierarchical_model_prefers_on_node_heavy_edges() {
+    let p = 8;
+    let flat = MachineModel::custom("hier-test", 1e-9, 1e-6, 1e-8, 4);
+    let smp = flat.clone().hierarchical_smp();
+    let edges = six_neighbor_traffic(p, 4096, 64);
+
+    // Contiguous placement: ranks 0..3 on node 0, 4..7 on node 1 (the SFC
+    // order). Strided: even ranks on node 0, odd on node 1 — every heavy
+    // ring edge crosses nodes.
+    let contiguous: Vec<usize> = (0..p).collect();
+    let strided: Vec<usize> = (0..p).map(|r| (r % 2) * 4 + r / 2).collect();
+
+    let (inter_c, intra_c) = split_bytes(&edges, &contiguous, &flat);
+    let (inter_s, intra_s) = split_bytes(&edges, &strided, &flat);
+    assert_eq!(
+        inter_c + intra_c,
+        inter_s + intra_s,
+        "placement must conserve bytes"
+    );
+    let frac = |inter: u64, intra: u64| intra as f64 / (inter + intra) as f64;
+    assert!(
+        frac(inter_c, intra_c) > frac(inter_s, intra_s),
+        "contiguous placement must keep a larger on-node fraction \
+         ({} vs {})",
+        frac(inter_c, intra_c),
+        frac(inter_s, intra_s)
+    );
+
+    // Flat model: indifferent, bit for bit.
+    assert_eq!(
+        flat.comm_cost(inter_c, intra_c).to_bits(),
+        flat.comm_cost(inter_s, intra_s).to_bits(),
+        "the flat model must not distinguish placements"
+    );
+    // Degenerate hierarchy: still indifferent (the flattening contract).
+    let degen = flat.clone().hierarchical_flat();
+    assert_eq!(
+        degen.comm_cost(inter_c, intra_c).to_bits(),
+        degen.comm_cost(inter_s, intra_s).to_bits(),
+        "a degenerate hierarchy must not distinguish placements"
+    );
+    // SMP hierarchy: the node-aligned placement wins strictly, in both
+    // time and NIC energy.
+    assert!(
+        smp.comm_cost(inter_c, intra_c) < smp.comm_cost(inter_s, intra_s),
+        "the two-level model must prefer heavy edges on-node"
+    );
+    assert!(
+        smp.nic_j(inter_c + intra_c, intra_c) < smp.nic_j(inter_s + intra_s, intra_s),
+        "the NIC energy model must prefer heavy edges on-node"
+    );
+
+    // And the preference is exactly the additive discount: cost(flat) +
+    // (tw_intra − tw) · intra, recomputed independently.
+    for (inter, intra) in [(inter_c, intra_c), (inter_s, intra_s)] {
+        let h = smp.hierarchy.as_ref().expect("smp carries a hierarchy");
+        let want = smp.tw * (inter + intra) as f64 + (h.tw_intra - smp.tw) * intra as f64;
+        assert_eq!(smp.comm_cost(inter, intra).to_bits(), want.to_bits());
+    }
+}
+
+/// Claim 2, engine leg: Algorithm 2 reports a non-trivial intra split for
+/// a real partition on a multi-rank-per-node machine, and the reported
+/// `Tp` carries exactly the `(tw_intra − tw) · Cmax_intra` discount
+/// relative to the flat Eq. (3) prediction.
+#[test]
+fn quality_tp_carries_the_exact_intra_discount() {
+    let tree = MeshParams::normal(4000, 33).build::<3>(Curve::Hilbert);
+    let p = 8;
+    let machine = MachineModel::custom("hier-test", 1e-9, 1e-6, 1e-8, 4).hierarchical_smp();
+    let perf = PerfModel::new(machine, AppModel::laplacian_matvec());
+
+    let mut e = Engine::new(p, perf.clone());
+    let out = optipart(
+        &mut e,
+        distribute_shuffled(&tree, p, 0xA11CE),
+        OptiPartOptions {
+            curve: Curve::Hilbert,
+            ..Default::default()
+        },
+    );
+    let mut eq = Engine::new(p, perf.clone());
+    let mut block = distribute_tree(&tree, p);
+    let q = partition_quality(&mut eq, &mut block, &out.splitters, Curve::Hilbert);
+
+    assert!(q.cmax_intra <= q.cmax);
+    assert!(q.c_intra_total <= q.c_total);
+    assert!(
+        q.c_intra_total > 0,
+        "an SFC partition on a 4-ranks-per-node machine must keep some \
+         boundary on-node (got {q:?})"
+    );
+    assert!(
+        q.c_total > q.c_intra_total,
+        "node boundaries must leave some surface inter-node (got {q:?})"
+    );
+    let h = perf.machine.hierarchy.as_ref().unwrap();
+    let want = perf.predict(q.wmax, q.cmax)
+        + (h.tw_intra - perf.machine.tw) * (q.cmax_intra as f64 * perf.app.elem_bytes);
+    assert_eq!(
+        q.tp.to_bits(),
+        want.to_bits(),
+        "quality Tp must be exactly the flat prediction plus the discount"
+    );
+    assert!(q.tp < perf.predict(q.wmax, q.cmax) || q.cmax_intra == 0);
+}
+
+/// Claim 3: the Eq. (3) trace attribution's intra/inter byte split is
+/// exact, not modelled. The trace charges point-to-point traffic at both
+/// endpoints (sender and receiver) while `RunStats` counts each byte once,
+/// and tree collectives are charged once on both sides and are always
+/// inter-node — which yields three byte-exact identities:
+///
+/// * per phase, `intra + inter == total` and `cmax_intra ≤ cmax`;
+/// * `Σ trace intra == 2 × stats.bytes_intra` (both endpoints of every
+///   on-node pair, vs once in the stats);
+/// * with every rank on one node, `stats.bytes_intra == Σ trace total −
+///   stats.bytes_total` (the excess of the double-counted trace over the
+///   stats is exactly the point-to-point traffic, all of it on-node).
+#[test]
+fn trace_attribution_splits_intra_inter_bytes_exactly() {
+    let tree = MeshParams::normal(2500, 41).build::<3>(Curve::Morton);
+    let p = 6;
+    let run = |ranks_per_node: usize| {
+        let machine = MachineModel::custom("attrib-test", 1e-9, 1e-6, 1e-8, ranks_per_node)
+            .hierarchical_numa();
+        let mut e = Engine::new(p, PerfModel::new(machine, AppModel::wave_matvec())).with_tracing();
+        let _ = optipart(
+            &mut e,
+            distribute_shuffled(&tree, p, 0xBEE),
+            OptiPartOptions {
+                curve: Curve::Morton,
+                ..Default::default()
+            },
+        );
+        let attrib = e.model_attribution();
+        let stats = e.stats().clone();
+        (attrib, stats)
+    };
+
+    for rpn in [1usize, 2, 8] {
+        let (attrib, stats) = run(rpn);
+        assert!(!attrib.phases.is_empty(), "rpn {rpn}: attribution is empty");
+        let mut total = 0u64;
+        let mut intra = 0u64;
+        for a in &attrib.phases {
+            assert!(
+                a.comm_intra_bytes <= a.comm_bytes_total,
+                "rpn {rpn}, phase {}: intra bytes exceed the total",
+                a.phase
+            );
+            assert_eq!(
+                a.comm_intra_bytes + a.comm_inter_bytes(),
+                a.comm_bytes_total,
+                "rpn {rpn}, phase {}: the split must be exact",
+                a.phase
+            );
+            assert!(
+                a.cmax_intra_bytes <= a.cmax_bytes,
+                "rpn {rpn}, phase {}: bottleneck intra exceeds its Cmax",
+                a.phase
+            );
+            total += a.comm_bytes_total;
+            intra += a.comm_intra_bytes;
+        }
+        assert_eq!(
+            intra,
+            2 * stats.bytes_intra,
+            "rpn {rpn}: trace intra must be exactly both endpoints of every \
+             on-node byte the stats count once"
+        );
+        assert!(
+            stats.bytes_total <= total && total <= 2 * stats.bytes_total,
+            "rpn {rpn}: trace totals must lie between once- and \
+             twice-counted stats ({total} vs {})",
+            stats.bytes_total
+        );
+        match rpn {
+            // One rank per node: self-sends are elided, so nothing is
+            // on-node — in the stats or the trace.
+            1 => {
+                assert_eq!(stats.bytes_intra, 0, "rpn 1: no on-node pairs exist");
+                assert_eq!(intra, 0, "rpn 1: the trace must agree");
+            }
+            // Everyone on one node: all point-to-point traffic is intra,
+            // and that traffic is exactly the trace's double-count excess.
+            8 => assert_eq!(
+                stats.bytes_intra,
+                total - stats.bytes_total,
+                "rpn 8 >= p: every point-to-point byte must stay on-node"
+            ),
+            // Two per node: a genuine mix — some pairs share a node, the
+            // tree collectives never do.
+            _ => assert!(
+                0 < intra && intra < total,
+                "rpn {rpn}: expected a strict intra/inter mix (intra {intra} of {total})"
+            ),
+        }
+    }
+}

@@ -280,3 +280,164 @@ fn boundary_grows_and_lambda_shrinks_with_level() {
         }
     }
 }
+
+/// Acceptance: a 20-step moving-front AMR sequence under the warm-started
+/// ladder. The front translates the point cloud on an exact lattice with
+/// period 8, so the warm path is fully predictable *per step* — one cold
+/// seed, seven table-accelerated replays, then exact fingerprint hits for
+/// the rest of the horizon — and a fail-stop kill in step 10's solve
+/// shrinks to the survivor set, invalidates every cached partition (they
+/// were fingerprinted for the dead rank count), re-seeds the warm state on
+/// the new communicator, and still reproduces every fault-free step
+/// solution to `1e-12` relative.
+#[test]
+fn moving_front_warm_replay_and_mid_sequence_recovery() {
+    use optipart::core::optipart::{optipart_with_state, PartitionState, WarmStats};
+    use optipart::fem::run_matvec_ft;
+    use optipart::mpisim::{CheckpointPolicy, DistVec, FaultPlan};
+    use optipart::octree::balance::balance21;
+    use optipart::scenario::{HierKind, Scenario, Workload};
+
+    const STEPS: usize = 20;
+    const KILL_STEP: usize = 10;
+    const ITERS: usize = 4;
+
+    let mut scn = Scenario::from_seed(0xF057);
+    scn.n = 500;
+    scn.p = 6;
+    scn.curve = Curve::Hilbert;
+    scn.machine = MachineModel::cloudlab_wisconsin();
+    scn.hier = HierKind::Smp;
+    scn.workload = Workload::MovingFront {
+        steps: STEPS as u32,
+    };
+    scn.faults = None;
+    scn.split_budget = None;
+    let opts = OptiPartOptions {
+        curve: scn.curve,
+        ..Default::default()
+    };
+    // 2:1-balance each step's mesh: the FEM stencil's partition
+    // independence (and hence the cross-communicator solution compare)
+    // is only guaranteed on balanced meshes. Balancing is per-mesh, so
+    // the front's period-8 repetition survives it.
+    let trees: Vec<LinearTree<3>> = (0..STEPS).map(|t| balance21(&scn.mesh_at(t))).collect();
+
+    // One letter per step, from the warm counters' deltas: (C)old seed,
+    // table-accelerated (R)eplay, exact fingerprint (H)it.
+    let class = |before: WarmStats, after: WarmStats| -> char {
+        match (
+            after.colds - before.colds,
+            after.replays - before.replays,
+            after.hits - before.hits,
+        ) {
+            (1, 0, 0) => 'C',
+            (0, 1, 0) => 'R',
+            (0, 0, 1) => 'H',
+            d => panic!("one step must take exactly one warm path, got {d:?}"),
+        }
+    };
+    let matches_to_1e12 = |what: &str, want: &[(SfcKey, f64)], got: &[(SfcKey, f64)]| {
+        assert_eq!(want.len(), got.len(), "{what}: solution lengths diverge");
+        let norm = want
+            .iter()
+            .map(|(_, v)| v.abs())
+            .fold(f64::MIN_POSITIVE, f64::max);
+        for ((ka, a), (kb, b)) in want.iter().zip(got) {
+            assert_eq!(ka, kb, "{what}: octant multiset diverged");
+            assert!(
+                (a - b).abs() <= 1e-12 * norm,
+                "{what}: solution diverged: {a} vs {b} (norm {norm:e})"
+            );
+        }
+    };
+
+    // Fault-free pass: reference per-step solutions, per-step warm classes,
+    // and the sync-point timeline of step 10's solve (to aim the kill).
+    let mut state = PartitionState::new();
+    let mut classes = String::new();
+    let mut solutions = Vec::with_capacity(STEPS);
+    let mut kill_mid = 0u64;
+    for (t, tree) in trees.iter().enumerate() {
+        let mut e = Engine::new(scn.p, scn.perf());
+        let before = state.stats;
+        let out = optipart_with_state(
+            &mut e,
+            DistVec::from_global(tree.leaves(), scn.p),
+            opts,
+            &mut state,
+        );
+        classes.push(class(before, state.stats));
+        let mesh = DistMesh::build(&mut e, out.dist, scn.curve);
+        let rep = run_matvec_ft(&mut e, &mesh, ITERS, CheckpointPolicy::EveryN(2));
+        assert!(rep.deaths.is_empty(), "clean step {t} must see no deaths");
+        if t == KILL_STEP {
+            kill_mid = e.sync_points() / 2;
+        }
+        solutions.push(rep.solution);
+    }
+    // Period 8: step 0 cold, 1–7 replays, 8–19 exact hits — a 60% exact-hit
+    // rate over the horizon, and the front never forces a second cold run.
+    assert_eq!(classes, "CRRRRRRRHHHHHHHHHHHH");
+    assert_eq!(
+        state.stats,
+        WarmStats {
+            hits: 12,
+            replays: 7,
+            colds: 1,
+            rejected: 0,
+            invalidated: 0,
+        }
+    );
+    assert!(kill_mid >= 2, "step {KILL_STEP} too short to aim a kill");
+
+    // Faulted pass: same sequence, fresh warm state, one rank killed in the
+    // middle of step 10's solve. Steps after the shrink run on the survivor
+    // communicator: the cached partitions are invalidated wholesale, the
+    // ladder re-seeds cold once, and the replay/hit cadence resumes.
+    let victim = scn.p - 1;
+    let mut state = PartitionState::new();
+    let mut classes = String::new();
+    let mut cur_p = scn.p;
+    for (t, tree) in trees.iter().enumerate() {
+        let mut e = Engine::new(cur_p, scn.perf());
+        let before = state.stats;
+        let out = optipart_with_state(
+            &mut e,
+            DistVec::from_global(tree.leaves(), cur_p),
+            opts,
+            &mut state,
+        );
+        classes.push(class(before, state.stats));
+        let mesh = DistMesh::build(&mut e, out.dist, scn.curve);
+        let rep = if t == KILL_STEP {
+            let mut e = e.with_faults(FaultPlan::new(0x5EED).kill_rank(victim, kill_mid));
+            let rep = run_matvec_ft(&mut e, &mesh, ITERS, CheckpointPolicy::EveryN(2));
+            assert_eq!(rep.deaths.len(), 1, "the scheduled kill must fire");
+            assert_eq!(rep.deaths[0].rank, victim, "wrong victim died");
+            assert_eq!(rep.final_p, cur_p - 1, "survivor count after the kill");
+            cur_p -= 1;
+            rep
+        } else {
+            let rep = run_matvec_ft(&mut e, &mesh, ITERS, CheckpointPolicy::EveryN(2));
+            assert!(rep.deaths.is_empty(), "faulted step {t}: no extra deaths");
+            rep
+        };
+        matches_to_1e12(&format!("step {t}"), &solutions[t], &rep.solution);
+    }
+    // Steps 0–10 mirror the clean pass; the shrink then invalidates all 8
+    // cached partitions, step 11 re-seeds cold, 12–18 replay, and step 19
+    // (same front phase as 11) is the first exact hit on the new
+    // communicator.
+    assert_eq!(classes, "CRRRRRRRHHHCRRRRRRRH");
+    assert_eq!(
+        state.stats,
+        WarmStats {
+            hits: 4,
+            replays: 14,
+            colds: 2,
+            rejected: 0,
+            invalidated: 8,
+        }
+    );
+}
